@@ -1,0 +1,425 @@
+(* The iocov command-line tool.
+
+   Subcommands mirror the paper's pipeline: run a simulated tester under
+   the tracer ([suite]), analyze a stored trace ([analyze]), compare the
+   two testers figure-by-figure ([compare]), evaluate TCD ([tcd]), and
+   reproduce the bug study and the differential-testing demo. *)
+
+open Cmdliner
+module Runner = Iocov_suites.Runner
+module Coverage = Iocov_core.Coverage
+module Report = Iocov_core.Report
+module Tcd = Iocov_core.Tcd
+module Arg_class = Iocov_core.Arg_class
+module Fault = Iocov_vfs.Fault
+
+(* --- shared arguments --- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let scale_arg =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ]
+        ~docv:"SCALE"
+        ~doc:"Workload scale factor; 1.0 is a quick shape-complete run, larger values \
+              approach the paper's absolute frequencies.")
+
+let fault_conv =
+  let parse s =
+    match Fault.of_string s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown fault %S (try: %s)" s
+              (String.concat ", " (List.map Fault.to_string Fault.all))))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Fault.to_string f))
+
+let faults_arg =
+  Arg.(
+    value & opt_all fault_conv []
+    & info [ "fault" ] ~docv:"FAULT" ~doc:"Inject a fault into the tested file system \
+                                           (repeatable); see $(b,iocov faults).")
+
+let suite_conv =
+  let parse s =
+    match Runner.suite_of_name s with
+    | Some suite -> Ok suite
+    | None -> Error (`Msg (Printf.sprintf "unknown suite %S (crashmonkey|xfstests|ltp)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Runner.suite_name s))
+
+(* --- suite --- *)
+
+let print_result (r : Runner.result) =
+  Printf.printf "%s: %d workloads, %s traced records (%s within the mount), %.2fs\n"
+    (Runner.suite_name r.Runner.suite) r.Runner.workloads
+    (Iocov_util.Ascii.si_count r.Runner.events_total)
+    (Iocov_util.Ascii.si_count r.Runner.events_kept)
+    r.Runner.elapsed_s;
+  (match r.Runner.failures with
+   | [] -> print_endline "oracle: no violations"
+   | failures ->
+     Printf.printf "oracle: %d violations (bugs found by the suite):\n" (List.length failures);
+     List.iteri
+       (fun i f -> if i < 25 then Printf.printf "  %s\n" f)
+       failures;
+     if List.length failures > 25 then
+       Printf.printf "  ... and %d more\n" (List.length failures - 25));
+  print_endline (Report.suite_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage);
+  print_endline (Report.untested_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage)
+
+let suite_cmd =
+  let run suite seed scale faults =
+    print_result (Runner.run ~seed ~scale ~faults suite)
+  in
+  let suite_pos =
+    Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
+    Term.(const run $ suite_pos $ seed_arg $ scale_arg $ faults_arg)
+
+(* --- trace: run a suite and store the raw trace --- *)
+
+let trace_cmd =
+  let run suite seed scale file binary =
+    (* Re-run the suite with a file sink attached; the trace is raw
+       (unfiltered), as a kernel tracer would deliver it. *)
+    let oc = if binary then open_out_bin file else open_out file in
+    let coverage = Coverage.create () in
+    let sink =
+      if binary then Iocov_trace.Binary_io.sink (Iocov_trace.Binary_io.writer oc)
+      else Iocov_trace.Format_io.sink_channel oc
+    in
+    (match suite with
+     | Runner.Crashmonkey ->
+       ignore (Iocov_suites.Crashmonkey.run ~seed ~scale ~sink ~coverage ())
+     | Runner.Xfstests ->
+       ignore (Iocov_suites.Xfstests.run ~seed ~scale ~sink ~coverage ())
+     | Runner.Ltp -> ignore (Iocov_suites.Ltp.run ~seed ~scale ~sink ~coverage ()));
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  in
+  let suite_pos =
+    Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let binary_arg =
+    Arg.(value & flag & info [ "binary" ]
+           ~doc:"Write the compact binary format (CTF-analogue) instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a suite and write its raw (unfiltered) trace to a file for later analysis.")
+    Term.(const run $ suite_pos $ seed_arg $ scale_arg $ out_arg $ binary_arg)
+
+(* --- analyze a stored trace --- *)
+
+let analyze_cmd =
+  let run file patterns mount save =
+    let filter =
+      match (patterns, mount) with
+      | [], None -> Iocov_trace.Filter.mount_point "/mnt/test"
+      | [], Some m -> Iocov_trace.Filter.mount_point m
+      | ps, _ ->
+        (match Iocov_trace.Filter.create ~patterns:ps with
+         | Ok f -> f
+         | Error msg -> failwith msg)
+    in
+    let coverage = Coverage.create () in
+    let kept = ref 0 and dropped = ref 0 in
+    let ic = open_in_bin file in
+    let consume () e =
+      if Iocov_trace.Filter.keeps filter e then begin
+        incr kept;
+        match e.Iocov_trace.Event.payload with
+        | Iocov_trace.Event.Tracked call ->
+          Coverage.observe coverage call e.Iocov_trace.Event.outcome
+        | Iocov_trace.Event.Aux _ -> ()
+      end
+      else incr dropped
+    in
+    let result =
+      if Iocov_trace.Binary_io.is_binary_trace ic then
+        Iocov_trace.Binary_io.fold_channel ic ~init:() ~f:consume
+      else Iocov_trace.Format_io.fold_channel ic ~init:() ~f:consume
+    in
+    close_in ic;
+    (match result with
+     | Ok () ->
+       Printf.printf "%s: %d records kept, %d filtered out\n" file !kept !dropped;
+       print_endline (Report.suite_summary ~name:file coverage);
+       print_endline (Report.untested_summary ~name:file coverage);
+       (match save with
+        | Some path ->
+          Iocov_core.Snapshot.save_file path coverage;
+          Printf.printf "coverage snapshot written to %s\n" path
+        | None -> ())
+     | Error msg -> Printf.eprintf "error: %s\n" msg)
+  in
+  let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let patterns_arg =
+    Arg.(value & opt_all string [] & info [ "filter" ] ~docv:"REGEX"
+           ~doc:"Keep records whose path matches (repeatable).")
+  in
+  let mount_arg =
+    Arg.(value & opt (some string) None & info [ "mount" ] ~docv:"PATH"
+           ~doc:"Keep records under this mount point (default /mnt/test).")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Write the computed coverage as a snapshot file.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Compute input/output coverage from a stored trace file.")
+    Term.(const run $ file_pos $ patterns_arg $ mount_arg $ save_arg)
+
+(* --- compare: the paper's evaluation --- *)
+
+let compare_cmd =
+  let run seed scale =
+    let cm, xf = Runner.run_both ~seed ~scale () in
+    let name_a = "CrashMonkey" and name_b = "xfstests" in
+    let cov_a = cm.Runner.coverage and cov_b = xf.Runner.coverage in
+    print_endline (Report.figure2 ~name_a ~cov_a ~name_b ~cov_b);
+    print_endline (Report.table1 ~name_a ~cov_a ~name_b ~cov_b);
+    print_endline (Report.figure3 ~name_a ~cov_a ~name_b ~cov_b);
+    print_endline (Report.figure4 ~name_a ~cov_a ~name_b ~cov_b);
+    print_endline
+      (Report.figure5 ~name_a ~cov_a ~name_b ~cov_b
+         ~targets:(Tcd.log_targets ~lo_log10:0.0 ~hi_log10:7.0 ~per_decade:1))
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run CrashMonkey and xfstests and print Figures 2-5 and Table 1.")
+    Term.(const run $ seed_arg $ scale_arg)
+
+(* --- tcd --- *)
+
+let tcd_cmd =
+  let run seed scale arg_name =
+    let arg =
+      match Arg_class.of_name arg_name with
+      | Some a -> a
+      | None -> failwith (Printf.sprintf "unknown argument %S" arg_name)
+    in
+    let cm, xf = Runner.run_both ~seed ~scale () in
+    let freqs cov =
+      Array.of_list (List.map snd (Coverage.input_series cov arg))
+    in
+    let f_cm = freqs cm.Runner.coverage and f_xf = freqs xf.Runner.coverage in
+    List.iter
+      (fun target ->
+        Printf.printf "T=%-10.0f CrashMonkey %.3f   xfstests %.3f\n" target
+          (Tcd.tcd_uniform ~frequencies:f_cm ~target)
+          (Tcd.tcd_uniform ~frequencies:f_xf ~target))
+      (Tcd.log_targets ~lo_log10:0.0 ~hi_log10:7.0 ~per_decade:2);
+    match Tcd.crossover ~f1:f_cm ~f2:f_xf ~lo:1.0 ~hi:1e7 with
+    | Some t -> Printf.printf "crossover at T ~= %.0f\n" t
+    | None -> print_endline "no crossover in [1, 1e7]"
+  in
+  let arg_name =
+    Arg.(value & opt string "open.flags" & info [ "arg" ] ~docv:"ARG"
+           ~doc:"Tracked argument (e.g. open.flags, write.count).")
+  in
+  Cmd.v
+    (Cmd.info "tcd" ~doc:"Test Coverage Deviation sweep for one tracked argument.")
+    Term.(const run $ seed_arg $ scale_arg $ arg_name)
+
+(* --- adequacy: the under/over-testing classifier --- *)
+
+let adequacy_cmd =
+  let run suite seed scale arg_name target theta =
+    let arg =
+      match Arg_class.of_name arg_name with
+      | Some a -> a
+      | None -> failwith (Printf.sprintf "unknown argument %S" arg_name)
+    in
+    let r = Runner.run ~seed ~scale suite in
+    print_endline
+      (Report.adequacy_table ~name:(Runner.suite_name suite) r.Runner.coverage ~arg ~target
+         ~theta);
+    let rows = Iocov_core.Adequacy.input_report r.Runner.coverage arg ~target ~theta in
+    let s = Iocov_core.Adequacy.summarize rows in
+    Printf.printf "\nsummary: %d untested, %d under-tested, %d adequate, %d over-tested\n"
+      s.Iocov_core.Adequacy.untested s.Iocov_core.Adequacy.under
+      s.Iocov_core.Adequacy.adequate s.Iocov_core.Adequacy.over;
+    List.iter
+      (fun hint -> print_endline ("hint: " ^ hint))
+      (Iocov_core.Adequacy.rebalance_hint Iocov_core.Partition.label rows)
+  in
+  let suite_pos = Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE") in
+  let arg_name =
+    Arg.(value & opt string "open.flags" & info [ "arg" ] ~docv:"ARG"
+           ~doc:"Tracked argument to classify.")
+  in
+  let target_arg =
+    Arg.(value & opt float 1000.0 & info [ "target" ] ~docv:"T"
+           ~doc:"Desired test frequency per partition.")
+  in
+  let theta_arg =
+    Arg.(value & opt float 10.0 & info [ "theta" ] ~docv:"THETA"
+           ~doc:"Tolerance factor: under below T/theta, over above T*theta.")
+  in
+  Cmd.v
+    (Cmd.info "adequacy"
+       ~doc:"Classify each partition of one argument as untested, under-tested, adequate, \
+             or over-tested against a target frequency.")
+    Term.(const run $ suite_pos $ seed_arg $ scale_arg $ arg_name $ target_arg $ theta_arg)
+
+(* --- bugstudy / differential / faults --- *)
+
+let bugstudy_cmd =
+  let run () =
+    print_endline (Iocov_bugstudy.Stats.render (Iocov_bugstudy.Stats.of_dataset ()));
+    print_endline "Trigger syscalls across the 70 bugs:";
+    List.iter
+      (fun (base, n) ->
+        Printf.printf "  %-10s %d\n" (Iocov_syscall.Model.base_name base) n)
+      (Iocov_bugstudy.Stats.trigger_frequency Iocov_bugstudy.Dataset.all)
+  in
+  Cmd.v
+    (Cmd.info "bugstudy" ~doc:"Reproduce the Section 2 bug-study statistics.")
+    Term.(const run $ const ())
+
+let differential_cmd =
+  let run budget =
+    let reports = Iocov_bugstudy.Differential.campaign ~budget () in
+    print_endline (Iocov_bugstudy.Differential.render reports);
+    Printf.printf "detection rate: code-coverage-style %.0f%%, IOCov-guided %.0f%%\n"
+      (100.0
+       *. Iocov_bugstudy.Differential.detection_rate reports
+            Iocov_bugstudy.Differential.Code_coverage_style)
+      (100.0
+       *. Iocov_bugstudy.Differential.detection_rate reports
+            Iocov_bugstudy.Differential.Iocov_guided)
+  in
+  let budget_arg =
+    Arg.(value & opt int 64 & info [ "budget" ] ~docv:"N" ~doc:"Probes per strategy.")
+  in
+  Cmd.v
+    (Cmd.info "differential"
+       ~doc:"Hunt injected faults with code-coverage-style vs IOCov-guided probes.")
+    Term.(const run $ budget_arg)
+
+let faults_cmd =
+  let run () =
+    List.iter
+      (fun f -> Printf.printf "%-28s %s\n" (Fault.to_string f) (Fault.describe f))
+      Fault.all
+  in
+  Cmd.v (Cmd.info "faults" ~doc:"List injectable file-system faults.") Term.(const run $ const ())
+
+(* --- report: load and merge coverage snapshots --- *)
+
+let report_cmd =
+  let run files =
+    let coverage = Coverage.create () in
+    let ok =
+      List.for_all
+        (fun file ->
+          match Iocov_core.Snapshot.load_file file with
+          | Ok cov ->
+            Coverage.merge_into ~dst:coverage cov;
+            true
+          | Error msg ->
+            Printf.eprintf "error: %s: %s\n" file msg;
+            false)
+        files
+    in
+    if ok then begin
+      let name = String.concat "+" files in
+      print_endline (Report.suite_summary ~name coverage);
+      print_endline (Report.untested_summary ~name coverage)
+    end
+  in
+  let files_pos = Arg.(non_empty & pos_all file [] & info [] ~docv:"SNAPSHOT") in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Load one or more coverage snapshots (see $(b,analyze --save)), merge them, \
+             and print the coverage report.")
+    Term.(const run $ files_pos)
+
+(* --- syz: input coverage of a Syzkaller program --- *)
+
+let syz_cmd =
+  let run file =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    match Iocov_trace.Syzlang.parse_program text with
+    | Error msg -> Printf.eprintf "error: %s\n" msg
+    | Ok program ->
+      Printf.printf "%s: %d modeled calls, %d foreign syscalls skipped\n" file
+        (List.length program.Iocov_trace.Syzlang.calls)
+        (List.length program.Iocov_trace.Syzlang.skipped);
+      List.iter
+        (fun (line, reason) -> Printf.printf "  skipped line %d: %s\n" line reason)
+        program.Iocov_trace.Syzlang.skipped;
+      let coverage = Coverage.create () in
+      List.iter (Coverage.observe_input_only coverage) program.Iocov_trace.Syzlang.calls;
+      print_endline (Report.suite_summary ~name:file coverage);
+      print_endline (Report.untested_summary ~name:file coverage);
+      print_endline
+        "(program logs carry no return values, so only input coverage is measured)"
+  in
+  let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM") in
+  Cmd.v
+    (Cmd.info "syz"
+       ~doc:"Measure the input coverage of a Syzkaller program log (syzlang format).")
+    Term.(const run $ file_pos)
+
+(* --- fuzz: feedback-comparison fuzzer --- *)
+
+let fuzz_cmd =
+  let run budget seed faults compare =
+    let module Fuzzer = Iocov_suites.Fuzzer in
+    let show (r : Fuzzer.result) =
+      Printf.printf "%s: %d executions, corpus %d, %d partitions covered%s\n"
+        (Fuzzer.feedback_name r.Fuzzer.feedback)
+        r.Fuzzer.executions r.Fuzzer.corpus_size
+        (Fuzzer.covered_partitions r.Fuzzer.coverage)
+        (if faults = [] then ""
+         else Printf.sprintf ", %d deviations from the reference" r.Fuzzer.crashes)
+    in
+    if compare then begin
+      let outcome, partition = Fuzzer.compare_feedbacks ~seed ~budget () in
+      show outcome;
+      show partition;
+      print_endline "\ncoverage growth (executions -> partitions covered):";
+      List.iter2
+        (fun (e, a) (_, b) -> Printf.printf "  %6d  outcome %4d   partition %4d\n" e a b)
+        outcome.Fuzzer.growth partition.Fuzzer.growth
+    end
+    else begin
+      let r = Fuzzer.run ~seed ~budget ~faults ~feedback:Fuzzer.Partition_novelty () in
+      show r;
+      print_endline (Report.untested_summary ~name:"fuzzer" r.Fuzzer.coverage)
+    end
+  in
+  let budget_arg =
+    Arg.(value & opt int 2000 & info [ "budget" ] ~docv:"N" ~doc:"Program executions.")
+  in
+  let compare_arg =
+    Arg.(value & flag & info [ "compare" ]
+           ~doc:"Run both feedback signals and print the growth curves side by side.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the modeled file system with partition-novelty (IOCov-guided) feedback; \
+             $(b,--compare) pits it against path-style outcome-novelty feedback.")
+    Term.(const run $ budget_arg $ seed_arg $ faults_arg $ compare_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "iocov" ~version:"1.0.0"
+       ~doc:"Input/output coverage for file system testing (HotStorage '23 reproduction).")
+    [ suite_cmd; trace_cmd; analyze_cmd; report_cmd; compare_cmd; tcd_cmd;
+      adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd ]
+
+let () = exit (Cmd.eval main)

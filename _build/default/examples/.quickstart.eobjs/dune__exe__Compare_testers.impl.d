@@ -1,0 +1,1 @@
+examples/compare_testers.ml: Array Iocov_core Iocov_suites Iocov_util Printf Sys

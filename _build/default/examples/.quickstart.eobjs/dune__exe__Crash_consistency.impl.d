@@ -1,0 +1,1 @@
+examples/crash_consistency.ml: Errno Iocov_syscall Iocov_vfs Model Open_flags Printf

@@ -1,0 +1,1 @@
+examples/differential_hunt.ml: Iocov_bugstudy Iocov_vfs List Printf

@@ -1,0 +1,1 @@
+examples/fuzzer_and_syz.ml: Iocov_core Iocov_suites Iocov_syscall Iocov_trace List Printf

@@ -1,0 +1,1 @@
+examples/fuzzer_and_syz.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Iocov_core Iocov_syscall Iocov_trace Iocov_vfs Model Open_flags Whence

@@ -1,0 +1,1 @@
+examples/tcd_tuning.ml: Array Iocov_core Iocov_suites Iocov_syscall List Open_flags Printf

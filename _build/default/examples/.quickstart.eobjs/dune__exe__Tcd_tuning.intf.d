@@ -1,0 +1,1 @@
+examples/tcd_tuning.mli:

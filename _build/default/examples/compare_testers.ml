@@ -1,0 +1,32 @@
+(* Compare CrashMonkey and xfstests the way the paper's evaluation does:
+   run both simulated suites, then print every figure and table of
+   Section 4 at a reduced scale.
+
+   Run with:  dune exec examples/compare_testers.exe -- [scale]  *)
+
+module Runner = Iocov_suites.Runner
+module Report = Iocov_core.Report
+module Tcd = Iocov_core.Tcd
+
+let () =
+  let scale = try float_of_string Sys.argv.(1) with _ -> 0.25 in
+  Printf.printf "running CrashMonkey and xfstests simulators (scale %.2f)...\n%!" scale;
+  let cm, xf = Runner.run_both ~scale () in
+  Printf.printf "CrashMonkey: %d workloads, %s records, %.1fs; xfstests: %d tests, %s records, %.1fs\n\n"
+    cm.Runner.workloads
+    (Iocov_util.Ascii.si_count cm.Runner.events_total)
+    cm.Runner.elapsed_s xf.Runner.workloads
+    (Iocov_util.Ascii.si_count xf.Runner.events_total)
+    xf.Runner.elapsed_s;
+  let name_a = "CrashMonkey" and name_b = "xfstests" in
+  let cov_a = cm.Runner.coverage and cov_b = xf.Runner.coverage in
+  print_endline (Report.figure2 ~name_a ~cov_a ~name_b ~cov_b);
+  print_endline (Report.table1 ~name_a ~cov_a ~name_b ~cov_b);
+  print_endline (Report.figure3 ~name_a ~cov_a ~name_b ~cov_b);
+  print_endline (Report.figure4 ~name_a ~cov_a ~name_b ~cov_b);
+  print_endline
+    (Report.figure5 ~name_a ~cov_a ~name_b ~cov_b
+       ~targets:(Tcd.log_targets ~lo_log10:0.0 ~hi_log10:7.0 ~per_decade:1));
+  print_endline "";
+  print_endline (Report.untested_summary ~name:"CrashMonkey" cov_a);
+  print_endline (Report.untested_summary ~name:"xfstests" cov_b)

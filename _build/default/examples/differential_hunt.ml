@@ -1,0 +1,34 @@
+(* Hunt injected file-system bugs with the IOCov-guided differential
+   tester, and contrast it with probes that merely re-execute the same
+   code paths (code-coverage-style testing).
+
+   Every injected fault models a bug class from the paper's Section 2
+   study — including Figure 1's "setxattr at exactly the maximum size"
+   Ext4 bug, which full line/function/branch coverage failed to expose.
+
+   Run with:  dune exec examples/differential_hunt.exe *)
+
+module Diff = Iocov_bugstudy.Differential
+module Fault = Iocov_vfs.Fault
+module Dataset = Iocov_bugstudy.Dataset
+module Bug = Iocov_bugstudy.Bug
+
+let () =
+  print_endline "Bug archetypes under hunt (from the Section 2 dataset):";
+  List.iter
+    (fun (b : Bug.t) ->
+      match b.Bug.fault with
+      | Some fault ->
+        Printf.printf "  %-28s <- %s (%s)\n" (Fault.to_string fault) b.Bug.id b.Bug.title
+      | None -> ())
+    Dataset.injectable;
+  print_newline ();
+  let reports = Diff.campaign () in
+  print_endline (Diff.render reports);
+  Printf.printf "\ndetection rate: code-coverage-style %.0f%%, IOCov-guided %.0f%%\n"
+    (100.0 *. Diff.detection_rate reports Diff.Code_coverage_style)
+    (100.0 *. Diff.detection_rate reports Diff.Iocov_guided);
+  print_endline
+    "\nThe code-coverage-style probes execute the same file-system code as\n\
+     the guided ones — the difference is only which INPUT partitions they\n\
+     exercise, which is the paper's thesis in one table."

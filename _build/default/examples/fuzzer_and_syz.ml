@@ -1,0 +1,60 @@
+(* The future-work extensions in one example:
+
+   1. Parse a Syzkaller program (syzlang declarative descriptions) and
+      measure its input coverage — the paper's planned path for applying
+      IOCov to fuzzers.
+   2. Run the same mutation-based fuzzer twice, once with path-style
+      outcome-novelty feedback and once guided by IOCov partition
+      novelty, and compare how much of the partitioned input space each
+      reaches.
+
+   Run with:  dune exec examples/fuzzer_and_syz.exe *)
+
+module Syzlang = Iocov_trace.Syzlang
+module Fuzzer = Iocov_suites.Fuzzer
+module Coverage = Iocov_core.Coverage
+module Report = Iocov_core.Report
+
+let syz_program =
+  {|r0 = openat(0xffffffffffffff9c, &(0x7f0000000000)='./file0\x00', 0x42, 0x1ff)
+pwrite64(r0, &(0x7f0000000040)="deadbeefcafe", 0x6, 0x0)
+r1 = socket(0x2, 0x1, 0x0)
+lseek(r0, 0x1000, 0x0)
+ftruncate(r0, 0x2000)
+fgetxattr(r0, &(0x7f0000000600)='user.x\x00', &(0x7f0000000680)=""/64, 0x40)
+mkdir(&(0x7f0000000400)='./dir0\x00', 0x1c0)
+close(r0)|}
+
+let () =
+  print_endline "=== 1. Syzkaller program through IOCov ===";
+  (match Syzlang.parse_program syz_program with
+   | Error msg -> Printf.eprintf "parse error: %s\n" msg
+   | Ok program ->
+     Printf.printf "%d modeled calls parsed, %d foreign syscalls skipped:\n"
+       (List.length program.Syzlang.calls)
+       (List.length program.Syzlang.skipped);
+     List.iter
+       (fun call -> print_endline ("  " ^ Iocov_syscall.Model.call_to_string call))
+       program.Syzlang.calls;
+     let coverage = Coverage.create () in
+     List.iter (Coverage.observe_input_only coverage) program.Syzlang.calls;
+     print_newline ();
+     print_endline (Report.untested_summary ~name:"syzkaller program" coverage));
+
+  print_endline "\n=== 2. Fuzzing: outcome-novelty vs IOCov-guided feedback ===";
+  let budget = 1500 in
+  Printf.printf "same mutator, same seed, %d executions per feedback signal...\n%!" budget;
+  let outcome, partition = Fuzzer.compare_feedbacks ~budget () in
+  Printf.printf "%-36s %4d partitions covered (corpus %d)\n"
+    (Fuzzer.feedback_name outcome.Fuzzer.feedback)
+    (Fuzzer.covered_partitions outcome.Fuzzer.coverage)
+    outcome.Fuzzer.corpus_size;
+  Printf.printf "%-36s %4d partitions covered (corpus %d)\n"
+    (Fuzzer.feedback_name partition.Fuzzer.feedback)
+    (Fuzzer.covered_partitions partition.Fuzzer.coverage)
+    partition.Fuzzer.corpus_size;
+  print_endline
+    "\nThe partition-novelty signal retains boundary stepping stones (sizes\n\
+     0, 2^k-1, 2^k+1, rare flags) that outcome novelty discards as 'the\n\
+     same path' — so the guided fuzzer keeps finding new input classes\n\
+     after the path-style one has saturated."

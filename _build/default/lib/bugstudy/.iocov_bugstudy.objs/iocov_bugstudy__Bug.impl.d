@@ -1,0 +1,1 @@
+lib/bugstudy/bug.ml: Iocov_syscall Iocov_vfs

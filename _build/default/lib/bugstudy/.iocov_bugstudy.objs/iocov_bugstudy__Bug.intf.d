@@ -1,0 +1,1 @@
+lib/bugstudy/bug.mli: Iocov_syscall Iocov_vfs

@@ -1,0 +1,1 @@
+lib/bugstudy/dataset.ml: Bug Errno Iocov_syscall Iocov_vfs List Model Printf String

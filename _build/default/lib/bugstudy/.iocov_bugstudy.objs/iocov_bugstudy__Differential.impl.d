@@ -1,0 +1,1 @@
+lib/bugstudy/differential.ml: Buffer Config Errno Fault Fs Iocov_syscall Iocov_util Iocov_vfs List Model Open_flags Printf String Whence

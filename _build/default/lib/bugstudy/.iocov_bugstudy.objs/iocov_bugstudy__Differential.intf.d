@@ -1,0 +1,1 @@
+lib/bugstudy/differential.mli: Iocov_vfs

@@ -1,0 +1,1 @@
+lib/bugstudy/stats.ml: Bug Dataset Hashtbl Iocov_syscall Iocov_util List Printf

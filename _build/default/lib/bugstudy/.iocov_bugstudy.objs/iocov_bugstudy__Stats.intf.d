@@ -1,0 +1,1 @@
+lib/bugstudy/stats.mli: Bug Iocov_syscall

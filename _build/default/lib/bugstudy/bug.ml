@@ -1,0 +1,33 @@
+type fs = Ext4 | Btrfs
+
+let fs_name = function Ext4 -> "Ext4" | Btrfs -> "BtrFS"
+
+type t = {
+  id : string;
+  fs : fs;
+  title : string;
+  input_bug : bool;
+  output_bug : bool;
+  func_covered : bool;
+  line_covered : bool;
+  branch_covered : bool;
+  detected : bool;
+  trigger : Iocov_syscall.Model.base list;
+  boundary : bool;
+  error_code : Iocov_syscall.Errno.t option;
+  fault : Iocov_vfs.Fault.t option;
+}
+
+let is_covered_but_missed t = t.line_covered && not t.detected
+
+let classification t =
+  match (t.input_bug, t.output_bug) with
+  | true, true -> "both"
+  | true, false -> "input"
+  | false, true -> "output"
+  | false, false -> "neither"
+
+let valid t =
+  (if t.branch_covered then t.line_covered else true)
+  && (if t.line_covered then t.func_covered else true)
+  && if t.detected then t.func_covered else true

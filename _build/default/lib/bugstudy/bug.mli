@@ -1,0 +1,43 @@
+(** One record of the Section 2 bug study.
+
+    The paper analyzed the latest 100 Git commits of 2022 for each of
+    Ext4 and BtrFS, identified 70 bug fixes (51 + 19), ran xfstests under
+    Gcov, and recorded per bug: whether the buggy code's lines, function,
+    and branches were covered; whether the suite detected the bug; and
+    whether specific inputs (an {e input bug}) or effects on the syscall
+    return (an {e output bug}) were needed to trigger it. *)
+
+type fs = Ext4 | Btrfs
+
+val fs_name : fs -> string
+
+type t = {
+  id : string;           (** stable identifier, e.g. ["ext4-2022-017"] *)
+  fs : fs;
+  title : string;        (** commit-subject-style summary *)
+  input_bug : bool;      (** needs specific syscall inputs to trigger *)
+  output_bug : bool;     (** lives on an exit path / affects the return *)
+  func_covered : bool;   (** xfstests covered the containing function *)
+  line_covered : bool;   (** xfstests covered the buggy lines *)
+  branch_covered : bool; (** xfstests covered the buggy branches *)
+  detected : bool;       (** xfstests actually exposed the bug *)
+  trigger : Iocov_syscall.Model.base list;
+      (** syscalls whose inputs/outputs reach the bug *)
+  boundary : bool;       (** trigger involves a boundary / corner value *)
+  error_code : Iocov_syscall.Errno.t option;
+      (** the error path involved, for output bugs *)
+  fault : Iocov_vfs.Fault.t option;
+      (** the injectable archetype reproducing this bug's shape, when the
+          modeled file system exposes one *)
+}
+
+val is_covered_but_missed : t -> bool
+(** Line-covered yet undetected — the paper's headline 53% population. *)
+
+val classification : t -> string
+(** ["input"], ["output"], ["both"], or ["neither"]. *)
+
+val valid : t -> bool
+(** Structural sanity: branch coverage implies line coverage implies
+    function coverage, and a detected bug must have been executed
+    (function-covered). *)

@@ -1,0 +1,221 @@
+open Iocov_syscall
+module Fault = Iocov_vfs.Fault
+
+(* Coverage tiers.  Branch coverage implies line coverage implies function
+   coverage, matching how Gcov reports nest. *)
+type cov = Uncovered | Func_only | Line | Branch
+
+let mk ~n ~fs ~title ~cls ~cov ?(detected = false) ?(boundary = false) ?errno ?fault trigger =
+  let input_bug, output_bug =
+    match cls with
+    | `Input -> (true, false)
+    | `Output -> (false, true)
+    | `Both -> (true, true)
+    | `Neither -> (false, false)
+  in
+  let func_covered, line_covered, branch_covered =
+    match cov with
+    | Uncovered -> (false, false, false)
+    | Func_only -> (true, false, false)
+    | Line -> (true, true, false)
+    | Branch -> (true, true, true)
+  in
+  {
+    Bug.id =
+      Printf.sprintf "%s-2022-%03d" (String.lowercase_ascii (Bug.fs_name fs)) n;
+    fs;
+    title;
+    input_bug;
+    output_bug;
+    func_covered;
+    line_covered;
+    branch_covered;
+    detected;
+    trigger;
+    boundary;
+    error_code = errno;
+    fault;
+  }
+
+let e = Bug.Ext4
+let b = Bug.Btrfs
+
+(* --- detected by xfstests (8): fully covered, caught by the suite --- *)
+let detected_bugs =
+  [ mk ~n:1 ~fs:e ~title:"ext4: fix race when reusing a recently freed extent block"
+      ~cls:`Both ~cov:Branch ~detected:true [ Model.Write; Model.Read ];
+    mk ~n:2 ~fs:e ~title:"ext4: fix corruption when online resizing a small bigalloc fs"
+      ~cls:`Both ~cov:Branch ~detected:true [ Model.Write ];
+    mk ~n:3 ~fs:e ~title:"ext4: fix dir corruption after converting inline dir to block"
+      ~cls:`Both ~cov:Branch ~detected:true [ Model.Mkdir; Model.Open ];
+    mk ~n:4 ~fs:e ~title:"ext4: fix lost error from journal commit during sync"
+      ~cls:`Output ~cov:Branch ~detected:true ~errno:Errno.EIO [ Model.Close ];
+    mk ~n:5 ~fs:e ~title:"ext4: fix null pointer dereference in fast-commit replay"
+      ~cls:`Neither ~cov:Branch ~detected:true [ Model.Write ];
+    mk ~n:6 ~fs:e ~title:"ext4: fix extent status tree shrinker accounting"
+      ~cls:`Both ~cov:Branch ~detected:true [ Model.Read ];
+    mk ~n:1 ~fs:b ~title:"btrfs: fix deadlock between concurrent dio writes and fsync"
+      ~cls:`Both ~cov:Branch ~detected:true [ Model.Write; Model.Close ];
+    mk ~n:2 ~fs:b ~title:"btrfs: fix space cache corruption after full balance"
+      ~cls:`Both ~cov:Branch ~detected:true [ Model.Write ] ]
+
+(* --- covered through branches, still missed (20) --- *)
+let branch_covered_missed =
+  [ (* Ext4: 15 *)
+    mk ~n:10 ~fs:e ~title:"ext4: fix use-after-free in ext4_xattr_set_entry"
+      ~cls:`Both ~cov:Branch ~boundary:true ~errno:Errno.ENOSPC
+      ~fault:Fault.Xattr_ibody_overflow [ Model.Setxattr ]
+      (* the paper's Figure 1: only the maximum lsetxattr size overflows
+         min_offs, so full code coverage still misses it *);
+    mk ~n:11 ~fs:e ~title:"ext4: fix potential out of bound read in ext4_fc_replay_scan"
+      ~cls:`Input ~cov:Branch ~boundary:true [ Model.Write ];
+    mk ~n:12 ~fs:e ~title:"ext4: continue to expand file system when the target size doesn't reach"
+      ~cls:`Input ~cov:Branch ~boundary:true [ Model.Truncate; Model.Write ];
+    mk ~n:13 ~fs:e ~title:"ext4: fix error code return to user-space in ext4_get_branch"
+      ~cls:`Output ~cov:Branch ~errno:Errno.EIO [ Model.Read ];
+    mk ~n:14 ~fs:e ~title:"ext4: fix EFBIG check off-by-one at the max file size boundary"
+      ~cls:`Both ~cov:Branch ~boundary:true ~errno:Errno.EFBIG
+      ~fault:Fault.Truncate_efbig_unchecked [ Model.Truncate ];
+    mk ~n:15 ~fs:e ~title:"ext4: fix offset update for zero-length dio write"
+      ~cls:`Both ~cov:Branch ~boundary:true
+      ~fault:Fault.Write_zero_advances_offset [ Model.Write; Model.Lseek ];
+    mk ~n:16 ~fs:e ~title:"ext4: fix mount failure handling with quota feature and errors=panic"
+      ~cls:`Neither ~cov:Branch [ ];
+    mk ~n:17 ~fs:e ~title:"ext4: fix SEEK_HOLE answer past EOF for files ending in a hole"
+      ~cls:`Both ~cov:Branch ~boundary:true ~fault:Fault.Seek_hole_off_by_one
+      [ Model.Lseek ];
+    mk ~n:18 ~fs:e ~title:"ext4: fix setuid handling when chmod races with open"
+      ~cls:`Input ~cov:Branch ~fault:Fault.Chmod_suid_kept [ Model.Chmod ];
+    mk ~n:19 ~fs:e ~title:"ext4: fix warning on reading an empty xattr value"
+      ~cls:`Both ~cov:Branch ~boundary:true ~errno:Errno.ENODATA
+      ~fault:Fault.Getxattr_empty_enodata [ Model.Getxattr ];
+    mk ~n:20 ~fs:e ~title:"ext4: fix punch hole beyond i_size leaving stale extents"
+      ~cls:`Input ~cov:Branch ~boundary:true [ Model.Truncate ];
+    mk ~n:21 ~fs:e ~title:"ext4: fix overflow when inode timestamp extends past 2038"
+      ~cls:`Input ~cov:Branch ~boundary:true [ Model.Chmod ];
+    mk ~n:22 ~fs:e ~title:"ext4: fix orphan cleanup loop with an empty orphan list block"
+      ~cls:`Neither ~cov:Branch [ ];
+    mk ~n:23 ~fs:e ~title:"ext4: fix ENOSPC accounting for delayed allocation at quota edge"
+      ~cls:`Output ~cov:Branch ~errno:Errno.EDQUOT [ Model.Write ];
+    mk ~n:24 ~fs:e ~title:"ext4: fix read beyond EOF when lseek lands exactly on i_size"
+      ~cls:`Both ~cov:Branch ~boundary:true [ Model.Lseek; Model.Read ];
+    (* BtrFS: 5 *)
+    mk ~n:10 ~fs:b ~title:"btrfs: fix NOWAIT buffered write returning -ENOSPC"
+      ~cls:`Both ~cov:Branch ~errno:Errno.ENOSPC ~fault:Fault.Nowait_write_enospc
+      [ Model.Write ];
+    mk ~n:11 ~fs:b ~title:"btrfs: fix lost file data after fsync of prealloc extent past EOF"
+      ~cls:`Both ~cov:Branch ~boundary:true ~fault:Fault.Fsync_skips_data
+      [ Model.Write; Model.Close ];
+    mk ~n:12 ~fs:b ~title:"btrfs: fix wrong error return from incomplete readahead"
+      ~cls:`Output ~cov:Branch ~errno:Errno.EIO [ Model.Read ];
+    mk ~n:13 ~fs:b ~title:"btrfs: fix send failing on a file cloned to exactly the max extent"
+      ~cls:`Neither ~cov:Branch ~boundary:true [ ];
+    mk ~n:14 ~fs:b ~title:"btrfs: fix assertion when compressed write spans a zone boundary"
+      ~cls:`Neither ~cov:Branch ~boundary:true [ ] ]
+
+(* --- lines (but not branches) covered, missed (17) --- *)
+let line_covered_missed =
+  [ (* Ext4: 12 *)
+    mk ~n:30 ~fs:e ~title:"ext4: fix creat mode bits dropped under a racing umask update"
+      ~cls:`Input ~cov:Line ~fault:Fault.Creat_mode_ignored [ Model.Open ];
+    mk ~n:31 ~fs:e ~title:"ext4: fix sticky bit loss when mkdir inherits from setgid parent"
+      ~cls:`Input ~cov:Line ~fault:Fault.Mkdir_sticky_lost [ Model.Mkdir ];
+    mk ~n:32 ~fs:e ~title:"ext4: fix EOVERFLOW opening large files without O_LARGEFILE on 32-bit"
+      ~cls:`Both ~cov:Line ~boundary:true ~errno:Errno.EOVERFLOW
+      ~fault:Fault.Largefile_eoverflow [ Model.Open ];
+    mk ~n:33 ~fs:e ~title:"ext4: fix short write retry loop forgetting the progress count"
+      ~cls:`Both ~cov:Line ~errno:Errno.ENOSPC ~fault:Fault.Enospc_swallowed
+      [ Model.Write ];
+    mk ~n:34 ~fs:e ~title:"ext4: fix i_disksize update when writing into a hole at 4GiB"
+      ~cls:`Input ~cov:Line ~boundary:true [ Model.Write ];
+    mk ~n:35 ~fs:e ~title:"ext4: fix fast-commit replay of multi-block xattr deletion"
+      ~cls:`Input ~cov:Line [ Model.Setxattr ];
+    mk ~n:36 ~fs:e ~title:"ext4: fix error path leak when dir index split hits ENOSPC"
+      ~cls:`Output ~cov:Line ~errno:Errno.ENOSPC [ Model.Mkdir ];
+    mk ~n:37 ~fs:e ~title:"ext4: fix stale error return cached from a previous aborted open"
+      ~cls:`Output ~cov:Line ~errno:Errno.EIO [ Model.Open ];
+    mk ~n:38 ~fs:e ~title:"ext4: fix dirent checksum verification on 1k block directories"
+      ~cls:`Neither ~cov:Line [ ];
+    mk ~n:39 ~fs:e ~title:"ext4: fix group descriptor refresh after journaled metadata replay"
+      ~cls:`Neither ~cov:Line [ ];
+    mk ~n:40 ~fs:e ~title:"ext4: fix inline data state left behind by failed truncate"
+      ~cls:`Both ~cov:Line ~boundary:true [ Model.Truncate ];
+    mk ~n:41 ~fs:e ~title:"ext4: fix symlink ELOOP detection when nesting equals the limit"
+      ~cls:`Both ~cov:Line ~boundary:true ~errno:Errno.ELOOP [ Model.Open ];
+    (* BtrFS: 5 *)
+    mk ~n:20 ~fs:b ~title:"btrfs: fix relocation failure when a data extent crosses 128MiB"
+      ~cls:`Both ~cov:Line ~boundary:true ~errno:Errno.EIO [ Model.Write ];
+    mk ~n:21 ~fs:b ~title:"btrfs: fix qgroup accounting on buffered write into prealloc range"
+      ~cls:`Both ~cov:Line ~errno:Errno.EDQUOT [ Model.Write ];
+    mk ~n:22 ~fs:b ~title:"btrfs: fix missing -EDQUOT when rewriting shared compressed data"
+      ~cls:`Both ~cov:Line ~errno:Errno.EDQUOT [ Model.Write ];
+    mk ~n:23 ~fs:b ~title:"btrfs: fix log tree replay of a rename over an orphan inode"
+      ~cls:`Neither ~cov:Line [ ];
+    mk ~n:24 ~fs:b ~title:"btrfs: fix readdir position after seeking a just-unlinked entry"
+      ~cls:`Neither ~cov:Line [ Model.Lseek ] ]
+
+(* --- function covered but the buggy lines never ran, missed (6) --- *)
+let func_covered_missed =
+  [ mk ~n:50 ~fs:e ~title:"ext4: fix handling of xattr block reference count overflow"
+      ~cls:`Input ~cov:Func_only ~boundary:true [ Model.Setxattr ];
+    mk ~n:51 ~fs:e ~title:"ext4: fix write retry after transient ENOMEM in writeback"
+      ~cls:`Both ~cov:Func_only ~errno:Errno.ENOMEM [ Model.Write ];
+    mk ~n:52 ~fs:e ~title:"ext4: fix truncation of encrypted names at NAME_MAX"
+      ~cls:`Input ~cov:Func_only ~boundary:true [ Model.Open ];
+    mk ~n:53 ~fs:e ~title:"ext4: fix double free on mount option parse failure"
+      ~cls:`Neither ~cov:Func_only [ ];
+    mk ~n:30 ~fs:b ~title:"btrfs: fix fsync of sparse file losing the final hole extent"
+      ~cls:`Both ~cov:Func_only ~boundary:true [ Model.Write; Model.Truncate ];
+    mk ~n:31 ~fs:b ~title:"btrfs: fix -EAGAIN loop for nowait dio crossing extent boundaries"
+      ~cls:`Both ~cov:Func_only ~errno:Errno.EAGAIN [ Model.Write ] ]
+
+(* --- entirely uncovered by xfstests (19) --- *)
+let uncovered_missed =
+  [ (* Ext4: 14 *)
+    mk ~n:60 ~fs:e ~title:"ext4: fix fallocate beyond max length returning wrong error"
+      ~cls:`Both ~cov:Uncovered ~boundary:true ~errno:Errno.EFBIG [ Model.Truncate ];
+    mk ~n:61 ~fs:e ~title:"ext4: fix lseek SEEK_DATA on a file with only an inline tail"
+      ~cls:`Both ~cov:Uncovered ~boundary:true ~errno:Errno.ENXIO [ Model.Lseek ];
+    mk ~n:62 ~fs:e ~title:"ext4: fix O_TMPFILE inode leaking into the orphan list on failure"
+      ~cls:`Input ~cov:Uncovered [ Model.Open ];
+    mk ~n:63 ~fs:e ~title:"ext4: fix getxattr buffer length check with a zero-size buffer"
+      ~cls:`Both ~cov:Uncovered ~boundary:true ~errno:Errno.ERANGE [ Model.Getxattr ];
+    mk ~n:64 ~fs:e ~title:"ext4: fix chmod of an opened-but-unlinked inode touching freed memory"
+      ~cls:`Input ~cov:Uncovered [ Model.Chmod; Model.Close ];
+    mk ~n:65 ~fs:e ~title:"ext4: fix dax write at exactly the 16TiB file size cap"
+      ~cls:`Both ~cov:Uncovered ~boundary:true ~errno:Errno.EFBIG [ Model.Write ];
+    mk ~n:66 ~fs:e ~title:"ext4: fix fast-commit with a directory renamed onto its child"
+      ~cls:`Input ~cov:Uncovered [ Model.Mkdir ];
+    mk ~n:67 ~fs:e ~title:"ext4: fix EINTR leak from dio when a signal interrupts the final page"
+      ~cls:`Both ~cov:Uncovered ~errno:Errno.EINTR [ Model.Write ];
+    mk ~n:68 ~fs:e ~title:"ext4: fix bigalloc cluster accounting when write size equals cluster"
+      ~cls:`Both ~cov:Uncovered ~boundary:true [ Model.Write ];
+    mk ~n:69 ~fs:e ~title:"ext4: fix verity enable racing with a concurrent truncate"
+      ~cls:`Input ~cov:Uncovered [ Model.Truncate ];
+    mk ~n:70 ~fs:e ~title:"ext4: fix wrong errno when opening a corrupted quota inode"
+      ~cls:`Output ~cov:Uncovered ~errno:Errno.EIO [ Model.Open ];
+    mk ~n:71 ~fs:e ~title:"ext4: fix casefold lookup of names differing only at byte 255"
+      ~cls:`Both ~cov:Uncovered ~boundary:true [ Model.Open ];
+    mk ~n:72 ~fs:e ~title:"ext4: fix journal replay after power cut during lazy inode-table init"
+      ~cls:`Neither ~cov:Uncovered [ ];
+    mk ~n:73 ~fs:e ~title:"ext4: fix mballoc preallocation discard on read-only remount"
+      ~cls:`Neither ~cov:Uncovered [ ];
+    (* BtrFS: 5 *)
+    mk ~n:40 ~fs:b ~title:"btrfs: fix reflink of the final partial block of a file"
+      ~cls:`Both ~cov:Uncovered ~boundary:true [ Model.Write ];
+    mk ~n:41 ~fs:b ~title:"btrfs: fix zoned device write pointer mismatch after crash"
+      ~cls:`Input ~cov:Uncovered [ Model.Write ];
+    mk ~n:42 ~fs:b ~title:"btrfs: fix subvolume deletion returning before discard completes"
+      ~cls:`Both ~cov:Uncovered ~errno:Errno.EBUSY [ Model.Close ];
+    mk ~n:43 ~fs:b ~title:"btrfs: fix scrub of a raid56 stripe containing an unaligned tail"
+      ~cls:`Both ~cov:Uncovered ~boundary:true [ Model.Write ];
+    mk ~n:44 ~fs:b ~title:"btrfs: fix device removal racing with the allocation of a new chunk"
+      ~cls:`Neither ~cov:Uncovered [ ] ]
+
+let all =
+  detected_bugs @ branch_covered_missed @ line_covered_missed @ func_covered_missed
+  @ uncovered_missed
+
+let by_fs fs = List.filter (fun (b : Bug.t) -> b.Bug.fs = fs) all
+let find id = List.find_opt (fun (b : Bug.t) -> b.Bug.id = id) all
+let injectable = List.filter (fun (b : Bug.t) -> b.Bug.fault <> None) all

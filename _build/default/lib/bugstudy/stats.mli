@@ -1,0 +1,33 @@
+(** Section 2 statistics, recomputed from the dataset. *)
+
+type t = {
+  total : int;
+  ext4 : int;
+  btrfs : int;
+  detected : int;
+  input_bugs : int;
+  output_bugs : int;
+  input_or_output : int;
+  both_input_output : int;
+  line_covered_missed : int;
+  func_covered_missed : int;
+  branch_covered_missed : int;
+  covered_missed_input_triggerable : int;
+      (** of the line-covered-but-missed bugs, how many are input bugs *)
+  boundary_triggered : int;
+  error_path : int;  (** bugs with a specific error code involved *)
+}
+
+val compute : Bug.t list -> t
+val of_dataset : unit -> t
+(** [compute Dataset.all]. *)
+
+val pct : int -> int -> float
+(** Percentage helper, exposed so callers print the same rounding. *)
+
+val render : t -> string
+(** The E1 table: every Section 2 number, paper value vs recomputed. *)
+
+val trigger_frequency : Bug.t list -> (Iocov_syscall.Model.base * int) list
+(** How often each base syscall appears as a bug trigger — the evidence
+    behind choosing the 27 modeled syscalls. *)

@@ -1,0 +1,1 @@
+lib/core/adequacy.ml: Coverage List Printf String

@@ -1,0 +1,1 @@
+lib/core/adequacy.mli: Arg_class Coverage Iocov_syscall Partition

@@ -1,0 +1,1 @@
+lib/core/arg_class.ml: Iocov_syscall List

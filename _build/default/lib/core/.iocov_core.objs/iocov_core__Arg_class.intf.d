@@ -1,0 +1,1 @@
+lib/core/arg_class.mli: Iocov_syscall

@@ -1,0 +1,1 @@
+lib/core/combos.ml: Hashtbl Iocov_syscall Iocov_util List Open_flags

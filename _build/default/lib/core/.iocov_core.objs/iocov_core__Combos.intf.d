@@ -1,0 +1,1 @@
+lib/core/combos.mli: Iocov_syscall Open_flags

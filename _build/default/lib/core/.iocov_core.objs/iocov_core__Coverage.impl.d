@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Arg_class Hashtbl Iocov_syscall Iocov_util List Model Open_flags Partition Stdlib

@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Arg_class Errno Iocov_syscall Model Open_flags Partition

@@ -1,0 +1,1 @@
+lib/core/partition.ml: Arg_class Errno Iocov_syscall Iocov_util List Mode Model Open_flags Printf Stdlib String Whence Xattr_flag

@@ -1,0 +1,1 @@
+lib/core/partition.mli: Arg_class Errno Iocov_syscall Iocov_util Mode Model Open_flags Whence Xattr_flag

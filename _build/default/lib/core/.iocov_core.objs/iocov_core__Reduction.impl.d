@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Arg_class Coverage Hashtbl Iocov_syscall Lazy List Model Partition Printf String

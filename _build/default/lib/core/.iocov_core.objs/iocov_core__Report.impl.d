@@ -1,0 +1,1 @@
+lib/core/report.ml: Adequacy Arg_class Array Buffer Combos Coverage Errno Iocov_syscall Iocov_util List Model Open_flags Partition Printf String Tcd

@@ -1,0 +1,1 @@
+lib/core/report.mli: Arg_class Coverage Iocov_syscall Model

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Arg_class Buffer Coverage Fun In_channel Iocov_syscall List Model Open_flags Partition Printf Result String

@@ -1,0 +1,1 @@
+lib/core/tcd.ml: Array Iocov_util List

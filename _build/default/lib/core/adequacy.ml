@@ -1,0 +1,65 @@
+type verdict =
+  | Untested
+  | Under_tested
+  | Adequate
+  | Over_tested
+
+let verdict_name = function
+  | Untested -> "untested"
+  | Under_tested -> "under-tested"
+  | Adequate -> "adequate"
+  | Over_tested -> "over-tested"
+
+let classify ~frequency ~target ~theta =
+  if theta < 1.0 then invalid_arg "Adequacy.classify: theta < 1";
+  if target <= 0.0 then invalid_arg "Adequacy.classify: non-positive target";
+  if frequency = 0 then Untested
+  else begin
+    let f = float_of_int frequency in
+    if f < target /. theta then Under_tested
+    else if f > target *. theta then Over_tested
+    else Adequate
+  end
+
+let input_report cov arg ~target ~theta =
+  List.map
+    (fun (p, freq) -> (p, freq, classify ~frequency:freq ~target ~theta))
+    (Coverage.input_series cov arg)
+
+let output_report cov base ~target ~theta =
+  List.map
+    (fun (o, freq) -> (o, freq, classify ~frequency:freq ~target ~theta))
+    (Coverage.output_series cov base)
+
+type summary = { untested : int; under : int; adequate : int; over : int }
+
+let summarize rows =
+  List.fold_left
+    (fun acc (_, _, v) ->
+      match v with
+      | Untested -> { acc with untested = acc.untested + 1 }
+      | Under_tested -> { acc with under = acc.under + 1 }
+      | Adequate -> { acc with adequate = acc.adequate + 1 }
+      | Over_tested -> { acc with over = acc.over + 1 })
+    { untested = 0; under = 0; adequate = 0; over = 0 }
+    rows
+
+let rebalance_hint label rows =
+  let untested = List.filter (fun (_, _, v) -> v = Untested) rows in
+  let over = List.filter (fun (_, _, v) -> v = Over_tested) rows in
+  let hints = ref [] in
+  (match untested with
+   | [] -> ()
+   | l ->
+     hints :=
+       Printf.sprintf "add tests for untested partitions: %s"
+         (String.concat ", " (List.map (fun (p, _, _) -> label p) l))
+       :: !hints);
+  (match over with
+   | [] -> ()
+   | l ->
+     hints :=
+       Printf.sprintf "divert effort from over-tested partitions: %s"
+         (String.concat ", " (List.map (fun (p, _, _) -> label p) l))
+       :: !hints);
+  List.rev !hints

@@ -1,0 +1,39 @@
+(** Under-/over-testing classification.
+
+    The paper introduces under-testing ("the partition gets too little
+    testing if at all; this can miss bugs") and over-testing ("partitions
+    are excessively tested; this could waste resources").  This module
+    operationalizes the notions against a target frequency [T] with a
+    tolerance factor [theta]: a partition is under-tested below
+    [T/theta], over-tested above [T*theta], adequate in between, and
+    untested at zero. *)
+
+type verdict =
+  | Untested
+  | Under_tested
+  | Adequate
+  | Over_tested
+
+val verdict_name : verdict -> string
+
+val classify : frequency:int -> target:float -> theta:float -> verdict
+(** [theta] must be >= 1; [target] positive. *)
+
+val input_report :
+  Coverage.t -> Arg_class.arg -> target:float -> theta:float ->
+  (Partition.t * int * verdict) list
+(** Verdict per partition of the argument's whole domain. *)
+
+val output_report :
+  Coverage.t -> Iocov_syscall.Model.base -> target:float -> theta:float ->
+  (Partition.output * int * verdict) list
+
+type summary = { untested : int; under : int; adequate : int; over : int }
+
+val summarize : ('a * int * verdict) list -> summary
+
+val rebalance_hint :
+  ('a -> string) -> ('a * int * verdict) list -> string list
+(** Developer-facing suggestions: which partitions to add tests for and
+    which to divert effort from — "this information can be readily used
+    to improve these testing tools" (Section 6). *)

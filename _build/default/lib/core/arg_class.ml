@@ -1,0 +1,67 @@
+module Model = Iocov_syscall.Model
+
+type cls = Identifier | Bitmap | Numeric | Categorical
+
+let cls_name = function
+  | Identifier -> "identifier"
+  | Bitmap -> "bitmap"
+  | Numeric -> "numeric"
+  | Categorical -> "categorical"
+
+type arg =
+  | Open_flags_arg
+  | Open_mode
+  | Read_count
+  | Read_offset
+  | Write_count
+  | Write_offset
+  | Lseek_offset
+  | Lseek_whence
+  | Truncate_length
+  | Mkdir_mode
+  | Chmod_mode
+  | Setxattr_size
+  | Setxattr_flags
+  | Getxattr_size
+
+let all =
+  [ Open_flags_arg; Open_mode; Read_count; Read_offset; Write_count;
+    Write_offset; Lseek_offset; Lseek_whence; Truncate_length; Mkdir_mode;
+    Chmod_mode; Setxattr_size; Setxattr_flags; Getxattr_size ]
+
+let name = function
+  | Open_flags_arg -> "open.flags"
+  | Open_mode -> "open.mode"
+  | Read_count -> "read.count"
+  | Read_offset -> "read.offset"
+  | Write_count -> "write.count"
+  | Write_offset -> "write.offset"
+  | Lseek_offset -> "lseek.offset"
+  | Lseek_whence -> "lseek.whence"
+  | Truncate_length -> "truncate.length"
+  | Mkdir_mode -> "mkdir.mode"
+  | Chmod_mode -> "chmod.mode"
+  | Setxattr_size -> "setxattr.size"
+  | Setxattr_flags -> "setxattr.flags"
+  | Getxattr_size -> "getxattr.size"
+
+let of_name s = List.find_opt (fun a -> name a = s) all
+
+let cls_of = function
+  | Open_flags_arg | Open_mode | Mkdir_mode | Chmod_mode -> Bitmap
+  | Read_count | Read_offset | Write_count | Write_offset | Lseek_offset
+  | Truncate_length | Setxattr_size | Getxattr_size -> Numeric
+  | Lseek_whence | Setxattr_flags -> Categorical
+
+let base_of = function
+  | Open_flags_arg | Open_mode -> Model.Open
+  | Read_count | Read_offset -> Model.Read
+  | Write_count | Write_offset -> Model.Write
+  | Lseek_offset | Lseek_whence -> Model.Lseek
+  | Truncate_length -> Model.Truncate
+  | Mkdir_mode -> Model.Mkdir
+  | Chmod_mode -> Model.Chmod
+  | Setxattr_size | Setxattr_flags -> Model.Setxattr
+  | Getxattr_size -> Model.Getxattr
+
+let args_of_base b = List.filter (fun a -> base_of a = b) all

@@ -1,0 +1,50 @@
+(** The argument taxonomy and the 14 tracked arguments.
+
+    The paper divides syscall arguments into four classes — identifier,
+    bitmap, numeric, categorical — and measures input coverage for 14
+    distinct arguments across the 27 syscalls (Section 4).  Identifier
+    arguments (pathnames, file descriptors) are classified but not yet
+    partitioned, exactly as in the paper ("we plan to ... support file
+    descriptors and pointer arguments" — future work). *)
+
+type cls =
+  | Identifier   (** file descriptors, pathnames *)
+  | Bitmap       (** flag sets: open flags, permission modes *)
+  | Numeric      (** byte counts, offsets, lengths *)
+  | Categorical  (** fixed value sets: whence, xattr flags *)
+
+val cls_name : cls -> string
+
+(** The 14 tracked arguments. *)
+type arg =
+  | Open_flags_arg   (** [open.flags] — bitmap *)
+  | Open_mode        (** [open.mode] (with O_CREAT/O_TMPFILE) — bitmap *)
+  | Read_count       (** [read.count] — numeric *)
+  | Read_offset      (** [pread64.offset] — numeric *)
+  | Write_count      (** [write.count] — numeric *)
+  | Write_offset     (** [pwrite64.offset] — numeric *)
+  | Lseek_offset     (** [lseek.offset] — numeric (may be negative) *)
+  | Lseek_whence     (** [lseek.whence] — categorical *)
+  | Truncate_length  (** [truncate.length] — numeric *)
+  | Mkdir_mode       (** [mkdir.mode] — bitmap *)
+  | Chmod_mode       (** [chmod.mode] — bitmap *)
+  | Setxattr_size    (** [setxattr.size] — numeric *)
+  | Setxattr_flags   (** [setxattr.flags] — categorical *)
+  | Getxattr_size    (** [getxattr.size] — numeric *)
+
+val all : arg list
+(** The 14 arguments, in the order above. *)
+
+val name : arg -> string
+(** Dotted name, e.g. ["open.flags"]. *)
+
+val of_name : string -> arg option
+
+val cls_of : arg -> cls
+
+val base_of : arg -> Iocov_syscall.Model.base
+(** The base syscall the argument belongs to (variants merge here). *)
+
+val args_of_base : Iocov_syscall.Model.base -> arg list
+(** Tracked arguments of one base syscall (empty for [close]/[chdir],
+    whose only arguments are identifiers). *)

@@ -1,0 +1,59 @@
+open Iocov_syscall
+
+let restrict flag sets =
+  List.filter (fun (mask, _) -> Open_flags.has mask flag) sets
+
+let by_flag_count sets =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (mask, freq) ->
+      let n = Open_flags.count_flags mask in
+      let r =
+        match Hashtbl.find_opt tbl n with
+        | Some r -> r
+        | None ->
+          let r = ref 0 in
+          Hashtbl.add tbl n r;
+          r
+      in
+      r := !r + freq)
+    sets;
+  Hashtbl.fold (fun n r acc -> (n, !r) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let percent_by_flag_count ~max_n sets =
+  let counts = by_flag_count sets in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 counts in
+  List.init max_n (fun i ->
+      let n = i + 1 in
+      let c = match List.assoc_opt n counts with Some c -> c | None -> 0 in
+      Iocov_util.Stats.percentage c total)
+
+let max_flags_combined sets =
+  List.fold_left (fun acc (mask, _) -> max acc (Open_flags.count_flags mask)) 0 sets
+
+let distinct_sets sets = List.length sets
+
+let flag_pairs =
+  (* unordered pairs in domain order, diagonal excluded *)
+  let rec go acc = function
+    | [] -> List.rev acc
+    | f :: rest -> go (List.rev_append (List.map (fun g -> (f, g)) rest) acc) rest
+  in
+  go [] Open_flags.all
+
+let pair_matrix sets =
+  List.map
+    (fun (f, g) ->
+      let count =
+        List.fold_left
+          (fun acc (mask, freq) ->
+            if Open_flags.has mask f && Open_flags.has mask g then acc + freq else acc)
+          0 sets
+      in
+      ((f, g), count))
+    flag_pairs
+
+let untested_pairs sets =
+  List.filter_map (fun (pair, count) -> if count = 0 then Some pair else None)
+    (pair_matrix sets)

@@ -1,0 +1,35 @@
+(** Flag-combination analysis (Table 1) and the bit-combination coverage
+    extension.
+
+    Table 1 reports, for each test suite, the percentage of [open] calls
+    that combined 1..6 flags, over all calls and restricted to calls that
+    included the most popular flag ([O_RDONLY]).  The extension measures
+    exact flag-{e set} coverage — which of the astronomically many
+    combinations were exercised at all, and which pairs never co-occur —
+    the paper's "enhance our metrics to support bit combinations". *)
+
+open Iocov_syscall
+
+val restrict : Open_flags.flag -> (Open_flags.t * int) list -> (Open_flags.t * int) list
+(** Keep only flag sets containing the given flag. *)
+
+val by_flag_count : (Open_flags.t * int) list -> (int * int) list
+(** Total frequency per number-of-flags-combined, ascending by count.
+    A bare [O_RDONLY] open counts as one flag "used alone". *)
+
+val percent_by_flag_count : max_n:int -> (Open_flags.t * int) list -> float list
+(** Table 1 row: percentages for 1..[max_n] flags (entries beyond the
+    largest observed combination are 0). *)
+
+val max_flags_combined : (Open_flags.t * int) list -> int
+(** Largest number of flags any call combined (0 for no calls). *)
+
+val distinct_sets : (Open_flags.t * int) list -> int
+(** Number of distinct exact flag sets exercised. *)
+
+val pair_matrix : (Open_flags.t * int) list -> ((Open_flags.flag * Open_flags.flag) * int) list
+(** Co-occurrence count for every unordered flag pair (diagonal
+    excluded), in domain order. *)
+
+val untested_pairs : (Open_flags.t * int) list -> (Open_flags.flag * Open_flags.flag) list
+(** Flag pairs never exercised together — candidate new test cases. *)

@@ -1,0 +1,152 @@
+open Iocov_syscall
+module Histogram = Iocov_util.Histogram
+
+type t = {
+  inputs : (Arg_class.arg, Partition.t Histogram.t) Hashtbl.t;
+  outputs : (Model.base, Partition.output Histogram.t) Hashtbl.t;
+  variants : Model.variant Histogram.t;
+  flag_sets : Open_flags.t Histogram.t;
+  mutable calls : int;
+}
+
+let create () =
+  {
+    inputs = Hashtbl.create 16;
+    outputs = Hashtbl.create 16;
+    variants = Histogram.create ~compare:Stdlib.compare;
+    flag_sets = Histogram.create ~compare:Stdlib.compare;
+    calls = 0;
+  }
+
+let input_hist t arg =
+  match Hashtbl.find_opt t.inputs arg with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ~compare:Partition.compare in
+    Hashtbl.add t.inputs arg h;
+    h
+
+let output_hist t base =
+  match Hashtbl.find_opt t.outputs base with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create ~compare:Partition.compare_output in
+    Hashtbl.add t.outputs base h;
+    h
+
+let observe_input_only t call =
+  t.calls <- t.calls + 1;
+  Histogram.add t.variants (Model.variant_of_call call);
+  List.iter
+    (fun (arg, part) -> Histogram.add (input_hist t arg) part)
+    (Partition.of_call call);
+  match call with
+  | Model.Open_call { flags; _ } -> Histogram.add t.flag_sets flags
+  | _ -> ()
+
+let observe t call outcome =
+  observe_input_only t call;
+  let base = Model.base_of_call call in
+  Histogram.add (output_hist t base) (Partition.output_of base outcome)
+
+let merge_into ~dst src =
+  dst.calls <- dst.calls + src.calls;
+  Histogram.merge_into ~dst:dst.variants src.variants;
+  Histogram.merge_into ~dst:dst.flag_sets src.flag_sets;
+  Hashtbl.iter
+    (fun arg h -> Histogram.merge_into ~dst:(input_hist dst arg) h)
+    src.inputs;
+  Hashtbl.iter
+    (fun base h -> Histogram.merge_into ~dst:(output_hist dst base) h)
+    src.outputs
+
+let copy t =
+  let fresh = create () in
+  merge_into ~dst:fresh t;
+  fresh
+
+let input_count t arg part = Histogram.count (input_hist t arg) part
+let input_histogram t arg = Histogram.to_sorted (input_hist t arg)
+
+let input_series t arg =
+  let h = input_hist t arg in
+  List.map (fun p -> (p, Histogram.count h p)) (Partition.domain arg)
+
+let untested_inputs t arg =
+  let h = input_hist t arg in
+  List.filter (fun p -> not (Histogram.mem h p)) (Partition.domain arg)
+
+let input_coverage_ratio t arg =
+  let dom = Partition.domain arg in
+  let h = input_hist t arg in
+  let covered = List.length (List.filter (Histogram.mem h) dom) in
+  float_of_int covered /. float_of_int (List.length dom)
+
+let input_coverage_ratio_of_base t base =
+  match Arg_class.args_of_base base with
+  | [] -> 1.0
+  | args ->
+    let sum = List.fold_left (fun acc a -> acc +. input_coverage_ratio t a) 0.0 args in
+    sum /. float_of_int (List.length args)
+
+let output_count t base out = Histogram.count (output_hist t base) out
+let output_histogram t base = Histogram.to_sorted (output_hist t base)
+
+let output_series t base =
+  let h = output_hist t base in
+  let dom = Partition.output_domain base in
+  let in_domain = List.map (fun o -> (o, Histogram.count h o)) dom in
+  let extras =
+    List.filter (fun (o, _) -> not (List.exists (Partition.equal_output o) dom))
+      (Histogram.to_sorted h)
+  in
+  in_domain @ extras
+
+let output_series_grouped t base =
+  let series = output_series t base in
+  let ok_total =
+    List.fold_left
+      (fun acc (o, n) ->
+        match Partition.output_success_group o with `Ok -> acc + n | `Err _ -> acc)
+      0 series
+  in
+  let errs =
+    List.filter_map
+      (fun (o, n) ->
+        match Partition.output_success_group o with
+        | `Ok -> None
+        | `Err e -> Some (`Err e, n))
+      series
+  in
+  (`Ok, ok_total) :: errs
+
+let untested_outputs t base =
+  let h = output_hist t base in
+  List.filter (fun o -> not (Histogram.mem h o)) (Partition.output_domain base)
+
+let output_coverage_ratio t base =
+  let dom = Partition.output_domain base in
+  let h = output_hist t base in
+  let covered = List.length (List.filter (Histogram.mem h) dom) in
+  float_of_int covered /. float_of_int (List.length dom)
+
+let calls_observed t = t.calls
+
+let base_calls t base =
+  List.fold_left
+    (fun acc v -> acc + Histogram.count t.variants v)
+    0
+    (Model.variants_of_base base)
+
+let variant_calls t v = Histogram.count t.variants v
+let open_flag_sets t = Histogram.to_sorted t.flag_sets
+let variant_histogram t = Histogram.to_sorted t.variants
+
+let add_input t arg part count = Histogram.add (input_hist t arg) ~count part
+let add_output t base out count = Histogram.add (output_hist t base) ~count out
+let add_variant t v count = Histogram.add t.variants ~count v
+let add_flag_set t mask count = Histogram.add t.flag_sets ~count mask
+
+let add_calls t n =
+  if n < 0 then invalid_arg "Coverage.add_calls: negative";
+  t.calls <- t.calls + n

@@ -1,0 +1,86 @@
+(** The coverage accumulator — IOCov's input/output partitioner.
+
+    Feed it (call, outcome) pairs (from a live tracer sink or a parsed
+    trace file); it maintains per-argument input histograms and
+    per-syscall output histograms with variant merging applied, and
+    answers the untested-partition and frequency queries behind every
+    figure in the paper. *)
+
+open Iocov_syscall
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Model.call -> Model.outcome -> unit
+(** Count one traced syscall. *)
+
+val observe_input_only : t -> Model.call -> unit
+(** Count a call whose outcome is unknown — e.g. parsed from a fuzzer's
+    declarative program log, which records invocations but not returns.
+    Feeds the input side, variant accounting, and flag sets; output
+    histograms are untouched. *)
+
+val merge_into : dst:t -> t -> unit
+(** Pointwise sum — coverage from parallel runs composes. *)
+
+val copy : t -> t
+
+(** {2 Input side} *)
+
+val input_count : t -> Arg_class.arg -> Partition.t -> int
+val input_histogram : t -> Arg_class.arg -> (Partition.t * int) list
+(** Observed partitions with frequencies, ascending. *)
+
+val input_series : t -> Arg_class.arg -> (Partition.t * int) list
+(** The whole domain in order, zeros included — figure-ready. *)
+
+val untested_inputs : t -> Arg_class.arg -> Partition.t list
+val input_coverage_ratio : t -> Arg_class.arg -> float
+(** Fraction of the domain exercised at least once, in [0, 1]. *)
+
+val input_coverage_ratio_of_base : t -> Model.base -> float
+(** Mean input-coverage ratio over the base syscall's tracked arguments
+    (1.0 for syscalls with none — nothing is missing). *)
+
+(** {2 Output side} *)
+
+val output_count : t -> Model.base -> Partition.output -> int
+val output_histogram : t -> Model.base -> (Partition.output * int) list
+val output_series : t -> Model.base -> (Partition.output * int) list
+(** Full output domain, zeros included.  Outcomes outside the
+    manual-page domain (the paper notes the manual "may not be consistent
+    with the actual implementation") still appear, after the domain. *)
+
+val output_series_grouped : t -> Model.base -> ([ `Ok | `Err of Errno.t ] * int) list
+(** Figure 4 shape: one ["OK (>= 0)"] column plus one per errno. *)
+
+val untested_outputs : t -> Model.base -> Partition.output list
+val output_coverage_ratio : t -> Model.base -> float
+
+(** {2 Call accounting} *)
+
+val calls_observed : t -> int
+val base_calls : t -> Model.base -> int
+val variant_calls : t -> Model.variant -> int
+
+val open_flag_sets : t -> (Open_flags.t * int) list
+(** Exact flag {e sets} of every open observed (mask, frequency) — the
+    input to Table 1's combination analysis and to the bit-combination
+    extension. *)
+
+val variant_histogram : t -> (Model.variant * int) list
+(** Per-variant call counts, ascending. *)
+
+(** {2 Raw counter injection}
+
+    Low-level constructors used by {!Snapshot} to rebuild a coverage from
+    stored counters (and by tests to build fixtures).  [count] must be
+    non-negative; these do not touch {!calls_observed}, which
+    {!add_calls} adjusts separately. *)
+
+val add_input : t -> Arg_class.arg -> Partition.t -> int -> unit
+val add_output : t -> Model.base -> Partition.output -> int -> unit
+val add_variant : t -> Model.variant -> int -> unit
+val add_flag_set : t -> Open_flags.t -> int -> unit
+val add_calls : t -> int -> unit

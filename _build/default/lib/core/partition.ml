@@ -1,0 +1,181 @@
+open Iocov_syscall
+module Log2 = Iocov_util.Log2
+
+type t =
+  | P_flag of Open_flags.flag
+  | P_mode_bit of Mode.bit
+  | P_mode_zero
+  | P_bucket of Log2.bucket
+  | P_whence of Whence.t
+  | P_xflag of Xattr_flag.t
+
+let rank = function
+  | P_flag _ -> 0
+  | P_mode_bit _ -> 1
+  | P_mode_zero -> 2
+  | P_bucket _ -> 3
+  | P_whence _ -> 4
+  | P_xflag _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | P_flag x, P_flag y -> Stdlib.compare x y
+  | P_mode_bit x, P_mode_bit y -> Stdlib.compare x y
+  | P_mode_zero, P_mode_zero -> 0
+  | P_bucket x, P_bucket y -> Log2.compare_bucket x y
+  | P_whence x, P_whence y -> Whence.compare x y
+  | P_xflag x, P_xflag y -> Xattr_flag.compare x y
+  | a, b -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let label = function
+  | P_flag f -> Open_flags.flag_name f
+  | P_mode_bit b -> Mode.bit_name b
+  | P_mode_zero -> "MODE_0000"
+  | P_bucket b -> Log2.bucket_label b
+  | P_whence w -> Whence.to_string w
+  | P_xflag f -> Xattr_flag.to_string f
+
+let of_label s =
+  if s = "MODE_0000" then Some P_mode_zero
+  else if s = "=0" then Some (P_bucket Log2.Zero)
+  else if s = "<0" then Some (P_bucket Log2.Negative)
+  else if String.length s > 2 && String.sub s 0 2 = "2^" then
+    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+    | Some k when k >= 0 -> Some (P_bucket (Log2.Pow2 k))
+    | _ -> None
+  else
+    match Open_flags.flag_of_name s with
+    | Some f -> Some (P_flag f)
+    | None ->
+      (match Mode.bit_of_name s with
+       | Some b -> Some (P_mode_bit b)
+       | None ->
+         (match Whence.of_string s with
+          | Some w -> Some (P_whence w)
+          | None ->
+            (match Xattr_flag.of_string s with
+             | Some f -> Some (P_xflag f)
+             | None -> None)))
+
+let mode_partitions mode =
+  match Mode.decompose mode with
+  | [] -> [ P_mode_zero ]
+  | bits -> List.map (fun b -> P_mode_bit b) bits
+
+let bucket n = P_bucket (Log2.bucket_of_int n)
+
+let of_call call =
+  let open Arg_class in
+  match (call : Model.call) with
+  | Model.Open_call { flags; mode; _ } ->
+    let flag_parts =
+      List.map (fun f -> (Open_flags_arg, P_flag f)) (Open_flags.decompose flags)
+    in
+    let mode_parts =
+      (* mode is only an input when the call can create *)
+      if Open_flags.has flags Open_flags.O_CREAT || Open_flags.has flags Open_flags.O_TMPFILE
+      then List.map (fun p -> (Open_mode, p)) (mode_partitions mode)
+      else []
+    in
+    flag_parts @ mode_parts
+  | Model.Read_call { count; offset; _ } ->
+    ((Read_count, bucket count)
+     :: (match offset with Some off -> [ (Read_offset, bucket off) ] | None -> []))
+  | Model.Write_call { count; offset; _ } ->
+    ((Write_count, bucket count)
+     :: (match offset with Some off -> [ (Write_offset, bucket off) ] | None -> []))
+  | Model.Lseek_call { offset; whence; _ } ->
+    [ (Lseek_offset, bucket offset); (Lseek_whence, P_whence whence) ]
+  | Model.Truncate_call { length; _ } -> [ (Truncate_length, bucket length) ]
+  | Model.Mkdir_call { mode; _ } ->
+    List.map (fun p -> (Mkdir_mode, p)) (mode_partitions mode)
+  | Model.Chmod_call { mode; _ } ->
+    List.map (fun p -> (Chmod_mode, p)) (mode_partitions mode)
+  | Model.Close_call _ | Model.Chdir_call _ -> []
+  | Model.Setxattr_call { size; flags; _ } ->
+    [ (Setxattr_size, bucket size); (Setxattr_flags, P_xflag flags) ]
+  | Model.Getxattr_call { size; _ } -> [ (Getxattr_size, bucket size) ]
+
+let numeric_domain ~signed ~hi =
+  let buckets = List.map (fun b -> P_bucket b) (Log2.range ~lo:0 ~hi) in
+  let zero = P_bucket Log2.Zero in
+  if signed then (P_bucket Log2.Negative :: zero :: buckets) else zero :: buckets
+
+let domain arg =
+  let open Arg_class in
+  match arg with
+  | Open_flags_arg -> List.map (fun f -> P_flag f) Open_flags.all
+  | Open_mode | Mkdir_mode | Chmod_mode ->
+    P_mode_zero :: List.map (fun b -> P_mode_bit b) Mode.all_bits
+  | Read_count | Write_count -> numeric_domain ~signed:false ~hi:32
+  | Read_offset | Write_offset -> numeric_domain ~signed:true ~hi:32
+  | Lseek_offset -> numeric_domain ~signed:true ~hi:32
+  | Truncate_length -> numeric_domain ~signed:true ~hi:32
+  | Setxattr_size | Getxattr_size -> numeric_domain ~signed:false ~hi:16
+  | Lseek_whence -> List.map (fun w -> P_whence w) Whence.all
+  | Setxattr_flags -> List.map (fun f -> P_xflag f) Xattr_flag.all
+
+(* --- outputs --- *)
+
+type output =
+  | O_ok
+  | O_ok_zero
+  | O_ok_bucket of int
+  | O_err of Errno.t
+
+let output_rank = function
+  | O_ok -> (-3, 0)
+  | O_ok_zero -> (-2, 0)
+  | O_ok_bucket k -> (-1, k)
+  | O_err e -> (0, Errno.to_code e)
+
+let compare_output a b = Stdlib.compare (output_rank a) (output_rank b)
+let equal_output a b = compare_output a b = 0
+
+let output_label = function
+  | O_ok -> "OK"
+  | O_ok_zero -> "OK=0"
+  | O_ok_bucket k -> Printf.sprintf "OK 2^%d" k
+  | O_err e -> Errno.to_string e
+
+let output_token = function
+  | O_ok -> "OK"
+  | O_ok_zero -> "OK=0"
+  | O_ok_bucket k -> Printf.sprintf "OK:2^%d" k
+  | O_err e -> Errno.to_string e
+
+let output_of_token s =
+  if s = "OK" then Some O_ok
+  else if s = "OK=0" then Some O_ok_zero
+  else if String.length s > 5 && String.sub s 0 5 = "OK:2^" then
+    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
+    | Some k when k >= 0 -> Some (O_ok_bucket k)
+    | _ -> None
+  else
+    match Errno.of_string s with
+    | Some e -> Some (O_err e)
+    | None -> None
+
+let output_of base outcome =
+  match (outcome : Model.outcome) with
+  | Model.Err e -> O_err e
+  | Model.Ret n ->
+    if not (Model.returns_byte_count base) then O_ok
+    else if n = 0 then O_ok_zero
+    else O_ok_bucket (Iocov_util.Log2.floor_log2 (max 1 n))
+
+let output_domain base =
+  let successes =
+    if Model.returns_byte_count base then
+      O_ok_zero :: List.init 33 (fun k -> O_ok_bucket k)
+    else [ O_ok ]
+  in
+  successes @ List.map (fun e -> O_err e) (Model.errno_domain base)
+
+let output_is_error = function O_err _ -> true | O_ok | O_ok_zero | O_ok_bucket _ -> false
+
+let output_success_group = function
+  | O_ok | O_ok_zero | O_ok_bucket _ -> `Ok
+  | O_err e -> `Err e

@@ -1,0 +1,82 @@
+(** Input- and output-space partitioning (Section 3).
+
+    Bitmap arguments are partitioned by individual flag (each set flag
+    counts its partition); numeric arguments by powers of two with
+    dedicated boundary partitions for zero and (where admissible)
+    negative values; categorical arguments by value.  Outputs are
+    partitioned into success vs. each error code, with byte-count
+    successes further split by powers of two. *)
+
+open Iocov_syscall
+
+(** An input partition identifier. *)
+type t =
+  | P_flag of Open_flags.flag
+  | P_mode_bit of Mode.bit
+  | P_mode_zero      (** mode 0000 — the boundary "no permission bits" *)
+  | P_bucket of Iocov_util.Log2.bucket
+  | P_whence of Whence.t
+  | P_xflag of Xattr_flag.t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val label : t -> string
+(** Axis label: flag/bit names, ["=0"], ["2^10"], ...  Never contains
+    whitespace, so it doubles as the snapshot-format token. *)
+
+val of_label : string -> t option
+(** Inverse of {!label}.  Accepts buckets beyond any argument's domain
+    (an observed partition need not be a domain member). *)
+
+val of_call : Model.call -> (Arg_class.arg * t) list
+(** Every (argument, partition) pair one call exercises.  A bitmap
+    argument contributes one pair per set flag; other argument classes
+    contribute exactly one pair.  Variant merging happens here: a
+    [pread64] feeds the same [Read_count]/[Read_offset] partitions as a
+    [read]. *)
+
+val domain : Arg_class.arg -> t list
+(** The full partition domain of an argument — the denominator for
+    untested-partition reports.  Numeric domains span the zero partition
+    plus log2 buckets up to the argument's natural width (32 for byte
+    counts and offsets — Figure 3's axis — and 16 for xattr value
+    sizes), plus the negative partition where the type is signed. *)
+
+(** {2 Outputs} *)
+
+type output =
+  | O_ok                 (** success of a non-byte-count syscall *)
+  | O_ok_zero            (** byte-count success returning 0 *)
+  | O_ok_bucket of int   (** byte-count success in [\[2{^k}, 2{^k+1})] *)
+  | O_err of Errno.t
+
+val compare_output : output -> output -> int
+val equal_output : output -> output -> bool
+
+val output_label : output -> string
+(** ["OK"], ["OK=0"], ["OK 2^5"], or the errno name. *)
+
+val output_token : output -> string
+(** Whitespace-free form of {!output_label} (["OK:2^5"]) for the
+    snapshot format. *)
+
+val output_of_token : string -> output option
+(** Inverse of {!output_token}. *)
+
+val output_of : Model.base -> Model.outcome -> output
+(** Partition one outcome.  Negative successes cannot occur; byte-count
+    syscalls bucket their return, everything else collapses to
+    [O_ok]. *)
+
+val output_domain : Model.base -> output list
+(** Success partitions plus each manual-page error code.  For byte-count
+    syscalls the success side enumerates [O_ok_zero] and buckets
+    [0..32]; the coarse Figure-4 view groups them via
+    {!output_success_group}. *)
+
+val output_is_error : output -> bool
+
+val output_success_group : output -> [ `Ok | `Err of Errno.t ]
+(** Collapse byte-count success buckets into one ["OK (>= 0)"] column —
+    exactly Figure 4's x-axis. *)

@@ -1,0 +1,88 @@
+open Iocov_syscall
+
+type item = {
+  name : string;
+  coverage : Coverage.t;
+}
+
+type selection = {
+  chosen : string list;
+  covered : int;
+  total_covered : int;
+  universe : int;
+}
+
+let partition_set cov =
+  let set = Hashtbl.create 64 in
+  List.iter
+    (fun arg ->
+      List.iter
+        (fun (part, n) ->
+          if n > 0 then
+            Hashtbl.replace set (Arg_class.name arg ^ "/" ^ Partition.label part) ())
+        (Coverage.input_histogram cov arg))
+    Arg_class.all;
+  List.iter
+    (fun base ->
+      List.iter
+        (fun (out, n) ->
+          if n > 0 && Partition.output_is_error out then
+            Hashtbl.replace set (Model.base_name base ^ "/" ^ Partition.output_token out) ())
+        (Coverage.output_histogram cov base))
+    Model.all_bases;
+  set
+
+let universe_size =
+  lazy
+    (List.fold_left
+       (fun acc arg -> acc + List.length (Partition.domain arg))
+       0 Arg_class.all
+     + List.fold_left
+         (fun acc base ->
+           acc
+           + List.length
+               (List.filter Partition.output_is_error (Partition.output_domain base)))
+         0 Model.all_bases)
+
+let greedy items =
+  let sets = List.map (fun item -> (item.name, partition_set item.coverage)) items in
+  let goal = Hashtbl.create 256 in
+  List.iter (fun (_, set) -> Hashtbl.iter (fun k () -> Hashtbl.replace goal k ()) set) sets;
+  let total_covered = Hashtbl.length goal in
+  let covered = Hashtbl.create 256 in
+  let remaining = ref sets in
+  let chosen = ref [] in
+  let continue = ref true in
+  while !continue do
+    let gain_of set =
+      Hashtbl.fold (fun k () acc -> if Hashtbl.mem covered k then acc else acc + 1) set 0
+    in
+    let best =
+      List.fold_left
+        (fun best (name, set) ->
+          let gain = gain_of set in
+          match best with
+          | Some (_, _, best_gain) when best_gain >= gain -> best
+          | _ when gain = 0 -> best
+          | _ -> Some (name, set, gain))
+        None !remaining
+    in
+    match best with
+    | None -> continue := false
+    | Some (name, set, _gain) ->
+      Hashtbl.iter (fun k () -> Hashtbl.replace covered k ()) set;
+      chosen := name :: !chosen;
+      remaining := List.filter (fun (n, _) -> n <> name) !remaining
+  done;
+  {
+    chosen = List.rev !chosen;
+    covered = Hashtbl.length covered;
+    total_covered;
+    universe = Lazy.force universe_size;
+  }
+
+let render s =
+  Printf.sprintf
+    "%d tests suffice for all %d covered partitions (of %d in the domain):\n  %s"
+    (List.length s.chosen) s.total_covered s.universe
+    (String.concat " " s.chosen)

@@ -1,0 +1,35 @@
+(** Coverage-preserving test-suite reduction.
+
+    The paper argues IOCov's metrics let developers "design test cases
+    that avoid under- or over-testing".  This module is the concrete
+    tool: given per-test coverage, pick a small subset of tests whose
+    union still covers every partition the full suite covers — the
+    classic greedy set-cover approximation (ln n of optimal).
+
+    The result makes over-testing tangible: if 40 of 1000 tests already
+    reach every partition, the other 960 only add {e frequency}, not
+    {e coverage} — exactly the paper's distinction between testing more
+    and testing new things. *)
+
+type item = {
+  name : string;
+  coverage : Coverage.t;
+}
+
+type selection = {
+  chosen : string list;          (** selected test names, in pick order *)
+  covered : int;                 (** partitions covered by the selection *)
+  total_covered : int;           (** partitions covered by the full suite *)
+  universe : int;                (** partitions in the whole domain *)
+}
+
+val partition_set : Coverage.t -> (string, unit) Hashtbl.t
+(** The set of covered partition keys (inputs and error outputs), each as
+    a stable string key. *)
+
+val greedy : item list -> selection
+(** Greedy set cover: repeatedly pick the test adding the most
+    still-uncovered partitions until no test adds any.  Ties break toward
+    the earliest item, so the result is deterministic. *)
+
+val render : selection -> string

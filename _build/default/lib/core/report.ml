@@ -1,0 +1,193 @@
+open Iocov_syscall
+module Ascii = Iocov_util.Ascii
+module Log2 = Iocov_util.Log2
+
+let flag_rows cov_a cov_b =
+  List.map
+    (fun flag ->
+      let p = Partition.P_flag flag in
+      ( Open_flags.flag_name flag,
+        Coverage.input_count cov_a Arg_class.Open_flags_arg p,
+        Coverage.input_count cov_b Arg_class.Open_flags_arg p ))
+    Open_flags.all
+
+let figure2 ~name_a ~cov_a ~name_b ~cov_b =
+  Ascii.grouped_log_chart
+    ~title:
+      (Printf.sprintf "Figure 2: input coverage of open flags (%s vs %s, log10 frequency)"
+         name_a name_b)
+    ~group_names:(name_a, name_b) (flag_rows cov_a cov_b)
+
+let table1 ~name_a ~cov_a ~name_b ~cov_b =
+  let max_n = 6 in
+  let row label sets =
+    label :: List.map Ascii.float_cell (Combos.percent_by_flag_count ~max_n sets)
+  in
+  let sets_a = Coverage.open_flag_sets cov_a in
+  let sets_b = Coverage.open_flag_sets cov_b in
+  Ascii.table
+    ~title:"Table 1: % of opens combining 1-6 flags"
+    ~headers:("Test Suite / % for #flags" :: List.init max_n (fun i -> string_of_int (i + 1)))
+    [ row (name_a ^ ": all flags") sets_a;
+      row (name_a ^ ": O_RDONLY") (Combos.restrict Open_flags.O_RDONLY sets_a);
+      row (name_b ^ ": all flags") sets_b;
+      row (name_b ^ ": O_RDONLY") (Combos.restrict Open_flags.O_RDONLY sets_b) ]
+
+let numeric_rows arg cov_a cov_b =
+  List.map
+    (fun part ->
+      let label =
+        match part with
+        | Partition.P_bucket b ->
+          Printf.sprintf "%-5s %s" (Log2.bucket_label b) (Log2.bucket_size_label b)
+        | p -> Partition.label p
+      in
+      ( label,
+        Coverage.input_count cov_a arg part,
+        Coverage.input_count cov_b arg part ))
+    (Partition.domain arg)
+
+let max_numeric_label arg cov =
+  let covered =
+    List.filter (fun (_, n) -> n > 0) (Coverage.input_series cov arg)
+  in
+  match List.rev covered with
+  | (Partition.P_bucket b, _) :: _ -> Log2.bucket_size_label b
+  | _ -> "none"
+
+let numeric_figure ~arg ~name_a ~cov_a ~name_b ~cov_b =
+  let chart =
+    Ascii.grouped_log_chart
+      ~title:
+        (Printf.sprintf "Input coverage of %s (%s vs %s, log10 frequency)"
+           (Arg_class.name arg) name_a name_b)
+      ~group_names:(name_a, name_b) (numeric_rows arg cov_a cov_b)
+  in
+  Printf.sprintf "%slargest bucket exercised: %s %s, %s %s\n" chart name_a
+    (max_numeric_label arg cov_a) name_b (max_numeric_label arg cov_b)
+
+let figure3 ~name_a ~cov_a ~name_b ~cov_b =
+  Printf.sprintf "Figure 3: %s"
+    (numeric_figure ~arg:Arg_class.Write_count ~name_a ~cov_a ~name_b ~cov_b)
+
+let output_figure ~base ~name_a ~cov_a ~name_b ~cov_b =
+  let grouped_a = Coverage.output_series_grouped cov_a base in
+  let grouped_b = Coverage.output_series_grouped cov_b base in
+  let label = function
+    | `Ok -> "OK (>= 0)"
+    | `Err e -> Errno.to_string e
+  in
+  let count series key =
+    match List.find_opt (fun (k, _) -> k = key) series with
+    | Some (_, n) -> n
+    | None -> 0
+  in
+  let keys = List.map fst grouped_a in
+  let keys =
+    keys
+    @ List.filter (fun k -> not (List.mem k keys)) (List.map fst grouped_b)
+  in
+  let rows =
+    List.map (fun k -> (label k, count grouped_a k, count grouped_b k)) keys
+  in
+  Ascii.grouped_log_chart
+    ~title:
+      (Printf.sprintf "Output coverage of %s (%s vs %s, log10 frequency)"
+         (Model.base_name base) name_a name_b)
+    ~group_names:(name_a, name_b) rows
+
+let figure4 ~name_a ~cov_a ~name_b ~cov_b =
+  Printf.sprintf "Figure 4: %s"
+    (output_figure ~base:Model.Open ~name_a ~cov_a ~name_b ~cov_b)
+
+let open_flag_frequencies cov =
+  Array.of_list
+    (List.map (fun (_, n) -> n) (Coverage.input_series cov Arg_class.Open_flags_arg))
+
+let figure5 ~name_a ~cov_a ~name_b ~cov_b ~targets =
+  let f_a = open_flag_frequencies cov_a in
+  let f_b = open_flag_frequencies cov_b in
+  let rows =
+    List.map
+      (fun target ->
+        [ Printf.sprintf "%.0f" target;
+          Printf.sprintf "%.3f" (Tcd.tcd_uniform ~frequencies:f_a ~target);
+          Printf.sprintf "%.3f" (Tcd.tcd_uniform ~frequencies:f_b ~target) ])
+      targets
+  in
+  let table =
+    Ascii.table
+      ~title:"Figure 5: TCD for open flags vs uniform target"
+      ~headers:[ "target T"; name_a; name_b ]
+      rows
+  in
+  let crossover_note =
+    match Tcd.crossover ~f1:f_a ~f2:f_b ~lo:(List.hd targets)
+            ~hi:(List.nth targets (List.length targets - 1))
+    with
+    | Some t ->
+      Printf.sprintf "\ncrossover: %s better below T ~= %.0f, %s better above" name_a t name_b
+    | None -> "\ncrossover: none in the swept range"
+  in
+  table ^ crossover_note
+
+let untested_summary ~name cov =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "Untested partitions for %s\n" name);
+  List.iter
+    (fun arg ->
+      match Coverage.untested_inputs cov arg with
+      | [] -> ()
+      | missing ->
+        Buffer.add_string buf
+          (Printf.sprintf "  input  %-16s (%d/%d untested): %s\n" (Arg_class.name arg)
+             (List.length missing)
+             (List.length (Partition.domain arg))
+             (String.concat " " (List.map Partition.label missing))))
+    Arg_class.all;
+  List.iter
+    (fun base ->
+      let missing =
+        List.filter
+          (fun o -> Partition.output_is_error o)
+          (Coverage.untested_outputs cov base)
+      in
+      match missing with
+      | [] -> ()
+      | missing ->
+        Buffer.add_string buf
+          (Printf.sprintf "  output %-16s (%d errnos untested): %s\n" (Model.base_name base)
+             (List.length missing)
+             (String.concat " " (List.map Partition.output_label missing))))
+    Model.all_bases;
+  Buffer.contents buf
+
+let suite_summary ~name cov =
+  let rows =
+    List.map
+      (fun base ->
+        [ Model.base_name base;
+          Ascii.si_count (Coverage.base_calls cov base);
+          Printf.sprintf "%.0f%%" (100.0 *. Coverage.input_coverage_ratio_of_base cov base);
+          Printf.sprintf "%.0f%%" (100.0 *. Coverage.output_coverage_ratio cov base) ])
+      Model.all_bases
+  in
+  Printf.sprintf "%s: %s traced calls\n%s" name
+    (Ascii.si_count (Coverage.calls_observed cov))
+    (Ascii.table
+       ~headers:[ "syscall"; "calls"; "input cov"; "output cov" ]
+       rows)
+
+let adequacy_table ~name cov ~arg ~target ~theta =
+  let rows =
+    List.map
+      (fun (p, freq, verdict) ->
+        [ Partition.label p; Ascii.si_count freq; Adequacy.verdict_name verdict ])
+      (Adequacy.input_report cov arg ~target ~theta)
+  in
+  Ascii.table
+    ~title:
+      (Printf.sprintf "%s: adequacy of %s (target %.0f, theta %.1f)" name
+         (Arg_class.name arg) target theta)
+    ~headers:[ "partition"; "frequency"; "verdict" ]
+    rows

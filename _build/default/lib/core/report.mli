@@ -1,0 +1,55 @@
+(** Figure- and table-shaped renderings of coverage results.
+
+    Each function reproduces the structure of one artifact from the
+    paper's evaluation (Section 4) as plain text; [bench/main.exe] prints
+    these for the experiment suite, and the examples use them for smaller
+    runs. *)
+
+open Iocov_syscall
+
+val figure2 :
+  name_a:string -> cov_a:Coverage.t -> name_b:string -> cov_b:Coverage.t -> string
+(** Input coverage of open flags: one row per flag in the 21-flag domain,
+    two log-scale bars per row. *)
+
+val table1 :
+  name_a:string -> cov_a:Coverage.t -> name_b:string -> cov_b:Coverage.t -> string
+(** Percentage of opens combining 1..6 flags; all-flags and
+    O_RDONLY-restricted rows for both suites. *)
+
+val figure3 :
+  name_a:string -> cov_a:Coverage.t -> name_b:string -> cov_b:Coverage.t -> string
+(** Input coverage of write size: the "=0" partition plus log2 buckets
+    0..32, annotated with byte-size labels and each suite's maximum. *)
+
+val figure4 :
+  name_a:string -> cov_a:Coverage.t -> name_b:string -> cov_b:Coverage.t -> string
+(** Output coverage of open: the OK column plus the 27 manual-page error
+    codes. *)
+
+val figure5 :
+  name_a:string -> cov_a:Coverage.t -> name_b:string -> cov_b:Coverage.t ->
+  targets:float list -> string
+(** TCD for open flags under a sweep of uniform targets, with the
+    crossover target annotated when one exists. *)
+
+val numeric_figure :
+  arg:Arg_class.arg -> name_a:string -> cov_a:Coverage.t -> name_b:string ->
+  cov_b:Coverage.t -> string
+(** Generalization of Figure 3 to any tracked numeric argument. *)
+
+val output_figure :
+  base:Model.base -> name_a:string -> cov_a:Coverage.t -> name_b:string ->
+  cov_b:Coverage.t -> string
+(** Generalization of Figure 4 to any base syscall. *)
+
+val untested_summary : name:string -> Coverage.t -> string
+(** Per-argument and per-syscall untested partitions — the "many
+    untested cases" finding. *)
+
+val suite_summary : name:string -> Coverage.t -> string
+(** Calls observed, per-base and per-variant counts, coverage ratios. *)
+
+val adequacy_table :
+  name:string -> Coverage.t -> arg:Arg_class.arg -> target:float -> theta:float -> string
+(** Under-/over-testing verdict per partition for one argument. *)

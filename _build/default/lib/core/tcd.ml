@@ -1,0 +1,47 @@
+module Stats = Iocov_util.Stats
+
+let log_freqs frequencies = Array.map Stats.log10_freq frequencies
+
+let tcd ~frequencies ~target =
+  let n = Array.length frequencies in
+  if n = 0 || n <> Array.length target then invalid_arg "Tcd.tcd: length mismatch";
+  Array.iter (fun t -> if t <= 0.0 then invalid_arg "Tcd.tcd: non-positive target") target;
+  Stats.rmsd (log_freqs frequencies) (Array.map log10 target)
+
+let tcd_uniform ~frequencies ~target =
+  tcd ~frequencies ~target:(Array.make (Array.length frequencies) target)
+
+let linear_rmsd ~frequencies ~target =
+  let n = Array.length frequencies in
+  if n = 0 || n <> Array.length target then invalid_arg "Tcd.linear_rmsd: length mismatch";
+  Stats.rmsd (Array.map float_of_int frequencies) target
+
+let sweep ~frequencies ~targets =
+  List.map (fun t -> (t, tcd_uniform ~frequencies ~target:t)) targets
+
+let log_targets ~lo_log10 ~hi_log10 ~per_decade =
+  if per_decade <= 0 || hi_log10 < lo_log10 then invalid_arg "Tcd.log_targets";
+  let steps = int_of_float (ceil ((hi_log10 -. lo_log10) *. float_of_int per_decade)) in
+  List.init (steps + 1) (fun i ->
+      10.0 ** (lo_log10 +. (float_of_int i /. float_of_int per_decade)))
+
+let crossover ~f1 ~f2 ~lo ~hi =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Tcd.crossover";
+  let diff target = tcd_uniform ~frequencies:f1 ~target -. tcd_uniform ~frequencies:f2 ~target in
+  let d_lo = diff lo and d_hi = diff hi in
+  if d_lo = 0.0 then Some lo
+  else if d_hi = 0.0 then Some hi
+  else if d_lo *. d_hi > 0.0 then None
+  else begin
+    let rec bisect log_a log_b d_a =
+      if log_b -. log_a < 1e-3 then Some (10.0 ** ((log_a +. log_b) /. 2.0))
+      else begin
+        let log_m = (log_a +. log_b) /. 2.0 in
+        let d_m = diff (10.0 ** log_m) in
+        if d_m = 0.0 then Some (10.0 ** log_m)
+        else if d_a *. d_m < 0.0 then bisect log_a log_m d_a
+        else bisect log_m log_b d_m
+      end
+    in
+    bisect (log10 lo) (log10 hi) d_lo
+  end

@@ -1,0 +1,40 @@
+(** Test Coverage Deviation (Section 4, "Application: syscall test
+    adequacy").
+
+    For a coverage array [F] over [N] partitions and a target array [T],
+
+    {v TCD_T = sqrt( 1/N * sum_i (log F_i - log T_i)^2 ) v}
+
+    with logarithms base 10 and [log 0 := 0] (an untested partition sits
+    where a once-tested one does; the log transform is what downplays
+    over-testing relative to under-testing).  Lower is better.  The
+    target encodes the developer's intent: the paper sweeps uniform
+    targets (Figure 5) and leaves non-uniform targets — e.g. weighting
+    persistence-related partitions — as future work, implemented here. *)
+
+val tcd : frequencies:int array -> target:float array -> float
+(** General (non-uniform-target) form.  Arrays must have equal positive
+    length; target entries must be positive. *)
+
+val tcd_uniform : frequencies:int array -> target:float -> float
+(** The paper's Figure 5 form: every [T_i] equal. *)
+
+val linear_rmsd : frequencies:int array -> target:float array -> float
+(** Ablation: the same deviation in the {e linear} domain (no log).
+    Used by the tcd-ablation bench to show why the paper works in
+    orders of magnitude. *)
+
+val sweep :
+  frequencies:int array -> targets:float list -> (float * float) list
+(** [(target, tcd)] for each uniform target. *)
+
+val log_targets : lo_log10:float -> hi_log10:float -> per_decade:int -> float list
+(** Log-spaced sweep targets, e.g. Figure 5's x-axis (1 to 10^7). *)
+
+val crossover :
+  f1:int array -> f2:int array -> lo:float -> hi:float -> float option
+(** The uniform target at which the better of the two coverage arrays
+    flips — Figure 5's "below ~5,237 CrashMonkey wins, above it
+    xfstests".  [None] if the sign of [tcd f1 - tcd f2] is the same at
+    both endpoints.  Bisection on the log of the target, 1e-3 relative
+    precision. *)

@@ -1,0 +1,85 @@
+type t = { source : string; node : Syntax.node }
+
+let compile source =
+  match Syntax.parse source with
+  | Ok node -> Ok { source; node }
+  | Error msg -> Error msg
+
+let compile_exn source =
+  match compile source with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Regex.Engine.compile_exn: " ^ msg)
+
+let pattern t = t.source
+
+(* Depth-first matcher in CPS: [go node pos k] tries to match [node]
+   starting at [pos] and calls the continuation [k] with every candidate
+   end position until [k] returns [true]. *)
+let run node s start ~k =
+  let len = String.length s in
+  let rec go node pos k =
+    match (node : Syntax.node) with
+    | Syntax.Empty -> k pos
+    | Syntax.Char c -> pos < len && s.[pos] = c && k (pos + 1)
+    | Syntax.Any -> pos < len && k (pos + 1)
+    | Syntax.Class spec -> pos < len && Syntax.class_mem spec s.[pos] && k (pos + 1)
+    | Syntax.Bol -> pos = 0 && k pos
+    | Syntax.Eol -> pos = len && k pos
+    | Syntax.Seq nodes ->
+      let rec seq nodes pos =
+        match nodes with
+        | [] -> k pos
+        | n :: rest -> go n pos (fun pos' -> seq rest pos')
+      in
+      seq nodes pos
+    | Syntax.Alt branches -> List.exists (fun b -> go b pos k) branches
+    | Syntax.Repeat (inner, lo, hi) ->
+      (* Greedy: consume as many repetitions as allowed, backtracking via
+         the continuation.  [count] repetitions matched so far. *)
+      let rec rep count pos =
+        let may_stop = count >= lo in
+        let may_continue = match hi with None -> true | Some h -> count < h in
+        let try_more () =
+          may_continue
+          && go inner pos (fun pos' ->
+                 (* Reject zero-width progress to avoid infinite loops on
+                    patterns like [()* ] or [(a?)*]. *)
+                 pos' > pos && rep (count + 1) pos')
+        in
+        try_more () || (may_stop && k pos)
+      in
+      (* A zero-width body can still satisfy [lo > 0] (e.g. [(^)+]): allow
+         one zero-width match to count for all required repetitions. *)
+      if lo > 0 && go inner pos (fun pos' -> pos' = pos && k pos) then true
+      else rep 0 pos
+  in
+  go node start k
+
+let search t s =
+  let len = String.length s in
+  let rec at pos = run t.node s pos ~k:(fun _ -> true) || (pos < len && at (pos + 1)) in
+  at 0
+
+let matches t s =
+  let len = String.length s in
+  run t.node s 0 ~k:(fun pos -> pos = len)
+
+let find t s =
+  let len = String.length s in
+  let rec at pos =
+    if pos > len then None
+    else begin
+      let best = ref None in
+      let _found =
+        run t.node s pos ~k:(fun stop ->
+            (match !best with
+             | Some b when b >= stop -> ()
+             | _ -> best := Some stop);
+            false (* keep exploring to find the longest match here *))
+      in
+      match !best with
+      | Some stop -> Some (pos, stop)
+      | None -> at (pos + 1)
+    end
+  in
+  at 0

@@ -1,0 +1,29 @@
+(** Backtracking matcher over {!Syntax} ASTs.
+
+    Patterns in IOCov filters are short (mount-point prefixes such as
+    ["^/mnt/test(/|$)"]), so a depth-first backtracking matcher is the
+    right trade-off: simple, correct, and fast on realistic inputs. *)
+
+type t
+(** A compiled pattern. *)
+
+val compile : string -> (t, string) result
+(** Compile a pattern string; [Error] carries the parse diagnostic. *)
+
+val compile_exn : string -> t
+(** Like {!compile} but raises [Invalid_argument] on a malformed pattern. *)
+
+val pattern : t -> string
+(** The source pattern text. *)
+
+val search : t -> string -> bool
+(** [search t s] is [true] iff the pattern matches {e somewhere} in [s]
+    (leftmost search; [^]/[$] anchor to the whole string's ends). *)
+
+val matches : t -> string -> bool
+(** [matches t s] is [true] iff the pattern matches the {e whole} of [s]
+    (as if wrapped in [^(...)$]). *)
+
+val find : t -> string -> (int * int) option
+(** [find t s] is the leftmost match as a [(start, stop)] half-open span,
+    preferring the longest match at the leftmost start. *)

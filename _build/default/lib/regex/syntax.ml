@@ -1,0 +1,202 @@
+type node =
+  | Empty
+  | Char of char
+  | Any
+  | Class of class_spec
+  | Seq of node list
+  | Alt of node list
+  | Repeat of node * int * int option
+  | Bol
+  | Eol
+
+and class_spec = { negated : bool; ranges : (char * char) list }
+
+exception Parse_error of int * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+(* Shorthand classes. *)
+let digit_ranges = [ ('0', '9') ]
+let word_ranges = [ ('a', 'z'); ('A', 'Z'); ('0', '9'); ('_', '_') ]
+let space_ranges = [ (' ', ' '); ('\t', '\t'); ('\n', '\n'); ('\r', '\r'); ('\011', '\012') ]
+
+let class_mem { negated; ranges } c =
+  let inside = List.exists (fun (lo, hi) -> lo <= c && c <= hi) ranges in
+  if negated then not inside else inside
+
+type state = { pattern : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.pattern then Some st.pattern.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | _ -> fail st.pos (Printf.sprintf "expected '%c'" c)
+
+let escaped_node st =
+  match peek st with
+  | None -> fail st.pos "dangling backslash"
+  | Some c ->
+    advance st;
+    (match c with
+     | 'd' -> Class { negated = false; ranges = digit_ranges }
+     | 'D' -> Class { negated = true; ranges = digit_ranges }
+     | 'w' -> Class { negated = false; ranges = word_ranges }
+     | 'W' -> Class { negated = true; ranges = word_ranges }
+     | 's' -> Class { negated = false; ranges = space_ranges }
+     | 'S' -> Class { negated = true; ranges = space_ranges }
+     | 'n' -> Char '\n'
+     | 't' -> Char '\t'
+     | 'r' -> Char '\r'
+     | '0' -> Char '\000'
+     | c -> Char c)
+
+let parse_class st =
+  (* st.pos is just past '['. *)
+  let negated = peek st = Some '^' in
+  if negated then advance st;
+  let ranges = ref [] in
+  let add lo hi = ranges := (lo, hi) :: !ranges in
+  let escaped_class_char () =
+    match peek st with
+    | None -> fail st.pos "dangling backslash in class"
+    | Some 'n' -> advance st; '\n'
+    | Some 't' -> advance st; '\t'
+    | Some 'r' -> advance st; '\r'
+    | Some c -> advance st; c
+  in
+  let rec members first =
+    match peek st with
+    | None -> fail st.pos "unterminated character class"
+    | Some ']' when not first -> advance st
+    | Some c ->
+      let c =
+        if c = '\\' then (advance st; escaped_class_char ())
+        else (advance st; c)
+      in
+      (match peek st with
+       | Some '-' when st.pos + 1 < String.length st.pattern && st.pattern.[st.pos + 1] <> ']' ->
+         advance st;
+         let hi =
+           match peek st with
+           | Some '\\' -> advance st; escaped_class_char ()
+           | Some h -> advance st; h
+           | None -> fail st.pos "unterminated range"
+         in
+         if hi < c then fail st.pos "inverted range in character class";
+         add c hi
+       | _ -> add c c);
+      members false
+  in
+  members true;
+  Class { negated; ranges = List.rev !ranges }
+
+let parse_int st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when c >= '0' && c <= '9' -> advance st; go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then fail st.pos "expected integer"
+  else int_of_string (String.sub st.pattern start (st.pos - start))
+
+let parse_braces st =
+  (* st.pos is just past '{'. *)
+  let lo = parse_int st in
+  match peek st with
+  | Some '}' -> advance st; (lo, Some lo)
+  | Some ',' ->
+    advance st;
+    (match peek st with
+     | Some '}' -> advance st; (lo, None)
+     | _ ->
+       let hi = parse_int st in
+       if hi < lo then fail st.pos "inverted {m,n} bounds";
+       expect st '}';
+       (lo, Some hi))
+  | _ -> fail st.pos "malformed {m,n}"
+
+let rec parse_alt st =
+  let first = parse_seq st in
+  let rec go acc =
+    match peek st with
+    | Some '|' -> advance st; go (parse_seq st :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with [ single ] -> single | branches -> Alt branches
+
+and parse_seq st =
+  let rec go acc =
+    match peek st with
+    | None | Some ')' | Some '|' ->
+      (match List.rev acc with [] -> Empty | [ single ] -> single | nodes -> Seq nodes)
+    | Some _ -> go (parse_postfix st :: acc)
+  in
+  go []
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec apply node =
+    match peek st with
+    | Some '*' -> advance st; apply (Repeat (node, 0, None))
+    | Some '+' -> advance st; apply (Repeat (node, 1, None))
+    | Some '?' -> advance st; apply (Repeat (node, 0, Some 1))
+    | Some '{' ->
+      advance st;
+      let lo, hi = parse_braces st in
+      apply (Repeat (node, lo, hi))
+    | _ -> node
+  in
+  apply atom
+
+and parse_atom st =
+  match peek st with
+  | None -> fail st.pos "expected atom"
+  | Some '(' ->
+    advance st;
+    let inner = parse_alt st in
+    expect st ')';
+    inner
+  | Some '[' -> advance st; parse_class st
+  | Some '.' -> advance st; Any
+  | Some '^' -> advance st; Bol
+  | Some '$' -> advance st; Eol
+  | Some '\\' -> advance st; escaped_node st
+  | Some ('*' | '+' | '?') -> fail st.pos "quantifier without operand"
+  | Some ')' -> fail st.pos "unmatched ')'"
+  | Some c -> advance st; Char c
+
+let parse pattern =
+  let st = { pattern; pos = 0 } in
+  try
+    let node = parse_alt st in
+    if st.pos <> String.length pattern then
+      Error (Printf.sprintf "trailing input at position %d" st.pos)
+    else Ok node
+  with Parse_error (pos, msg) ->
+    Error (Printf.sprintf "parse error at position %d: %s" pos msg)
+
+let parse_exn pattern =
+  match parse pattern with
+  | Ok node -> node
+  | Error msg -> invalid_arg ("Regex.Syntax.parse_exn: " ^ msg)
+
+let rec pp ppf = function
+  | Empty -> Format.fprintf ppf "Empty"
+  | Char c -> Format.fprintf ppf "Char %C" c
+  | Any -> Format.fprintf ppf "Any"
+  | Class { negated; ranges } ->
+    Format.fprintf ppf "Class{neg=%b;[%s]}" negated
+      (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%C-%C" a b) ranges))
+  | Seq nodes ->
+    Format.fprintf ppf "Seq(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp) nodes
+  | Alt nodes ->
+    Format.fprintf ppf "Alt(%a)" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ") pp) nodes
+  | Repeat (n, lo, hi) ->
+    Format.fprintf ppf "Repeat(%a,%d,%s)" pp n lo
+      (match hi with None -> "inf" | Some h -> string_of_int h)
+  | Bol -> Format.fprintf ppf "Bol"
+  | Eol -> Format.fprintf ppf "Eol"

@@ -1,0 +1,34 @@
+(** Regular-expression abstract syntax and parser.
+
+    IOCov filters trace records with "a set of regular expressions ...
+    (e.g., based on the mount point pathname)" (Section 3).  This is a
+    self-contained engine for the POSIX-ish subset those filters need:
+    literals, [.], character classes with ranges and negation, the
+    shorthand classes [\d \w \s] (and negations), grouping, alternation,
+    the quantifiers [* + ? {m} {m,} {m,n}], and the anchors [^] / [$]. *)
+
+type node =
+  | Empty                                  (** matches the empty string *)
+  | Char of char                           (** a literal character *)
+  | Any                                    (** [.] — any single character *)
+  | Class of class_spec                    (** [\[...\]] *)
+  | Seq of node list                       (** concatenation *)
+  | Alt of node list                       (** alternation *)
+  | Repeat of node * int * int option      (** [{m,n}]; [None] = unbounded *)
+  | Bol                                    (** [^] anchor *)
+  | Eol                                    (** [$] anchor *)
+
+and class_spec = { negated : bool; ranges : (char * char) list }
+
+val parse : string -> (node, string) result
+(** [parse pattern] returns the AST or a human-readable error naming the
+    offending position. *)
+
+val parse_exn : string -> node
+(** Like {!parse} but raises [Invalid_argument] on a malformed pattern. *)
+
+val class_mem : class_spec -> char -> bool
+(** Does [c] belong to the class? *)
+
+val pp : Format.formatter -> node -> unit
+(** Debug printer (canonical, not necessarily the original pattern). *)

@@ -1,0 +1,1 @@
+lib/suites/crashmonkey.ml: Config Filename Float Fs Iocov_core Iocov_syscall Iocov_trace Iocov_util Iocov_vfs List Model Open_flags Printf Whence Workload Xattr_flag

@@ -1,0 +1,1 @@
+lib/suites/crashmonkey.mli: Iocov_core Iocov_trace Iocov_vfs

@@ -1,0 +1,1 @@
+lib/suites/fuzzer.ml: Array Errno Hashtbl Iocov_core Iocov_syscall Iocov_util Iocov_vfs List Model Open_flags Whence Xattr_flag

@@ -1,0 +1,1 @@
+lib/suites/fuzzer.mli: Iocov_core Iocov_vfs

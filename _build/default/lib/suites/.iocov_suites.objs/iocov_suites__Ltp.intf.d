@@ -1,0 +1,1 @@
+lib/suites/ltp.mli: Iocov_core Iocov_trace Iocov_vfs

@@ -1,0 +1,1 @@
+lib/suites/runner.ml: Crashmonkey Iocov_core Ltp String Unix Xfstests

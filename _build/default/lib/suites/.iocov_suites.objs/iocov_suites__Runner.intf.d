@@ -1,0 +1,1 @@
+lib/suites/runner.mli: Iocov_core Iocov_vfs

@@ -1,0 +1,1 @@
+lib/suites/workload.ml: Errno Iocov_syscall Iocov_trace Iocov_util Iocov_vfs List Model Open_flags Printf String

@@ -1,0 +1,1 @@
+lib/suites/workload.mli: Errno Iocov_syscall Iocov_trace Iocov_util Iocov_vfs Mode Model Open_flags

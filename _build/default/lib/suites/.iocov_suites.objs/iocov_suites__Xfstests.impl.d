@@ -1,0 +1,1 @@
+lib/suites/xfstests.ml: Config Errno Fs Int64 Iocov_core Iocov_syscall Iocov_trace Iocov_util Iocov_vfs List Mode Model Open_flags Printf String Whence Workload Xattr_flag

@@ -1,0 +1,40 @@
+(** A CrashMonkey-shaped workload generator (Mohan et al., OSDI '18).
+
+    CrashMonkey is a bounded black-box crash-consistency tester: it runs
+    every length-1 sequence of a core file-system operation set against a
+    small pre-made file hierarchy ("seq-1", 300 workloads), persists with
+    fsync/sync, simulates a crash, and checks that persisted data
+    survived.  This simulator reproduces that structure against
+    {!Iocov_vfs.Fs} — including the crash and the oracle — and with it the
+    statistical trace signature the paper measures: few thousand opens
+    dominated by 3-4-flag combinations, a narrow set of write sizes, and
+    a small error-code footprint (but [ENOTDIR], which its generic tests
+    do hit). *)
+
+val mount : string
+(** ["/mnt/snapshot"] — CrashMonkey's mount point. *)
+
+val comm : string
+
+val seq1_workloads : int
+(** 300: the paper runs "all of seq-1's 300 workloads". *)
+
+type stats = {
+  workloads_run : int;
+  crashes_simulated : int;
+  events_total : int;  (** all traced syscalls, before filtering *)
+  events_kept : int;   (** records surviving the mount-point filter *)
+}
+
+val run :
+  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list ->
+  ?sink:(Iocov_trace.Event.t -> unit) -> ?seq2:int ->
+  coverage:Iocov_core.Coverage.t -> unit -> string list * stats
+(** Run the suite; coverage accumulates through the mount-point filter
+    into [coverage].  Returns the oracle failures (crash-consistency
+    violations and unexpected outcomes — empty on a correct file system)
+    and run statistics.  [scale] multiplies per-workload iteration
+    counts; [faults] are planted in the file system under test; [seq2]
+    adds that many sampled length-2 operation sequences (the seq-2
+    workloads of CrashMonkey's bounded search; the paper's evaluation
+    runs seq-1 only, so the default is 0). *)

@@ -1,0 +1,50 @@
+(** A syscall fuzzer with pluggable coverage feedback.
+
+    The paper's future work plans to "evaluate fuzzing systems" with
+    IOCov, and its related-work section observes that fuzzers maximize
+    {e path} coverage, which "has drawbacks — missing bugs — similar to
+    code-coverage methods".  This module makes that comparison concrete:
+    one mutation engine, two feedback signals.
+
+    - {!Outcome_novelty} keeps a mutant when it reaches a previously
+      unseen (syscall, outcome-class) pair — the closest analogue of
+      path/edge novelty our substrate can express.
+    - {!Partition_novelty} keeps a mutant when it covers a previously
+      untested {e input or output partition} — fuzzing guided by the
+      paper's own metric.
+
+    Both runs are measured with the same yardstick (distinct partitions
+    covered as a function of executions), so the growth curves are
+    directly comparable. *)
+
+type feedback =
+  | Outcome_novelty
+  | Partition_novelty
+
+val feedback_name : feedback -> string
+
+type result = {
+  feedback : feedback;
+  executions : int;
+  corpus_size : int;            (** programs retained by the feedback *)
+  coverage : Iocov_core.Coverage.t;  (** accumulated over every execution *)
+  growth : (int * int) list;
+      (** (executions, distinct input+output partitions covered) samples,
+          ascending — the coverage-growth curve *)
+  crashes : int;
+      (** executions that tripped an oracle (injected-fault runs only) *)
+}
+
+val covered_partitions : Iocov_core.Coverage.t -> int
+(** The yardstick: distinct input partitions plus distinct error-output
+    partitions with non-zero frequency. *)
+
+val run :
+  ?seed:int -> ?budget:int -> ?faults:Iocov_vfs.Fault.t list ->
+  feedback:feedback -> unit -> result
+(** Fuzz for [budget] program executions (default 2000).  Deterministic
+    for fixed seed/budget/faults. *)
+
+val compare_feedbacks :
+  ?seed:int -> ?budget:int -> unit -> result * result
+(** (outcome-novelty, partition-novelty) under identical settings. *)

@@ -1,0 +1,68 @@
+module Coverage = Iocov_core.Coverage
+
+type suite = Crashmonkey | Xfstests | Ltp
+
+let suite_name = function
+  | Crashmonkey -> "CrashMonkey"
+  | Xfstests -> "xfstests"
+  | Ltp -> "LTP"
+
+let suite_of_name s =
+  match String.lowercase_ascii s with
+  | "crashmonkey" | "cm" -> Some Crashmonkey
+  | "xfstests" | "xfs" -> Some Xfstests
+  | "ltp" -> Some Ltp
+  | _ -> None
+
+type result = {
+  suite : suite;
+  coverage : Coverage.t;
+  failures : string list;
+  events_total : int;
+  events_kept : int;
+  workloads : int;
+  elapsed_s : float;
+}
+
+let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) suite =
+  let coverage = Coverage.create () in
+  let t0 = Unix.gettimeofday () in
+  match suite with
+  | Crashmonkey ->
+    let failures, stats = Crashmonkey.run ~seed ~scale ~faults ~coverage () in
+    {
+      suite;
+      coverage;
+      failures;
+      events_total = stats.Crashmonkey.events_total;
+      events_kept = stats.Crashmonkey.events_kept;
+      workloads = stats.Crashmonkey.workloads_run;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  | Xfstests ->
+    let failures, stats = Xfstests.run ~seed ~scale ~faults ~coverage () in
+    {
+      suite;
+      coverage;
+      failures;
+      events_total = stats.Xfstests.events_total;
+      events_kept = stats.Xfstests.events_kept;
+      workloads = stats.Xfstests.tests_run;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+  | Ltp ->
+    let failures, stats = Ltp.run ~seed ~scale ~faults ~coverage () in
+    {
+      suite;
+      coverage;
+      failures;
+      events_total = stats.Ltp.events_total;
+      events_kept = stats.Ltp.events_kept;
+      workloads = stats.Ltp.testcases_run;
+      elapsed_s = Unix.gettimeofday () -. t0;
+    }
+
+let run_both ?seed ?scale ?faults () =
+  (run ?seed ?scale ?faults Crashmonkey, run ?seed ?scale ?faults Xfstests)
+
+let detects r = r.failures <> []

@@ -1,0 +1,34 @@
+(** Suite orchestration: run a simulated tester and collect its coverage.
+
+    This is the "experiment driver" the benches and examples share: pick
+    a suite, run it at a scale, get back the filtered coverage, the
+    oracle verdicts, and the trace statistics. *)
+
+type suite = Crashmonkey | Xfstests | Ltp
+
+val suite_name : suite -> string
+val suite_of_name : string -> suite option
+
+type result = {
+  suite : suite;
+  coverage : Iocov_core.Coverage.t;
+  failures : string list;   (** oracle violations; empty on a correct fs *)
+  events_total : int;       (** traced records before filtering *)
+  events_kept : int;        (** records within the mount point *)
+  workloads : int;          (** tests or workloads executed *)
+  elapsed_s : float;
+}
+
+val run :
+  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> suite -> result
+(** Run one suite from scratch.  Deterministic for a fixed seed, scale,
+    and fault set. *)
+
+val run_both :
+  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> unit -> result * result
+(** (CrashMonkey, xfstests) with the same settings — the paper's
+    evaluation pair.  {!Ltp} is the third, extension suite. *)
+
+val detects : result -> bool
+(** True when the run's oracles flagged at least one violation — "the
+    suite found the bug". *)

@@ -1,0 +1,74 @@
+(** Shared machinery for simulated test suites.
+
+    A {!ctx} bundles a fresh file system, a tracer, the suite's mount
+    point, a deterministic PRNG, and a failure log.  Suites drive all
+    file-system activity through the helpers here so that every syscall
+    is traced (and so both suites share one vocabulary of primitive
+    actions).  Helpers never raise on syscall failure — suites check
+    outcomes explicitly where their oracles demand it. *)
+
+open Iocov_syscall
+
+type ctx = {
+  tracer : Iocov_trace.Tracer.t;
+  rng : Iocov_util.Prng.t;
+  mount : string;
+  mutable name_counter : int;
+  mutable failures : string list;  (** oracle violations, newest first *)
+  mutable current_test : string;
+}
+
+val init :
+  ?config:Iocov_vfs.Config.t -> ?comm:string -> mount:string -> seed:int -> unit -> ctx
+(** Creates the file system, mounts it (creates the mount-point
+    directory chain), and returns the context.  The tracer traces from
+    the very first syscall, as LTTng would. *)
+
+val fs : ctx -> Iocov_vfs.Fs.t
+
+val begin_test : ctx -> string -> unit
+(** Set the current test name (prefixes failure records). *)
+
+val fail : ctx -> string -> unit
+(** Record an oracle violation in the current test. *)
+
+val failures : ctx -> string list
+(** Oracle violations, oldest first. *)
+
+(** {2 Traced primitives} — thin wrappers over {!Iocov_trace.Tracer.exec}. *)
+
+val call : ctx -> Model.call -> Model.outcome
+val aux : ctx -> Iocov_vfs.Fs.aux -> (int, Errno.t) result
+
+val open_fd : ctx -> ?variant:Model.variant -> ?mode:Mode.t -> flags:Open_flags.t -> string -> int option
+(** [Some fd] on success. *)
+
+val close_fd : ctx -> int -> unit
+val write_fd : ctx -> ?variant:Model.variant -> ?offset:int -> int -> int -> Model.outcome
+(** [write_fd ctx fd count]. *)
+
+val read_fd : ctx -> ?variant:Model.variant -> ?offset:int -> int -> int -> Model.outcome
+
+val fresh_name : ctx -> string -> string
+(** [fresh_name ctx "f"] is a unique path under the mount point. *)
+
+val fresh_dir : ctx -> string
+(** Create (traced) and return a unique directory under the mount. *)
+
+val make_file : ctx -> ?size:int -> string -> string
+(** Create a file at the given path (or a fresh one when the name is
+    relative) with [size] bytes written, via traced open/write/close.
+    Returns the path. *)
+
+val expect_ok : ctx -> string -> Model.outcome -> unit
+(** Oracle: record a failure unless the outcome is a success. *)
+
+val expect_ret : ctx -> string -> int -> Model.outcome -> unit
+(** Oracle: success with exactly this return value. *)
+
+val expect_err : ctx -> string -> Errno.t -> Model.outcome -> unit
+(** Oracle: failure with exactly this error code. *)
+
+val noise : ctx -> unit
+(** Emit a few syscalls {e outside} the mount point (config reads, log
+    appends) — the traffic the mount-point filter exists to drop. *)

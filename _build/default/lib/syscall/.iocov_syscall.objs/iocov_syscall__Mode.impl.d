@@ -1,0 +1,1 @@
+lib/syscall/mode.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/syscall/model.ml: Buffer Errno Format List Mode Open_flags Printf Result Scanf String Whence Xattr_flag

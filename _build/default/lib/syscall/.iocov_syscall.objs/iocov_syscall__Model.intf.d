@@ -1,0 +1,1 @@
+lib/syscall/model.mli: Errno Format Mode Open_flags Whence Xattr_flag

@@ -1,0 +1,1 @@
+lib/syscall/open_flags.ml: List String

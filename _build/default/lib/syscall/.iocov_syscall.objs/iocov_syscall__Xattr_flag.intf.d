@@ -1,0 +1,1 @@
+lib/syscall/xattr_flag.mli:

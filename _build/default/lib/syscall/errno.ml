@@ -1,0 +1,162 @@
+type t =
+  | E2BIG
+  | EACCES
+  | EAGAIN
+  | EBADF
+  | EBUSY
+  | EDQUOT
+  | EEXIST
+  | EFAULT
+  | EFBIG
+  | EINTR
+  | EINVAL
+  | EISDIR
+  | ELOOP
+  | EMFILE
+  | ENAMETOOLONG
+  | ENFILE
+  | ENODEV
+  | ENOENT
+  | ENOMEM
+  | ENOSPC
+  | ENOTDIR
+  | ENXIO
+  | EOVERFLOW
+  | EPERM
+  | EROFS
+  | ETXTBSY
+  | EXDEV
+  | EIO
+  | ENODATA
+  | ERANGE
+  | ENOTSUP
+  | ESPIPE
+  | EMLINK
+  | ENOTEMPTY
+
+let all =
+  [ E2BIG; EACCES; EAGAIN; EBADF; EBUSY; EDQUOT; EEXIST; EFAULT; EFBIG;
+    EINTR; EINVAL; EISDIR; ELOOP; EMFILE; ENAMETOOLONG; ENFILE; ENODEV;
+    ENOENT; ENOMEM; ENOSPC; ENOTDIR; ENXIO; EOVERFLOW; EPERM; EROFS;
+    ETXTBSY; EXDEV; EIO; ENODATA; ERANGE; ENOTSUP; ESPIPE; EMLINK; ENOTEMPTY ]
+
+let open_manual_domain =
+  [ E2BIG; EACCES; EAGAIN; EBADF; EBUSY; EDQUOT; EEXIST; EFAULT; EFBIG;
+    EINTR; EINVAL; EISDIR; ELOOP; EMFILE; ENAMETOOLONG; ENFILE; ENODEV;
+    ENOENT; ENOMEM; ENOSPC; ENOTDIR; ENXIO; EOVERFLOW; EPERM; EROFS;
+    ETXTBSY; EXDEV ]
+
+let to_string = function
+  | E2BIG -> "E2BIG"
+  | EACCES -> "EACCES"
+  | EAGAIN -> "EAGAIN"
+  | EBADF -> "EBADF"
+  | EBUSY -> "EBUSY"
+  | EDQUOT -> "EDQUOT"
+  | EEXIST -> "EEXIST"
+  | EFAULT -> "EFAULT"
+  | EFBIG -> "EFBIG"
+  | EINTR -> "EINTR"
+  | EINVAL -> "EINVAL"
+  | EISDIR -> "EISDIR"
+  | ELOOP -> "ELOOP"
+  | EMFILE -> "EMFILE"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | ENFILE -> "ENFILE"
+  | ENODEV -> "ENODEV"
+  | ENOENT -> "ENOENT"
+  | ENOMEM -> "ENOMEM"
+  | ENOSPC -> "ENOSPC"
+  | ENOTDIR -> "ENOTDIR"
+  | ENXIO -> "ENXIO"
+  | EOVERFLOW -> "EOVERFLOW"
+  | EPERM -> "EPERM"
+  | EROFS -> "EROFS"
+  | ETXTBSY -> "ETXTBSY"
+  | EXDEV -> "EXDEV"
+  | EIO -> "EIO"
+  | ENODATA -> "ENODATA"
+  | ERANGE -> "ERANGE"
+  | ENOTSUP -> "ENOTSUP"
+  | ESPIPE -> "ESPIPE"
+  | EMLINK -> "EMLINK"
+  | ENOTEMPTY -> "ENOTEMPTY"
+
+let by_name = List.map (fun e -> (to_string e, e)) all
+
+let of_string s = List.assoc_opt s by_name
+
+let to_code = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | EINTR -> 4
+  | ENXIO -> 6
+  | E2BIG -> 7
+  | EBADF -> 9
+  | EAGAIN -> 11
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EBUSY -> 16
+  | EEXIST -> 17
+  | EXDEV -> 18
+  | EIO -> 5
+  | ENODEV -> 19
+  | ENOTDIR -> 20
+  | EISDIR -> 21
+  | EINVAL -> 22
+  | ENFILE -> 23
+  | EMFILE -> 24
+  | ETXTBSY -> 26
+  | EFBIG -> 27
+  | ENOSPC -> 28
+  | ESPIPE -> 29
+  | EROFS -> 30
+  | EMLINK -> 31
+  | ERANGE -> 34
+  | ENAMETOOLONG -> 36
+  | ENOTEMPTY -> 39
+  | ELOOP -> 40
+  | ENODATA -> 61
+  | EOVERFLOW -> 75
+  | ENOTSUP -> 95
+  | EDQUOT -> 122
+
+let describe = function
+  | E2BIG -> "Argument list too long"
+  | EACCES -> "Permission denied"
+  | EAGAIN -> "Resource temporarily unavailable"
+  | EBADF -> "Bad file descriptor"
+  | EBUSY -> "Device or resource busy"
+  | EDQUOT -> "Disk quota exceeded"
+  | EEXIST -> "File exists"
+  | EFAULT -> "Bad address"
+  | EFBIG -> "File too large"
+  | EINTR -> "Interrupted system call"
+  | EINVAL -> "Invalid argument"
+  | EISDIR -> "Is a directory"
+  | ELOOP -> "Too many levels of symbolic links"
+  | EMFILE -> "Too many open files"
+  | ENAMETOOLONG -> "File name too long"
+  | ENFILE -> "Too many open files in system"
+  | ENODEV -> "No such device"
+  | ENOENT -> "No such file or directory"
+  | ENOMEM -> "Cannot allocate memory"
+  | ENOSPC -> "No space left on device"
+  | ENOTDIR -> "Not a directory"
+  | ENXIO -> "No such device or address"
+  | EOVERFLOW -> "Value too large for defined data type"
+  | EPERM -> "Operation not permitted"
+  | EROFS -> "Read-only file system"
+  | ETXTBSY -> "Text file busy"
+  | EIO -> "Input/output error"
+  | EXDEV -> "Invalid cross-device link"
+  | ENODATA -> "No data available"
+  | ERANGE -> "Numerical result out of range"
+  | ENOTSUP -> "Operation not supported"
+  | ESPIPE -> "Illegal seek"
+  | EMLINK -> "Too many links"
+  | ENOTEMPTY -> "Directory not empty"
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0

@@ -1,0 +1,65 @@
+(** POSIX error codes returned by the modeled file-system syscalls.
+
+    The first 27 constructors are exactly the error codes of the
+    [open(2)] manual page that Figure 4 uses as its output-partition
+    domain; the remainder are codes other modeled syscalls can return
+    ([ENODATA] for xattrs, [ESPIPE] for seeks on pipes, ...). *)
+
+type t =
+  (* open(2) manual-page domain (Figure 4, alphabetical by name) *)
+  | E2BIG
+  | EACCES
+  | EAGAIN
+  | EBADF
+  | EBUSY
+  | EDQUOT
+  | EEXIST
+  | EFAULT
+  | EFBIG
+  | EINTR
+  | EINVAL
+  | EISDIR
+  | ELOOP
+  | EMFILE
+  | ENAMETOOLONG
+  | ENFILE
+  | ENODEV
+  | ENOENT
+  | ENOMEM
+  | ENOSPC
+  | ENOTDIR
+  | ENXIO
+  | EOVERFLOW
+  | EPERM
+  | EROFS
+  | ETXTBSY
+  | EXDEV
+  (* additional codes used by other modeled syscalls *)
+  | EIO
+  | ENODATA
+  | ERANGE
+  | ENOTSUP
+  | ESPIPE
+  | EMLINK
+  | ENOTEMPTY
+
+val all : t list
+(** Every modeled error code, in declaration order. *)
+
+val open_manual_domain : t list
+(** The 27 codes of the [open(2)] manual page — Figure 4's x-axis. *)
+
+val to_string : t -> string
+(** Symbolic name, e.g. ["ENOENT"]. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}. *)
+
+val to_code : t -> int
+(** The conventional Linux numeric value (negated on the syscall ABI). *)
+
+val describe : t -> string
+(** One-line human description, as in [errno(3)]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool

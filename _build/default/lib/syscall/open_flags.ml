@@ -1,0 +1,142 @@
+type flag =
+  | O_RDONLY
+  | O_WRONLY
+  | O_RDWR
+  | O_CREAT
+  | O_EXCL
+  | O_NOCTTY
+  | O_TRUNC
+  | O_APPEND
+  | O_NONBLOCK
+  | O_DSYNC
+  | O_ASYNC
+  | O_DIRECT
+  | O_LARGEFILE
+  | O_DIRECTORY
+  | O_NOFOLLOW
+  | O_NOATIME
+  | O_CLOEXEC
+  | O_SYNC
+  | O_RSYNC
+  | O_PATH
+  | O_TMPFILE
+
+type t = int
+
+let all =
+  [ O_RDONLY; O_WRONLY; O_RDWR; O_CREAT; O_EXCL; O_NOCTTY; O_TRUNC;
+    O_APPEND; O_NONBLOCK; O_DSYNC; O_ASYNC; O_DIRECT; O_LARGEFILE;
+    O_DIRECTORY; O_NOFOLLOW; O_NOATIME; O_CLOEXEC; O_SYNC; O_RSYNC;
+    O_PATH; O_TMPFILE ]
+
+let flag_name = function
+  | O_RDONLY -> "O_RDONLY"
+  | O_WRONLY -> "O_WRONLY"
+  | O_RDWR -> "O_RDWR"
+  | O_CREAT -> "O_CREAT"
+  | O_EXCL -> "O_EXCL"
+  | O_NOCTTY -> "O_NOCTTY"
+  | O_TRUNC -> "O_TRUNC"
+  | O_APPEND -> "O_APPEND"
+  | O_NONBLOCK -> "O_NONBLOCK"
+  | O_DSYNC -> "O_DSYNC"
+  | O_ASYNC -> "O_ASYNC"
+  | O_DIRECT -> "O_DIRECT"
+  | O_LARGEFILE -> "O_LARGEFILE"
+  | O_DIRECTORY -> "O_DIRECTORY"
+  | O_NOFOLLOW -> "O_NOFOLLOW"
+  | O_NOATIME -> "O_NOATIME"
+  | O_CLOEXEC -> "O_CLOEXEC"
+  | O_SYNC -> "O_SYNC"
+  | O_RSYNC -> "O_RSYNC"
+  | O_PATH -> "O_PATH"
+  | O_TMPFILE -> "O_TMPFILE"
+
+let by_name = List.map (fun f -> (flag_name f, f)) all
+let flag_of_name s = List.assoc_opt s by_name
+
+let accmode_mask = 0o3
+
+(* Linux x86-64 values.  O_SYNC = 0o4010000 (includes the O_DSYNC bit);
+   O_TMPFILE = 0o20200000 (includes the O_DIRECTORY bit). *)
+let bit = function
+  | O_RDONLY -> 0o0
+  | O_WRONLY -> 0o1
+  | O_RDWR -> 0o2
+  | O_CREAT -> 0o100
+  | O_EXCL -> 0o200
+  | O_NOCTTY -> 0o400
+  | O_TRUNC -> 0o1000
+  | O_APPEND -> 0o2000
+  | O_NONBLOCK -> 0o4000
+  | O_DSYNC -> 0o10000
+  | O_ASYNC -> 0o20000
+  | O_DIRECT -> 0o40000
+  | O_LARGEFILE -> 0o100000
+  | O_DIRECTORY -> 0o200000
+  | O_NOFOLLOW -> 0o400000
+  | O_NOATIME -> 0o1000000
+  | O_CLOEXEC -> 0o2000000
+  | O_SYNC -> 0o4010000
+  | O_RSYNC -> 0o4010000
+  | O_PATH -> 0o10000000
+  | O_TMPFILE -> 0o20200000
+
+let is_access_mode = function O_RDONLY | O_WRONLY | O_RDWR -> true | _ -> false
+
+let of_flags flags =
+  let modes = List.filter is_access_mode flags in
+  (match modes with
+   | [] | [ _ ] -> ()
+   | _ -> invalid_arg "Open_flags.of_flags: multiple access modes");
+  List.fold_left (fun acc f -> acc lor bit f) 0 flags
+
+let access_mode t =
+  match t land accmode_mask with
+  | 0o0 -> O_RDONLY
+  | 0o1 -> O_WRONLY
+  | _ -> O_RDWR
+
+(* O_RSYNC shares O_SYNC's encoding on Linux, so decomposition reports
+   O_SYNC for that bit pattern; O_RSYNC is only observable when built with
+   of_flags and is normalized to O_SYNC.  The sync bits subsume O_DSYNC and
+   O_TMPFILE subsumes O_DIRECTORY. *)
+let decompose t =
+  let mode = access_mode t in
+  let sync_set = t land bit O_SYNC = bit O_SYNC in
+  let tmpfile_set = t land bit O_TMPFILE = bit O_TMPFILE in
+  let others =
+    List.filter
+      (fun f ->
+        match f with
+        | O_RDONLY | O_WRONLY | O_RDWR | O_RSYNC -> false
+        | O_DSYNC -> (not sync_set) && t land bit O_DSYNC <> 0
+        | O_SYNC -> sync_set
+        | O_DIRECTORY -> (not tmpfile_set) && t land bit O_DIRECTORY <> 0
+        | O_TMPFILE -> tmpfile_set
+        | f -> t land bit f <> 0)
+      all
+  in
+  mode :: others
+
+let has t f = List.mem f (decompose t)
+let readable t = access_mode t <> O_WRONLY
+let writable t = access_mode t <> O_RDONLY
+
+let to_string t = String.concat "|" (List.map flag_name (decompose t))
+
+let of_string s =
+  if s = "0" then Some 0
+  else begin
+    let parts = String.split_on_char '|' s in
+    let rec go acc = function
+      | [] -> Some acc
+      | name :: rest ->
+        (match flag_of_name name with
+         | Some f -> go (acc lor bit f) rest
+         | None -> None)
+    in
+    go 0 parts
+  end
+
+let count_flags t = List.length (decompose t)

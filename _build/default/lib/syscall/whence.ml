@@ -1,0 +1,23 @@
+type t = SEEK_SET | SEEK_CUR | SEEK_END | SEEK_DATA | SEEK_HOLE
+
+let all = [ SEEK_SET; SEEK_CUR; SEEK_END; SEEK_DATA; SEEK_HOLE ]
+
+let to_string = function
+  | SEEK_SET -> "SEEK_SET"
+  | SEEK_CUR -> "SEEK_CUR"
+  | SEEK_END -> "SEEK_END"
+  | SEEK_DATA -> "SEEK_DATA"
+  | SEEK_HOLE -> "SEEK_HOLE"
+
+let of_string s = List.find_opt (fun w -> to_string w = s) all
+
+let to_code = function
+  | SEEK_SET -> 0
+  | SEEK_CUR -> 1
+  | SEEK_END -> 2
+  | SEEK_DATA -> 3
+  | SEEK_HOLE -> 4
+
+let of_code c = List.find_opt (fun w -> to_code w = c) all
+let compare = Stdlib.compare
+let equal a b = compare a b = 0

@@ -1,0 +1,12 @@
+(** The [lseek] [whence] argument — the paper's canonical categorical
+    argument: a fixed set of admissible values, each its own partition. *)
+
+type t = SEEK_SET | SEEK_CUR | SEEK_END | SEEK_DATA | SEEK_HOLE
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val to_code : t -> int
+val of_code : int -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool

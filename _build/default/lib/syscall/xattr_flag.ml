@@ -1,0 +1,14 @@
+type t = XATTR_ANY | XATTR_CREATE | XATTR_REPLACE
+
+let all = [ XATTR_ANY; XATTR_CREATE; XATTR_REPLACE ]
+
+let to_string = function
+  | XATTR_ANY -> "XATTR_ANY"
+  | XATTR_CREATE -> "XATTR_CREATE"
+  | XATTR_REPLACE -> "XATTR_REPLACE"
+
+let of_string s = List.find_opt (fun f -> to_string f = s) all
+let to_code = function XATTR_ANY -> 0 | XATTR_CREATE -> 1 | XATTR_REPLACE -> 2
+let of_code c = List.find_opt (fun f -> to_code f = c) all
+let compare = Stdlib.compare
+let equal a b = compare a b = 0

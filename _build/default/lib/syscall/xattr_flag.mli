@@ -1,0 +1,12 @@
+(** The [setxattr] flags argument — categorical: create-only,
+    replace-only, or either (0). *)
+
+type t = XATTR_ANY | XATTR_CREATE | XATTR_REPLACE
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val to_code : t -> int
+val of_code : int -> t option
+val compare : t -> t -> int
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/trace/binary_io.ml: Array Errno Event Hashtbl In_channel Iocov_syscall List Model Result Stdlib String Whence Xattr_flag

@@ -1,0 +1,1 @@
+lib/trace/binary_io.mli: Event

@@ -1,0 +1,1 @@
+lib/trace/filter.ml: Buffer Event Iocov_regex List Printf String

@@ -1,0 +1,1 @@
+lib/trace/format_io.ml: Event In_channel Iocov_syscall List Model Printf Result Scanf String

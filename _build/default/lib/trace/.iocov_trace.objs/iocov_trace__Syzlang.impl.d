@@ -1,0 +1,1 @@
+lib/trace/syzlang.ml: Buffer Char Hashtbl Int64 Iocov_core Iocov_syscall List Model Printf Result String Whence Xattr_flag

@@ -1,0 +1,1 @@
+lib/trace/syzlang.mli: Hashtbl Iocov_core Iocov_syscall

@@ -1,0 +1,1 @@
+lib/trace/tracer.ml: Event Hashtbl Iocov_syscall Iocov_vfs List Model Printf String

@@ -1,0 +1,1 @@
+lib/trace/tracer.mli: Event Iocov_syscall Iocov_vfs

@@ -1,0 +1,318 @@
+open Iocov_syscall
+
+let magic = "IOCT\001"
+
+(* --- varints --- *)
+
+let write_uvarint oc n =
+  if n < 0 then invalid_arg "Binary_io.write_uvarint: negative";
+  let rec go n =
+    if n < 0x80 then output_byte oc n
+    else begin
+      output_byte oc (0x80 lor (n land 0x7F));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let zigzag n = if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1
+let unzigzag n = if n land 1 = 0 then n lsr 1 else -((n + 1) lsr 1)
+
+let write_svarint oc n = write_uvarint oc (zigzag n)
+
+exception Corrupt of string
+
+let read_byte ic =
+  match In_channel.input_byte ic with
+  | Some b -> b
+  | None -> raise (Corrupt "unexpected end of trace")
+
+let read_uvarint ic =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt "varint overflow");
+    let b = read_byte ic in
+    let acc = acc lor ((b land 0x7F) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_svarint ic = unzigzag (read_uvarint ic)
+
+(* --- string table --- *)
+
+type writer = {
+  oc : out_channel;
+  table : (string, int) Hashtbl.t;
+  mutable next_index : int;
+  mutable last_ts : int;
+}
+
+let write_string w s =
+  match Hashtbl.find_opt w.table s with
+  | Some index -> write_uvarint w.oc (index + 1)
+  | None ->
+    Hashtbl.add w.table s w.next_index;
+    w.next_index <- w.next_index + 1;
+    write_uvarint w.oc 0;
+    write_uvarint w.oc (String.length s);
+    output_string w.oc s
+
+type reader = {
+  ic : in_channel;
+  mutable strings : string array;
+  mutable count : int;
+}
+
+let read_string r =
+  let tag = read_uvarint r.ic in
+  if tag = 0 then begin
+    let len = read_uvarint r.ic in
+    if len > 1 lsl 20 then raise (Corrupt "string too long");
+    let s = really_input_string r.ic len in
+    if r.count = Array.length r.strings then begin
+      let bigger = Array.make (max 16 (2 * r.count)) "" in
+      Array.blit r.strings 0 bigger 0 r.count;
+      r.strings <- bigger
+    end;
+    r.strings.(r.count) <- s;
+    r.count <- r.count + 1;
+    s
+  end
+  else begin
+    let index = tag - 1 in
+    if index >= r.count then raise (Corrupt "string reference out of range");
+    r.strings.(index)
+  end
+
+(* --- enums --- *)
+
+let variant_index =
+  let table = Hashtbl.create 32 in
+  List.iteri (fun i v -> Hashtbl.add table v i) Model.all_variants;
+  fun v -> Hashtbl.find table v
+
+let variant_of_index =
+  let arr = Array.of_list Model.all_variants in
+  fun i -> if i < 0 || i >= Array.length arr then raise (Corrupt "bad variant index") else arr.(i)
+
+let errno_index =
+  let table = Hashtbl.create 64 in
+  List.iteri (fun i e -> Hashtbl.add table e i) Errno.all;
+  fun e -> Hashtbl.find table e
+
+let errno_of_index =
+  let arr = Array.of_list Errno.all in
+  fun i -> if i < 0 || i >= Array.length arr then raise (Corrupt "bad errno index") else arr.(i)
+
+(* --- calls --- *)
+
+let write_target w = function
+  | Model.Path p ->
+    output_byte w.oc 0;
+    write_string w p
+  | Model.Fd fd ->
+    output_byte w.oc 1;
+    write_svarint w.oc fd
+
+let read_target r =
+  match read_byte r.ic with
+  | 0 -> Model.Path (read_string r)
+  | 1 -> Model.Fd (read_svarint r.ic)
+  | _ -> raise (Corrupt "bad target tag")
+
+let write_call w call =
+  write_uvarint w.oc (variant_index (Model.variant_of_call call));
+  match call with
+  | Model.Open_call { path; flags; mode; _ } ->
+    write_string w path;
+    write_uvarint w.oc flags;
+    write_uvarint w.oc mode
+  | Model.Read_call { fd; count; offset; _ } | Model.Write_call { fd; count; offset; _ } ->
+    write_svarint w.oc fd;
+    write_uvarint w.oc count;
+    (match offset with Some off -> write_svarint w.oc off | None -> ())
+  | Model.Lseek_call { fd; offset; whence } ->
+    write_svarint w.oc fd;
+    write_svarint w.oc offset;
+    output_byte w.oc (Whence.to_code whence)
+  | Model.Truncate_call { target; length; _ } ->
+    write_target w target;
+    write_svarint w.oc length
+  | Model.Mkdir_call { path; mode; _ } ->
+    write_string w path;
+    write_uvarint w.oc mode
+  | Model.Chmod_call { target; mode; _ } ->
+    write_target w target;
+    write_uvarint w.oc mode
+  | Model.Close_call { fd } -> write_svarint w.oc fd
+  | Model.Chdir_call { target } -> write_target w target
+  | Model.Setxattr_call { target; name; size; flags; _ } ->
+    write_target w target;
+    write_string w name;
+    write_uvarint w.oc size;
+    output_byte w.oc (Xattr_flag.to_code flags)
+  | Model.Getxattr_call { target; name; size; _ } ->
+    write_target w target;
+    write_string w name;
+    write_uvarint w.oc size
+
+let read_call r =
+  let variant = variant_of_index (read_uvarint r.ic) in
+  match Model.base_of_variant variant with
+  | Model.Open ->
+    let path = read_string r in
+    let flags = read_uvarint r.ic in
+    let mode = read_uvarint r.ic in
+    (* creat's flags are forced by the constructor; the stored flags are
+       authoritative, so bypass the creat rewrite by reconstructing the
+       record shape directly through open_ for non-creat variants *)
+    Model.open_ ~variant ~flags ~mode path
+  | Model.Read | Model.Write ->
+    let fd = read_svarint r.ic in
+    let count = read_uvarint r.ic in
+    let offset =
+      match variant with
+      | Model.Sys_pread64 | Model.Sys_pwrite64 -> Some (read_svarint r.ic)
+      | _ -> None
+    in
+    if Model.base_of_variant variant = Model.Read then Model.read ~variant ?offset ~fd ~count ()
+    else Model.write ~variant ?offset ~fd ~count ()
+  | Model.Lseek ->
+    let fd = read_svarint r.ic in
+    let offset = read_svarint r.ic in
+    (match Whence.of_code (read_byte r.ic) with
+     | Some whence -> Model.lseek ~fd ~offset ~whence
+     | None -> raise (Corrupt "bad whence"))
+  | Model.Truncate ->
+    let target = read_target r in
+    let length = read_svarint r.ic in
+    Model.truncate ~variant ~target ~length ()
+  | Model.Mkdir ->
+    let path = read_string r in
+    let mode = read_uvarint r.ic in
+    Model.mkdir ~variant ~mode path
+  | Model.Chmod ->
+    let target = read_target r in
+    let mode = read_uvarint r.ic in
+    Model.chmod ~variant ~target ~mode ()
+  | Model.Close -> Model.close (read_svarint r.ic)
+  | Model.Chdir -> Model.chdir (read_target r)
+  | Model.Setxattr ->
+    let target = read_target r in
+    let name = read_string r in
+    let size = read_uvarint r.ic in
+    (match Xattr_flag.of_code (read_byte r.ic) with
+     | Some flags -> Model.setxattr ~variant ~flags ~target ~name ~size ()
+     | None -> raise (Corrupt "bad xattr flag"))
+  | Model.Getxattr ->
+    let target = read_target r in
+    let name = read_string r in
+    let size = read_uvarint r.ic in
+    Model.getxattr ~variant ~target ~name ~size ()
+
+(* --- events --- *)
+
+let writer oc =
+  output_string oc magic;
+  { oc; table = Hashtbl.create 256; next_index = 0; last_ts = 0 }
+
+let write_event w (e : Event.t) =
+  write_uvarint w.oc (max 0 (e.timestamp_ns - w.last_ts));
+  w.last_ts <- e.timestamp_ns;
+  write_uvarint w.oc e.pid;
+  write_string w e.comm;
+  (match e.payload with
+   | Event.Tracked call ->
+     output_byte w.oc 0;
+     write_call w call
+   | Event.Aux { name; detail } ->
+     output_byte w.oc 1;
+     write_string w name;
+     write_string w detail);
+  (match e.outcome with
+   | Model.Ret n ->
+     output_byte w.oc 0;
+     write_svarint w.oc n
+   | Model.Err errno ->
+     output_byte w.oc 1;
+     output_byte w.oc (errno_index errno));
+  match e.path_hint with
+  | Some hint ->
+    output_byte w.oc 1;
+    write_string w hint
+  | None -> output_byte w.oc 0
+
+let sink = write_event
+let flush w = Stdlib.flush w.oc
+
+(* [first] is the already-consumed first byte of the timestamp varint —
+   the EOF probe that decides whether another record exists. *)
+let read_event r ~seq ~last_ts ~first =
+  let ts =
+    last_ts
+    +
+    let rec go shift acc b =
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc (read_byte r.ic)
+    in
+    go 0 0 first
+  in
+  let pid = read_uvarint r.ic in
+  let comm = read_string r in
+  let payload =
+    match read_byte r.ic with
+    | 0 -> Event.Tracked (read_call r)
+    | 1 ->
+      let name = read_string r in
+      let detail = read_string r in
+      Event.Aux { name; detail }
+    | _ -> raise (Corrupt "bad payload tag")
+  in
+  let outcome =
+    match read_byte r.ic with
+    | 0 -> Model.Ret (read_svarint r.ic)
+    | 1 -> Model.Err (errno_of_index (read_byte r.ic))
+    | _ -> raise (Corrupt "bad outcome tag")
+  in
+  let path_hint =
+    match read_byte r.ic with
+    | 0 -> None
+    | 1 -> Some (read_string r)
+    | _ -> raise (Corrupt "bad hint tag")
+  in
+  { Event.seq; timestamp_ns = ts; pid; comm; payload; outcome; path_hint }
+
+let fold_channel ic ~init ~f =
+  try
+    let header = really_input_string ic (String.length magic) in
+    if header <> magic then Error "not a binary iocov trace (bad magic)"
+    else begin
+      let r = { ic; strings = Array.make 256 ""; count = 0 } in
+      let rec go acc seq last_ts =
+        match In_channel.input_byte ic with
+        | None -> Ok acc
+        | Some first ->
+          let event = read_event r ~seq ~last_ts ~first in
+          go (f acc event) (seq + 1) event.Event.timestamp_ns
+      in
+      go init 1 0
+    end
+  with
+  | Corrupt msg -> Error msg
+  | End_of_file -> Error "truncated binary trace"
+  | Invalid_argument msg -> Error ("corrupt record: " ^ msg)
+
+let read_channel ic =
+  Result.map List.rev (fold_channel ic ~init:[] ~f:(fun acc e -> e :: acc))
+
+let is_binary_trace ic =
+  let pos = In_channel.pos ic in
+  let result =
+    try
+      let header = really_input_string ic (String.length magic) in
+      header = magic
+    with End_of_file -> false
+  in
+  In_channel.seek ic pos;
+  result
+

@@ -1,0 +1,21 @@
+type payload =
+  | Tracked of Iocov_syscall.Model.call
+  | Aux of { name : string; detail : string }
+
+type t = {
+  seq : int;
+  timestamp_ns : int;
+  pid : int;
+  comm : string;
+  payload : payload;
+  outcome : Iocov_syscall.Model.outcome;
+  path_hint : string option;
+}
+
+let call t = match t.payload with Tracked c -> Some c | Aux _ -> None
+let is_tracked t = match t.payload with Tracked _ -> true | Aux _ -> false
+
+let base t =
+  match t.payload with
+  | Tracked c -> Some (Iocov_syscall.Model.base_of_call c)
+  | Aux _ -> None

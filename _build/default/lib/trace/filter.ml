@@ -1,0 +1,57 @@
+module Engine = Iocov_regex.Engine
+
+type t = { keep : Engine.t list }
+
+let create ~patterns =
+  let rec go acc = function
+    | [] -> Ok { keep = List.rev acc }
+    | p :: rest ->
+      (match Engine.compile p with
+       | Ok c -> go (c :: acc) rest
+       | Error msg -> Error (Printf.sprintf "pattern %S: %s" p msg))
+  in
+  go [] patterns
+
+let create_exn ~patterns =
+  match create ~patterns with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Filter.create_exn: " ^ msg)
+
+(* Escape regex metacharacters so a literal mount point can be embedded in
+   a pattern. *)
+let escape_literal s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      (match c with
+       | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' | '\\' ->
+         Buffer.add_char buf '\\'
+       | _ -> ());
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let mount_point mnt =
+  let mnt = if String.length mnt > 1 && mnt.[String.length mnt - 1] = '/' then
+      String.sub mnt 0 (String.length mnt - 1)
+    else mnt
+  in
+  create_exn ~patterns:[ Printf.sprintf "^%s(/|$)" (escape_literal mnt) ]
+
+let keeps t (e : Event.t) =
+  match e.path_hint with
+  | None -> false
+  | Some hint -> List.exists (fun c -> Engine.search c hint) t.keep
+
+type stats = { kept : int; dropped : int }
+
+let fold t ~init ~f events =
+  let acc, kept, dropped =
+    List.fold_left
+      (fun (acc, kept, dropped) e ->
+        if keeps t e then (f acc e, kept + 1, dropped) else (acc, kept, dropped + 1))
+      (init, 0, 0) events
+  in
+  (acc, { kept; dropped })
+
+let sink t k e = if keeps t e then k e

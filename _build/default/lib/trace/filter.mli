@@ -1,0 +1,35 @@
+(** The mount-point trace filter.
+
+    A kernel tracer records {e every} syscall the tester makes, including
+    ones that never touch the file system under test (reading config
+    files, writing logs, ...).  IOCov drops those with "a set of regular
+    expressions ... (e.g., based on the mount point pathname)"
+    (Section 3).  This is the only setting that changes between testers:
+    xfstests uses [/mnt/test], CrashMonkey [/mnt/snapshot]-style mounts. *)
+
+type t
+
+val create : patterns:string list -> (t, string) result
+(** Compile keep-patterns.  A record is kept iff its [path_hint] matches
+    at least one pattern (leftmost search, so ["^/mnt/test(/|$)"] is the
+    idiomatic mount-point anchor).  Fails on the first malformed
+    pattern, naming it. *)
+
+val create_exn : patterns:string list -> t
+
+val mount_point : string -> t
+(** [mount_point "/mnt/test"] — the common case: keep records whose hint
+    is the mount point or below it. *)
+
+val keeps : t -> Event.t -> bool
+(** Records without a [path_hint] (e.g. [O_TMPFILE] descriptors, [sync])
+    are dropped: they cannot be attributed to the tested mount. *)
+
+type stats = { kept : int; dropped : int }
+
+val fold :
+  t -> init:'a -> f:('a -> Event.t -> 'a) -> Event.t list -> 'a * stats
+(** Filtered fold with bookkeeping. *)
+
+val sink : t -> (Event.t -> unit) -> Event.t -> unit
+(** [sink t k] is a tracer sink that forwards kept records to [k]. *)

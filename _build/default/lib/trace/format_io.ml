@@ -1,0 +1,117 @@
+open Iocov_syscall
+
+let to_line (e : Event.t) =
+  let call_part =
+    match e.payload with
+    | Event.Tracked call -> Model.call_to_string call
+    | Event.Aux { name; detail } -> Printf.sprintf "!%s(%s)" name detail
+  in
+  let hint_part =
+    match e.path_hint with
+    | Some h -> Printf.sprintf " hint=%S" h
+    | None -> ""
+  in
+  Printf.sprintf "[%d] pid=%d comm=%S %s -> %s%s" e.timestamp_ns e.pid e.comm call_part
+    (Model.outcome_to_string e.outcome)
+    hint_part
+
+let ( let* ) = Result.bind
+
+(* Parse the fixed prefix "[ts] pid=N comm=S " and return the rest. *)
+let parse_prefix line =
+  try
+    Scanf.sscanf line "[%d] pid=%d comm=%S %n" (fun ts pid comm n ->
+        Ok (ts, pid, comm, String.sub line n (String.length line - n)))
+  with Scanf.Scan_failure msg | Failure msg -> Error ("bad record prefix: " ^ msg)
+     | End_of_file -> Error "truncated record"
+
+(* The payload part ends at the last " -> "; everything after is the
+   outcome and optional hint. *)
+let split_arrow s =
+  let marker = " -> " in
+  let rec find_last from acc =
+    match String.index_from_opt s from '-' with
+    | None -> acc
+    | Some i ->
+      if
+        i >= 1 && i + 2 < String.length s
+        && String.sub s (i - 1) (String.length marker) = marker
+      then find_last (i + 1) (Some (i - 1))
+      else find_last (i + 1) acc
+  in
+  match find_last 0 None with
+  | None -> Error "missing \" -> \" separator"
+  | Some i ->
+    Ok
+      ( String.sub s 0 i,
+        String.sub s (i + String.length marker) (String.length s - i - String.length marker)
+      )
+
+let parse_outcome_and_hint s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None ->
+    let* outcome = Model.outcome_of_string s in
+    Ok (outcome, None)
+  | Some i ->
+    let outcome_s = String.sub s 0 i in
+    let rest = String.trim (String.sub s i (String.length s - i)) in
+    let* outcome = Model.outcome_of_string outcome_s in
+    if String.length rest >= 6 && String.sub rest 0 5 = "hint=" then begin
+      let quoted = String.sub rest 5 (String.length rest - 5) in
+      try Ok (outcome, Some (Scanf.sscanf quoted "%S%!" (fun x -> x)))
+      with Scanf.Scan_failure _ | Failure _ | End_of_file -> Error "malformed hint"
+    end
+    else Error (Printf.sprintf "unexpected trailing %S" rest)
+
+let parse_payload s =
+  let s = String.trim s in
+  if String.length s > 0 && s.[0] = '!' then begin
+    let body = String.sub s 1 (String.length s - 1) in
+    match String.index_opt body '(' with
+    | None -> Error "malformed aux record"
+    | Some i ->
+      if body.[String.length body - 1] <> ')' then Error "malformed aux record"
+      else
+        Ok
+          (Event.Aux
+             {
+               name = String.sub body 0 i;
+               detail = String.sub body (i + 1) (String.length body - i - 2);
+             })
+  end
+  else
+    let* call = Model.call_of_string s in
+    Ok (Event.Tracked call)
+
+let of_line ?(seq = 0) line =
+  let* ts, pid, comm, rest = parse_prefix line in
+  let* payload_s, outcome_s = split_arrow rest in
+  let* payload = parse_payload payload_s in
+  let* outcome, path_hint = parse_outcome_and_hint outcome_s in
+  Ok { Event.seq; timestamp_ns = ts; pid; comm; payload; outcome; path_hint }
+
+let write_channel oc events =
+  List.iter (fun e -> output_string oc (to_line e ^ "\n")) events;
+  flush oc
+
+let sink_channel oc e = output_string oc (to_line e ^ "\n")
+
+let fold_channel ic ~init ~f =
+  let rec go acc lineno =
+    match In_channel.input_line ic with
+    | None -> Ok acc
+    | Some line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1)
+      else begin
+        match of_line ~seq:lineno trimmed with
+        | Ok e -> go (f acc e) (lineno + 1)
+        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      end
+  in
+  go init 1
+
+let read_channel ic =
+  let* events = fold_channel ic ~init:[] ~f:(fun acc e -> e :: acc) in
+  Ok (List.rev events)

@@ -1,0 +1,31 @@
+(** Text serialization of trace records.
+
+    One record per line, LTTng-babeltrace-flavoured:
+
+    {v
+    [1622] pid=1000 comm="xfstests" open(path="/mnt/test/a", flags=O_RDONLY, mode=0o0) -> ok:3 hint="/mnt/test/a"
+    [2433] pid=1000 comm="xfstests" !fsync(fd=3) -> ok:0 hint="/mnt/test/a"
+    v}
+
+    [!]-prefixed names are untracked (auxiliary) operations.  The format
+    round-trips: [of_line (to_line e)] reproduces [e] up to the [seq]
+    field, which is assigned by line position when reading a file. *)
+
+val to_line : Event.t -> string
+
+val of_line : ?seq:int -> string -> (Event.t, string) result
+(** [seq] defaults to 0; readers pass the line number. *)
+
+val write_channel : out_channel -> Event.t list -> unit
+(** One line per event, flushed. *)
+
+val sink_channel : out_channel -> Event.t -> unit
+(** A tracer sink that streams records to a channel. *)
+
+val read_channel : in_channel -> (Event.t list, string) result
+(** Reads to EOF; fails with a located message on the first bad line.
+    Blank lines and [#]-comment lines are skipped. *)
+
+val fold_channel : in_channel -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
+(** Streaming fold over records — the analyzer's entry point for large
+    traces (never materializes the list). *)

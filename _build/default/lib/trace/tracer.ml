@@ -1,0 +1,118 @@
+open Iocov_syscall
+module Fs = Iocov_vfs.Fs
+module Path = Iocov_vfs.Path
+
+type t = {
+  fs : Fs.t;
+  pid : int;
+  comm : string;
+  mutable seq : int;
+  mutable sinks : (Event.t -> unit) list;  (* reverse registration order *)
+  fd_paths : (int, string) Hashtbl.t;
+  mutable cwd : string;
+}
+
+let create ?(pid = 1000) ?(comm = "tester") fs =
+  { fs; pid; comm; seq = 0; sinks = []; fd_paths = Hashtbl.create 32; cwd = "/" }
+
+let fs t = t.fs
+let on_event t sink = t.sinks <- sink :: t.sinks
+let events_emitted t = t.seq
+let cwd t = t.cwd
+
+(* Normalize a possibly-relative pathname against the tracked cwd;
+   "." / ".." components are folded so hints are canonical. *)
+let absolutize t path =
+  let raw = if String.length path > 0 && path.[0] = '/' then path else Path.join t.cwd path in
+  let parts = List.filter (fun c -> c <> "") (String.split_on_char '/' raw) in
+  let folded =
+    List.fold_left
+      (fun acc c ->
+        match c with
+        | "." -> acc
+        | ".." -> (match acc with [] -> [] | _ :: rest -> rest)
+        | c -> c :: acc)
+      [] parts
+  in
+  "/" ^ String.concat "/" (List.rev folded)
+
+let hint_of_target t = function
+  | Model.Path p -> Some (absolutize t p)
+  | Model.Fd fd -> Hashtbl.find_opt t.fd_paths fd
+
+let hint_of_call t call =
+  match call with
+  | Model.Open_call { path; _ } -> Some (absolutize t path)
+  | Model.Mkdir_call { path; _ } -> Some (absolutize t path)
+  | Model.Read_call { fd; _ }
+  | Model.Write_call { fd; _ }
+  | Model.Lseek_call { fd; _ }
+  | Model.Close_call { fd } -> Hashtbl.find_opt t.fd_paths fd
+  | Model.Truncate_call { target; _ }
+  | Model.Chmod_call { target; _ }
+  | Model.Chdir_call { target }
+  | Model.Setxattr_call { target; _ }
+  | Model.Getxattr_call { target; _ } -> hint_of_target t target
+
+(* Keep the fd table and cwd in sync with successful calls. *)
+let post_process t call outcome =
+  match (call, outcome) with
+  | Model.Open_call { path; _ }, Model.Ret fd ->
+    (match Fs.fd_path t.fs fd with
+     | Some _ -> Hashtbl.replace t.fd_paths fd (absolutize t path)
+     | None -> () (* O_TMPFILE: anonymous *))
+  | Model.Close_call { fd }, Model.Ret _ -> Hashtbl.remove t.fd_paths fd
+  | Model.Chdir_call { target = Model.Path p }, Model.Ret _ -> t.cwd <- absolutize t p
+  | Model.Chdir_call { target = Model.Fd fd }, Model.Ret _ ->
+    (match Hashtbl.find_opt t.fd_paths fd with
+     | Some p -> t.cwd <- p
+     | None -> ())
+  | _ -> ()
+
+let emit t payload outcome path_hint =
+  t.seq <- t.seq + 1;
+  let event =
+    {
+      Event.seq = t.seq;
+      timestamp_ns = t.seq * 811;  (* logical time: strictly monotone *)
+      pid = t.pid;
+      comm = t.comm;
+      payload;
+      outcome;
+      path_hint;
+    }
+  in
+  List.iter (fun sink -> sink event) (List.rev t.sinks)
+
+let exec t call =
+  let hint = hint_of_call t call in
+  let outcome = Fs.exec t.fs call in
+  post_process t call outcome;
+  emit t (Event.Tracked call) outcome hint;
+  outcome
+
+let aux_detail t aux =
+  match (aux : Fs.aux) with
+  | Fs.Unlink p | Fs.Rmdir p -> (Printf.sprintf "path=%S" p, Some (absolutize t p))
+  | Fs.Rename (o, n) -> (Printf.sprintf "old=%S, new=%S" o n, Some (absolutize t o))
+  | Fs.Symlink (target, link) ->
+    (Printf.sprintf "target=%S, link=%S" target link, Some (absolutize t link))
+  | Fs.Link (e, n) -> (Printf.sprintf "old=%S, new=%S" e n, Some (absolutize t e))
+  | Fs.Fsync fd | Fs.Fdatasync fd ->
+    (Printf.sprintf "fd=%d" fd, Hashtbl.find_opt t.fd_paths fd)
+  | Fs.Sync | Fs.Crash -> ("", None)
+
+let exec_aux t aux =
+  let detail, hint = aux_detail t aux in
+  let result = Fs.exec_aux t.fs aux in
+  (match aux with
+   | Fs.Crash ->
+     (* all descriptors die with the crash *)
+     Hashtbl.reset t.fd_paths;
+     t.cwd <- "/"
+   | _ -> ());
+  let outcome =
+    match result with Ok n -> Model.Ret n | Error e -> Model.Err e
+  in
+  emit t (Event.Aux { name = Fs.aux_name aux; detail }) outcome hint;
+  result

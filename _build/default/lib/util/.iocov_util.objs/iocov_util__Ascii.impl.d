@@ -1,0 +1,1 @@
+lib/util/ascii.ml: Array Buffer List Printf Stats String

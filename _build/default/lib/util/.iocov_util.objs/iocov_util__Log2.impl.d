@@ -1,0 +1,1 @@
+lib/util/log2.ml: Array List Printf

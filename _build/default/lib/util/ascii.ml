@@ -1,0 +1,106 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let si_count n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3)) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_cell x = Printf.sprintf "%.1f" x
+
+let table ?title ~headers ?aligns rows =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> Array.of_list a
+    | Some _ -> invalid_arg "Ascii.table: aligns length mismatch"
+    | None -> Array.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let row = if List.length row > ncols then List.filteri (fun i _ -> i < ncols) row else row in
+    row @ List.init (ncols - List.length row) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length headers) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    rows;
+  let render_row cells =
+    let parts =
+      List.mapi (fun i cell -> pad aligns.(i) widths.(i) cell) cells
+    in
+    "| " ^ String.concat " | " parts ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+   | Some t -> Buffer.add_string buf (t ^ "\n")
+   | None -> ());
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (render_row headers ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let bar_of_freq ~width ~max_log freq =
+  if freq = 0 then "(untested)"
+  else begin
+    let lf = Stats.log10_freq freq +. 1.0 in
+    let len = int_of_float (ceil (lf /. max_log *. float_of_int width)) in
+    let len = max 1 (min width len) in
+    String.make len '#' ^ Printf.sprintf " %s" (si_count freq)
+  end
+
+let log_bar_chart ?title ?(width = 48) series =
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 series in
+  let max_freq = List.fold_left (fun acc (_, f) -> max acc f) 1 series in
+  let max_log = Stats.log10_freq max_freq +. 1.0 in
+  let buf = Buffer.create 256 in
+  (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+  List.iter
+    (fun (label, freq) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s | %s\n" (pad Left label_w label)
+           (bar_of_freq ~width ~max_log freq)))
+    series;
+  Buffer.contents buf
+
+let grouped_log_chart ?title ?(width = 40) ~group_names rows =
+  let name_a, name_b = group_names in
+  let label_w = List.fold_left (fun acc (l, _, _) -> max acc (String.length l)) 0 rows in
+  let tag_w = max (String.length name_a) (String.length name_b) in
+  let max_freq = List.fold_left (fun acc (_, a, b) -> max acc (max a b)) 1 rows in
+  let max_log = Stats.log10_freq max_freq +. 1.0 in
+  let buf = Buffer.create 512 in
+  (match title with Some t -> Buffer.add_string buf (t ^ "\n") | None -> ());
+  List.iter
+    (fun (label, fa, fb) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s  %s | %s\n" (pad Left label_w label)
+           (pad Left tag_w name_a)
+           (bar_of_freq ~width ~max_log fa));
+      Buffer.add_string buf
+        (Printf.sprintf "%s  %s | %s\n" (String.make label_w ' ')
+           (pad Left tag_w name_b)
+           (bar_of_freq ~width ~max_log fb)))
+    rows;
+  Buffer.contents buf

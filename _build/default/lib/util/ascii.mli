@@ -1,0 +1,35 @@
+(** Plain-text rendering of the paper's tables and figures.
+
+    Every bench target prints through these helpers so that
+    [bench/main.exe] output lines up with the rows and series of the
+    paper's evaluation section. *)
+
+type align = Left | Right
+
+val table :
+  ?title:string -> headers:string list -> ?aligns:align list ->
+  string list list -> string
+(** [table ~headers rows] renders a boxed, column-aligned table.  [aligns]
+    defaults to left for the first column and right for the rest.  Rows
+    shorter than [headers] are padded with empty cells. *)
+
+val log_bar_chart :
+  ?title:string -> ?width:int -> (string * int) list -> string
+(** [log_bar_chart series] renders one bar per (label, frequency) with bar
+    length proportional to log10(frequency), annotated with the raw count —
+    the textual analogue of the paper's log-scale figures.  Zero
+    frequencies render as an explicit [(untested)] marker. *)
+
+val grouped_log_chart :
+  ?title:string -> ?width:int ->
+  group_names:string * string ->
+  (string * int * int) list -> string
+(** [grouped_log_chart ~group_names:(a, b) rows] renders, for each
+    (label, freq_a, freq_b) row, two adjacent log-scale bars — used for the
+    CrashMonkey-vs-xfstests comparisons of Figures 2-4. *)
+
+val float_cell : float -> string
+(** Compact fixed-point rendering (1 decimal) for percentage cells. *)
+
+val si_count : int -> string
+(** Human count with thousands separators, e.g. ["4,099,770"]. *)

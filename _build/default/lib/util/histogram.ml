@@ -1,0 +1,49 @@
+type 'k t = {
+  compare : 'k -> 'k -> int;
+  table : ('k, int ref) Hashtbl.t;
+  mutable total : int;
+}
+
+let create ~compare = { compare; table = Hashtbl.create 64; total = 0 }
+
+let add h ?(count = 1) k =
+  if count < 0 then invalid_arg "Histogram.add: negative count";
+  if count > 0 then begin
+    (match Hashtbl.find_opt h.table k with
+     | Some r -> r := !r + count
+     | None -> Hashtbl.add h.table k (ref count));
+    h.total <- h.total + count
+  end
+
+let count h k = match Hashtbl.find_opt h.table k with Some r -> !r | None -> 0
+let total h = h.total
+let distinct h = Hashtbl.length h.table
+let mem h k = count h k > 0
+
+let to_sorted h =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h.table []
+  |> List.sort (fun (a, _) (b, _) -> h.compare a b)
+
+let keys h = List.map fst (to_sorted h)
+
+let merge_into ~dst src =
+  (* snapshot first: mutating a table while iterating it is undefined,
+     and [merge_into ~dst:h h] (self-doubling) must work *)
+  let entries = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) src.table [] in
+  List.iter (fun (k, count) -> add dst ~count k) entries
+
+let copy h =
+  let fresh = create ~compare:h.compare in
+  merge_into ~dst:fresh h;
+  fresh
+
+let clear h =
+  Hashtbl.reset h.table;
+  h.total <- 0
+
+let max_frequency h = Hashtbl.fold (fun _ r acc -> max !r acc) h.table 0
+
+let fold f h init =
+  List.fold_left (fun acc (k, n) -> f k n acc) init (to_sorted h)
+
+let map_sum f h = fold (fun k n acc -> acc + f k n) h 0

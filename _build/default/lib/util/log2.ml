@@ -1,0 +1,51 @@
+type bucket = Negative | Zero | Pow2 of int
+
+let rank = function Negative -> -2 | Zero -> -1 | Pow2 k -> k
+let compare_bucket a b = compare (rank a) (rank b)
+let equal_bucket a b = rank a = rank b
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Log2.floor_log2";
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let pow2 k =
+  if k < 0 || k > 62 then invalid_arg "Log2.pow2";
+  1 lsl k
+
+let bucket_of_int n =
+  if n < 0 then Negative else if n = 0 then Zero else Pow2 (floor_log2 n)
+
+let bucket_lo = function
+  | Negative -> min_int
+  | Zero -> 0
+  | Pow2 k -> pow2 k
+
+let bucket_hi = function
+  | Negative -> -1
+  | Zero -> 0
+  | Pow2 k -> if k >= 62 then max_int else pow2 (k + 1) - 1
+
+let bucket_label = function
+  | Negative -> "<0"
+  | Zero -> "=0"
+  | Pow2 k -> Printf.sprintf "2^%d" k
+
+let units = [| "B"; "KiB"; "MiB"; "GiB"; "TiB"; "PiB" |]
+
+let human_bytes n =
+  if n < 0 then Printf.sprintf "%dB" n
+  else begin
+    let rec go v u = if v >= 1024 && u < Array.length units - 1 then go (v / 1024) (u + 1) else (v, u) in
+    let v, u = go n 0 in
+    Printf.sprintf "%d%s" v units.(u)
+  end
+
+let bucket_size_label = function
+  | Negative -> "<0B"
+  | Zero -> "0B"
+  | Pow2 k -> human_bytes (pow2 k)
+
+let range ~lo ~hi =
+  if lo < 0 || hi < lo then invalid_arg "Log2.range";
+  List.init (hi - lo + 1) (fun i -> Pow2 (lo + i))

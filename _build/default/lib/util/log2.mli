@@ -1,0 +1,47 @@
+(** Power-of-two bucketing for numeric input/output partitions.
+
+    The paper partitions numeric syscall arguments (write sizes, seek
+    offsets, truncate lengths, ...) by powers of two, with dedicated
+    partitions for the boundary value [0] and, where an argument admits
+    them, negative values (Section 3, "Input- and output-space
+    partitioning").  Bucket [k] covers the closed interval
+    [\[2^k, 2^(k+1) - 1\]]. *)
+
+type bucket =
+  | Negative      (** any value < 0 (e.g. [lseek] offsets) *)
+  | Zero          (** exactly 0 — "Equal to 0" in Figure 3 *)
+  | Pow2 of int   (** values in [\[2{^k}, 2{^k+1} - 1\]], [k >= 0] *)
+
+val compare_bucket : bucket -> bucket -> int
+(** Total order: [Negative < Zero < Pow2 0 < Pow2 1 < ...]. *)
+
+val equal_bucket : bucket -> bucket -> bool
+
+val bucket_of_int : int -> bucket
+(** [bucket_of_int n] rounds [n] down to the nearest power-of-two
+    boundary. *)
+
+val bucket_lo : bucket -> int
+(** Smallest value in the bucket ([min_int] for [Negative]). *)
+
+val bucket_hi : bucket -> int
+(** Largest value in the bucket ([-1] for [Negative]). *)
+
+val bucket_label : bucket -> string
+(** Short axis label, e.g. ["=0"], ["<0"], ["2^10"]. *)
+
+val bucket_size_label : bucket -> string
+(** Human byte-size label for the bucket's lower bound, e.g. ["1KiB"] for
+    [Pow2 10] — Figure 3's secondary x-axis. *)
+
+val range : lo:int -> hi:int -> bucket list
+(** [range ~lo ~hi] is [\[Pow2 lo; ...; Pow2 hi\]]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] for [n >= 1]. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2{^k}]; requires [0 <= k <= 62]. *)
+
+val human_bytes : int -> string
+(** [human_bytes n] renders [n] with binary units, e.g. ["258MiB"]. *)

@@ -1,0 +1,78 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: two xor-shift-multiply rounds. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  (* mask to 62 bits: Int64.to_int of a 63-bit value overflows OCaml's
+     63-bit native int into the negatives *)
+  let raw = Int64.to_int (next_int64 t) land max_int in
+  raw mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 choices in
+  if total <= 0 then invalid_arg "Prng.weighted: no positive weight";
+  let pick = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.weighted: unreachable"
+    | (w, x) :: rest ->
+      let acc = acc + max 0 w in
+      if pick < acc then x else go acc rest
+  in
+  go 0 choices
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pow2_size t ~max_log2 =
+  assert (max_log2 >= 0 && max_log2 < 62);
+  let k = int t (max_log2 + 1) in
+  let lo = 1 lsl k in
+  let hi = (1 lsl (k + 1)) - 1 in
+  int_in t lo hi

@@ -1,0 +1,60 @@
+(** Deterministic pseudo-random number generation.
+
+    IOCov's workload simulators must be exactly reproducible from a seed so
+    that every figure in EXPERIMENTS.md can be regenerated bit-for-bit.  The
+    implementation is SplitMix64 (Steele, Lea & Flood, OOPSLA'14), a small,
+    fast, well-distributed generator that also supports {!split}ting into
+    independent streams — one stream per simulated test program keeps suites
+    order-independent. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s subsequent output. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.  Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** [weighted t choices] picks an element with probability proportional to
+    its (positive) integer weight.  The list must contain at least one
+    entry of positive weight. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pow2_size : t -> max_log2:int -> int
+(** [pow2_size t ~max_log2] draws a byte count whose log2 bucket is uniform
+    in [\[0, max_log2\]], then uniform within the bucket — the natural
+    generator for "cover every power-of-two partition" workloads. *)

@@ -1,0 +1,43 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let rmsd a b =
+  let n = Array.length a in
+  if n = 0 || n <> Array.length b then invalid_arg "Stats.rmsd";
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = a.(i) -. b.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt (!acc /. float_of_int n)
+
+let log10_freq f =
+  if f < 0 then invalid_arg "Stats.log10_freq: negative frequency";
+  if f = 0 then 0.0 else log10 (float_of_int f)
+
+let percentage part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let geometric_mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value";
+        acc := !acc +. log x)
+      a;
+    exp (!acc /. float_of_int n)
+  end
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  end

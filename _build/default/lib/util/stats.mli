@@ -1,0 +1,27 @@
+(** Descriptive statistics used by the TCD metric and the reports.
+
+    The paper's Test Coverage Deviation is a Root Mean Square Deviation over
+    log-frequencies (Section 4); the log transform is kept here so the core
+    library and the ablation benches share one definition. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val rmsd : float array -> float array -> float
+(** [rmsd a b] is [sqrt (1/N * sum (a_i - b_i)^2)].  Arrays must have equal,
+    positive length. *)
+
+val log10_freq : int -> float
+(** [log10_freq f] is the log-domain value of a frequency: [log10 f] for
+    [f >= 1] and [0.] for [f = 0] — an untested partition sits at the same
+    point as a once-tested one, which matches the paper's choice of
+    penalising under-testing in orders of magnitude. *)
+
+val percentage : int -> int -> float
+(** [percentage part whole] is [100. *. part / whole]; 0 if [whole = 0]. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive values; 0 for an empty array. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length); 0 for empty. *)

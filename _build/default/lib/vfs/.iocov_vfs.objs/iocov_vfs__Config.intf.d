@@ -1,0 +1,1 @@
+lib/vfs/config.mli: Fault

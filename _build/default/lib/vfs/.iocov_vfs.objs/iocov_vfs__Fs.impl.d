@@ -1,0 +1,1 @@
+lib/vfs/fs.ml: Char Config Errno Fault Hashtbl Iocov_syscall List Mode Model Node Open_flags Path Printf Result String Whence Xattr_flag

@@ -1,0 +1,1 @@
+lib/vfs/fs.mli: Config Iocov_syscall

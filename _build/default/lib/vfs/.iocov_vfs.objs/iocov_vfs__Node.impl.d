@@ -1,0 +1,1 @@
+lib/vfs/node.ml: Hashtbl Iocov_syscall List String

@@ -1,0 +1,1 @@
+lib/vfs/node.mli: Hashtbl Iocov_syscall

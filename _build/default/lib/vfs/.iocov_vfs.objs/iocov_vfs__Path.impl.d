@@ -1,0 +1,1 @@
+lib/vfs/path.ml: Errno Iocov_syscall List String

@@ -1,0 +1,53 @@
+type t = {
+  block_size : int;
+  total_blocks : int;
+  max_file_size : int;
+  large_file_threshold : int;
+  max_name_len : int;
+  max_path_len : int;
+  max_symlink_depth : int;
+  max_open_files : int;
+  max_system_files : int;
+  max_xattr_value : int;
+  xattr_space : int;
+  quota_blocks : int option;
+  read_only : bool;
+  uid : int;
+  gid : int;
+  faults : Fault.t list;
+}
+
+let gib n = n * 1024 * 1024 * 1024
+
+let default = {
+  block_size = 4096;
+  total_blocks = gib 16 / 4096;
+  max_file_size = gib 64;
+  large_file_threshold = gib 2;
+  max_name_len = 255;
+  max_path_len = 4096;
+  max_symlink_depth = 8;
+  max_open_files = 1024;
+  max_system_files = 4096;
+  max_xattr_value = 65536;
+  xattr_space = 4096;
+  quota_blocks = None;
+  read_only = false;
+  uid = 0;
+  gid = 0;
+  faults = [];
+}
+
+let small = {
+  default with
+  total_blocks = 1024;           (* 4 MiB *)
+  max_file_size = 1024 * 1024;   (* 1 MiB: EFBIG easily reachable *)
+  max_open_files = 16;
+  max_system_files = 32;
+  xattr_space = 256;
+  quota_blocks = Some 512;
+}
+
+let with_faults faults t = { t with faults }
+let with_uid ~uid ~gid t = { t with uid; gid }
+let read_only_of t = { t with read_only = true }

@@ -1,0 +1,39 @@
+(** File-system geometry, limits, and test credentials.
+
+    The limits are what turn boundary inputs into distinct {e outputs}:
+    [max_file_size] yields [EFBIG], [total_blocks] yields [ENOSPC],
+    [quota_blocks] yields [EDQUOT], and so on.  Defaults model a small
+    Ext4-like device so that exhaustion errors are reachable by test
+    workloads in reasonable time. *)
+
+type t = {
+  block_size : int;          (** bytes per block (default 4096) *)
+  total_blocks : int;        (** device capacity; [ENOSPC] when exhausted *)
+  max_file_size : int;       (** [EFBIG] beyond this size *)
+  large_file_threshold : int;(** [EOVERFLOW] when opening a file at least
+                                 this big without [O_LARGEFILE] (2 GiB) *)
+  max_name_len : int;        (** per-component limit; [ENAMETOOLONG] *)
+  max_path_len : int;        (** whole-path limit; [ENAMETOOLONG] *)
+  max_symlink_depth : int;   (** [ELOOP] beyond this many link hops *)
+  max_open_files : int;      (** per-process fd limit; [EMFILE] *)
+  max_system_files : int;    (** system-wide open-file limit; [ENFILE] *)
+  max_xattr_value : int;     (** [E2BIG] above this value size (64 KiB) *)
+  xattr_space : int;         (** per-inode xattr capacity; [ENOSPC] when full *)
+  quota_blocks : int option; (** per-uid block quota; [EDQUOT] *)
+  read_only : bool;          (** mounted read-only; [EROFS] *)
+  uid : int;                 (** initial process uid (0 = root) *)
+  gid : int;
+  faults : Fault.t list;     (** injected bugs active in this instance *)
+}
+
+val default : t
+(** A 16 GiB, 4 KiB-block file system with Linux-like limits, writable,
+    running as root, no injected faults. *)
+
+val small : t
+(** A tiny (4 MiB) instance for exhaustion tests: ENOSPC/EDQUOT within a
+    few writes. *)
+
+val with_faults : Fault.t list -> t -> t
+val with_uid : uid:int -> gid:int -> t -> t
+val read_only_of : t -> t

@@ -1,0 +1,53 @@
+type t =
+  | Xattr_ibody_overflow
+  | Truncate_efbig_unchecked
+  | Write_zero_advances_offset
+  | Enospc_swallowed
+  | Largefile_eoverflow
+  | Seek_hole_off_by_one
+  | Chmod_suid_kept
+  | Getxattr_empty_enodata
+  | Nowait_write_enospc
+  | Fsync_skips_data
+  | Creat_mode_ignored
+  | Mkdir_sticky_lost
+
+let all =
+  [ Xattr_ibody_overflow; Truncate_efbig_unchecked; Write_zero_advances_offset;
+    Enospc_swallowed; Largefile_eoverflow; Seek_hole_off_by_one;
+    Chmod_suid_kept; Getxattr_empty_enodata; Nowait_write_enospc;
+    Fsync_skips_data; Creat_mode_ignored; Mkdir_sticky_lost ]
+
+let to_string = function
+  | Xattr_ibody_overflow -> "xattr_ibody_overflow"
+  | Truncate_efbig_unchecked -> "truncate_efbig_unchecked"
+  | Write_zero_advances_offset -> "write_zero_advances_offset"
+  | Enospc_swallowed -> "enospc_swallowed"
+  | Largefile_eoverflow -> "largefile_eoverflow"
+  | Seek_hole_off_by_one -> "seek_hole_off_by_one"
+  | Chmod_suid_kept -> "chmod_suid_kept"
+  | Getxattr_empty_enodata -> "getxattr_empty_enodata"
+  | Nowait_write_enospc -> "nowait_write_enospc"
+  | Fsync_skips_data -> "fsync_skips_data"
+  | Creat_mode_ignored -> "creat_mode_ignored"
+  | Mkdir_sticky_lost -> "mkdir_sticky_lost"
+
+let of_string s = List.find_opt (fun f -> to_string f = s) all
+
+let describe = function
+  | Xattr_ibody_overflow ->
+    "setxattr at the maximum value size succeeds where ENOSPC is required (Fig. 1)"
+  | Truncate_efbig_unchecked -> "truncate to max_file_size+1 succeeds instead of EFBIG"
+  | Write_zero_advances_offset -> "zero-byte write advances the file offset"
+  | Enospc_swallowed -> "out-of-space write returns 0 instead of ENOSPC"
+  | Largefile_eoverflow -> "open(O_LARGEFILE) of a >=2GiB file wrongly fails EOVERFLOW"
+  | Seek_hole_off_by_one -> "lseek(SEEK_HOLE) answers size+1 inside the trailing hole"
+  | Chmod_suid_kept -> "non-owner chmod of the setuid bit succeeds instead of EPERM"
+  | Getxattr_empty_enodata -> "getxattr of an empty value wrongly reports ENODATA"
+  | Nowait_write_enospc -> "non-blocking buffered write returns ENOSPC with space available"
+  | Fsync_skips_data -> "fsync persists metadata but loses data across a crash"
+  | Creat_mode_ignored -> "open(O_CREAT) creates the file with mode 0"
+  | Mkdir_sticky_lost -> "mkdir drops the sticky bit from the requested mode"
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0

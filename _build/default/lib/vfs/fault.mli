@@ -1,0 +1,57 @@
+(** Injectable file-system faults.
+
+    Each fault re-creates the {e shape} of a real bug class from the
+    paper's Section 2 study: a deviation that only manifests for specific
+    syscall inputs (boundary values, rare flags) or on specific output
+    paths (wrong error code, missing error).  The differential tester in
+    [iocov_bugstudy] plants these into a victim file system and measures
+    which testing strategies expose them. *)
+
+type t =
+  | Xattr_ibody_overflow
+      (** Figure 1's Ext4 bug: [setxattr] with the {e maximum} allowed
+          value size passes the free-space check it should fail, so the
+          call succeeds where it must return [ENOSPC]. *)
+  | Truncate_efbig_unchecked
+      (** [truncate] to exactly the file-size limit + 1 succeeds instead
+          of returning [EFBIG] — a classic off-by-one boundary bug. *)
+  | Write_zero_advances_offset
+      (** A zero-byte [write] advances the file offset by one — only
+          visible to tests that issue the POSIX-legal size-0 write. *)
+  | Enospc_swallowed
+      (** A [write] that runs out of blocks returns a short count of 0
+          instead of [ENOSPC] — an output bug on the failure path. *)
+  | Largefile_eoverflow
+      (** [open] with [O_LARGEFILE] on a >=2 GiB file wrongly fails with
+          [EOVERFLOW], as if the flag were ignored (cf. the XFS
+          [generic_file_open] fix the paper cites for O_LARGEFILE). *)
+  | Seek_hole_off_by_one
+      (** [lseek(SEEK_HOLE)] inside the trailing hole answers
+          [size + 1] instead of [size]. *)
+  | Chmod_suid_kept
+      (** [chmod] by a non-owner that should fail [EPERM] silently
+          succeeds when only the setuid bit changes. *)
+  | Getxattr_empty_enodata
+      (** [getxattr] of an existing attribute whose value is empty
+          wrongly reports [ENODATA]. *)
+  | Nowait_write_enospc
+      (** The BtrFS NOWAIT bug the paper cites: a non-blocking buffered
+          [write] returns [ENOSPC] even though space is available. *)
+  | Fsync_skips_data
+      (** Crash-consistency bug: [fsync] persists metadata but not data,
+          so a crash after a successful fsync loses file contents. *)
+  | Creat_mode_ignored
+      (** [open(O_CREAT)] ignores the low mode bits and creates the file
+          with mode 0 — only tests that re-open read-only as another user
+          notice. *)
+  | Mkdir_sticky_lost
+      (** [mkdir] drops the sticky bit from the requested mode. *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val describe : t -> string
+(** One-line summary of the observable deviation. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool

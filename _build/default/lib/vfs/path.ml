@@ -1,0 +1,35 @@
+type t = {
+  absolute : bool;
+  components : string list;
+  trailing_slash : bool;
+}
+
+let parse ~max_name_len ~max_path_len s =
+  let open Iocov_syscall in
+  if String.length s = 0 then Error Errno.ENOENT
+  else if String.length s > max_path_len then Error Errno.ENAMETOOLONG
+  else begin
+    let absolute = s.[0] = '/' in
+    let trailing_slash = String.length s > 1 && s.[String.length s - 1] = '/' in
+    let components = List.filter (fun c -> c <> "") (String.split_on_char '/' s) in
+    if List.exists (fun c -> String.length c > max_name_len) components then
+      Error Errno.ENAMETOOLONG
+    else Ok { absolute; components; trailing_slash }
+  end
+
+let to_string { absolute; components; trailing_slash } =
+  let body = String.concat "/" components in
+  let prefix = if absolute then "/" else "" in
+  let suffix = if trailing_slash && components <> [] then "/" else "" in
+  prefix ^ body ^ suffix
+
+let join dir name =
+  if dir = "" then name
+  else if String.length dir > 0 && dir.[String.length dir - 1] = '/' then dir ^ name
+  else dir ^ "/" ^ name
+
+let basename p =
+  let parts = List.filter (fun c -> c <> "") (String.split_on_char '/' p) in
+  match List.rev parts with
+  | [] -> "/"
+  | last :: _ -> last

@@ -1,0 +1,29 @@
+(** Pathname parsing and limits.
+
+    Splits a pathname into components, enforcing the name-length and
+    path-length limits that produce [ENAMETOOLONG], and the POSIX rule
+    that an empty pathname is [ENOENT].  ["."] and [".."] are kept as
+    components for the resolver to interpret. *)
+
+type t = {
+  absolute : bool;
+  components : string list;  (** in traversal order; no empty components *)
+  trailing_slash : bool;     (** ["a/b/"] — the final component must be a
+                                 directory *)
+}
+
+val parse :
+  max_name_len:int -> max_path_len:int -> string ->
+  (t, Iocov_syscall.Errno.t) result
+(** [Error ENOENT] on the empty string, [Error ENAMETOOLONG] when the
+    whole path or any component exceeds its limit. *)
+
+val to_string : t -> string
+(** Canonical rendering (["/"] for an absolute path with no
+    components). *)
+
+val join : string -> string -> string
+(** [join dir name] concatenates with exactly one separator. *)
+
+val basename : string -> string
+(** Final component of a rendered path (["/"] for the root). *)

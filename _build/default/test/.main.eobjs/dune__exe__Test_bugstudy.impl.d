@@ -1,0 +1,1 @@
+test/test_bugstudy.ml: Alcotest Float Iocov_bugstudy Iocov_syscall Iocov_vfs Lazy List String

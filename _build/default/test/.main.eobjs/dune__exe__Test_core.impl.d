@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Errno Iocov_core Iocov_syscall Iocov_util List Model Open_flags Printf QCheck QCheck_alcotest String Whence

@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Config Errno Fault Fs Iocov_syscall Iocov_vfs List Model Open_flags Printf QCheck QCheck_alcotest Result

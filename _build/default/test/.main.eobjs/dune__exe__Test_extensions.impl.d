@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Errno Filename Iocov_core Iocov_suites Iocov_syscall Iocov_trace Iocov_vfs Lazy List Model Open_flags Printf Result String Sys Whence Xattr_flag

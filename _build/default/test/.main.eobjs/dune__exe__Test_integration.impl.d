@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Iocov_core Iocov_suites Iocov_syscall Iocov_trace List Model Result Sys

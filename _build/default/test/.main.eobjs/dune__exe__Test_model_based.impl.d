@@ -1,0 +1,1 @@
+test/test_model_based.ml: Array Errno Hashtbl Iocov_syscall Iocov_vfs List Model Open_flags QCheck QCheck_alcotest Whence

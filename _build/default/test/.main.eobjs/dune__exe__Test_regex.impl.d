@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Buffer Iocov_regex List Printf QCheck QCheck_alcotest String

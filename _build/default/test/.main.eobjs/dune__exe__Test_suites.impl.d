@@ -1,0 +1,1 @@
+test/test_suites.ml: Alcotest Errno Iocov_core Iocov_suites Iocov_syscall Iocov_util Iocov_vfs Lazy List Model Open_flags Printf

@@ -1,0 +1,1 @@
+test/test_syscall.ml: Alcotest Errno Iocov_syscall List Mode Model Open_flags QCheck QCheck_alcotest String Whence Xattr_flag

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Errno Filename In_channel Iocov_syscall Iocov_trace Iocov_vfs List Model Open_flags QCheck QCheck_alcotest Result String Sys Unix Whence

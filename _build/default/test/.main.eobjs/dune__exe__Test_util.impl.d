@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii Histogram Iocov_util List Log2 Printf Prng QCheck QCheck_alcotest Stats Stdlib String

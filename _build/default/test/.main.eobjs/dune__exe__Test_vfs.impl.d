@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Char Config Errno Fs Iocov_syscall Iocov_vfs List Model Node Open_flags Path Printf QCheck QCheck_alcotest Result String Whence Xattr_flag

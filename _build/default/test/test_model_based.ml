@@ -1,0 +1,221 @@
+(* Model-based testing of the file system: a random sequence of syscalls
+   is executed both on Iocov_vfs.Fs and on an independent, deliberately
+   naive reference specification (flat namespace, plain files, offset and
+   size arithmetic only).  Every predicted outcome must match exactly.
+
+   This is the strongest correctness argument the substrate has: the spec
+   is simple enough to be obviously right in its restricted domain, and
+   the generator stays inside that domain. *)
+
+open Iocov_syscall
+module Fs = Iocov_vfs.Fs
+
+(* --- the reference specification --- *)
+
+module Spec = struct
+  type file = { mutable size : int }
+
+  type open_file = {
+    path : string;
+    mutable offset : int;
+    readable : bool;
+    writable : bool;
+    append : bool;
+  }
+
+  type t = {
+    files : (string, file) Hashtbl.t;
+    fds : (int, open_file) Hashtbl.t;
+    mutable next_fd : int;
+  }
+
+  let create () = { files = Hashtbl.create 8; fds = Hashtbl.create 8; next_fd = 3 }
+
+  let alloc_fd t =
+    (* mirror the kernel's lowest-free rule *)
+    let rec go fd = if Hashtbl.mem t.fds fd then go (fd + 1) else fd in
+    let fd = go 3 in
+    t.next_fd <- fd + 1;
+    fd
+
+  let open_ t path flags =
+    let creat = Open_flags.has flags Open_flags.O_CREAT in
+    let trunc = Open_flags.has flags Open_flags.O_TRUNC in
+    let excl = Open_flags.has flags Open_flags.O_EXCL in
+    let writable = Open_flags.writable flags in
+    match Hashtbl.find_opt t.files path with
+    | None when not creat -> Model.Err Errno.ENOENT
+    | None ->
+      Hashtbl.add t.files path { size = 0 };
+      let fd = alloc_fd t in
+      Hashtbl.add t.fds fd
+        { path; offset = 0; readable = Open_flags.readable flags; writable;
+          append = Open_flags.has flags Open_flags.O_APPEND };
+      Model.Ret fd
+    | Some file ->
+      if creat && excl then Model.Err Errno.EEXIST
+      else begin
+        if trunc && writable then file.size <- 0;
+        let fd = alloc_fd t in
+        Hashtbl.add t.fds fd
+          { path; offset = 0; readable = Open_flags.readable flags; writable;
+            append = Open_flags.has flags Open_flags.O_APPEND };
+        Model.Ret fd
+      end
+
+  let file_of_fd t fd =
+    match Hashtbl.find_opt t.fds fd with
+    | None -> None
+    | Some opened -> Some (opened, Hashtbl.find t.files opened.path)
+
+  let write t fd count offset =
+    match file_of_fd t fd with
+    | None -> Model.Err Errno.EBADF
+    | Some (opened, file) ->
+      if not opened.writable then Model.Err Errno.EBADF
+      else if (match offset with Some off -> off < 0 | None -> false) then
+        Model.Err Errno.EINVAL
+      else if count = 0 then Model.Ret 0
+      else begin
+        let pos =
+          match offset with
+          | Some off -> off
+          | None -> if opened.append then file.size else opened.offset
+        in
+        file.size <- max file.size (pos + count);
+        if offset = None then opened.offset <- pos + count;
+        Model.Ret count
+      end
+
+  let read t fd count offset =
+    match file_of_fd t fd with
+    | None -> Model.Err Errno.EBADF
+    | Some (opened, file) ->
+      if not opened.readable then Model.Err Errno.EBADF
+      else if (match offset with Some off -> off < 0 | None -> false) then
+        Model.Err Errno.EINVAL
+      else begin
+        let pos = match offset with Some off -> off | None -> opened.offset in
+        let n = min count (max 0 (file.size - pos)) in
+        if offset = None then opened.offset <- opened.offset + n;
+        Model.Ret n
+      end
+
+  let lseek t fd offset whence =
+    match file_of_fd t fd with
+    | None -> Model.Err Errno.EBADF
+    | Some (opened, file) ->
+      let target =
+        match whence with
+        | Whence.SEEK_SET -> Some offset
+        | Whence.SEEK_CUR -> Some (opened.offset + offset)
+        | Whence.SEEK_END -> Some (file.size + offset)
+        | Whence.SEEK_DATA | Whence.SEEK_HOLE -> None (* outside the spec *)
+      in
+      (match target with
+       | None -> assert false
+       | Some pos when pos < 0 -> Model.Err Errno.EINVAL
+       | Some pos ->
+         opened.offset <- pos;
+         Model.Ret pos)
+
+  let truncate t path length =
+    match Hashtbl.find_opt t.files path with
+    | None -> Model.Err Errno.ENOENT
+    | Some _ when length < 0 -> Model.Err Errno.EINVAL
+    | Some file ->
+      file.size <- length;
+      Model.Ret 0
+
+  let close t fd =
+    if Hashtbl.mem t.fds fd then begin
+      Hashtbl.remove t.fds fd;
+      Model.Ret 0
+    end
+    else Model.Err Errno.EBADF
+
+end
+
+(* --- operation generator, restricted to the spec's domain --- *)
+
+type op =
+  | Op_open of int * int  (* path index, flag-set index *)
+  | Op_write of int * int * int option
+  | Op_read of int * int * int option
+  | Op_lseek of int * int * Whence.t
+  | Op_truncate of int * int
+  | Op_close of int
+
+let path_names = [| "/a"; "/b"; "/c" |]
+
+let flag_sets =
+  [| Open_flags.of_flags Open_flags.[ O_RDWR; O_CREAT ];
+     Open_flags.of_flags Open_flags.[ O_WRONLY; O_CREAT; O_TRUNC ];
+     Open_flags.of_flags Open_flags.[ O_RDONLY ];
+     Open_flags.of_flags Open_flags.[ O_WRONLY; O_APPEND ];
+     Open_flags.of_flags Open_flags.[ O_RDWR; O_CREAT; O_EXCL ] |]
+
+let op_gen =
+  QCheck.Gen.(
+    let path = int_range 0 (Array.length path_names - 1) in
+    let fd = int_range 3 9 in
+    let size = oneof [ return 0; int_range 1 100_000 ] in
+    let offset = oneof [ return None; map (fun o -> Some o) (int_range (-2) 100_000) ] in
+    oneof
+      [ map2 (fun p f -> Op_open (p, f)) path (int_range 0 (Array.length flag_sets - 1));
+        map3 (fun f s o -> Op_write (f, s, o)) fd size offset;
+        map3 (fun f s o -> Op_read (f, s, o)) fd size offset;
+        map3 (fun f o w -> Op_lseek (f, o, w)) fd (int_range (-1000) 200_000)
+          (oneofl Whence.[ SEEK_SET; SEEK_CUR; SEEK_END ]);
+        map2 (fun p l -> Op_truncate (p, l)) path (int_range (-1) 200_000);
+        map (fun f -> Op_close f) fd ])
+
+let call_of_op op : Model.call =
+  match op with
+  | Op_open (p, f) -> Model.open_ ~mode:0o644 ~flags:flag_sets.(f) path_names.(p)
+  | Op_write (fd, count, offset) ->
+    (match offset with
+     | Some off -> Model.write ~variant:Model.Sys_pwrite64 ~offset:off ~fd ~count ()
+     | None -> Model.write ~fd ~count ())
+  | Op_read (fd, count, offset) ->
+    (match offset with
+     | Some off -> Model.read ~variant:Model.Sys_pread64 ~offset:off ~fd ~count ()
+     | None -> Model.read ~fd ~count ())
+  | Op_lseek (fd, offset, whence) -> Model.lseek ~fd ~offset ~whence
+  | Op_truncate (p, length) ->
+    Model.truncate ~target:(Model.Path path_names.(p)) ~length ()
+  | Op_close fd -> Model.close fd
+
+let spec_outcome spec op =
+  match op with
+  | Op_open (p, f) -> Spec.open_ spec path_names.(p) flag_sets.(f)
+  | Op_write (fd, count, offset) -> Spec.write spec fd count offset
+  | Op_read (fd, count, offset) -> Spec.read spec fd count offset
+  | Op_lseek (fd, offset, whence) -> Spec.lseek spec fd offset whence
+  | Op_truncate (p, length) -> Spec.truncate spec path_names.(p) length
+  | Op_close fd -> Spec.close spec fd
+
+let model_agreement_prop =
+  QCheck.Test.make ~name:"Fs agrees with the reference spec on random programs"
+    ~count:400
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 60) op_gen))
+    (fun ops ->
+      let fs = Fs.create () in
+      let spec = Spec.create () in
+      List.for_all
+        (fun op ->
+          let real = Fs.exec fs (call_of_op op) in
+          let predicted = spec_outcome spec op in
+          let same =
+            Model.outcome_to_string real = Model.outcome_to_string predicted
+          in
+          if not same then
+            QCheck.Test.fail_reportf "op %s: fs answered %s, spec predicted %s"
+              (Model.call_to_string (call_of_op op))
+              (Model.outcome_to_string real)
+              (Model.outcome_to_string predicted)
+          else same)
+        ops)
+
+let suites =
+  [ ("vfs.model_based", [ QCheck_alcotest.to_alcotest ~long:true model_agreement_prop ]) ]

@@ -1,0 +1,150 @@
+(* Tests for the regex engine used by the trace filter. *)
+
+module Engine = Iocov_regex.Engine
+module Syntax = Iocov_regex.Syntax
+
+let check_bool = Alcotest.(check bool)
+
+let matches pattern s = Engine.matches (Engine.compile_exn pattern) s
+let search pattern s = Engine.search (Engine.compile_exn pattern) s
+
+let expect_match pattern s () =
+  check_bool (Printf.sprintf "%S matches %S" pattern s) true (matches pattern s)
+
+let expect_no_match pattern s () =
+  check_bool (Printf.sprintf "%S does not match %S" pattern s) false (matches pattern s)
+
+let expect_search pattern s () =
+  check_bool (Printf.sprintf "%S found in %S" pattern s) true (search pattern s)
+
+let expect_no_search pattern s () =
+  check_bool (Printf.sprintf "%S not in %S" pattern s) false (search pattern s)
+
+let test_parse_errors () =
+  List.iter
+    (fun pattern ->
+      match Engine.compile pattern with
+      | Ok _ -> Alcotest.failf "expected parse failure for %S" pattern
+      | Error _ -> ())
+    [ "("; ")"; "a{2,1}"; "*a"; "+"; "a\\"; "[abc"; "[z-a]"; "a{,}"; "(a|b))" ]
+
+let test_parse_ok () =
+  List.iter
+    (fun pattern ->
+      match Engine.compile pattern with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "expected %S to parse: %s" pattern msg)
+    [ "a"; "a|b"; "(ab)*c"; "[a-z0-9_]+"; "^/mnt/test(/|$)"; "a{3}"; "a{2,}";
+      "a{2,5}"; "\\d+\\.\\w*"; "[^/]+"; "" ]
+
+let test_find_leftmost_longest () =
+  let t = Engine.compile_exn "ab+" in
+  (match Engine.find t "xxabbbyab" with
+   | Some (start, stop) ->
+     Alcotest.(check (pair int int)) "leftmost longest" (2, 6) (start, stop)
+   | None -> Alcotest.fail "expected a match")
+
+let test_find_none () =
+  check_bool "no match" true (Engine.find (Engine.compile_exn "zz") "abc" = None)
+
+let test_pattern_accessor () =
+  Alcotest.(check string) "source kept" "a+b" (Engine.pattern (Engine.compile_exn "a+b"))
+
+let test_class_mem () =
+  let spec = { Syntax.negated = false; ranges = [ ('a', 'f'); ('0', '9') ] } in
+  check_bool "in range" true (Syntax.class_mem spec 'c');
+  check_bool "in second range" true (Syntax.class_mem spec '7');
+  check_bool "out of range" false (Syntax.class_mem spec 'z');
+  let neg = { spec with Syntax.negated = true } in
+  check_bool "negated" true (Syntax.class_mem neg 'z')
+
+(* Property: any literal string (made regex-safe by escaping) matches itself. *)
+let escape_literal s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun c ->
+      (match c with
+       | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' | '\\' ->
+         Buffer.add_char buf '\\'
+       | _ -> ());
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let literal_self_match_prop =
+  QCheck.Test.make ~name:"escaped literal matches itself"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 30))
+    (fun s ->
+      QCheck.assume (String.for_all (fun c -> c <> '\n') s);
+      matches (escape_literal s) s)
+
+let star_absorbs_prop =
+  QCheck.Test.make ~name:"a* matches any run of a"
+    QCheck.(int_range 0 50)
+    (fun n -> matches "a*" (String.make n 'a'))
+
+let anchored_prefix_prop =
+  QCheck.Test.make ~name:"^abc search only at start"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 10))
+    (fun prefix ->
+      QCheck.assume (not (String.length prefix = 0));
+      QCheck.assume (prefix.[0] <> 'a');
+      not (search "^abc" (prefix ^ "abc")))
+
+let suites =
+  [ ( "regex.match",
+      [ Alcotest.test_case "literal" `Quick (expect_match "abc" "abc");
+        Alcotest.test_case "literal mismatch" `Quick (expect_no_match "abc" "abd");
+        Alcotest.test_case "dot" `Quick (expect_match "a.c" "axc");
+        Alcotest.test_case "dot needs a char" `Quick (expect_no_match "a.c" "ac");
+        Alcotest.test_case "star zero" `Quick (expect_match "ab*c" "ac");
+        Alcotest.test_case "star many" `Quick (expect_match "ab*c" "abbbbc");
+        Alcotest.test_case "plus needs one" `Quick (expect_no_match "ab+c" "ac");
+        Alcotest.test_case "plus many" `Quick (expect_match "ab+c" "abbc");
+        Alcotest.test_case "option present" `Quick (expect_match "ab?c" "abc");
+        Alcotest.test_case "option absent" `Quick (expect_match "ab?c" "ac");
+        Alcotest.test_case "exact repeat" `Quick (expect_match "a{3}" "aaa");
+        Alcotest.test_case "exact repeat wrong count" `Quick (expect_no_match "a{3}" "aa");
+        Alcotest.test_case "at-least repeat" `Quick (expect_match "a{2,}" "aaaa");
+        Alcotest.test_case "bounded repeat" `Quick (expect_match "a{2,3}" "aaa");
+        Alcotest.test_case "bounded repeat over" `Quick (expect_no_match "a{2,3}" "aaaa");
+        Alcotest.test_case "alternation left" `Quick (expect_match "cat|dog" "cat");
+        Alcotest.test_case "alternation right" `Quick (expect_match "cat|dog" "dog");
+        Alcotest.test_case "group with star" `Quick (expect_match "(ab)*" "ababab");
+        Alcotest.test_case "class" `Quick (expect_match "[abc]+" "cab");
+        Alcotest.test_case "class range" `Quick (expect_match "[a-z]+" "hello");
+        Alcotest.test_case "negated class" `Quick (expect_match "[^/]+" "hello");
+        Alcotest.test_case "negated class rejects" `Quick (expect_no_match "[^/]+" "a/b");
+        Alcotest.test_case "digit class" `Quick (expect_match "\\d+" "12345");
+        Alcotest.test_case "word class" `Quick (expect_match "\\w+" "ab_9");
+        Alcotest.test_case "space class" `Quick (expect_match "a\\sb" "a b");
+        Alcotest.test_case "negated digit" `Quick (expect_match "\\D+" "abc");
+        Alcotest.test_case "escaped dot" `Quick (expect_no_match "a\\.c" "axc");
+        Alcotest.test_case "escaped star" `Quick (expect_match "a\\*" "a*");
+        Alcotest.test_case "empty pattern matches empty" `Quick (expect_match "" "");
+        Alcotest.test_case "nested groups" `Quick (expect_match "((a|b)c)+" "acbc");
+        Alcotest.test_case "zero-width star terminates" `Quick (expect_match "(a?)*b" "aab")
+      ] );
+    ( "regex.search",
+      [ Alcotest.test_case "substring" `Quick (expect_search "test" "/mnt/test/file");
+        Alcotest.test_case "anchored start hit" `Quick (expect_search "^/mnt" "/mnt/test");
+        Alcotest.test_case "anchored start miss" `Quick (expect_no_search "^/mnt" "/var/mnt");
+        Alcotest.test_case "anchored end" `Quick (expect_search "log$" "/var/log");
+        Alcotest.test_case "anchored end miss" `Quick (expect_no_search "log$" "/var/log/x");
+        Alcotest.test_case "mount point idiom keeps subpath" `Quick
+          (expect_search "^/mnt/test(/|$)" "/mnt/test/a/b");
+        Alcotest.test_case "mount point idiom keeps exact" `Quick
+          (expect_search "^/mnt/test(/|$)" "/mnt/test");
+        Alcotest.test_case "mount point idiom rejects sibling" `Quick
+          (expect_no_search "^/mnt/test(/|$)" "/mnt/test2/a");
+        Alcotest.test_case "search empty pattern" `Quick (expect_search "" "anything") ] );
+    ( "regex.engine",
+      [ Alcotest.test_case "parse errors rejected" `Quick test_parse_errors;
+        Alcotest.test_case "valid patterns accepted" `Quick test_parse_ok;
+        Alcotest.test_case "find leftmost-longest" `Quick test_find_leftmost_longest;
+        Alcotest.test_case "find none" `Quick test_find_none;
+        Alcotest.test_case "pattern accessor" `Quick test_pattern_accessor;
+        Alcotest.test_case "class membership" `Quick test_class_mem;
+        QCheck_alcotest.to_alcotest literal_self_match_prop;
+        QCheck_alcotest.to_alcotest star_absorbs_prop;
+        QCheck_alcotest.to_alcotest anchored_prefix_prop ] ) ]

@@ -1,0 +1,424 @@
+(* Tests for the tracing layer: event emission, fd-path reconstruction,
+   the text format, and the mount-point filter. *)
+
+open Iocov_syscall
+module Fs = Iocov_vfs.Fs
+module Event = Iocov_trace.Event
+module Tracer = Iocov_trace.Tracer
+module Format_io = Iocov_trace.Format_io
+module Filter = Iocov_trace.Filter
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let rdonly = Open_flags.of_flags Open_flags.[ O_RDONLY ]
+let creat = Open_flags.of_flags Open_flags.[ O_WRONLY; O_CREAT ]
+
+let traced_setup () =
+  let fs = Fs.create () in
+  let tracer = Tracer.create ~pid:99 ~comm:"unit" fs in
+  let events = ref [] in
+  Tracer.on_event tracer (fun e -> events := e :: !events);
+  ignore (Tracer.exec tracer (Model.mkdir ~mode:0o755 "/mnt"));
+  ignore (Tracer.exec tracer (Model.mkdir ~mode:0o755 "/mnt/test"));
+  (tracer, events)
+
+let last events = List.hd !events
+
+let test_event_per_call () =
+  let tracer, events = traced_setup () in
+  let before = List.length !events in
+  ignore (Tracer.exec tracer (Model.open_ ~flags:rdonly "/mnt/test/none"));
+  check_int "one event emitted" (before + 1) (List.length !events)
+
+let test_event_fields () =
+  let tracer, events = traced_setup () in
+  ignore (Tracer.exec tracer (Model.open_ ~flags:rdonly "/mnt/test/none"));
+  let e = last events in
+  check_int "pid" 99 e.Event.pid;
+  check_string "comm" "unit" e.Event.comm;
+  check_bool "tracked" true (Event.is_tracked e);
+  check_bool "base" true (Event.base e = Some Model.Open);
+  check_bool "outcome recorded" true (e.Event.outcome = Model.Err Errno.ENOENT)
+
+let test_timestamps_monotone () =
+  let tracer, events = traced_setup () in
+  for _ = 1 to 5 do
+    ignore (Tracer.exec tracer (Model.open_ ~flags:rdonly "/mnt/test/none"))
+  done;
+  let ts = List.rev_map (fun e -> e.Event.timestamp_ns) !events in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  check_bool "strictly increasing" true (monotone ts)
+
+let test_fd_path_reconstruction () =
+  let tracer, events = traced_setup () in
+  (match Tracer.exec tracer (Model.open_ ~mode:0o644 ~flags:creat "/mnt/test/file") with
+   | Model.Ret fd ->
+     ignore (Tracer.exec tracer (Model.write ~fd ~count:10 ()));
+     let e = last events in
+     check_bool "write hint from fd table" true (e.Event.path_hint = Some "/mnt/test/file");
+     ignore (Tracer.exec tracer (Model.close fd));
+     let e = last events in
+     check_bool "close hint too" true (e.Event.path_hint = Some "/mnt/test/file");
+     (* after close, the binding is gone *)
+     ignore (Tracer.exec tracer (Model.read ~fd ~count:1 ()));
+     check_bool "stale fd has no hint" true ((last events).Event.path_hint = None)
+   | Model.Err e -> Alcotest.failf "open failed: %s" (Errno.to_string e))
+
+let test_relative_paths_absolutized () =
+  let tracer, events = traced_setup () in
+  ignore (Tracer.exec tracer (Model.chdir (Model.Path "/mnt/test")));
+  ignore (Tracer.exec tracer (Model.open_ ~mode:0o644 ~flags:creat "sub.txt"));
+  check_bool "hint absolutized" true
+    ((last events).Event.path_hint = Some "/mnt/test/sub.txt");
+  check_string "tracer cwd tracked" "/mnt/test" (Tracer.cwd tracer)
+
+let test_dot_dot_folded () =
+  let tracer, events = traced_setup () in
+  ignore (Tracer.exec tracer (Model.open_ ~flags:rdonly "/mnt/test/../test/./x"));
+  check_bool "canonical hint" true ((last events).Event.path_hint = Some "/mnt/test/x")
+
+let test_aux_events () =
+  let tracer, events = traced_setup () in
+  ignore (Tracer.exec_aux tracer (Fs.Unlink "/mnt/test/none"));
+  let e = last events in
+  check_bool "aux untracked" false (Event.is_tracked e);
+  (match e.Event.payload with
+   | Event.Aux { name; _ } -> check_string "aux name" "unlink" name
+   | Event.Tracked _ -> Alcotest.fail "expected aux");
+  check_bool "aux hint" true (e.Event.path_hint = Some "/mnt/test/none")
+
+let test_crash_resets_tracker_state () =
+  let tracer, _events = traced_setup () in
+  (match Tracer.exec tracer (Model.open_ ~mode:0o644 ~flags:creat "/mnt/test/f") with
+   | Model.Ret _ -> ()
+   | Model.Err _ -> Alcotest.fail "open");
+  ignore (Tracer.exec tracer (Model.chdir (Model.Path "/mnt/test")));
+  ignore (Tracer.exec_aux tracer Fs.Crash);
+  check_string "cwd reset" "/" (Tracer.cwd tracer)
+
+(* --- text format --- *)
+
+let sample_event payload outcome hint =
+  { Event.seq = 1; timestamp_ns = 12345; pid = 7; comm = "xfstests"; payload;
+    outcome; path_hint = hint }
+
+let test_line_roundtrip_tracked () =
+  let e =
+    sample_event
+      (Event.Tracked (Model.open_ ~flags:rdonly "/mnt/test/a b\"c"))
+      (Model.Ret 3) (Some "/mnt/test/a b\"c")
+  in
+  let line = Format_io.to_line e in
+  match Format_io.of_line line with
+  | Ok e' -> check_string "roundtrip" line (Format_io.to_line e')
+  | Error msg -> Alcotest.failf "parse failed: %s (%s)" msg line
+
+let test_line_roundtrip_aux () =
+  let e =
+    sample_event (Event.Aux { name = "fsync"; detail = "fd=3" }) (Model.Ret 0)
+      (Some "/mnt/test/x")
+  in
+  let line = Format_io.to_line e in
+  match Format_io.of_line line with
+  | Ok e' -> check_string "roundtrip" line (Format_io.to_line e')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_line_roundtrip_no_hint () =
+  let e = sample_event (Event.Aux { name = "sync"; detail = "" }) (Model.Ret 0) None in
+  let line = Format_io.to_line e in
+  match Format_io.of_line line with
+  | Ok e' -> check_bool "no hint" true (e'.Event.path_hint = None)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_line_errors () =
+  List.iter
+    (fun line ->
+      match Format_io.of_line line with
+      | Ok _ -> Alcotest.failf "expected failure: %S" line
+      | Error _ -> ())
+    [ ""; "garbage"; "[1] pid=1 comm=\"x\" nonsense";
+      "[x] pid=1 comm=\"a\" close(fd=1) -> ok:0" ]
+
+let test_channel_roundtrip () =
+  let tracer, events = traced_setup () in
+  (match Tracer.exec tracer (Model.open_ ~mode:0o644 ~flags:creat "/mnt/test/f") with
+   | Model.Ret fd ->
+     ignore (Tracer.exec tracer (Model.write ~fd ~count:100 ()));
+     ignore (Tracer.exec_aux tracer (Fs.Fsync fd));
+     ignore (Tracer.exec tracer (Model.close fd))
+   | Model.Err _ -> Alcotest.fail "open");
+  let recorded = List.rev !events in
+  let path = Filename.temp_file "iocov_test" ".trace" in
+  let oc = open_out path in
+  Format_io.write_channel oc recorded;
+  close_out oc;
+  let ic = open_in path in
+  let read_back = Result.get_ok (Format_io.read_channel ic) in
+  close_in ic;
+  Sys.remove path;
+  check_int "all records back" (List.length recorded) (List.length read_back);
+  List.iter2
+    (fun a b -> check_string "record identical" (Format_io.to_line a) (Format_io.to_line b))
+    recorded read_back
+
+let test_fold_skips_comments () =
+  let path = Filename.temp_file "iocov_test" ".trace" in
+  let oc = open_out path in
+  output_string oc "# a comment\n\n";
+  output_string oc "[1] pid=1 comm=\"t\" close(fd=3) -> err:EBADF\n";
+  close_out oc;
+  let ic = open_in path in
+  let n = Result.get_ok (Format_io.fold_channel ic ~init:0 ~f:(fun acc _ -> acc + 1)) in
+  close_in ic;
+  Sys.remove path;
+  check_int "one record" 1 n
+
+let event_roundtrip_prop =
+  let gen =
+    QCheck.Gen.(
+      let* fd = int_range 0 1000 in
+      let* count = int_range 0 (1 lsl 30) in
+      let* ts = int_range 0 (1 lsl 40) in
+      let* hint = opt (map (fun s -> "/mnt/" ^ s) (string_size ~gen:(char_range 'a' 'z') (return 5))) in
+      let* ok = bool in
+      return
+        {
+          Event.seq = 0;
+          timestamp_ns = ts;
+          pid = 1;
+          comm = "prop";
+          payload = Event.Tracked (Model.read ~fd ~count ());
+          outcome = (if ok then Model.Ret count else Model.Err Errno.EINTR);
+          path_hint = hint;
+        })
+  in
+  QCheck.Test.make ~name:"event line roundtrip" ~count:300 (QCheck.make gen) (fun e ->
+      match Format_io.of_line (Format_io.to_line e) with
+      | Ok e' -> Format_io.to_line e' = Format_io.to_line e
+      | Error _ -> false)
+
+(* --- binary format --- *)
+
+module Binary_io = Iocov_trace.Binary_io
+
+let record_workload () =
+  let tracer, events = traced_setup () in
+  (match Tracer.exec tracer (Model.open_ ~mode:0o644 ~flags:creat "/mnt/test/bin") with
+   | Model.Ret fd ->
+     ignore (Tracer.exec tracer (Model.write ~fd ~count:4096 ()));
+     ignore (Tracer.exec tracer (Model.write ~variant:Model.Sys_pwrite64 ~offset:0 ~fd ~count:0 ()));
+     ignore (Tracer.exec tracer (Model.lseek ~fd ~offset:(-2) ~whence:Whence.SEEK_END));
+     ignore (Tracer.exec_aux tracer (Fs.Fsync fd));
+     ignore (Tracer.exec tracer (Model.close fd))
+   | Model.Err _ -> Alcotest.fail "open failed");
+  ignore (Tracer.exec tracer (Model.open_ ~flags:rdonly "/mnt/test/none"));
+  ignore
+    (Tracer.exec tracer
+       (Model.setxattr ~target:(Model.Path "/mnt/test/bin") ~name:"user.k" ~size:9 ()));
+  ignore (Tracer.exec tracer (Model.mkdir ~mode:0o1777 "/mnt/test/d"));
+  ignore (Tracer.exec tracer (Model.chdir (Model.Path "/mnt/test/d")));
+  ignore (Tracer.exec tracer (Model.truncate ~target:(Model.Path "/mnt/test/bin") ~length:77 ()));
+  ignore (Tracer.exec tracer (Model.chmod ~target:(Model.Path "/mnt/test/bin") ~mode:0 ()));
+  ignore
+    (Tracer.exec tracer
+       (Model.getxattr ~variant:Model.Sys_lgetxattr ~target:(Model.Path "/mnt/test/bin")
+          ~name:"user.k" ~size:0 ()));
+  List.rev !events
+
+let binary_roundtrip events =
+  let path = Filename.temp_file "iocov_bin" ".trace" in
+  let oc = open_out_bin path in
+  let w = Binary_io.writer oc in
+  List.iter (Binary_io.write_event w) events;
+  close_out oc;
+  let ic = open_in_bin path in
+  let back = Binary_io.read_channel ic in
+  close_in ic;
+  Sys.remove path;
+  back
+
+let test_binary_roundtrip () =
+  let events = record_workload () in
+  match binary_roundtrip events with
+  | Ok back ->
+    check_int "count preserved" (List.length events) (List.length back);
+    List.iter2
+      (fun a b ->
+        (* compare through the text form, which covers every field *)
+        check_string "record identical" (Format_io.to_line a) (Format_io.to_line b))
+      events back
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_binary_smaller_than_text () =
+  let events = record_workload () in
+  let bin = Filename.temp_file "iocov_bin" ".trace" in
+  let txt = Filename.temp_file "iocov_txt" ".trace" in
+  let oc = open_out_bin bin in
+  let w = Binary_io.writer oc in
+  List.iter (Binary_io.write_event w) events;
+  close_out oc;
+  let oc = open_out txt in
+  Format_io.write_channel oc events;
+  close_out oc;
+  let size f = (Unix.stat f).Unix.st_size in
+  let b = size bin and t = size txt in
+  Sys.remove bin;
+  Sys.remove txt;
+  check_bool "binary at most half the text size" true (b * 2 < t)
+
+let test_binary_detects_magic () =
+  let events = record_workload () in
+  let bin = Filename.temp_file "iocov_bin" ".trace" in
+  let oc = open_out_bin bin in
+  let w = Binary_io.writer oc in
+  List.iter (Binary_io.write_event w) events;
+  close_out oc;
+  let ic = open_in_bin bin in
+  check_bool "binary detected" true (Binary_io.is_binary_trace ic);
+  (* detection must not consume the stream *)
+  check_bool "still decodable" true (Result.is_ok (Binary_io.read_channel ic));
+  close_in ic;
+  Sys.remove bin;
+  let txt = Filename.temp_file "iocov_txt" ".trace" in
+  let oc = open_out txt in
+  output_string oc "[1] pid=1 comm=\"t\" close(fd=3) -> ok:0\n";
+  close_out oc;
+  let ic = open_in_bin txt in
+  check_bool "text not detected as binary" false (Binary_io.is_binary_trace ic);
+  close_in ic;
+  Sys.remove txt
+
+let test_binary_rejects_corruption () =
+  let events = record_workload () in
+  let bin = Filename.temp_file "iocov_bin" ".trace" in
+  let oc = open_out_bin bin in
+  let w = Binary_io.writer oc in
+  List.iter (Binary_io.write_event w) events;
+  close_out oc;
+  let data = In_channel.with_open_bin bin In_channel.input_all in
+  Sys.remove bin;
+  (* truncated stream *)
+  let cut = Filename.temp_file "iocov_bin" ".trace" in
+  let oc = open_out_bin cut in
+  output_string oc (String.sub data 0 (String.length data - 3));
+  close_out oc;
+  let ic = open_in_bin cut in
+  check_bool "truncation detected" true (Result.is_error (Binary_io.read_channel ic));
+  close_in ic;
+  Sys.remove cut;
+  (* wrong magic *)
+  let bad = Filename.temp_file "iocov_bin" ".trace" in
+  let oc = open_out_bin bad in
+  output_string oc "NOPE!";
+  close_out oc;
+  let ic = open_in_bin bad in
+  check_bool "bad magic rejected" true (Result.is_error (Binary_io.read_channel ic));
+  close_in ic;
+  Sys.remove bad
+
+let binary_event_roundtrip_prop =
+  let gen =
+    QCheck.Gen.(
+      let* fd = int_range 0 1000 in
+      let* count = int_range 0 (1 lsl 30) in
+      let* ts = int_range 0 (1 lsl 40) in
+      let* hint = opt (map (fun s -> "/mnt/" ^ s) (string_size ~gen:(char_range 'a' 'z') (return 5))) in
+      let* err = oneofl Errno.all in
+      let* ok = bool in
+      return
+        {
+          Event.seq = 1;
+          timestamp_ns = ts;
+          pid = 1;
+          comm = "prop";
+          payload = Event.Tracked (Model.write ~variant:Model.Sys_pwrite64 ~offset:count ~fd ~count ());
+          outcome = (if ok then Model.Ret count else Model.Err err);
+          path_hint = hint;
+        })
+  in
+  QCheck.Test.make ~name:"binary event roundtrip" ~count:200 (QCheck.make gen) (fun e ->
+      match binary_roundtrip [ e ] with
+      | Ok [ e' ] -> Format_io.to_line e' = Format_io.to_line e
+      | _ -> false)
+
+(* --- filter --- *)
+
+let mk_event hint =
+  sample_event (Event.Tracked (Model.close 3)) (Model.Ret 0) hint
+
+let test_filter_mount_point () =
+  let f = Filter.mount_point "/mnt/test" in
+  check_bool "keeps below" true (Filter.keeps f (mk_event (Some "/mnt/test/a/b")));
+  check_bool "keeps exact" true (Filter.keeps f (mk_event (Some "/mnt/test")));
+  check_bool "drops sibling" false (Filter.keeps f (mk_event (Some "/mnt/test2/a")));
+  check_bool "drops outside" false (Filter.keeps f (mk_event (Some "/var/log/x")));
+  check_bool "drops hintless" false (Filter.keeps f (mk_event None))
+
+let test_filter_trailing_slash_normalized () =
+  let f = Filter.mount_point "/mnt/test/" in
+  check_bool "keeps below" true (Filter.keeps f (mk_event (Some "/mnt/test/a")))
+
+let test_filter_multiple_patterns () =
+  let f = Filter.create_exn ~patterns:[ "^/mnt/a(/|$)"; "^/mnt/b(/|$)" ] in
+  check_bool "first" true (Filter.keeps f (mk_event (Some "/mnt/a/x")));
+  check_bool "second" true (Filter.keeps f (mk_event (Some "/mnt/b/y")));
+  check_bool "neither" false (Filter.keeps f (mk_event (Some "/mnt/c/z")))
+
+let test_filter_bad_pattern () =
+  match Filter.create ~patterns:[ "(" ] with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error msg -> check_bool "names the pattern" true (String.length msg > 0)
+
+let test_filter_fold_stats () =
+  let f = Filter.mount_point "/mnt/test" in
+  let events =
+    [ mk_event (Some "/mnt/test/a"); mk_event (Some "/etc/passwd"); mk_event None;
+      mk_event (Some "/mnt/test") ]
+  in
+  let count, stats = Filter.fold f ~init:0 ~f:(fun acc _ -> acc + 1) events in
+  check_int "kept" 2 count;
+  check_int "stats kept" 2 stats.Filter.kept;
+  check_int "stats dropped" 2 stats.Filter.dropped
+
+let test_filter_regex_metachars_escaped () =
+  (* a mount point containing regex metacharacters must match literally *)
+  let f = Filter.mount_point "/mnt/te.st" in
+  check_bool "literal dot" true (Filter.keeps f (mk_event (Some "/mnt/te.st/a")));
+  check_bool "not any-char" false (Filter.keeps f (mk_event (Some "/mnt/teXst/a")))
+
+let suites =
+  [ ( "trace.tracer",
+      [ Alcotest.test_case "event per call" `Quick test_event_per_call;
+        Alcotest.test_case "event fields" `Quick test_event_fields;
+        Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+        Alcotest.test_case "fd-path reconstruction" `Quick test_fd_path_reconstruction;
+        Alcotest.test_case "relative paths absolutized" `Quick test_relative_paths_absolutized;
+        Alcotest.test_case "dot-dot folded" `Quick test_dot_dot_folded;
+        Alcotest.test_case "aux events" `Quick test_aux_events;
+        Alcotest.test_case "crash resets tracker" `Quick test_crash_resets_tracker_state ] );
+    ( "trace.format",
+      [ Alcotest.test_case "tracked roundtrip" `Quick test_line_roundtrip_tracked;
+        Alcotest.test_case "aux roundtrip" `Quick test_line_roundtrip_aux;
+        Alcotest.test_case "no-hint roundtrip" `Quick test_line_roundtrip_no_hint;
+        Alcotest.test_case "malformed lines" `Quick test_line_errors;
+        Alcotest.test_case "channel roundtrip" `Quick test_channel_roundtrip;
+        Alcotest.test_case "fold skips comments" `Quick test_fold_skips_comments;
+        QCheck_alcotest.to_alcotest event_roundtrip_prop ] );
+    ( "trace.binary",
+      [ Alcotest.test_case "roundtrip equals text form" `Quick test_binary_roundtrip;
+        Alcotest.test_case "compactness" `Quick test_binary_smaller_than_text;
+        Alcotest.test_case "magic detection" `Quick test_binary_detects_magic;
+        Alcotest.test_case "corruption rejected" `Quick test_binary_rejects_corruption;
+        QCheck_alcotest.to_alcotest binary_event_roundtrip_prop ] );
+    ( "trace.filter",
+      [ Alcotest.test_case "mount point" `Quick test_filter_mount_point;
+        Alcotest.test_case "trailing slash" `Quick test_filter_trailing_slash_normalized;
+        Alcotest.test_case "multiple patterns" `Quick test_filter_multiple_patterns;
+        Alcotest.test_case "bad pattern" `Quick test_filter_bad_pattern;
+        Alcotest.test_case "fold stats" `Quick test_filter_fold_stats;
+        Alcotest.test_case "metachars escaped" `Quick test_filter_regex_metachars_escaped ] ) ]
