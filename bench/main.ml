@@ -22,8 +22,9 @@ let scale = ref 55.0
 let seed = ref 42
 let only = ref []
 let perf = ref true
+let metrics_json = ref ""
 
-let usage = "bench/main.exe [--scale S] [--seed N] [--only ID]* [--no-perf]"
+let usage = "bench/main.exe [--scale S] [--seed N] [--only ID]* [--no-perf] [--metrics-json F]"
 
 let () =
   Arg.parse
@@ -32,7 +33,10 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|perf)");
-      ("--no-perf", Arg.Clear perf, "skip the Bechamel performance benches") ]
+      ("--no-perf", Arg.Clear perf, "skip the Bechamel performance benches");
+      ("--metrics-json", Arg.Set_string metrics_json,
+       "after the experiments, write the self-observability registry (metrics + span \
+        profile) to this JSON file") ]
     (fun s -> raise (Arg.Bad ("unexpected argument " ^ s)))
     usage
 
@@ -530,4 +534,13 @@ let () =
   if wanted "reduction" then s3_reduction ();
   if wanted "fuzzer" then e10_fuzzer ();
   if !perf && wanted "perf" then perf_benches ();
+  if !metrics_json <> "" then begin
+    let report =
+      Iocov_obs.Export.registry_report
+        ~spans:(Iocov_obs.Span.roots ())
+        Iocov_obs.Metrics.default
+    in
+    Out_channel.with_open_text !metrics_json (fun oc -> output_string oc report);
+    Printf.printf "observability registry written to %s\n" !metrics_json
+  end;
   print_newline ()

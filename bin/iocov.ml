@@ -12,6 +12,7 @@ module Report = Iocov_core.Report
 module Tcd = Iocov_core.Tcd
 module Arg_class = Iocov_core.Arg_class
 module Fault = Iocov_vfs.Fault
+module Obs = Iocov_obs
 
 (* --- shared arguments --- *)
 
@@ -53,6 +54,53 @@ let suite_conv =
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Runner.suite_name s))
 
+(* --- observability options, shared by every subcommand --- *)
+
+let log_level_conv =
+  let parse s =
+    match Obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Log.level_to_string l))
+
+let obs_term =
+  let log_level =
+    Arg.(
+      value
+      & opt (some log_level_conv) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Structured-log verbosity: debug, info, warn (the default), or error.")
+  in
+  let log_json =
+    Arg.(value & flag & info [ "log-json" ] ~doc:"Emit log lines as JSON objects.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"On exit, write the metrics registry to $(docv): Prometheus text, or the \
+                combined JSON report when $(docv) ends in .json.")
+  in
+  let setup level json out =
+    (match level with Some l -> Obs.Log.set_level l | None -> ());
+    if json then Obs.Log.set_format Obs.Log.Json;
+    out
+  in
+  Term.(const setup $ log_level $ log_json $ metrics_out)
+
+(* Run a subcommand body under the observability options; the registry
+   dump happens even when the body fails, so a crashed run still leaves
+   its counters behind. *)
+let with_obs metrics_out f =
+  Fun.protect f ~finally:(fun () ->
+      match metrics_out with
+      | Some path ->
+        Obs.Export.write_file ~path ~spans:(Obs.Span.roots ()) Obs.Metrics.default
+      | None -> ())
+
 (* --- suite --- *)
 
 let print_result (r : Runner.result) =
@@ -74,20 +122,21 @@ let print_result (r : Runner.result) =
   print_endline (Report.untested_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage)
 
 let suite_cmd =
-  let run suite seed scale faults =
-    print_result (Runner.run ~seed ~scale ~faults suite)
+  let run obs suite seed scale faults =
+    with_obs obs (fun () -> print_result (Runner.run ~seed ~scale ~faults suite))
   in
   let suite_pos =
     Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
-    Term.(const run $ suite_pos $ seed_arg $ scale_arg $ faults_arg)
+    Term.(const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ faults_arg)
 
 (* --- trace: run a suite and store the raw trace --- *)
 
 let trace_cmd =
-  let run suite seed scale file binary =
+  let run obs suite seed scale file binary =
+    with_obs obs @@ fun () ->
     (* Re-run the suite with a file sink attached; the trace is raw
        (unfiltered), as a kernel tracer would deliver it. *)
     let oc = if binary then open_out_bin file else open_out file in
@@ -118,12 +167,13 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a suite and write its raw (unfiltered) trace to a file for later analysis.")
-    Term.(const run $ suite_pos $ seed_arg $ scale_arg $ out_arg $ binary_arg)
+    Term.(const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ out_arg $ binary_arg)
 
 (* --- analyze a stored trace --- *)
 
 let analyze_cmd =
-  let run file patterns mount save =
+  let run obs file patterns mount save =
+    with_obs obs @@ fun () ->
     let filter =
       match (patterns, mount) with
       | [], None -> Iocov_trace.Filter.mount_point "/mnt/test"
@@ -179,12 +229,13 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute input/output coverage from a stored trace file.")
-    Term.(const run $ file_pos $ patterns_arg $ mount_arg $ save_arg)
+    Term.(const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg)
 
 (* --- compare: the paper's evaluation --- *)
 
 let compare_cmd =
-  let run seed scale =
+  let run obs seed scale =
+    with_obs obs @@ fun () ->
     let cm, xf = Runner.run_both ~seed ~scale () in
     let name_a = "CrashMonkey" and name_b = "xfstests" in
     let cov_a = cm.Runner.coverage and cov_b = xf.Runner.coverage in
@@ -199,12 +250,13 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run CrashMonkey and xfstests and print Figures 2-5 and Table 1.")
-    Term.(const run $ seed_arg $ scale_arg)
+    Term.(const run $ obs_term $ seed_arg $ scale_arg)
 
 (* --- tcd --- *)
 
 let tcd_cmd =
-  let run seed scale arg_name =
+  let run obs seed scale arg_name =
+    with_obs obs @@ fun () ->
     let arg =
       match Arg_class.of_name arg_name with
       | Some a -> a
@@ -231,12 +283,13 @@ let tcd_cmd =
   in
   Cmd.v
     (Cmd.info "tcd" ~doc:"Test Coverage Deviation sweep for one tracked argument.")
-    Term.(const run $ seed_arg $ scale_arg $ arg_name)
+    Term.(const run $ obs_term $ seed_arg $ scale_arg $ arg_name)
 
 (* --- adequacy: the under/over-testing classifier --- *)
 
 let adequacy_cmd =
-  let run suite seed scale arg_name target theta =
+  let run obs suite seed scale arg_name target theta =
+    with_obs obs @@ fun () ->
     let arg =
       match Arg_class.of_name arg_name with
       | Some a -> a
@@ -272,7 +325,9 @@ let adequacy_cmd =
     (Cmd.info "adequacy"
        ~doc:"Classify each partition of one argument as untested, under-tested, adequate, \
              or over-tested against a target frequency.")
-    Term.(const run $ suite_pos $ seed_arg $ scale_arg $ arg_name $ target_arg $ theta_arg)
+    Term.(
+      const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ arg_name $ target_arg
+      $ theta_arg)
 
 (* --- bugstudy / differential / faults --- *)
 
@@ -290,7 +345,8 @@ let bugstudy_cmd =
     Term.(const run $ const ())
 
 let differential_cmd =
-  let run budget =
+  let run obs budget =
+    with_obs obs @@ fun () ->
     let reports = Iocov_bugstudy.Differential.campaign ~budget () in
     print_endline (Iocov_bugstudy.Differential.render reports);
     Printf.printf "detection rate: code-coverage-style %.0f%%, IOCov-guided %.0f%%\n"
@@ -307,7 +363,7 @@ let differential_cmd =
   Cmd.v
     (Cmd.info "differential"
        ~doc:"Hunt injected faults with code-coverage-style vs IOCov-guided probes.")
-    Term.(const run $ budget_arg)
+    Term.(const run $ obs_term $ budget_arg)
 
 let faults_cmd =
   let run () =
@@ -320,7 +376,8 @@ let faults_cmd =
 (* --- report: load and merge coverage snapshots --- *)
 
 let report_cmd =
-  let run files =
+  let run obs files =
+    with_obs obs @@ fun () ->
     let coverage = Coverage.create () in
     let ok =
       List.for_all
@@ -345,12 +402,13 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Load one or more coverage snapshots (see $(b,analyze --save)), merge them, \
              and print the coverage report.")
-    Term.(const run $ files_pos)
+    Term.(const run $ obs_term $ files_pos)
 
 (* --- syz: input coverage of a Syzkaller program --- *)
 
 let syz_cmd =
-  let run file =
+  let run obs file =
+    with_obs obs @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     match Iocov_trace.Syzlang.parse_program text with
     | Error msg -> Printf.eprintf "error: %s\n" msg
@@ -372,12 +430,67 @@ let syz_cmd =
   Cmd.v
     (Cmd.info "syz"
        ~doc:"Measure the input coverage of a Syzkaller program log (syzlang format).")
-    Term.(const run $ file_pos)
+    Term.(const run $ obs_term $ file_pos)
+
+(* --- metrics: run a suite, dump the self-observability registry --- *)
+
+let metrics_cmd =
+  let run obs suite seed scale faults json out =
+    with_obs obs @@ fun () ->
+    (* Start from a clean registry so two invocations with the same
+       seed/scale/faults produce identical counters (timings aside). *)
+    Obs.Metrics.reset Obs.Metrics.default;
+    Obs.Span.reset ();
+    Obs.Log.reset_seq ();
+    let r = Runner.run ~seed ~scale ~faults suite in
+    Printf.printf "%s: %d workloads, %s traced records, %.2fs\n\n"
+      (Runner.suite_name r.Runner.suite) r.Runner.workloads
+      (Iocov_util.Ascii.si_count r.Runner.events_total)
+      r.Runner.elapsed_s;
+    let spans = Obs.Span.roots () in
+    List.iter (fun root -> print_string (Obs.Span.render root)) spans;
+    print_newline ();
+    let body =
+      if json then Obs.Export.registry_report ~spans Obs.Metrics.default
+      else Obs.Export.to_prometheus Obs.Metrics.default
+    in
+    match out with
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc body);
+      Printf.printf "registry written to %s\n" path
+    | None -> print_string body
+  in
+  let suite_arg =
+    Arg.(
+      value
+      & opt suite_conv Runner.Xfstests
+      & info [ "suite" ] ~docv:"SUITE" ~doc:"Suite to run (crashmonkey|xfstests|ltp).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Combined JSON report instead of Prometheus text.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the registry to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run one suite and print the self-observability registry: pipeline counters \
+             and histograms, plus the span-tree profile of the run.")
+    Term.(
+      const run $ obs_term $ suite_arg $ seed_arg $ scale_arg $ faults_arg $ json_arg
+      $ out_arg)
 
 (* --- fuzz: feedback-comparison fuzzer --- *)
 
 let fuzz_cmd =
-  let run budget seed faults compare =
+  let run obs budget seed faults compare =
+    with_obs obs @@ fun () ->
     let module Fuzzer = Iocov_suites.Fuzzer in
     let show (r : Fuzzer.result) =
       Printf.printf "%s: %d executions, corpus %d, %d partitions covered%s\n"
@@ -413,13 +526,14 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Fuzz the modeled file system with partition-novelty (IOCov-guided) feedback; \
              $(b,--compare) pits it against path-style outcome-novelty feedback.")
-    Term.(const run $ budget_arg $ seed_arg $ faults_arg $ compare_arg)
+    Term.(const run $ obs_term $ budget_arg $ seed_arg $ faults_arg $ compare_arg)
 
 let main =
   Cmd.group
     (Cmd.info "iocov" ~version:"1.0.0"
        ~doc:"Input/output coverage for file system testing (HotStorage '23 reproduction).")
     [ suite_cmd; trace_cmd; analyze_cmd; report_cmd; compare_cmd; tcd_cmd;
-      adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd ]
+      adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd;
+      metrics_cmd ]
 
 let () = exit (Cmd.eval main)

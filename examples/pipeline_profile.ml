@@ -1,0 +1,56 @@
+(* Profile the two simulated testers through the observability layer:
+   run CrashMonkey and xfstests with the same seed, print each run's
+   span tree, then line the stage timings up side by side.
+
+     dune exec examples/pipeline_profile.exe -- 0.2   # scale factor *)
+
+module Runner = Iocov_suites.Runner
+module Span = Iocov_obs.Span
+module Ascii = Iocov_util.Ascii
+
+let profile suite ~scale =
+  Span.reset ();
+  let r = Runner.run ~seed:42 ~scale suite in
+  match Span.roots () with
+  | [ root ] -> (r, root)
+  | roots -> (r, { Span.name = "?"; duration_s = 0.0; children = roots })
+
+(* Stage rows relative to the suite root, so the two trees share keys:
+   the root itself becomes "total". *)
+let stages root =
+  List.map
+    (fun (path, (node : Span.node)) ->
+      let name =
+        match path with [] | [ _ ] -> "total" | _ :: rest -> String.concat "/" rest
+      in
+      (name, node.Span.duration_s))
+    (Span.flatten root)
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.2
+  in
+  let cm, cm_root = profile Runner.Crashmonkey ~scale in
+  let xf, xf_root = profile Runner.Xfstests ~scale in
+  Printf.printf "CrashMonkey: %d workloads in %.2fs\n%s\n" cm.Runner.workloads
+    cm.Runner.elapsed_s (Span.render cm_root);
+  Printf.printf "xfstests: %d workloads in %.2fs\n%s\n" xf.Runner.workloads
+    xf.Runner.elapsed_s (Span.render xf_root);
+  let cm_stages = stages cm_root and xf_stages = stages xf_root in
+  let names =
+    List.fold_left
+      (fun acc (name, _) -> if List.mem name acc then acc else acc @ [ name ])
+      (List.map fst cm_stages) xf_stages
+  in
+  let cell stages name =
+    match List.assoc_opt name stages with
+    | Some d -> Printf.sprintf "%.3fs" d
+    | None -> "-"
+  in
+  let rows =
+    List.map (fun name -> [ name; cell cm_stages name; cell xf_stages name ]) names
+  in
+  print_endline
+    (Ascii.table ~title:"stage durations, side by side"
+       ~headers:[ "stage"; "CrashMonkey"; "xfstests" ]
+       rows)

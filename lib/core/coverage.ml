@@ -1,5 +1,20 @@
 open Iocov_syscall
 module Histogram = Iocov_util.Histogram
+module Metrics = Iocov_obs.Metrics
+
+let m_calls =
+  Metrics.counter Metrics.default "iocov_coverage_calls_total"
+    ~help:"Syscalls observed by the coverage accumulator."
+
+let m_update kind =
+  Metrics.counter Metrics.default "iocov_coverage_updates_total"
+    ~labels:[ ("table", kind) ]
+    ~help:"Partition-table updates by table kind."
+
+let m_input_updates = m_update "input"
+let m_output_updates = m_update "output"
+let m_variant_updates = m_update "variant"
+let m_flag_set_updates = m_update "flag_set"
 
 type t = {
   inputs : (Arg_class.arg, Partition.t Histogram.t) Hashtbl.t;
@@ -36,18 +51,51 @@ let output_hist t base =
 
 let observe_input_only t call =
   t.calls <- t.calls + 1;
+  Metrics.Counter.incr m_calls;
   Histogram.add t.variants (Model.variant_of_call call);
+  Metrics.Counter.incr m_variant_updates;
   List.iter
-    (fun (arg, part) -> Histogram.add (input_hist t arg) part)
+    (fun (arg, part) ->
+      Histogram.add (input_hist t arg) part;
+      Metrics.Counter.incr m_input_updates)
     (Partition.of_call call);
   match call with
-  | Model.Open_call { flags; _ } -> Histogram.add t.flag_sets flags
+  | Model.Open_call { flags; _ } ->
+    Histogram.add t.flag_sets flags;
+    Metrics.Counter.incr m_flag_set_updates
   | _ -> ()
 
 let observe t call outcome =
   observe_input_only t call;
   let base = Model.base_of_call call in
-  Histogram.add (output_hist t base) (Partition.output_of base outcome)
+  Histogram.add (output_hist t base) (Partition.output_of base outcome);
+  Metrics.Counter.incr m_output_updates
+
+(* Table sizes are per-accumulator, so they are published on demand for
+   one chosen instance (the run's accumulator) rather than streamed —
+   several coverage objects can live at once (per-test attribution,
+   ablations) and streaming would mix them. *)
+let publish_gauges t =
+  let g name help =
+    Metrics.gauge Metrics.default ("iocov_coverage_" ^ name) ~help
+  in
+  let distinct_sum tbl =
+    Hashtbl.fold (fun _ h acc -> acc + Histogram.distinct h) tbl 0
+  in
+  Metrics.Gauge.set (g "input_tables" "Tracked arguments with observations.")
+    (Hashtbl.length t.inputs);
+  Metrics.Gauge.set (g "output_tables" "Base syscalls with observed outputs.")
+    (Hashtbl.length t.outputs);
+  Metrics.Gauge.set
+    (g "distinct_input_partitions" "Distinct input partitions hit, all arguments.")
+    (distinct_sum t.inputs);
+  Metrics.Gauge.set
+    (g "distinct_output_partitions" "Distinct output partitions hit, all bases.")
+    (distinct_sum t.outputs);
+  Metrics.Gauge.set (g "distinct_variants" "Distinct syscall variants observed.")
+    (Histogram.distinct t.variants);
+  Metrics.Gauge.set (g "distinct_flag_sets" "Distinct exact open-flag sets observed.")
+    (Histogram.distinct t.flag_sets)
 
 let merge_into ~dst src =
   dst.calls <- dst.calls + src.calls;

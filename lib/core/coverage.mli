@@ -26,6 +26,16 @@ val merge_into : dst:t -> t -> unit
 
 val copy : t -> t
 
+val publish_gauges : t -> unit
+(** Publish this accumulator's table sizes (input/output tables,
+    distinct partitions, variants, flag sets) as
+    [iocov_coverage_*] gauges in {!Iocov_obs.Metrics.default}.
+    On-demand rather than streamed: several accumulators can coexist
+    (per-test attribution, ablations), and the gauges should describe
+    the run's accumulator, not a mixture.  [observe] itself feeds the
+    [iocov_coverage_calls_total] and [iocov_coverage_updates_total]
+    counters. *)
+
 (** {2 Input side} *)
 
 val input_count : t -> Arg_class.arg -> Partition.t -> int

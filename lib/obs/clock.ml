@@ -1,0 +1,5 @@
+let default = Unix.gettimeofday
+let source = ref default
+let now () = !source ()
+let set f = source := f
+let reset () = source := default

@@ -1,0 +1,15 @@
+(** The observability time source.
+
+    Every timing the layer records ({!Span} durations, sampled latency
+    histograms) reads this clock, so tests can substitute a fake clock
+    and obtain fully deterministic trees and buckets.  The default is
+    [Unix.gettimeofday]. *)
+
+val now : unit -> float
+(** Current time in seconds (wall clock by default). *)
+
+val set : (unit -> float) -> unit
+(** Replace the time source (a test clock, a monotonic source, ...). *)
+
+val reset : unit -> unit
+(** Restore the default [Unix.gettimeofday] source. *)

@@ -1,0 +1,132 @@
+module Log2 = Iocov_util.Log2
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* --- Prometheus text format --- *)
+
+let prom_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels)
+    ^ "}"
+
+(* Upper bound of a bucket as Prometheus' inclusive [le]. *)
+let le_of_bucket b =
+  match (b : Log2.bucket) with
+  | Log2.Negative -> "-1"
+  | Log2.Zero -> "0"
+  | Log2.Pow2 _ -> string_of_int (Log2.bucket_hi b)
+
+let to_prometheus reg =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  let header name kind help =
+    if not (Hashtbl.mem seen_header name) then begin
+      Hashtbl.add seen_header name ();
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (m : Metrics.metric) ->
+      match m.Metrics.sample with
+      | Metrics.Counter_sample v ->
+        header m.Metrics.name "counter" m.Metrics.help;
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" m.Metrics.name (prom_labels m.Metrics.labels) v)
+      | Metrics.Gauge_sample v ->
+        header m.Metrics.name "gauge" m.Metrics.help;
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" m.Metrics.name (prom_labels m.Metrics.labels) v)
+      | Metrics.Histogram_sample { count; sum; buckets } ->
+        header m.Metrics.name "histogram" m.Metrics.help;
+        let cumulative = ref 0 in
+        List.iter
+          (fun (b, n) ->
+            cumulative := !cumulative + n;
+            let labels = m.Metrics.labels @ [ ("le", le_of_bucket b) ] in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" m.Metrics.name (prom_labels labels)
+                 !cumulative))
+          buckets;
+        let inf = m.Metrics.labels @ [ ("le", "+Inf") ] in
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" m.Metrics.name (prom_labels inf) count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %d\n" m.Metrics.name (prom_labels m.Metrics.labels) sum);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" m.Metrics.name (prom_labels m.Metrics.labels)
+             count))
+    (Metrics.snapshot reg);
+  Buffer.contents buf
+
+(* --- JSON --- *)
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) labels)
+  ^ "}"
+
+let json_of_metric (m : Metrics.metric) =
+  let common =
+    Printf.sprintf "\"name\":\"%s\",\"labels\":%s" (escape m.Metrics.name)
+      (json_labels m.Metrics.labels)
+  in
+  match m.Metrics.sample with
+  | Metrics.Counter_sample v ->
+    Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" common v
+  | Metrics.Gauge_sample v ->
+    Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%d}" common v
+  | Metrics.Histogram_sample { count; sum; buckets } ->
+    let bucket_json (b, n) =
+      Printf.sprintf "{\"bucket\":\"%s\",\"lo\":%d,\"hi\":%d,\"count\":%d}"
+        (escape (Log2.bucket_label b)) (Log2.bucket_lo b) (Log2.bucket_hi b) n
+    in
+    Printf.sprintf "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"buckets\":[%s]}"
+      common count sum
+      (String.concat "," (List.map bucket_json buckets))
+
+let to_json reg =
+  "{\"metrics\":["
+  ^ String.concat "," (List.map json_of_metric (Metrics.snapshot reg))
+  ^ "]}"
+
+let rec span_to_json (n : Span.node) =
+  Printf.sprintf "{\"name\":\"%s\",\"duration_s\":%.9f,\"children\":[%s]}"
+    (escape n.Span.name) n.Span.duration_s
+    (String.concat "," (List.map span_to_json n.Span.children))
+
+let registry_report ?(spans = []) reg =
+  Printf.sprintf "{\"metrics\":[%s],\"spans\":[%s]}"
+    (String.concat "," (List.map json_of_metric (Metrics.snapshot reg)))
+    (String.concat "," (List.map span_to_json spans))
+
+let write_file ~path ?spans reg =
+  let is_json =
+    String.length path >= 5 && String.sub path (String.length path - 5) 5 = ".json"
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (if is_json then registry_report ?spans reg else to_prometheus reg);
+      output_char oc '\n')

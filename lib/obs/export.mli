@@ -1,0 +1,29 @@
+(** Registry exporters.
+
+    Two renderings of a {!Metrics.t} snapshot, both deterministic
+    (stable metric order, stable label order, no timestamps):
+
+    - Prometheus text exposition format, with log2 histograms emitted
+      as cumulative [_bucket{le=...}] series plus [_sum]/[_count];
+    - a single JSON object, for machine consumption (bench
+      trajectories, dashboards).
+
+    Span trees render to JSON too, so a profile can ride along with the
+    registry in one artifact. *)
+
+val to_prometheus : Metrics.t -> string
+
+val to_json : Metrics.t -> string
+(** [{"metrics":[...]}] — one entry per metric, sorted as in
+    {!Metrics.snapshot}; histograms carry per-bucket [label]/[lo]/[hi]
+    bounds from {!Iocov_util.Log2}. *)
+
+val span_to_json : Span.node -> string
+
+val registry_report : ?spans:Span.node list -> Metrics.t -> string
+(** The combined JSON artifact:
+    [{"metrics":[...],"spans":[...]}]. *)
+
+val write_file : path:string -> ?spans:Span.node list -> Metrics.t -> unit
+(** Write the registry to [path]; [*.json] gets {!registry_report},
+    anything else the Prometheus text format. *)

@@ -1,0 +1,103 @@
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+let current_level = ref Warn
+let set_level l = current_level := l
+let level () = !current_level
+
+type format = Text | Json
+
+let current_format = ref Text
+let set_format f = current_format := f
+
+let default_sink line =
+  output_string stderr (line ^ "\n");
+  flush stderr
+
+let sink = ref default_sink
+let set_sink f = sink := f
+
+let set_channel oc =
+  set_sink (fun line ->
+      output_string oc (line ^ "\n");
+      flush oc)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+let str s = Str s
+let int n = Int n
+let float f = Float f
+let bool b = Bool b
+
+let seq = ref 0
+let reset_seq () = seq := 0
+
+(* JSON string escaping, shared with Export via this module. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_text = function
+  | Str s -> if String.exists (fun c -> c = ' ' || c = '"') s then Printf.sprintf "%S" s else s
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let value_json = function
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let render ~seq lvl fields message =
+  match !current_format with
+  | Text ->
+    let kv = List.map (fun (k, v) -> Printf.sprintf " %s=%s" k (value_text v)) fields in
+    Printf.sprintf "#%d [%s] %s%s" seq (level_to_string lvl) message (String.concat "" kv)
+  | Json ->
+    let kv =
+      List.map (fun (k, v) -> Printf.sprintf ",\"%s\":%s" (json_escape k) (value_json v)) fields
+    in
+    Printf.sprintf "{\"seq\":%d,\"level\":\"%s\",\"msg\":\"%s\"%s}" seq (level_to_string lvl)
+      (json_escape message) (String.concat "" kv)
+
+let msg lvl ?(fields = []) message =
+  if severity lvl >= severity !current_level then begin
+    incr seq;
+    Metrics.Counter.incr
+      (Metrics.counter Metrics.default "iocov_log_lines_total"
+         ~labels:[ ("level", level_to_string lvl) ]
+         ~help:"Log lines emitted by level.");
+    !sink (render ~seq:!seq lvl fields message)
+  end
+
+let debug ?fields message = msg Debug ?fields message
+let info ?fields message = msg Info ?fields message
+let warn ?fields message = msg Warn ?fields message
+let error ?fields message = msg Error ?fields message

@@ -1,0 +1,51 @@
+(** Structured, leveled logging for the pipeline.
+
+    One process-global sink, configurable from the CLI ([--log-level],
+    [--log-json]).  Lines are deterministic: no timestamps, only a
+    monotone sequence number — so captured logs diff cleanly between
+    runs.  Every emitted line also increments
+    [iocov_log_lines_total{level=...}] in {!Metrics.default}. *)
+
+type level = Debug | Info | Warn | Error
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val set_level : level -> unit
+(** Messages below this level are suppressed.  Default: [Warn], so the
+    layer is silent unless asked. *)
+
+val level : unit -> level
+
+type format = Text | Json
+
+val set_format : format -> unit
+(** [Text]: [#17 [info] message key=value ...].  [Json]: one JSON
+    object per line with ["seq"], ["level"], ["msg"], and the fields. *)
+
+val set_sink : (string -> unit) -> unit
+(** Where finished lines go.  Default prints to [stderr].  Tests can
+    capture lines in a list. *)
+
+val set_channel : out_channel -> unit
+(** Convenience: sink lines to a channel, one per line, flushed. *)
+
+(** {1 Fields} *)
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+val str : string -> value
+val int : int -> value
+val float : float -> value
+val bool : bool -> value
+
+(** {1 Emitting} *)
+
+val msg : level -> ?fields:(string * value) list -> string -> unit
+val debug : ?fields:(string * value) list -> string -> unit
+val info : ?fields:(string * value) list -> string -> unit
+val warn : ?fields:(string * value) list -> string -> unit
+val error : ?fields:(string * value) list -> string -> unit
+
+val reset_seq : unit -> unit
+(** Restart the line sequence counter (between deterministic runs). *)

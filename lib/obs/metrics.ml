@@ -1,0 +1,155 @@
+module Log2 = Iocov_util.Log2
+module H = Iocov_util.Histogram
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let incr c = c.v <- c.v + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
+    c.v <- c.v + n
+
+  let value c = c.v
+end
+
+module Gauge = struct
+  type t = { mutable v : int }
+
+  let set g n = g.v <- n
+  let incr g = g.v <- g.v + 1
+  let add g n = g.v <- g.v + n
+  let value g = g.v
+end
+
+module Histogram = struct
+  type t = {
+    table : Log2.bucket H.t;
+    mutable sum : int;
+  }
+
+  let make () = { table = H.create ~compare:Log2.compare_bucket; sum = 0 }
+
+  let observe h v =
+    H.add h.table (Log2.bucket_of_int v);
+    h.sum <- h.sum + v
+
+  let count h = H.total h.table
+  let sum h = h.sum
+  let buckets h = H.to_sorted h.table
+
+  let clear h =
+    H.clear h.table;
+    h.sum <- 0
+end
+
+type handle =
+  | C of Counter.t
+  | G of Gauge.t
+  | Hist of Histogram.t
+
+type entry = { help : string; handle : handle }
+
+(* Key: name plus labels in registration order.  Labels are part of the
+   identity, so one family name may carry many label sets. *)
+type key = { k_name : string; k_labels : (string * string) list }
+
+type t = { entries : (key, entry) Hashtbl.t }
+
+let create () = { entries = Hashtbl.create 64 }
+let default = create ()
+
+let name_ok s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && String.for_all
+       (fun c -> match c with 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let validate name labels =
+  if not (name_ok name) then
+    invalid_arg (Printf.sprintf "Metrics: malformed metric name %S" name);
+  List.iter
+    (fun (k, _) ->
+      if not (name_ok k) then
+        invalid_arg (Printf.sprintf "Metrics: malformed label key %S on %S" k name))
+    labels
+
+let register t ~help ~labels name make describe =
+  validate name labels;
+  let key = { k_name = name; k_labels = labels } in
+  match Hashtbl.find_opt t.entries key with
+  | Some e -> describe e.handle
+  | None ->
+    let handle = make () in
+    Hashtbl.add t.entries key { help; handle };
+    describe handle
+
+let kind_error name expected =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S is already registered as a different kind (wanted %s)"
+       name expected)
+
+let counter ?(help = "") ?(labels = []) t name =
+  register t ~help ~labels name
+    (fun () -> C { Counter.v = 0 })
+    (function C c -> c | _ -> kind_error name "counter")
+
+let gauge ?(help = "") ?(labels = []) t name =
+  register t ~help ~labels name
+    (fun () -> G { Gauge.v = 0 })
+    (function G g -> g | _ -> kind_error name "gauge")
+
+let histogram ?(help = "") ?(labels = []) t name =
+  register t ~help ~labels name
+    (fun () -> Hist (Histogram.make ()))
+    (function Hist h -> h | _ -> kind_error name "histogram")
+
+let reset t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.handle with
+      | C c -> c.Counter.v <- 0
+      | G g -> g.Gauge.v <- 0
+      | Hist h -> Histogram.clear h)
+    t.entries
+
+type sample =
+  | Counter_sample of int
+  | Gauge_sample of int
+  | Histogram_sample of {
+      count : int;
+      sum : int;
+      buckets : (Log2.bucket * int) list;
+    }
+
+type metric = {
+  name : string;
+  labels : (string * string) list;
+  help : string;
+  sample : sample;
+}
+
+let snapshot t =
+  Hashtbl.fold
+    (fun key e acc ->
+      let sample =
+        match e.handle with
+        | C c -> Counter_sample c.Counter.v
+        | G g -> Gauge_sample g.Gauge.v
+        | Hist h ->
+          Histogram_sample
+            { count = Histogram.count h; sum = h.Histogram.sum;
+              buckets = Histogram.buckets h }
+      in
+      { name = key.k_name; labels = key.k_labels; help = e.help; sample } :: acc)
+    t.entries []
+  |> List.sort (fun a b ->
+         match compare a.name b.name with
+         | 0 -> compare a.labels b.labels
+         | c -> c)
+
+let is_timing m =
+  let suffix = "_ns" in
+  let n = String.length m.name and s = String.length suffix in
+  n >= s && String.sub m.name (n - s) s = suffix

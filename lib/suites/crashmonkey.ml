@@ -5,6 +5,13 @@ module Coverage = Iocov_core.Coverage
 module Event = Iocov_trace.Event
 module Filter = Iocov_trace.Filter
 module Tracer = Iocov_trace.Tracer
+module Metrics = Iocov_obs.Metrics
+module Span = Iocov_obs.Span
+
+let m_workloads =
+  Metrics.counter Metrics.default "iocov_suite_tests_total"
+    ~labels:[ ("suite", "crashmonkey") ]
+    ~help:"Simulated tests executed."
 
 let mount = "/mnt/snapshot"
 let comm = "crashmonkey"
@@ -325,23 +332,33 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?sink ?(seq2 = 0) ~coverage (
   Workload.noise ctx;
   let crashes = ref 0 in
   let reps = max 1 (int_of_float (Float.round scale)) in
-  for _ = 1 to reps do
-    List.iter
-      (fun persistence ->
+  Span.with_ ~name:"crashmonkey/seq1" (fun () ->
+      for _ = 1 to reps do
         List.iter
-          (fun op ->
-            List.iter (fun target -> seq1 ctx ~crashes op target persistence) targets)
-          ops)
-      persistences
-  done;
+          (fun persistence ->
+            List.iter
+              (fun op ->
+                List.iter
+                  (fun target ->
+                    Metrics.Counter.incr m_workloads;
+                    seq1 ctx ~crashes op target persistence)
+                  targets)
+              ops)
+          persistences
+      done);
   let seq2_rng = Prng.create ~seed:(seed + 1) in
-  for _ = 1 to seq2 do
-    seq2_workload ctx ~crashes seq2_rng
-  done;
+  if seq2 > 0 then
+    Span.with_ ~name:"crashmonkey/seq2" (fun () ->
+        for _ = 1 to seq2 do
+          Metrics.Counter.incr m_workloads;
+          seq2_workload ctx ~crashes seq2_rng
+        done);
   let generic_count = max 1 (int_of_float (50.0 *. scale)) in
-  for i = 1 to generic_count do
-    generic ctx i
-  done;
+  Span.with_ ~name:"crashmonkey/generic" (fun () ->
+      for i = 1 to generic_count do
+        Metrics.Counter.incr m_workloads;
+        generic ctx i
+      done);
   let stats =
     {
       workloads_run = (reps * List.length ops * List.length targets * 2) + seq2 + generic_count;

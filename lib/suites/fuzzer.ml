@@ -5,6 +5,15 @@ module Partition = Iocov_core.Partition
 module Arg_class = Iocov_core.Arg_class
 module Fs = Iocov_vfs.Fs
 module Config = Iocov_vfs.Config
+module Metrics = Iocov_obs.Metrics
+module Span = Iocov_obs.Span
+
+let m_fuzzer name help =
+  Metrics.counter Metrics.default ("iocov_fuzzer_" ^ name) ~help
+
+let m_executions = m_fuzzer "executions_total" "Fuzz programs executed."
+let m_retained = m_fuzzer "corpus_retained_total" "Programs retained as interesting."
+let m_crashes = m_fuzzer "crashes_total" "Fault-induced outcome divergences."
 
 type feedback =
   | Outcome_novelty
@@ -241,26 +250,35 @@ let run ?(seed = 77) ?(budget = 2000) ?(faults = []) ~feedback () =
             acc keys)
         false observations
   in
-  for execution = 1 to budget do
-    let parent = Prng.choose_list rng !corpus in
-    let program = mutate_program rng parent in
-    let observations = execute ~faults program in
-    List.iter (fun (call, outcome) -> Coverage.observe coverage call outcome) observations;
-    (* a crash for our purposes: an injected fault made an outcome deviate
-       from the reference file system's *)
-    if faults <> [] then begin
-      let reference = execute ~faults:[] program in
-      if
-        List.exists2
-          (fun (_, a) (_, b) -> outcome_class a <> outcome_class b)
-          observations reference
-      then incr crashes
-    end;
-    if interesting observations && List.length !corpus < 512 then
-      corpus := program :: !corpus;
-    if execution mod 50 = 0 || execution = budget then
-      growth := (execution, covered_partitions coverage) :: !growth
-  done;
+  Span.with_ ~name:"fuzzer/run" (fun () ->
+      for execution = 1 to budget do
+        let parent = Prng.choose_list rng !corpus in
+        let program = mutate_program rng parent in
+        let observations = execute ~faults program in
+        Metrics.Counter.incr m_executions;
+        List.iter
+          (fun (call, outcome) -> Coverage.observe coverage call outcome)
+          observations;
+        (* a crash for our purposes: an injected fault made an outcome deviate
+           from the reference file system's *)
+        if faults <> [] then begin
+          let reference = execute ~faults:[] program in
+          if
+            List.exists2
+              (fun (_, a) (_, b) -> outcome_class a <> outcome_class b)
+              observations reference
+          then begin
+            incr crashes;
+            Metrics.Counter.incr m_crashes
+          end
+        end;
+        if interesting observations && List.length !corpus < 512 then begin
+          corpus := program :: !corpus;
+          Metrics.Counter.incr m_retained
+        end;
+        if execution mod 50 = 0 || execution = budget then
+          growth := (execution, covered_partitions coverage) :: !growth
+      done);
   {
     feedback;
     executions = budget;

@@ -5,6 +5,13 @@ module Coverage = Iocov_core.Coverage
 module Event = Iocov_trace.Event
 module Filter = Iocov_trace.Filter
 module Tracer = Iocov_trace.Tracer
+module Metrics = Iocov_obs.Metrics
+module Span = Iocov_obs.Span
+
+let m_cases =
+  Metrics.counter Metrics.default "iocov_suite_tests_total"
+    ~labels:[ ("suite", "ltp") ]
+    ~help:"Simulated tests executed."
 
 let mount = "/mnt/ltp"
 let comm = "ltp"
@@ -443,8 +450,10 @@ let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ~coverage () =
   let filter = Filter.mount_point mount in
   let iters = max 1 (int_of_float (120.0 *. scale)) in
   let cases = all_cases ~iters in
+  Span.with_ ~name:"ltp/cases" (fun () ->
   List.iter
     (fun (name, kind, body) ->
+      Metrics.Counter.incr m_cases;
       let base = match kind with Default -> Config.default | Small -> Config.small in
       let config = Config.with_faults faults base in
       let ctx =
@@ -463,7 +472,7 @@ let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ~coverage () =
       body ctx;
       events_total := !events_total + Tracer.events_emitted ctx.Workload.tracer;
       failures := List.rev_append (Workload.failures ctx) !failures)
-    cases;
+    cases);
   ( List.rev !failures,
     { testcases_run = List.length cases;
       events_total = !events_total;

@@ -1,4 +1,7 @@
 module Coverage = Iocov_core.Coverage
+module Metrics = Iocov_obs.Metrics
+module Span = Iocov_obs.Span
+module Log = Iocov_obs.Log
 
 type suite = Crashmonkey | Xfstests | Ltp
 
@@ -24,43 +27,66 @@ type result = {
   elapsed_s : float;
 }
 
+let suite_counter name help suite =
+  Metrics.counter Metrics.default name
+    ~labels:[ ("suite", suite_name suite) ]
+    ~help
+
 let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) suite =
   let coverage = Coverage.create () in
-  let t0 = Unix.gettimeofday () in
-  match suite with
-  | Crashmonkey ->
-    let failures, stats = Crashmonkey.run ~seed ~scale ~faults ~coverage () in
-    {
-      suite;
-      coverage;
-      failures;
-      events_total = stats.Crashmonkey.events_total;
-      events_kept = stats.Crashmonkey.events_kept;
-      workloads = stats.Crashmonkey.workloads_run;
-      elapsed_s = Unix.gettimeofday () -. t0;
-    }
-  | Xfstests ->
-    let failures, stats = Xfstests.run ~seed ~scale ~faults ~coverage () in
-    {
-      suite;
-      coverage;
-      failures;
-      events_total = stats.Xfstests.events_total;
-      events_kept = stats.Xfstests.events_kept;
-      workloads = stats.Xfstests.tests_run;
-      elapsed_s = Unix.gettimeofday () -. t0;
-    }
-  | Ltp ->
-    let failures, stats = Ltp.run ~seed ~scale ~faults ~coverage () in
-    {
-      suite;
-      coverage;
-      failures;
-      events_total = stats.Ltp.events_total;
-      events_kept = stats.Ltp.events_kept;
-      workloads = stats.Ltp.testcases_run;
-      elapsed_s = Unix.gettimeofday () -. t0;
-    }
+  Log.info "suite run starting"
+    ~fields:
+      [ ("suite", Log.str (suite_name suite));
+        ("seed", Log.int seed);
+        ("scale", Log.float scale);
+        ("faults", Log.int (List.length faults)) ];
+  (* The root span doubles as the run's wall clock: [elapsed_s] is the
+     root's duration, so profile tree and result always agree. *)
+  let (failures, events_total, events_kept, workloads), root =
+    Span.timed ~name:("runner/" ^ suite_name suite) (fun () ->
+        match suite with
+        | Crashmonkey ->
+          let failures, stats = Crashmonkey.run ~seed ~scale ~faults ~coverage () in
+          ( failures,
+            stats.Crashmonkey.events_total,
+            stats.Crashmonkey.events_kept,
+            stats.Crashmonkey.workloads_run )
+        | Xfstests ->
+          let failures, stats = Xfstests.run ~seed ~scale ~faults ~coverage () in
+          ( failures,
+            stats.Xfstests.events_total,
+            stats.Xfstests.events_kept,
+            stats.Xfstests.tests_run )
+        | Ltp ->
+          let failures, stats = Ltp.run ~seed ~scale ~faults ~coverage () in
+          ( failures,
+            stats.Ltp.events_total,
+            stats.Ltp.events_kept,
+            stats.Ltp.testcases_run ))
+  in
+  Metrics.Counter.add
+    (suite_counter "iocov_runner_workloads_total" "Workloads or tests executed." suite)
+    workloads;
+  Metrics.Counter.add
+    (suite_counter "iocov_runner_oracle_failures_total" "Oracle violations flagged."
+       suite)
+    (List.length failures);
+  Coverage.publish_gauges coverage;
+  Log.info "suite run finished"
+    ~fields:
+      [ ("suite", Log.str (suite_name suite));
+        ("workloads", Log.int workloads);
+        ("events_kept", Log.int events_kept);
+        ("failures", Log.int (List.length failures)) ];
+  {
+    suite;
+    coverage;
+    failures;
+    events_total;
+    events_kept;
+    workloads;
+    elapsed_s = root.Span.duration_s;
+  }
 
 let run_both ?seed ?scale ?faults () =
   (run ?seed ?scale ?faults Crashmonkey, run ?seed ?scale ?faults Xfstests)

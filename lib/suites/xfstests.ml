@@ -5,6 +5,13 @@ module Coverage = Iocov_core.Coverage
 module Event = Iocov_trace.Event
 module Filter = Iocov_trace.Filter
 module Tracer = Iocov_trace.Tracer
+module Metrics = Iocov_obs.Metrics
+module Span = Iocov_obs.Span
+
+let m_tests =
+  Metrics.counter Metrics.default "iocov_suite_tests_total"
+    ~labels:[ ("suite", "xfstests") ]
+    ~help:"Simulated tests executed."
 
 let mount = "/mnt/test"
 let comm = "xfstests"
@@ -806,6 +813,7 @@ let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?per_test ~coverage () =
   let filter = Filter.mount_point mount in
   let run_test group index =
     incr tests;
+    Metrics.Counter.incr m_tests;
     let name =
       match group with
       | `Generic -> Printf.sprintf "generic/%03d" index
@@ -846,11 +854,13 @@ let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?per_test ~coverage () =
      | _ -> ());
     failures := List.rev_append (Workload.failures ctx) !failures
   in
-  for i = 1 to generic_tests do
-    run_test `Generic i
-  done;
-  for i = 1 to ext4_tests do
-    run_test `Ext4 i
-  done;
+  Span.with_ ~name:"xfstests/generic" (fun () ->
+      for i = 1 to generic_tests do
+        run_test `Generic i
+      done);
+  Span.with_ ~name:"xfstests/ext4" (fun () ->
+      for i = 1 to ext4_tests do
+        run_test `Ext4 i
+      done);
   ( List.rev !failures,
     { tests_run = !tests; events_total = !events_total; events_kept = !events_kept } )

@@ -1,4 +1,16 @@
 module Engine = Iocov_regex.Engine
+module Metrics = Iocov_obs.Metrics
+
+(* Filter decisions, process-wide.  "no_hint" records cannot be
+   attributed to any mount; "no_match" ones belong to other paths. *)
+let m_result result =
+  Metrics.counter Metrics.default "iocov_filter_events_total"
+    ~labels:[ ("result", result) ]
+    ~help:"Mount-point filter decisions."
+
+let m_kept = m_result "kept"
+let m_dropped_no_hint = m_result "dropped_no_hint"
+let m_dropped_no_match = m_result "dropped_no_match"
 
 type t = { keep : Engine.t list }
 
@@ -38,6 +50,24 @@ let mount_point mnt =
   in
   create_exn ~patterns:[ Printf.sprintf "^%s(/|$)" (escape_literal mnt) ]
 
+(* The metered decision: classify, count, answer. *)
+let decide t (e : Event.t) =
+  match e.path_hint with
+  | None ->
+    Metrics.Counter.incr m_dropped_no_hint;
+    false
+  | Some hint ->
+    if List.exists (fun c -> Engine.search c hint) t.keep then begin
+      Metrics.Counter.incr m_kept;
+      true
+    end
+    else begin
+      Metrics.Counter.incr m_dropped_no_match;
+      false
+    end
+
+(* [keeps] stays a pure query: callers probing a record (reports,
+   ad-hoc analysis) must not distort the pipeline's drop counters. *)
 let keeps t (e : Event.t) =
   match e.path_hint with
   | None -> false
@@ -49,9 +79,9 @@ let fold t ~init ~f events =
   let acc, kept, dropped =
     List.fold_left
       (fun (acc, kept, dropped) e ->
-        if keeps t e then (f acc e, kept + 1, dropped) else (acc, kept, dropped + 1))
+        if decide t e then (f acc e, kept + 1, dropped) else (acc, kept, dropped + 1))
       (init, 0, 0) events
   in
   (acc, { kept; dropped })
 
-let sink t k e = if keeps t e then k e
+let sink t k e = if decide t e then k e

@@ -23,13 +23,17 @@ val mount_point : string -> t
 
 val keeps : t -> Event.t -> bool
 (** Records without a [path_hint] (e.g. [O_TMPFILE] descriptors, [sync])
-    are dropped: they cannot be attributed to the tested mount. *)
+    are dropped: they cannot be attributed to the tested mount.  A pure
+    query — does not touch the filter metrics. *)
 
 type stats = { kept : int; dropped : int }
 
 val fold :
   t -> init:'a -> f:('a -> Event.t -> 'a) -> Event.t list -> 'a * stats
-(** Filtered fold with bookkeeping. *)
+(** Filtered fold with bookkeeping.  Each decision increments
+    [iocov_filter_events_total{result=kept|dropped_no_hint|dropped_no_match}]
+    in {!Iocov_obs.Metrics.default}. *)
 
 val sink : t -> (Event.t -> unit) -> Event.t -> unit
-(** [sink t k] is a tracer sink that forwards kept records to [k]. *)
+(** [sink t k] is a tracer sink that forwards kept records to [k],
+    metering each decision like {!fold}. *)

@@ -1,6 +1,33 @@
 open Iocov_syscall
 module Fs = Iocov_vfs.Fs
 module Path = Iocov_vfs.Path
+module Metrics = Iocov_obs.Metrics
+module Clock = Iocov_obs.Clock
+
+(* Self-observability: every tracer in the process reports into the
+   default registry.  Handles are resolved once; the per-event cost is
+   one field increment plus one table lookup for the per-kind counter. *)
+let m_events =
+  Metrics.counter Metrics.default "iocov_tracer_events_total"
+    ~help:"Trace records emitted, before any filtering."
+
+let m_emit_latency =
+  Metrics.histogram Metrics.default "iocov_tracer_emit_latency_ns"
+    ~help:"Sink dispatch latency per record, sampled every 64th event."
+
+let kind_counters : (string, Metrics.Counter.t) Hashtbl.t = Hashtbl.create 64
+
+let kind_counter name =
+  match Hashtbl.find_opt kind_counters name with
+  | Some c -> c
+  | None ->
+    let c =
+      Metrics.counter Metrics.default "iocov_tracer_calls_total"
+        ~labels:[ ("syscall", name) ]
+        ~help:"Calls executed through the tracer by syscall kind."
+    in
+    Hashtbl.add kind_counters name c;
+    c
 
 type t = {
   fs : Fs.t;
@@ -71,6 +98,7 @@ let post_process t call outcome =
 
 let emit t payload outcome path_hint =
   t.seq <- t.seq + 1;
+  Metrics.Counter.incr m_events;
   let event =
     {
       Event.seq = t.seq;
@@ -82,9 +110,16 @@ let emit t payload outcome path_hint =
       path_hint;
     }
   in
-  List.iter (fun sink -> sink event) (List.rev t.sinks)
+  if t.seq land 63 = 0 then begin
+    let t0 = Clock.now () in
+    List.iter (fun sink -> sink event) (List.rev t.sinks);
+    Metrics.Histogram.observe m_emit_latency
+      (int_of_float ((Clock.now () -. t0) *. 1e9))
+  end
+  else List.iter (fun sink -> sink event) (List.rev t.sinks)
 
 let exec t call =
+  Metrics.Counter.incr (kind_counter (Model.variant_name (Model.variant_of_call call)));
   let hint = hint_of_call t call in
   let outcome = Fs.exec t.fs call in
   post_process t call outcome;
@@ -103,6 +138,7 @@ let aux_detail t aux =
   | Fs.Sync | Fs.Crash -> ("", None)
 
 let exec_aux t aux =
+  Metrics.Counter.incr (kind_counter (Fs.aux_name aux));
   let detail, hint = aux_detail t aux in
   let result = Fs.exec_aux t.fs aux in
   (match aux with

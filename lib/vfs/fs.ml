@@ -31,6 +31,23 @@ let config t = t.cfg
 
 let has_fault t f = List.mem f t.cfg.Config.faults
 
+(* Fault accounting: "armed" when a file system is created with the
+   fault planted, "fired" each time the faulty branch actually alters
+   an outcome.  At call sites, [fault_fires] must be the last conjunct
+   so it counts only decisions the fault really made. *)
+let fault_counter kind f =
+  Iocov_obs.Metrics.counter Iocov_obs.Metrics.default
+    (Printf.sprintf "iocov_fault_%s_total" kind)
+    ~labels:[ ("fault", Fault.to_string f) ]
+    ~help:(Printf.sprintf "Injected faults %s." kind)
+
+let fault_fires t f =
+  has_fault t f
+  && begin
+    Iocov_obs.Metrics.Counter.incr (fault_counter "fired" f);
+    true
+  end
+
 let get t ino =
   match Hashtbl.find_opt t.nodes ino with
   | Some n -> n
@@ -193,6 +210,9 @@ let create ?(config = Config.default) () =
       durable = { d_nodes = Hashtbl.create 16 };
     }
   in
+  List.iter
+    (fun f -> Iocov_obs.Metrics.Counter.incr (fault_counter "armed" f))
+    config.Config.faults;
   let entries = Hashtbl.create 8 in
   let root =
     Node.create ~ino:t.root ~body:(Node.Dir entries) ~mode:0o755 ~uid:0 ~gid:0 ~now:0
@@ -230,7 +250,7 @@ let remove_entry t dir_ino name child =
 
 let persist_node t (node : Node.t) =
   let copy =
-    if has_fault t Fault.Fsync_skips_data && Node.is_reg node then begin
+    if Node.is_reg node && fault_fires t Fault.Fsync_skips_data then begin
       (* buggy fsync: metadata (size, mode, ...) persists, data does not —
          the durable extents stay whatever they were. *)
       let c = Node.copy node in
@@ -359,7 +379,9 @@ let do_open t ~path ~flags ~mode =
              | Error e -> err e
              | Ok () ->
                let mode =
-                 if has_fault t Fault.Creat_mode_ignored then 0 else mode land 0o7777
+                 if mode land 0o7777 <> 0 && fault_fires t Fault.Creat_mode_ignored
+                 then 0
+                 else mode land 0o7777
                in
                let node = alloc_node t ~body:(Node.Reg { extents = [] }) ~mode in
                add_entry t dir_ino name node;
@@ -398,7 +420,7 @@ let do_open t ~path ~flags ~mode =
                Node.is_reg node
                && node.Node.size >= t.cfg.Config.large_file_threshold
                && ((not (has flags O_LARGEFILE))
-                   || has_fault t Fault.Largefile_eoverflow)
+                   || fault_fires t Fault.Largefile_eoverflow)
              then err Errno.EOVERFLOW
              else if Hashtbl.length t.fds >= t.cfg.Config.max_open_files then
                err Errno.EMFILE
@@ -486,11 +508,11 @@ let do_write t ~fd ~count ~offset =
          | _ ->
            if node.Node.immutable_ then err Errno.EPERM
            else if
-             has_fault t Fault.Nowait_write_enospc
-             && Open_flags.has e.fd_flags Open_flags.O_NONBLOCK
+             Open_flags.has e.fd_flags Open_flags.O_NONBLOCK
+             && fault_fires t Fault.Nowait_write_enospc
            then err Errno.ENOSPC
            else if count = 0 then begin
-             if has_fault t Fault.Write_zero_advances_offset && offset = None then
+             if offset = None && fault_fires t Fault.Write_zero_advances_offset then
                e.fd_offset <- e.fd_offset + 1;
              ret 0
            end
@@ -534,7 +556,7 @@ let do_write t ~fd ~count ~offset =
                in
                match charged with
                | Error e ->
-                 if has_fault t Fault.Enospc_swallowed && e = Errno.ENOSPC then ret 0
+                 if e = Errno.ENOSPC && fault_fires t Fault.Enospc_swallowed then ret 0
                  else err e
                | Ok n ->
                  r.extents <-
@@ -576,7 +598,7 @@ let do_lseek t ~fd ~offset ~whence =
               else begin
                 let hole = min (Node.next_hole r.extents ~off:offset) node.Node.size in
                 let hole =
-                  if has_fault t Fault.Seek_hole_off_by_one && hole = node.Node.size then
+                  if hole = node.Node.size && fault_fires t Fault.Seek_hole_off_by_one then
                     hole + 1
                   else hole
                 in
@@ -597,8 +619,8 @@ let truncate_node t (node : Node.t) ~length =
   else begin
     let limit = t.cfg.Config.max_file_size in
     let allowed =
-      if has_fault t Fault.Truncate_efbig_unchecked then length <= limit + 1
-      else length <= limit
+      length <= limit
+      || (length <= limit + 1 && fault_fires t Fault.Truncate_efbig_unchecked)
     in
     if not allowed then err Errno.EFBIG
     else begin
@@ -658,7 +680,8 @@ let do_mkdir t ~path ~mode =
             | Error e -> err e
             | Ok () ->
               let mode =
-                if has_fault t Fault.Mkdir_sticky_lost then mode land 0o777
+                if mode land 0o7000 <> 0 && fault_fires t Fault.Mkdir_sticky_lost
+                then mode land 0o777
                 else mode land 0o7777
               in
               let node = alloc_node t ~body:(Node.Dir (Hashtbl.create 8)) ~mode in
@@ -674,8 +697,8 @@ let do_chmod_node t (node : Node.t) ~mode =
   else if node.Node.immutable_ then err Errno.EPERM
   else if not (is_owner t node) then begin
     if
-      has_fault t Fault.Chmod_suid_kept
-      && mode lxor node.Node.mode land lnot (Mode.mask Mode.S_ISUID) = 0
+      mode lxor node.Node.mode land lnot (Mode.mask Mode.S_ISUID) = 0
+      && fault_fires t Fault.Chmod_suid_kept
     then begin
       node.Node.mode <- mode;
       ret 0
@@ -789,7 +812,7 @@ let do_setxattr t ~variant ~target ~name ~size ~flags =
               (* Figure 1's bug: at the maximum value size the free-space
                  check is miscomputed and the call wrongly succeeds,
                  recording a wrapped (corrupted) size. *)
-              has_fault t Fault.Xattr_ibody_overflow && size = t.cfg.Config.max_xattr_value
+              size = t.cfg.Config.max_xattr_value && fault_fires t Fault.Xattr_ibody_overflow
             then begin
               Hashtbl.replace node.Node.xattrs name (size land 0xFFFF, fill_byte t);
               ret 0
@@ -810,7 +833,7 @@ let do_getxattr t ~variant ~target ~name ~size =
       | None -> err Errno.ENODATA
       | Some (stored, _) ->
         if not (may_read t node) then err Errno.EACCES
-        else if has_fault t Fault.Getxattr_empty_enodata && stored = 0 then
+        else if stored = 0 && fault_fires t Fault.Getxattr_empty_enodata then
           err Errno.ENODATA
         else if size = 0 then ret stored (* size query *)
         else if size < stored then err Errno.ERANGE

@@ -1,0 +1,373 @@
+(* Tests for the self-observability layer: metrics registry, spans with
+   a fake clock, structured logging, and the exporters. *)
+
+open Iocov_obs
+module Log2 = Iocov_util.Log2
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- registry --- *)
+
+let test_counter_roundtrip () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "iocov_test_total" ~help:"h" in
+  check_int "starts at zero" 0 (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  check_int "accumulates" 42 (Metrics.Counter.value c);
+  (* find-or-create: same name+labels answers the same handle *)
+  let c' = Metrics.counter reg "iocov_test_total" in
+  Metrics.Counter.incr c';
+  check_int "shared handle" 43 (Metrics.Counter.value c)
+
+let test_counter_negative_rejected () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "iocov_test_total" in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Metrics.Counter.add: negative increment")
+    (fun () -> Metrics.Counter.add c (-1))
+
+let test_labels_distinguish () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "iocov_test_total" ~labels:[ ("k", "a") ] in
+  let b = Metrics.counter reg "iocov_test_total" ~labels:[ ("k", "b") ] in
+  Metrics.Counter.incr a;
+  check_int "label b untouched" 0 (Metrics.Counter.value b);
+  check_int "label a counted" 1 (Metrics.Counter.value a)
+
+let test_kind_clash_rejected () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "iocov_test_total");
+  check_bool "gauge under a counter name raises" true
+    (match Metrics.gauge reg "iocov_test_total" with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_name_validation () =
+  let reg = Metrics.create () in
+  check_bool "uppercase rejected" true
+    (match Metrics.counter reg "Bad" with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  check_bool "leading digit rejected" true
+    (match Metrics.counter reg "9lives" with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "iocov_test_size" in
+  Metrics.Gauge.set g 7;
+  Metrics.Gauge.add g (-3);
+  Metrics.Gauge.incr g;
+  check_int "gauge arithmetic" 5 (Metrics.Gauge.value g)
+
+let test_snapshot_sorted_and_stable () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "iocov_b_total");
+  ignore (Metrics.counter reg "iocov_a_total");
+  ignore (Metrics.counter reg "iocov_a_total" ~labels:[ ("x", "2") ]);
+  ignore (Metrics.counter reg "iocov_a_total" ~labels:[ ("x", "1") ]);
+  let names =
+    List.map
+      (fun (m : Metrics.metric) ->
+        m.Metrics.name ^ String.concat "" (List.map snd m.Metrics.labels))
+      (Metrics.snapshot reg)
+  in
+  Alcotest.(check (list string))
+    "sorted by name then labels"
+    [ "iocov_a_total"; "iocov_a_total1"; "iocov_a_total2"; "iocov_b_total" ]
+    names
+
+let test_reset_keeps_handles () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "iocov_test_total" in
+  let h = Metrics.histogram reg "iocov_test_ns" in
+  Metrics.Counter.add c 5;
+  Metrics.Histogram.observe h 1024;
+  Metrics.reset reg;
+  check_int "counter zeroed" 0 (Metrics.Counter.value c);
+  check_int "histogram emptied" 0 (Metrics.Histogram.count h);
+  Metrics.Counter.incr c;
+  check_int "handle still live" 1 (Metrics.Counter.value c)
+
+let test_is_timing () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "iocov_test_total");
+  ignore (Metrics.histogram reg "iocov_test_latency_ns");
+  let timing, steady =
+    List.partition Metrics.is_timing (Metrics.snapshot reg)
+  in
+  check_int "one timing metric" 1 (List.length timing);
+  check_int "one steady metric" 1 (List.length steady);
+  check_string "the _ns one" "iocov_test_latency_ns"
+    (List.hd timing).Metrics.name
+
+(* --- histogram bucket boundaries --- *)
+
+let test_histogram_pow2_boundaries () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "iocov_test_sizes" in
+  (* 2^k - 1, 2^k, 2^k + 1 straddle a bucket edge: 2^k-1 belongs to
+     bucket k-1, both 2^k and 2^k+1 to bucket k *)
+  List.iter (Metrics.Histogram.observe h) [ 1023; 1024; 1025 ];
+  Alcotest.(check (list (pair int int)))
+    "boundary split"
+    [ (9, 1); (10, 2) ]
+    (List.filter_map
+       (fun (b, n) ->
+         match b with Log2.Pow2 k -> Some (k, n) | _ -> None)
+       (Metrics.Histogram.buckets h))
+
+let test_histogram_zero_and_negative_buckets () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "iocov_test_sizes" in
+  List.iter (Metrics.Histogram.observe h) [ 0; 0; -5; 1 ];
+  let count b = List.assoc_opt b (Metrics.Histogram.buckets h) in
+  Alcotest.(check (option int)) "dedicated zero bucket" (Some 2) (count Log2.Zero);
+  Alcotest.(check (option int)) "negative bucket" (Some 1) (count Log2.Negative);
+  Alcotest.(check (option int)) "one lands in 2^0" (Some 1) (count (Log2.Pow2 0));
+  check_int "count totals" 4 (Metrics.Histogram.count h);
+  check_int "sum is signed" (-4) (Metrics.Histogram.sum h)
+
+(* --- spans under a fake clock --- *)
+
+let with_fake_clock steps f =
+  let times = ref steps in
+  Clock.set (fun () ->
+      match !times with
+      | [] -> invalid_arg "fake clock exhausted"
+      | t :: rest ->
+        times := rest;
+        t);
+  Fun.protect f ~finally:Clock.reset
+
+let test_span_nesting_fake_clock () =
+  let reg = Metrics.create () in
+  Span.reset ();
+  (* outer opens at 0.0, inner runs [1.0, 3.0], outer closes at 10.0 *)
+  with_fake_clock [ 0.0; 1.0; 3.0; 10.0 ] (fun () ->
+      Span.with_ ~registry:reg ~name:"outer" (fun () ->
+          Span.with_ ~registry:reg ~name:"inner" (fun () -> ())));
+  match Span.roots () with
+  | [ root ] ->
+    check_string "root name" "outer" root.Span.name;
+    Alcotest.(check (float 1e-9)) "outer duration" 10.0 root.Span.duration_s;
+    (match root.Span.children with
+     | [ child ] ->
+       check_string "child name" "inner" child.Span.name;
+       Alcotest.(check (float 1e-9)) "inner duration" 2.0 child.Span.duration_s
+     | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+let test_span_closes_on_exception () =
+  let reg = Metrics.create () in
+  Span.reset ();
+  with_fake_clock [ 0.0; 1.0 ] (fun () ->
+      match Span.with_ ~registry:reg ~name:"boom" (fun () -> failwith "x") with
+      | () -> Alcotest.fail "should have raised"
+      | exception Failure _ -> ());
+  check_int "span still recorded" 1 (List.length (Span.roots ()))
+
+let test_span_timed_duration_agrees () =
+  let reg = Metrics.create () in
+  Span.reset ();
+  with_fake_clock [ 0.0; 2.5 ] (fun () ->
+      let v, node = Span.timed ~registry:reg ~name:"work" (fun () -> 42) in
+      check_int "value passed through" 42 v;
+      Alcotest.(check (float 1e-9)) "measured" 2.5 node.Span.duration_s;
+      (* the same node is the completed root — one source of truth *)
+      Alcotest.(check (float 1e-9)) "root agrees" 2.5
+        (List.hd (Span.roots ())).Span.duration_s)
+
+let test_span_flatten_paths () =
+  let reg = Metrics.create () in
+  Span.reset ();
+  with_fake_clock [ 0.0; 1.0; 2.0; 3.0; 4.0; 5.0 ] (fun () ->
+      Span.with_ ~registry:reg ~name:"a" (fun () ->
+          Span.with_ ~registry:reg ~name:"b" (fun () -> ());
+          Span.with_ ~registry:reg ~name:"c" (fun () -> ())));
+  let root = List.hd (Span.roots ()) in
+  Alcotest.(check (list (list string)))
+    "preorder paths"
+    [ [ "a" ]; [ "a"; "b" ]; [ "a"; "c" ] ]
+    (List.map fst (Span.flatten root))
+
+(* --- logging --- *)
+
+let capture_lines f =
+  let lines = ref [] in
+  Log.set_sink (fun line -> lines := line :: !lines);
+  let saved_level = Log.level () in
+  Fun.protect
+    (fun () ->
+      Log.reset_seq ();
+      f ();
+      List.rev !lines)
+    ~finally:(fun () ->
+      Log.set_level saved_level;
+      Log.set_format Log.Text;
+      Log.set_channel stderr)
+
+let test_log_levels_filter () =
+  let lines =
+    capture_lines (fun () ->
+        Log.set_level Log.Warn;
+        Log.debug "hidden";
+        Log.info "hidden too";
+        Log.warn "shown";
+        Log.error "also shown")
+  in
+  check_int "two lines pass Warn" 2 (List.length lines)
+
+let test_log_text_format () =
+  let lines =
+    capture_lines (fun () ->
+        Log.set_level Log.Info;
+        Log.info "hello" ~fields:[ ("n", Log.int 3); ("s", Log.str "x y") ])
+  in
+  match lines with
+  | [ line ] ->
+    check_string "deterministic text line" "#1 [info] hello n=3 s=\"x y\"" line
+  | l -> Alcotest.failf "expected one line, got %d" (List.length l)
+
+let test_log_json_format () =
+  let lines =
+    capture_lines (fun () ->
+        Log.set_level Log.Info;
+        Log.set_format Log.Json;
+        Log.info "he\"llo" ~fields:[ ("ok", Log.bool true) ])
+  in
+  match lines with
+  | [ line ] ->
+    check_string "json line"
+      "{\"seq\":1,\"level\":\"info\",\"msg\":\"he\\\"llo\",\"ok\":true}" line
+  | l -> Alcotest.failf "expected one line, got %d" (List.length l)
+
+(* --- exporters --- *)
+
+let sample_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "iocov_test_total" ~help:"a counter" ~labels:[ ("k", "v") ] in
+  Metrics.Counter.add c 3;
+  let g = Metrics.gauge reg "iocov_test_size" ~help:"a gauge" in
+  Metrics.Gauge.set g 9;
+  let h = Metrics.histogram reg "iocov_test_bytes" ~help:"a histogram" in
+  List.iter (Metrics.Histogram.observe h) [ 0; 3; 1024 ];
+  reg
+
+let test_prometheus_deterministic () =
+  let a = Export.to_prometheus (sample_registry ()) in
+  let b = Export.to_prometheus (sample_registry ()) in
+  check_string "identical renders" a b
+
+let test_prometheus_shape () =
+  let text = Export.to_prometheus (sample_registry ()) in
+  let has fragment =
+    let fl = String.length fragment and tl = String.length text in
+    let rec go i = i + fl <= tl && (String.sub text i fl = fragment || go (i + 1)) in
+    check_bool fragment true (go 0)
+  in
+  has "# TYPE iocov_test_total counter";
+  has "iocov_test_total{k=\"v\"} 3";
+  has "# TYPE iocov_test_size gauge";
+  has "iocov_test_size 9";
+  has "# TYPE iocov_test_bytes histogram";
+  (* cumulative buckets: 0 -> 1, 2^2 hi=3 -> 2, 2^10 hi=1023... then hi of
+     1024's bucket, +Inf, sum and count *)
+  has "iocov_test_bytes_bucket{le=\"0\"} 1";
+  has "iocov_test_bytes_bucket{le=\"3\"} 2";
+  has "iocov_test_bytes_bucket{le=\"2047\"} 3";
+  has "iocov_test_bytes_bucket{le=\"+Inf\"} 3";
+  has "iocov_test_bytes_sum 1027";
+  has "iocov_test_bytes_count 3"
+
+let test_json_parse_stable () =
+  let json = Export.registry_report ~spans:[] (sample_registry ()) in
+  check_string "same render twice" json
+    (Export.registry_report ~spans:[] (sample_registry ()));
+  (* structural spot checks, keeping the test parser-free *)
+  let has fragment =
+    let fl = String.length fragment and tl = String.length json in
+    let rec go i = i + fl <= tl && (String.sub json i fl = fragment || go (i + 1)) in
+    check_bool fragment true (go 0)
+  in
+  has "{\"metrics\":[";
+  has "\"name\":\"iocov_test_total\"";
+  has "\"labels\":{\"k\":\"v\"}";
+  has "\"value\":3";
+  has "\"spans\":[]"
+
+let test_span_json () =
+  let node =
+    { Span.name = "a"; duration_s = 1.5; children = [ { Span.name = "b"; duration_s = 0.25; children = [] } ] }
+  in
+  check_string "span tree json"
+    "{\"name\":\"a\",\"duration_s\":1.500000000,\"children\":[{\"name\":\"b\",\"duration_s\":0.250000000,\"children\":[]}]}"
+    (Export.span_to_json node)
+
+(* --- end-to-end determinism of the instrumented pipeline --- *)
+
+let test_pipeline_counters_deterministic () =
+  let run () =
+    Metrics.reset Metrics.default;
+    Span.reset ();
+    let r = Iocov_suites.Runner.run ~seed:3 ~scale:0.02 Iocov_suites.Runner.Ltp in
+    let steady =
+      List.filter (fun m -> not (Metrics.is_timing m)) (Metrics.snapshot Metrics.default)
+    in
+    (r.Iocov_suites.Runner.workloads, List.map (fun m -> (m.Metrics.name, m.Metrics.labels, m.Metrics.sample)) steady)
+  in
+  let w1, s1 = run () in
+  let w2, s2 = run () in
+  check_int "same workloads" w1 w2;
+  check_bool "identical non-timing snapshots" true (s1 = s2);
+  check_bool "snapshot is non-trivial" true (List.length s1 > 10)
+
+let test_runner_elapsed_is_root_span () =
+  Metrics.reset Metrics.default;
+  Span.reset ();
+  let r = Iocov_suites.Runner.run ~seed:3 ~scale:0.02 Iocov_suites.Runner.Ltp in
+  match Span.roots () with
+  | [ root ] ->
+    check_string "root span name" "runner/LTP" root.Span.name;
+    Alcotest.(check (float 1e-12))
+      "elapsed_s is the root duration" root.Span.duration_s
+      r.Iocov_suites.Runner.elapsed_s
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l)
+
+let suites =
+  [ ( "obs.metrics",
+      [ Alcotest.test_case "counter roundtrip" `Quick test_counter_roundtrip;
+        Alcotest.test_case "negative add rejected" `Quick test_counter_negative_rejected;
+        Alcotest.test_case "labels distinguish" `Quick test_labels_distinguish;
+        Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+        Alcotest.test_case "name validation" `Quick test_name_validation;
+        Alcotest.test_case "gauge" `Quick test_gauge;
+        Alcotest.test_case "snapshot order" `Quick test_snapshot_sorted_and_stable;
+        Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+        Alcotest.test_case "is_timing" `Quick test_is_timing;
+        Alcotest.test_case "pow2 boundaries" `Quick test_histogram_pow2_boundaries;
+        Alcotest.test_case "zero and negative buckets" `Quick
+          test_histogram_zero_and_negative_buckets ] );
+    ( "obs.span",
+      [ Alcotest.test_case "nesting under a fake clock" `Quick test_span_nesting_fake_clock;
+        Alcotest.test_case "closes on exception" `Quick test_span_closes_on_exception;
+        Alcotest.test_case "timed agrees with roots" `Quick test_span_timed_duration_agrees;
+        Alcotest.test_case "flatten paths" `Quick test_span_flatten_paths ] );
+    ( "obs.log",
+      [ Alcotest.test_case "level filter" `Quick test_log_levels_filter;
+        Alcotest.test_case "text format" `Quick test_log_text_format;
+        Alcotest.test_case "json format" `Quick test_log_json_format ] );
+    ( "obs.export",
+      [ Alcotest.test_case "prometheus deterministic" `Quick test_prometheus_deterministic;
+        Alcotest.test_case "prometheus shape" `Quick test_prometheus_shape;
+        Alcotest.test_case "json parse-stable" `Quick test_json_parse_stable;
+        Alcotest.test_case "span json" `Quick test_span_json ] );
+    ( "obs.pipeline",
+      [ Alcotest.test_case "non-timing metrics deterministic" `Quick
+          test_pipeline_counters_deterministic;
+        Alcotest.test_case "elapsed_s is the root span" `Quick
+          test_runner_elapsed_is_root_span ] ) ]
