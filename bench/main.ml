@@ -11,12 +11,18 @@
 open Iocov_syscall
 module Runner = Iocov_suites.Runner
 module Coverage = Iocov_core.Coverage
+module Snapshot = Iocov_core.Snapshot
 module Report = Iocov_core.Report
 module Tcd = Iocov_core.Tcd
 module Arg_class = Iocov_core.Arg_class
 module Partition = Iocov_core.Partition
 module Ascii = Iocov_util.Ascii
 module Log2 = Iocov_util.Log2
+module Prng = Iocov_util.Prng
+module Event = Iocov_trace.Event
+module Filter = Iocov_trace.Filter
+module Pool = Iocov_par.Pool
+module Replay = Iocov_par.Replay
 
 let scale = ref 55.0
 let seed = ref 42
@@ -32,7 +38,8 @@ let () =
       ("--seed", Arg.Set_int seed, "PRNG seed (default 42)");
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
-        tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|perf)");
+        tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
+        perf|parallel)");
       ("--no-perf", Arg.Clear perf, "skip the Bechamel performance benches");
       ("--metrics-json", Arg.Set_string metrics_json,
        "after the experiments, write the self-observability registry (metrics + span \
@@ -436,6 +443,81 @@ let e10_fuzzer () =
      strictly more of the partitioned input space for the same budget —\n\
      the related-work critique of path-coverage fuzzers, measured."
 
+(* --- shared by E9/E11: synthetic traces, wall clocks, JSON output --- *)
+
+(* A mixed synthetic trace shaped like a suite run: mostly data-path
+   calls under the mount, a tail of out-of-mount noise the filter must
+   reject, and a sprinkling of error outcomes.  Deterministic in the
+   seed, so every --jobs sweep replays the identical event list. *)
+let synth_events n =
+  let rng = Prng.create ~seed:(!seed + 101) in
+  let rdonly = Open_flags.of_flags Open_flags.[ O_RDONLY ] in
+  let creat_rw = Open_flags.of_flags Open_flags.[ O_RDWR; O_CREAT ] in
+  let append_w = Open_flags.of_flags Open_flags.[ O_WRONLY; O_APPEND ] in
+  let mk seq =
+    let inside = Prng.chance rng 0.8 in
+    let path =
+      if inside then
+        Printf.sprintf "/mnt/test/d%d/f%d" (Prng.int rng 40) (Prng.int rng 4000)
+      else Printf.sprintf "/var/tmp/noise%d" (Prng.int rng 1000)
+    in
+    let fd = 3 + Prng.int rng 60 in
+    let call, outcome =
+      match Prng.int rng 8 with
+      | 0 ->
+        let flags = Prng.choose rng [| rdonly; creat_rw; append_w |] in
+        (Model.open_ ~flags ~mode:0o644 path, Model.Ret fd)
+      | 1 -> (Model.open_ ~flags:rdonly ~mode:0 path, Model.Err Errno.ENOENT)
+      | 2 ->
+        let count = Prng.pow2_size rng ~max_log2:20 in
+        (Model.read ~fd ~count (), Model.Ret count)
+      | 3 | 4 ->
+        let count = Prng.pow2_size rng ~max_log2:22 in
+        let variant = if Prng.bool rng then Model.Sys_write else Model.Sys_pwrite64 in
+        let offset = if variant = Model.Sys_pwrite64 then Some (Prng.int rng 100_000) else None in
+        (Model.write ~variant ?offset ~fd ~count (), Model.Ret count)
+      | 5 ->
+        let whence = Prng.choose rng Whence.[| SEEK_SET; SEEK_CUR; SEEK_END |] in
+        (Model.lseek ~fd ~offset:(Prng.int rng 1_000_000) ~whence, Model.Ret 0)
+      | 6 ->
+        ( Model.truncate ~target:(Model.Path path) ~length:(Prng.pow2_size rng ~max_log2:24) (),
+          Model.Ret 0 )
+      | _ -> (Model.chmod ~target:(Model.Path path) ~mode:(Prng.int rng 0o7777) (), Model.Ret 0)
+    in
+    {
+      Event.seq;
+      timestamp_ns = seq * 173;
+      pid = 1000 + Prng.int rng 8;
+      comm = "bench";
+      payload = Event.Tracked call;
+      outcome;
+      path_hint = Some path;
+    }
+  in
+  List.init n mk
+
+let timed_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path body =
+  Out_channel.with_open_text path (fun oc -> output_string oc body);
+  Printf.printf "machine-readable results written to %s\n" path
+
 (* --- E9: performance of the pipeline itself --- *)
 
 let perf_benches () =
@@ -494,7 +576,7 @@ let perf_benches () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
-  let rows =
+  let measured =
     List.map
       (fun test ->
         let results = Benchmark.all cfg [ instance ] test in
@@ -508,14 +590,141 @@ let perf_benches () =
               | _ -> acc)
             analyzed 0.0
         in
-        [ name; Printf.sprintf "%.0f ns/op" est ])
+        (name, est))
       tests
   in
-  print_endline (Ascii.table ~headers:[ "operation"; "cost" ] rows);
+  print_endline
+    (Ascii.table ~headers:[ "operation"; "cost" ]
+       (List.map (fun (name, est) -> [ name; Printf.sprintf "%.0f ns/op" est ]) measured));
   print_endline
     "The traced+IOCov write includes the full pipeline: VFS execution, event\n\
      construction, mount-point filtering, and coverage accumulation — the\n\
-     'low-overhead tracing' requirement of Section 3."
+     'low-overhead tracing' requirement of Section 3.";
+  (* sequential replay throughput: the baseline the --jobs sweep of E11
+     is judged against *)
+  let replay_n = 200_000 in
+  let events = synth_events replay_n in
+  let filter = Filter.mount_point "/mnt/test" in
+  let pool = Pool.create ~jobs:1 () in
+  let outcome, dt = timed_wall (fun () -> Replay.analyze_events ~pool ~filter events) in
+  let events_per_s = float_of_int replay_n /. dt in
+  Printf.printf "\nsequential replay: %s events in %.2fs (%s events/s, %s kept)\n"
+    (Ascii.si_count replay_n) dt
+    (Ascii.si_count (int_of_float events_per_s))
+    (Ascii.si_count outcome.Replay.kept);
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-pipeline/1\",\n  \"seed\": %d,\n  \"benches\": [\n%s\n  \
+       ],\n  \"sequential_replay\": { \"events\": %d, \"elapsed_s\": %.4f, \"events_per_s\": \
+       %.0f }\n}\n"
+      !seed
+      (String.concat ",\n"
+         (List.map
+            (fun (name, est) ->
+              Printf.sprintf "    { \"name\": \"%s\", \"ns_per_op\": %.1f }"
+                (json_escape name) est)
+            measured))
+      replay_n dt events_per_s
+  in
+  write_json "BENCH_pipeline.json" body
+
+(* --- E11: the parallel sharded pipeline --- *)
+
+let e11_parallel () =
+  heading "E11" "Parallel sharded replay: --jobs sweep, filter fast path";
+  let n = 1_000_000 in
+  Printf.printf "generating a %s-event synthetic trace...\n%!" (Ascii.si_count n);
+  let events = synth_events n in
+  let filter = Filter.mount_point "/mnt/test" in
+  Printf.printf "hardware: Domain.recommended_domain_count = %d\n%!"
+    (Domain.recommended_domain_count ());
+  let baseline_snap = ref "" in
+  let baseline_rate = ref 0.0 in
+  let sweep =
+    List.map
+      (fun jobs ->
+        let pool = Pool.create ~jobs () in
+        let outcome, dt =
+          timed_wall (fun () -> Replay.analyze_events ~pool ~filter events)
+        in
+        let snap = Snapshot.to_string outcome.Replay.coverage in
+        if jobs = 1 then begin
+          baseline_snap := snap;
+          baseline_rate := float_of_int n /. dt
+        end;
+        let identical = String.equal snap !baseline_snap in
+        let rate = float_of_int n /. dt in
+        Printf.printf
+          "  jobs=%d: %.2fs (%s events/s, %.2fx vs jobs=1), coverage %s\n%!" jobs dt
+          (Ascii.si_count (int_of_float rate))
+          (rate /. !baseline_rate)
+          (if identical then "identical" else "DIFFERS");
+        (jobs, dt, rate, identical, outcome.Replay.kept))
+      [ 1; 2; 4; 8 ]
+  in
+  (* the filter fast path: literal-prefix pre-check vs the plain
+     backtracking scan, over a path corpus shaped like the trace's *)
+  let regex = Iocov_regex.Engine.compile_exn "^/mnt/test(/|$)" in
+  let corpus =
+    Array.init 4096 (fun i ->
+        if i mod 5 < 4 then Printf.sprintf "/mnt/test/d%d/f%d" (i mod 40) i
+        else Printf.sprintf "/var/tmp/noise%d" i)
+  in
+  let reps = 500 in
+  let bench_ns f =
+    let (), dt =
+      timed_wall (fun () ->
+          for _ = 1 to reps do
+            Array.iter (fun p -> ignore (f p)) corpus
+          done)
+    in
+    dt *. 1e9 /. float_of_int (reps * Array.length corpus)
+  in
+  let fast_ns = bench_ns (fun p -> Iocov_regex.Engine.search regex p) in
+  let scan_ns = bench_ns (fun p -> Iocov_regex.Engine.search_scan regex p) in
+  Printf.printf "filter search: fast path %.0f ns, plain scan %.0f ns (%.1fx)\n" fast_ns
+    scan_ns (scan_ns /. fast_ns);
+  (* batched keep_all throughput on the worker-side batch size *)
+  let rec chunk acc = function
+    | [] -> List.rev acc
+    | events ->
+      let rec take k got rest =
+        if k = 0 then (List.rev got, rest)
+        else match rest with [] -> (List.rev got, []) | e :: tl -> take (k - 1) (e :: got) tl
+      in
+      let head, tail = take Replay.default_batch [] events in
+      chunk (head :: acc) tail
+  in
+  let batches = chunk [] events in
+  let (), keep_dt =
+    timed_wall (fun () -> List.iter (fun b -> ignore (Filter.keep_all filter b)) batches)
+  in
+  let keep_rate = float_of_int n /. keep_dt in
+  Printf.printf "Filter.keep_all: %s events/s in %d-event batches\n"
+    (Ascii.si_count (int_of_float keep_rate))
+    Replay.default_batch;
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-parallel/1\",\n  \"seed\": %d,\n  \
+       \"recommended_domain_count\": %d,\n  \"trace_events\": %d,\n  \"replay\": [\n%s\n  \
+       ],\n  \"filter\": {\n    \"pattern\": \"%s\",\n    \"fast_path_ns_per_search\": %.1f,\n    \
+       \"scan_ns_per_search\": %.1f,\n    \"fast_path_speedup\": %.2f,\n    \
+       \"keep_all_events_per_s\": %.0f\n  }\n}\n"
+      !seed
+      (Domain.recommended_domain_count ())
+      n
+      (String.concat ",\n"
+         (List.map
+            (fun (jobs, dt, rate, identical, kept) ->
+              Printf.sprintf
+                "    { \"jobs\": %d, \"elapsed_s\": %.4f, \"events_per_s\": %.0f, \
+                 \"speedup_vs_jobs1\": %.3f, \"events_kept\": %d, \"coverage_identical\": %b }"
+                jobs dt rate (rate /. !baseline_rate) kept identical)
+            sweep))
+      (json_escape "^/mnt/test(/|$)")
+      fast_ns scan_ns (scan_ns /. fast_ns) keep_rate
+  in
+  write_json "BENCH_parallel.json" body
 
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
@@ -534,6 +743,7 @@ let () =
   if wanted "reduction" then s3_reduction ();
   if wanted "fuzzer" then e10_fuzzer ();
   if !perf && wanted "perf" then perf_benches ();
+  if wanted "parallel" then e11_parallel ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

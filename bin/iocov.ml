@@ -28,6 +28,17 @@ let scale_arg =
         ~doc:"Workload scale factor; 1.0 is a quick shape-complete run, larger values \
               approach the paper's absolute frequencies.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ]
+        ~docv:"N"
+        ~doc:"Analysis worker shards.  1 (the default) analyzes inline on the calling \
+              domain; $(docv) > 1 spawns that many worker domains; 0 picks \
+              $(b,Domain.recommended_domain_count).  Coverage results are byte-identical \
+              at any job count.")
+
 let fault_conv =
   let parse s =
     match Fault.of_string s with
@@ -122,15 +133,19 @@ let print_result (r : Runner.result) =
   print_endline (Report.untested_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage)
 
 let suite_cmd =
-  let run obs suite seed scale faults =
-    with_obs obs (fun () -> print_result (Runner.run ~seed ~scale ~faults suite))
+  let run obs suite seed scale faults jobs =
+    (* --jobs 1 keeps the classic inline path; anything else routes the
+       event stream through the sharded pipeline *)
+    let jobs = if jobs = 1 then None else Some jobs in
+    with_obs obs (fun () -> print_result (Runner.run ~seed ~scale ~faults ?jobs suite))
   in
   let suite_pos =
     Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
-    Term.(const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ faults_arg)
+    Term.(
+      const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ faults_arg $ jobs_arg)
 
 (* --- trace: run a suite and store the raw trace --- *)
 
@@ -172,7 +187,7 @@ let trace_cmd =
 (* --- analyze a stored trace --- *)
 
 let analyze_cmd =
-  let run obs file patterns mount save =
+  let run obs file patterns mount save jobs =
     with_obs obs @@ fun () ->
     let filter =
       match (patterns, mount) with
@@ -183,33 +198,22 @@ let analyze_cmd =
          | Ok f -> f
          | Error msg -> failwith msg)
     in
-    let coverage = Coverage.create () in
-    let kept = ref 0 and dropped = ref 0 in
+    (* The sharded pipeline streams the trace in batches (O(batch)
+       memory) and at --jobs 1 runs inline — the sequential path. *)
+    let pool = Iocov_par.Pool.create ~jobs () in
     let ic = open_in_bin file in
-    let consume () e =
-      if Iocov_trace.Filter.keeps filter e then begin
-        incr kept;
-        match e.Iocov_trace.Event.payload with
-        | Iocov_trace.Event.Tracked call ->
-          Coverage.observe coverage call e.Iocov_trace.Event.outcome
-        | Iocov_trace.Event.Aux _ -> ()
-      end
-      else incr dropped
-    in
-    let result =
-      if Iocov_trace.Binary_io.is_binary_trace ic then
-        Iocov_trace.Binary_io.fold_channel ic ~init:() ~f:consume
-      else Iocov_trace.Format_io.fold_channel ic ~init:() ~f:consume
-    in
+    let result = Iocov_par.Replay.analyze_channel ~pool ~filter ic in
     close_in ic;
     (match result with
-     | Ok () ->
-       Printf.printf "%s: %d records kept, %d filtered out\n" file !kept !dropped;
-       print_endline (Report.suite_summary ~name:file coverage);
-       print_endline (Report.untested_summary ~name:file coverage);
+     | Ok o ->
+       let open Iocov_par.Replay in
+       Printf.printf "%s: %d records kept, %d filtered out%s\n" file o.kept o.dropped
+         (if o.shards > 1 then Printf.sprintf " (%d shards)" o.shards else "");
+       print_endline (Report.suite_summary ~name:file o.coverage);
+       print_endline (Report.untested_summary ~name:file o.coverage);
        (match save with
         | Some path ->
-          Iocov_core.Snapshot.save_file path coverage;
+          Iocov_core.Snapshot.save_file path o.coverage;
           Printf.printf "coverage snapshot written to %s\n" path
         | None -> ())
      | Error msg -> Printf.eprintf "error: %s\n" msg)
@@ -229,7 +233,8 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute input/output coverage from a stored trace file.")
-    Term.(const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg)
+    Term.(
+      const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg $ jobs_arg)
 
 (* --- compare: the paper's evaluation --- *)
 

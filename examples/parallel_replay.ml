@@ -1,0 +1,33 @@
+(* Replay one suite's event stream through the sharded parallel
+   pipeline and prove the determinism contract: coverage at any job
+   count is byte-identical to the sequential run.
+
+     dune exec examples/parallel_replay.exe -- 2 0.2   # jobs, scale
+
+   Exits 1 on a coverage mismatch, so this doubles as a smoke test
+   (wired into dune runtest at jobs=2). *)
+
+module Runner = Iocov_suites.Runner
+module Snapshot = Iocov_core.Snapshot
+module Ascii = Iocov_util.Ascii
+
+let () =
+  let jobs = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 2 in
+  let scale = if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.2 in
+  let seed = 42 in
+  let sequential = Runner.run ~seed ~scale Runner.Ltp in
+  Printf.printf "sequential: %s events (%s kept) in %.2fs\n"
+    (Ascii.si_count sequential.Runner.events_total)
+    (Ascii.si_count sequential.Runner.events_kept)
+    sequential.Runner.elapsed_s;
+  let parallel = Runner.run ~seed ~scale ~jobs Runner.Ltp in
+  Printf.printf "jobs=%d:     %s events (%s kept) in %.2fs\n" jobs
+    (Ascii.si_count parallel.Runner.events_total)
+    (Ascii.si_count parallel.Runner.events_kept)
+    parallel.Runner.elapsed_s;
+  let identical =
+    Snapshot.equal sequential.Runner.coverage parallel.Runner.coverage
+    && sequential.Runner.events_kept = parallel.Runner.events_kept
+  in
+  Printf.printf "coverage %s\n" (if identical then "identical" else "DIFFERS");
+  exit (if identical then 0 else 1)

@@ -22,15 +22,17 @@ type t = {
   variants : Model.variant Histogram.t;
   flag_sets : Open_flags.t Histogram.t;
   mutable calls : int;
+  metered : bool;
 }
 
-let create () =
+let create ?(metered = true) () =
   {
     inputs = Hashtbl.create 16;
     outputs = Hashtbl.create 16;
     variants = Histogram.create ~compare:Stdlib.compare;
     flag_sets = Histogram.create ~compare:Stdlib.compare;
     calls = 0;
+    metered;
   }
 
 let input_hist t arg =
@@ -51,25 +53,25 @@ let output_hist t base =
 
 let observe_input_only t call =
   t.calls <- t.calls + 1;
-  Metrics.Counter.incr m_calls;
+  if t.metered then Metrics.Counter.incr m_calls;
   Histogram.add t.variants (Model.variant_of_call call);
-  Metrics.Counter.incr m_variant_updates;
+  if t.metered then Metrics.Counter.incr m_variant_updates;
   List.iter
     (fun (arg, part) ->
       Histogram.add (input_hist t arg) part;
-      Metrics.Counter.incr m_input_updates)
+      if t.metered then Metrics.Counter.incr m_input_updates)
     (Partition.of_call call);
   match call with
   | Model.Open_call { flags; _ } ->
     Histogram.add t.flag_sets flags;
-    Metrics.Counter.incr m_flag_set_updates
+    if t.metered then Metrics.Counter.incr m_flag_set_updates
   | _ -> ()
 
 let observe t call outcome =
   observe_input_only t call;
   let base = Model.base_of_call call in
   Histogram.add (output_hist t base) (Partition.output_of base outcome);
-  Metrics.Counter.incr m_output_updates
+  if t.metered then Metrics.Counter.incr m_output_updates
 
 (* Table sizes are per-accumulator, so they are published on demand for
    one chosen instance (the run's accumulator) rather than streamed —
@@ -109,9 +111,23 @@ let merge_into ~dst src =
     src.outputs
 
 let copy t =
-  let fresh = create () in
+  let fresh = create ~metered:t.metered () in
   merge_into ~dst:fresh t;
   fresh
+
+(* Credit this accumulator's counts to the global iocov_coverage_*
+   counters in one batch — exactly the increments the per-event metered
+   path would have made, since every [observe] adds one entry per
+   touched table.  The parallel pipeline calls this once after merging
+   its unmetered shards, keeping counter totals identical to a
+   sequential run without per-event atomic traffic from the workers. *)
+let meter_counts t =
+  let table_total tbl = Hashtbl.fold (fun _ h acc -> acc + Histogram.total h) tbl 0 in
+  Metrics.Counter.add m_calls t.calls;
+  Metrics.Counter.add m_variant_updates (Histogram.total t.variants);
+  Metrics.Counter.add m_flag_set_updates (Histogram.total t.flag_sets);
+  Metrics.Counter.add m_input_updates (table_total t.inputs);
+  Metrics.Counter.add m_output_updates (table_total t.outputs)
 
 let input_count t arg part = Histogram.count (input_hist t arg) part
 let input_histogram t arg = Histogram.to_sorted (input_hist t arg)

@@ -10,7 +10,13 @@ open Iocov_syscall
 
 type t
 
-val create : unit -> t
+val create : ?metered:bool -> unit -> t
+(** [metered] (default [true]) controls whether observations feed the
+    global [iocov_coverage_*] counters.  The parallel pipeline creates
+    its per-worker shards with [~metered:false] — shards are private to
+    one domain, and their counts are credited in one batch via
+    {!meter_counts} after the merge, so totals match a sequential run
+    without per-event atomic traffic. *)
 
 val observe : t -> Model.call -> Model.outcome -> unit
 (** Count one traced syscall. *)
@@ -22,9 +28,18 @@ val observe_input_only : t -> Model.call -> unit
     histograms are untouched. *)
 
 val merge_into : dst:t -> t -> unit
-(** Pointwise sum — coverage from parallel runs composes. *)
+(** Pointwise sum — coverage from parallel runs composes.  Commutative
+    and associative (property-tested), which is what makes sharded
+    accumulation order-independent: merging per-worker shards in any
+    order yields the same accumulator. *)
 
 val copy : t -> t
+
+val meter_counts : t -> unit
+(** Credit this accumulator's counts to the global [iocov_coverage_*]
+    counters in one batch — exactly the increments per-event metering
+    would have made.  Called by the parallel pipeline after merging
+    unmetered shards. *)
 
 val publish_gauges : t -> unit
 (** Publish this accumulator's table sizes (input/output tables,

@@ -1,46 +1,61 @@
 module Log2 = Iocov_util.Log2
 module H = Iocov_util.Histogram
 
+(* Counters and gauges are lock-free atomics so the parallel pipeline's
+   worker domains can meter through the same handles as the sequential
+   path; increments commute, so totals stay deterministic regardless of
+   scheduling. *)
 module Counter = struct
-  type t = { mutable v : int }
+  type t = { v : int Atomic.t }
 
-  let incr c = c.v <- c.v + 1
+  let incr c = Atomic.incr c.v
 
   let add c n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
-    c.v <- c.v + n
+    ignore (Atomic.fetch_and_add c.v n)
 
-  let value c = c.v
+  let value c = Atomic.get c.v
 end
 
 module Gauge = struct
-  type t = { mutable v : int }
+  type t = { v : int Atomic.t }
 
-  let set g n = g.v <- n
-  let incr g = g.v <- g.v + 1
-  let add g n = g.v <- g.v + n
-  let value g = g.v
+  let set g n = Atomic.set g.v n
+  let incr g = Atomic.incr g.v
+  let add g n = ignore (Atomic.fetch_and_add g.v n)
+  let value g = Atomic.get g.v
 end
 
+(* Histograms mutate a hashtable; a per-histogram lock keeps them safe
+   from any domain.  They sit on cold paths (span completion, tracer
+   emit latency), so the uncontended lock is noise. *)
 module Histogram = struct
   type t = {
     table : Log2.bucket H.t;
     mutable sum : int;
+    lock : Mutex.t;
   }
 
-  let make () = { table = H.create ~compare:Log2.compare_bucket; sum = 0 }
+  let make () =
+    { table = H.create ~compare:Log2.compare_bucket; sum = 0; lock = Mutex.create () }
+
+  let locked h f =
+    Mutex.lock h.lock;
+    Fun.protect f ~finally:(fun () -> Mutex.unlock h.lock)
 
   let observe h v =
-    H.add h.table (Log2.bucket_of_int v);
-    h.sum <- h.sum + v
+    locked h (fun () ->
+        H.add h.table (Log2.bucket_of_int v);
+        h.sum <- h.sum + v)
 
-  let count h = H.total h.table
-  let sum h = h.sum
-  let buckets h = H.to_sorted h.table
+  let count h = locked h (fun () -> H.total h.table)
+  let sum h = locked h (fun () -> h.sum)
+  let buckets h = locked h (fun () -> H.to_sorted h.table)
 
   let clear h =
-    H.clear h.table;
-    h.sum <- 0
+    locked h (fun () ->
+        H.clear h.table;
+        h.sum <- 0)
 end
 
 type handle =
@@ -54,10 +69,17 @@ type entry = { help : string; handle : handle }
    identity, so one family name may carry many label sets. *)
 type key = { k_name : string; k_labels : (string * string) list }
 
-type t = { entries : (key, entry) Hashtbl.t }
+(* The registry lock covers the entries table only; it is taken on
+   registration and whole-registry walks, never on the per-event
+   increment path (handles are resolved once and cached). *)
+type t = { entries : (key, entry) Hashtbl.t; lock : Mutex.t }
 
-let create () = { entries = Hashtbl.create 64 }
+let create () = { entries = Hashtbl.create 64; lock = Mutex.create () }
 let default = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
 
 let name_ok s =
   String.length s > 0
@@ -78,12 +100,16 @@ let validate name labels =
 let register t ~help ~labels name make describe =
   validate name labels;
   let key = { k_name = name; k_labels = labels } in
-  match Hashtbl.find_opt t.entries key with
-  | Some e -> describe e.handle
-  | None ->
-    let handle = make () in
-    Hashtbl.add t.entries key { help; handle };
-    describe handle
+  let handle =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.entries key with
+        | Some e -> e.handle
+        | None ->
+          let handle = make () in
+          Hashtbl.add t.entries key { help; handle };
+          handle)
+  in
+  describe handle
 
 let kind_error name expected =
   invalid_arg
@@ -92,12 +118,12 @@ let kind_error name expected =
 
 let counter ?(help = "") ?(labels = []) t name =
   register t ~help ~labels name
-    (fun () -> C { Counter.v = 0 })
+    (fun () -> C { Counter.v = Atomic.make 0 })
     (function C c -> c | _ -> kind_error name "counter")
 
 let gauge ?(help = "") ?(labels = []) t name =
   register t ~help ~labels name
-    (fun () -> G { Gauge.v = 0 })
+    (fun () -> G { Gauge.v = Atomic.make 0 })
     (function G g -> g | _ -> kind_error name "gauge")
 
 let histogram ?(help = "") ?(labels = []) t name =
@@ -106,13 +132,14 @@ let histogram ?(help = "") ?(labels = []) t name =
     (function Hist h -> h | _ -> kind_error name "histogram")
 
 let reset t =
-  Hashtbl.iter
-    (fun _ e ->
-      match e.handle with
-      | C c -> c.Counter.v <- 0
-      | G g -> g.Gauge.v <- 0
-      | Hist h -> Histogram.clear h)
-    t.entries
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ e ->
+          match e.handle with
+          | C c -> Atomic.set c.Counter.v 0
+          | G g -> Atomic.set g.Gauge.v 0
+          | Hist h -> Histogram.clear h)
+        t.entries)
 
 type sample =
   | Counter_sample of int
@@ -131,19 +158,20 @@ type metric = {
 }
 
 let snapshot t =
-  Hashtbl.fold
-    (fun key e acc ->
-      let sample =
-        match e.handle with
-        | C c -> Counter_sample c.Counter.v
-        | G g -> Gauge_sample g.Gauge.v
-        | Hist h ->
-          Histogram_sample
-            { count = Histogram.count h; sum = h.Histogram.sum;
-              buckets = Histogram.buckets h }
-      in
-      { name = key.k_name; labels = key.k_labels; help = e.help; sample } :: acc)
-    t.entries []
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun key e acc ->
+          let sample =
+            match e.handle with
+            | C c -> Counter_sample (Counter.value c)
+            | G g -> Gauge_sample (Gauge.value g)
+            | Hist h ->
+              Histogram_sample
+                { count = Histogram.count h; sum = Histogram.sum h;
+                  buckets = Histogram.buckets h }
+          in
+          { name = key.k_name; labels = key.k_labels; help = e.help; sample } :: acc)
+        t.entries [])
   |> List.sort (fun a b ->
          match compare a.name b.name with
          | 0 -> compare a.labels b.labels

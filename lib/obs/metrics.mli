@@ -10,8 +10,15 @@
     applies to syscall arguments.
 
     Registration returns a {e handle}; hot paths resolve their handle
-    once and then increment a plain mutable field, keeping the
-    per-event cost negligible next to coverage accumulation.
+    once and then increment it directly, keeping the per-event cost
+    negligible next to coverage accumulation.
+
+    Domain-safety: counters and gauges are atomics and may be driven
+    from any domain (the parallel pipeline's worker shards meter
+    through the same handles as the sequential path); histograms and
+    registration are mutex-protected.  Counter totals are sums of
+    commutative increments, so they stay deterministic under parallel
+    replay.
 
     Determinism: counter and gauge values are pure functions of the
     work driven through the pipeline (seed, scale, faults).  Only

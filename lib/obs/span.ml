@@ -10,8 +10,19 @@ type frame = {
   mutable f_children : node list;  (* reverse completion order *)
 }
 
-let stack : frame list ref = ref []
+(* Each domain keeps its own open-span stack, so a worker shard can time
+   itself without seeing (or corrupting) the main pipeline's frames; a
+   worker's outermost span completes into the shared root list, which a
+   mutex guards together with the registry recording. *)
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let stack () = Domain.DLS.get stack_key
+
+let lock = Mutex.create ()
 let completed_roots : node list ref = ref []  (* reverse completion order *)
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock lock)
 
 let record registry node =
   let labels = [ ("span", node.name) ] in
@@ -24,6 +35,7 @@ let record registry node =
     (int_of_float (node.duration_s *. 1e9))
 
 let with_ ?(registry = Metrics.default) ~name f =
+  let stack = stack () in
   let frame = { f_name = name; f_start = Clock.now (); f_children = [] } in
   stack := frame :: !stack;
   let close () =
@@ -42,7 +54,7 @@ let with_ ?(registry = Metrics.default) ~name f =
     in
     (match !stack with
      | parent :: _ -> parent.f_children <- node :: parent.f_children
-     | [] -> completed_roots := node :: !completed_roots);
+     | [] -> locked (fun () -> completed_roots := node :: !completed_roots));
     record registry node;
     node
   in
@@ -59,14 +71,14 @@ let timed ?registry ~name f =
   (* the span we just closed is the newest child of the current top, or
      the newest completed root *)
   let node =
-    match !stack with
+    match !(stack ()) with
     | parent :: _ -> List.hd parent.f_children
-    | [] -> List.hd !completed_roots
+    | [] -> locked (fun () -> List.hd !completed_roots)
   in
   (result, node)
 
-let roots () = List.rev !completed_roots
-let reset () = completed_roots := []
+let roots () = locked (fun () -> List.rev !completed_roots)
+let reset () = locked (fun () -> completed_roots := [])
 
 let flatten node =
   let rec go path n acc =

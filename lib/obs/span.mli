@@ -6,8 +6,12 @@
     completed span to its enclosing span — so a run builds a profile
     tree: runner at the root, suite phases beneath it.
 
-    The span stack is process-global (the pipeline is single-threaded);
-    completed top-level spans accumulate in {!roots} until {!reset}. *)
+    The open-span stack is per-domain (a parallel worker shard times
+    itself without touching the main pipeline's frames); completed
+    top-level spans from every domain accumulate in the shared {!roots}
+    list until {!reset}.  Root order for concurrently completing spans
+    follows the scheduler, so consumers comparing runs byte-for-byte
+    should sort or exclude parallel shard spans. *)
 
 type node = {
   name : string;

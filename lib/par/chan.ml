@@ -1,0 +1,83 @@
+module Metrics = Iocov_obs.Metrics
+
+(* Producer/consumer stalls, process-wide: how often the pipeline's
+   bounded queue ran full (decode outpacing analysis) or empty
+   (analysis outpacing decode).  The pair is the back-pressure gauge a
+   --jobs sweep should watch. *)
+let m_wait side =
+  Metrics.counter Metrics.default "iocov_par_chan_waits_total"
+    ~labels:[ ("side", side) ]
+    ~help:"Blocking waits on the bounded pipeline channel."
+
+let m_full_waits = m_wait "push_full"
+let m_empty_waits = m_wait "pop_empty"
+
+exception Closed
+
+type 'a t = {
+  buf : 'a option array;  (* ring buffer; None = empty slot *)
+  mutable head : int;     (* next slot to pop *)
+  mutable len : int;      (* occupied slots *)
+  mutable closed : bool;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Chan.create: capacity must be positive";
+  {
+    buf = Array.make capacity None;
+    head = 0;
+    len = 0;
+    closed = false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+  }
+
+let capacity t = Array.length t.buf
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect f ~finally:(fun () -> Mutex.unlock t.lock)
+
+let push t x =
+  locked t (fun () ->
+      if t.closed then raise Closed;
+      while t.len = Array.length t.buf && not t.closed do
+        Metrics.Counter.incr m_full_waits;
+        Condition.wait t.not_full t.lock
+      done;
+      if t.closed then raise Closed;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+      t.len <- t.len + 1;
+      Condition.signal t.not_empty)
+
+let pop t =
+  locked t (fun () ->
+      while t.len = 0 && not t.closed do
+        Metrics.Counter.incr m_empty_waits;
+        Condition.wait t.not_empty t.lock
+      done;
+      if t.len = 0 then None (* closed and drained *)
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        Condition.signal t.not_full;
+        x
+      end)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (* wake every waiter: producers fail with Closed, consumers
+           drain the remaining items then see None *)
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full
+      end)
+
+let length t = locked t (fun () -> t.len)

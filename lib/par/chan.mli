@@ -1,0 +1,34 @@
+(** A bounded multi-producer/multi-consumer channel.
+
+    The pipeline's back-pressure primitive: the reader domain pushes
+    decoded batches, worker domains pop them, and the fixed capacity
+    bounds how far decode may run ahead of analysis — which is what
+    keeps a multi-million-event replay in O(capacity × batch) memory.
+
+    Blocking is mutex + condition (no spinning); every blocking wait
+    increments [iocov_par_chan_waits_total{side=push_full|pop_empty}]. *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!push} on a closed channel. *)
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the channel is full.  Raises {!Closed} if the channel
+    is (or becomes) closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while the channel is empty and open.  [None] once the
+    channel is closed {e and} drained — the consumer's termination
+    signal. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Wakes all waiters; buffered items remain poppable. *)
+
+val length : 'a t -> int
+(** Occupied slots (racy by nature; for monitoring only). *)

@@ -1,0 +1,57 @@
+module Metrics = Iocov_obs.Metrics
+
+let m_domains =
+  Metrics.counter Metrics.default "iocov_par_domains_spawned_total"
+    ~help:"Worker domains spawned by the parallel pipeline."
+
+let m_jobs =
+  Metrics.gauge Metrics.default "iocov_par_jobs"
+    ~help:"Worker count of the most recently created pool."
+
+type t = { jobs : int }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some n when n <= 0 -> default_jobs ()
+    | Some n -> n
+  in
+  Metrics.Gauge.set m_jobs jobs;
+  { jobs }
+
+let jobs t = t.jobs
+
+(* A launched shard set.  Shard 0 of a single-job pool runs inline at
+   [join] time (no domain, no scheduling jitter — the --jobs 1 path is
+   the sequential path); otherwise every shard is a spawned domain. *)
+type 'a running =
+  | Inline of (unit -> 'a)
+  | Domains of 'a or_raise Domain.t array
+
+and 'a or_raise = Value of 'a | Raised of exn
+
+let launch t f =
+  if t.jobs = 1 then Inline (fun () -> f ~shard:0)
+  else
+    Domains
+      (Array.init t.jobs (fun shard ->
+           Metrics.Counter.incr m_domains;
+           Domain.spawn (fun () ->
+               match f ~shard with v -> Value v | exception exn -> Raised exn)))
+
+let join r =
+  match r with
+  | Inline f -> [| f () |]
+  | Domains domains ->
+    (* join every shard before deciding the outcome — a raising shard
+       must not leave siblings running — then re-raise the first
+       failure by shard index (deterministic choice) *)
+    let results = Array.map Domain.join domains in
+    Array.map
+      (function Value v -> v | Raised exn -> raise exn)
+      results
+
+let run t f = join (launch t f)

@@ -1,0 +1,39 @@
+(** A fixed-size domain pool.
+
+    Sized from [Domain.recommended_domain_count] by default, overridden
+    by the CLI's [--jobs].  A pool is a worker-count policy plus
+    launch/join; the work itself is distributed by {!Replay} through a
+    bounded {!Chan}.
+
+    Counting convention: [jobs] is the number of {e analysis} shards.
+    The producer (trace decode or a live tracer) runs on the calling
+    domain, so a [--jobs 4] replay uses 4 worker domains plus the
+    caller. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [jobs] ≤ 0 or omitted means [Domain.recommended_domain_count].
+    Sets the [iocov_par_jobs] gauge. *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+
+type 'a running
+
+val launch : t -> (shard:int -> 'a) -> 'a running
+(** Start one shard per job, numbered [0 .. jobs-1].  With [jobs = 1]
+    nothing is spawned: the single shard runs inline on the caller at
+    {!join} time — the [--jobs 1] path {e is} the sequential path.
+    Each spawned domain increments
+    [iocov_par_domains_spawned_total]. *)
+
+val join : 'a running -> 'a array
+(** Wait for every shard; results in shard order.  If shards raised,
+    every shard is still joined first, then the lowest-numbered shard's
+    exception is re-raised. *)
+
+val run : t -> (shard:int -> 'a) -> 'a array
+(** [launch] then [join] — for work that needs no concurrent
+    producer. *)

@@ -1,0 +1,293 @@
+module Coverage = Iocov_core.Coverage
+module Filter = Iocov_trace.Filter
+module Event = Iocov_trace.Event
+module Binary_io = Iocov_trace.Binary_io
+module Format_io = Iocov_trace.Format_io
+module Span = Iocov_obs.Span
+module Metrics = Iocov_obs.Metrics
+
+let m_batches =
+  Metrics.counter Metrics.default "iocov_par_batches_total"
+    ~help:"Work batches processed by the parallel pipeline."
+
+let m_events =
+  Metrics.counter Metrics.default "iocov_par_events_total"
+    ~help:"Trace records processed by the parallel pipeline."
+
+let default_batch = 1024
+
+(* Channel capacity in batches.  Small multiple of the worker count:
+   enough slack to ride out scheduling jitter, small enough that decode
+   stays O(capacity × batch) ahead of analysis. *)
+let capacity_for jobs = 4 * jobs
+
+type outcome = {
+  coverage : Coverage.t;
+  events : int;
+  kept : int;
+  dropped : int;
+  shards : int;
+  batches : int;
+  shard_events : int array;
+}
+
+(* A unit of work: either decoded events (binary traces, live tracers)
+   or raw text lines parsed on the worker (text traces — the parse is
+   the expensive part, so it is the part worth distributing). *)
+type work =
+  | Events of Event.t list
+  | Lines of (int * string) list
+
+type shard_state = {
+  cov : Coverage.t;
+  mutable s_events : int;
+  mutable s_kept : int;
+  mutable s_batches : int;
+  mutable s_error : (int * string) option;  (* lowest-line parse error *)
+}
+
+let make_shard ~metered () =
+  { cov = Coverage.create ~metered (); s_events = 0; s_kept = 0; s_batches = 0;
+    s_error = None }
+
+let observe_kept st (e : Event.t) =
+  match e.Event.payload with
+  | Event.Tracked call -> Coverage.observe st.cov call e.Event.outcome
+  | Event.Aux _ -> ()
+
+let note_error st lineno msg =
+  match st.s_error with
+  | Some (l, _) when l <= lineno -> ()
+  | _ -> st.s_error <- Some (lineno, msg)
+
+let process filter st work =
+  let events =
+    match work with
+    | Events batch -> batch
+    | Lines batch ->
+      List.filter_map
+        (fun (lineno, line) ->
+          match Format_io.of_line ~seq:lineno line with
+          | Ok e -> Some e
+          | Error msg ->
+            note_error st lineno msg;
+            None)
+        batch
+  in
+  let n = List.length events in
+  let kept = Filter.keep_all filter events in
+  List.iter (observe_kept st) kept;
+  st.s_events <- st.s_events + n;
+  st.s_kept <- st.s_kept + List.length kept;
+  st.s_batches <- st.s_batches + 1;
+  Metrics.Counter.incr m_batches;
+  Metrics.Counter.add m_events n
+
+(* Merge shard results in shard order.  merge_into is commutative and
+   associative (property-tested), so the result is independent of how
+   the scheduler spread batches over shards — the determinism
+   contract.  Shards accumulate unmetered; the merged accumulator is
+   credited to the global counters in one batch, matching the
+   sequential path's totals exactly. *)
+let finalize shards =
+  let error =
+    Array.fold_left
+      (fun acc st ->
+        match (acc, st.s_error) with
+        | None, e | e, None -> e
+        | (Some (la, _) as a), Some (lb, _) ->
+          if la <= lb then a else st.s_error)
+      None shards
+  in
+  match error with
+  | Some (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  | None ->
+    let coverage =
+      match shards with
+      | [| st |] -> st.cov (* single shard: metered per event already *)
+      | _ ->
+        let dst = Coverage.create () in
+        Array.iter (fun st -> Coverage.merge_into ~dst st.cov) shards;
+        Coverage.meter_counts dst;
+        dst
+    in
+    let sum f = Array.fold_left (fun acc st -> acc + f st) 0 shards in
+    let events = sum (fun st -> st.s_events) in
+    Ok
+      {
+        coverage;
+        events;
+        kept = sum (fun st -> st.s_kept);
+        dropped = events - sum (fun st -> st.s_kept);
+        shards = Array.length shards;
+        batches = sum (fun st -> st.s_batches);
+        shard_events = Array.map (fun st -> st.s_events) shards;
+      }
+
+(* The engine: [feed] pushes work items; shards drain them.  With one
+   job everything runs inline on the caller — the --jobs 1 path is the
+   sequential path, with a metered shard and no channel. *)
+let run_pipeline ~pool ~feed ~filter =
+  if Pool.jobs pool = 1 then begin
+    let st = make_shard ~metered:true () in
+    Span.with_ ~name:"par/shard-0" (fun () -> feed (process filter st));
+    finalize [| st |]
+  end
+  else begin
+    let jobs = Pool.jobs pool in
+    let chan = Chan.create ~capacity:(capacity_for jobs) in
+    let running =
+      Pool.launch pool (fun ~shard ->
+          let st = make_shard ~metered:false () in
+          Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
+              let rec loop () =
+                match Chan.pop chan with
+                | None -> ()
+                | Some w ->
+                  process filter st w;
+                  loop ()
+              in
+              loop ());
+          st)
+    in
+    let fed = match feed (Chan.push chan) with () -> Ok () | exception exn -> Error exn in
+    Chan.close chan;
+    let shards = Pool.join running in
+    match fed with Error exn -> raise exn | Ok () -> finalize shards
+  end
+
+(* --- entry points --- *)
+
+let or_default pool = match pool with Some p -> p | None -> Pool.create ()
+
+let analyze_events ?pool ?(batch = default_batch) ~filter events =
+  if batch <= 0 then invalid_arg "Replay.analyze_events: batch must be positive";
+  let pool = or_default pool in
+  let feed push =
+    let rec chunks = function
+      | [] -> ()
+      | events ->
+        let rec take n acc rest =
+          if n = 0 then (List.rev acc, rest)
+          else
+            match rest with
+            | [] -> (List.rev acc, [])
+            | e :: tl -> take (n - 1) (e :: acc) tl
+        in
+        let head, tail = take batch [] events in
+        push (Events head);
+        chunks tail
+    in
+    chunks events
+  in
+  match run_pipeline ~pool ~feed ~filter with
+  | Ok outcome -> outcome
+  | Error msg ->
+    (* event lists carry no text to fail parsing on *)
+    failwith ("Replay.analyze_events: " ^ msg)
+
+exception Feed_error of string
+
+let analyze_channel ?pool ?(batch = default_batch) ~filter ic =
+  if batch <= 0 then invalid_arg "Replay.analyze_channel: batch must be positive";
+  let pool = or_default pool in
+  let feed push =
+    if Binary_io.is_binary_trace ic then begin
+      match Binary_io.open_stream ic with
+      | Error msg -> raise (Feed_error msg)
+      | Ok st ->
+        let rec loop () =
+          match Binary_io.read_batch st ~max:batch with
+          | Error msg -> raise (Feed_error msg)
+          | Ok b when Array.length b = 0 -> ()
+          | Ok b ->
+            push (Events (Array.to_list b));
+            loop ()
+        in
+        loop ()
+    end
+    else begin
+      let st = Format_io.open_stream ic in
+      let rec loop () =
+        let b = Format_io.read_raw_batch st ~max:batch in
+        if Array.length b > 0 then begin
+          push (Lines (Array.to_list b));
+          loop ()
+        end
+      in
+      loop ()
+    end
+  in
+  match run_pipeline ~pool ~feed ~filter with
+  | outcome -> outcome
+  | exception Feed_error msg -> Error msg
+
+(* --- the push-based session, for live tracers --- *)
+
+type session = {
+  batch_size : int;
+  mutable buf : Event.t list;  (* newest first *)
+  mutable buf_n : int;
+  submit : work -> unit;
+  complete : unit -> (outcome, string) result;
+}
+
+let session ?pool ?(batch = default_batch) ~filter () =
+  if batch <= 0 then invalid_arg "Replay.session: batch must be positive";
+  let pool = or_default pool in
+  if Pool.jobs pool = 1 then begin
+    let st = make_shard ~metered:true () in
+    {
+      batch_size = batch;
+      buf = [];
+      buf_n = 0;
+      submit = process filter st;
+      complete = (fun () -> finalize [| st |]);
+    }
+  end
+  else begin
+    let jobs = Pool.jobs pool in
+    let chan = Chan.create ~capacity:(capacity_for jobs) in
+    let running =
+      Pool.launch pool (fun ~shard ->
+          let st = make_shard ~metered:false () in
+          Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
+              let rec loop () =
+                match Chan.pop chan with
+                | None -> ()
+                | Some w ->
+                  process filter st w;
+                  loop ()
+              in
+              loop ());
+          st)
+    in
+    {
+      batch_size = batch;
+      buf = [];
+      buf_n = 0;
+      submit = Chan.push chan;
+      complete =
+        (fun () ->
+          Chan.close chan;
+          finalize (Pool.join running));
+    }
+  end
+
+let flush s =
+  if s.buf_n > 0 then begin
+    s.submit (Events (List.rev s.buf));
+    s.buf <- [];
+    s.buf_n <- 0
+  end
+
+let sink s e =
+  s.buf <- e :: s.buf;
+  s.buf_n <- s.buf_n + 1;
+  if s.buf_n >= s.batch_size then flush s
+
+let finish s =
+  flush s;
+  match s.complete () with
+  | Ok outcome -> outcome
+  | Error msg -> failwith ("Replay.finish: " ^ msg)

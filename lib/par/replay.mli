@@ -1,0 +1,73 @@
+(** Sharded parallel trace analysis.
+
+    The pipeline: a producer (the calling domain) feeds batches of
+    work through a bounded {!Chan} to [jobs] worker shards, each of
+    which filters with the shared immutable {!Iocov_trace.Filter.t}
+    and accumulates into its own private {!Iocov_core.Coverage.t}.
+    Shard accumulators are merged in shard order when the pool joins.
+
+    {b Determinism contract.}  Coverage accumulation is commutative
+    and associative ({!Iocov_core.Coverage.merge_into}), so the merged
+    result is byte-identical to a sequential replay of the same trace
+    regardless of job count, batch size, or how the scheduler spread
+    batches over shards — property-tested in [test/test_par.ml].
+    Global metric counter totals are likewise identical: shards
+    accumulate unmetered and the merged accumulator is credited once
+    via {!Iocov_core.Coverage.meter_counts}.  Only timing (span
+    durations, shard-to-batch assignment) varies run to run.
+
+    With [jobs = 1] no domain is spawned and no channel is created:
+    everything runs inline on the caller, so [--jobs 1] {e is} the
+    sequential path. *)
+
+type outcome = {
+  coverage : Iocov_core.Coverage.t;  (** merged across shards *)
+  events : int;   (** trace records seen (before filtering) *)
+  kept : int;     (** records that passed the filter *)
+  dropped : int;  (** [events - kept] *)
+  shards : int;   (** worker count actually used *)
+  batches : int;  (** work batches processed *)
+  shard_events : int array;
+      (** per-shard record counts, indexed by shard.  Scheduling
+          dependent — reported for observability, excluded from the
+          determinism contract. *)
+}
+
+val default_batch : int
+(** Events per work batch when [?batch] is omitted (1024). *)
+
+val analyze_events :
+  ?pool:Pool.t -> ?batch:int -> filter:Iocov_trace.Filter.t ->
+  Iocov_trace.Event.t list -> outcome
+(** Replay an in-memory event list.  [pool] defaults to a fresh
+    {!Pool.create}[ ()]; [batch] must be positive. *)
+
+val analyze_channel :
+  ?pool:Pool.t -> ?batch:int -> filter:Iocov_trace.Filter.t ->
+  in_channel -> (outcome, string) result
+(** Replay a trace from a channel, auto-detecting binary
+    ({!Iocov_trace.Binary_io}) versus text ({!Iocov_trace.Format_io}).
+    Binary records are decoded in batches on the calling domain (the
+    string table makes decode inherently sequential) and analyzed on
+    the shards; text lines are shipped raw and parsed on the shards.
+    Runs in O(capacity × batch) memory regardless of trace length.
+    Parse and decode failures report the lowest-numbered offending
+    record, matching the sequential reader's error. *)
+
+(** {1 Push-based sessions}
+
+    For live sources (suite tracers) that emit one event at a time.
+    Events are buffered into batches and dispatched to the shards;
+    {!finish} flushes, joins, and merges. *)
+
+type session
+
+val session :
+  ?pool:Pool.t -> ?batch:int -> filter:Iocov_trace.Filter.t -> unit ->
+  session
+
+val sink : session -> Iocov_trace.Event.t -> unit
+
+val finish : session -> outcome
+(** Flush any partial batch, close the channel, join the workers, and
+    merge.  Must be called exactly once. *)

@@ -1,8 +1,126 @@
-type t = { source : string; node : Syntax.node }
+(* The compiled fast path: literal facts extracted from the AST once at
+   compile time, checked with cheap string scans before the backtracking
+   matcher runs.  All three facts are conservative — they may be weaker
+   than the pattern ([lead]/[required] may be [""], [anchored] false) but
+   never wrong, so the pre-check can only skip positions the matcher
+   would reject anyway. *)
+type fast_path = {
+  anchored : bool;
+  (** The pattern opens with [^]: a match can only start at position 0. *)
+  lead : string;
+  (** Literal run every match must {e start} with (after the optional
+      [^]); [""] when the pattern opens with something non-literal. *)
+  required : string;
+  (** Longest literal run every match must {e contain} somewhere; [""]
+      when no unconditional literal exists (e.g. a top-level
+      alternation). *)
+}
+
+type t = { source : string; node : Syntax.node; fast : fast_path }
+
+(* Literal runs that any match of [node] must contain, in order.  A
+   buffer accumulates adjacent [Char] nodes; constructs that consume
+   unknown text ([.], classes, alternations, optional repeats) flush it,
+   breaking adjacency.  Zero-width nodes ([^], [$], the empty pattern)
+   keep the buffer: they add nothing and separate nothing. *)
+let required_runs node =
+  let runs = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      runs := Buffer.contents buf :: !runs;
+      Buffer.clear buf
+    end
+  in
+  let rec go node =
+    match (node : Syntax.node) with
+    | Syntax.Char c -> Buffer.add_char buf c
+    | Syntax.Seq nodes -> List.iter go nodes
+    | Syntax.Repeat (inner, lo, Some 1) when lo >= 1 ->
+      go inner (* exactly once: plain concatenation, adjacency holds *)
+    | Syntax.Repeat (inner, lo, _) ->
+      flush ();
+      if lo >= 1 then begin
+        (* the body occurs at least once, but its copies abut each other,
+           not the surrounding text — its runs stand alone *)
+        go inner;
+        flush ()
+      end
+    | Syntax.Alt _ ->
+      (* a literal is required only if common to every branch; stay
+         conservative and require nothing *)
+      flush ()
+    | Syntax.Empty | Syntax.Bol | Syntax.Eol -> ()
+    | Syntax.Any | Syntax.Class _ -> flush ()
+  in
+  go node;
+  flush ();
+  List.rev !runs
+
+(* The literal run a match must start with, and whether the pattern is
+   anchored at position 0.  Walks the head of a top-level sequence:
+   [^] sets the anchor, leading [Char]s extend the lead, a head
+   [Repeat] with [lo >= 1] contributes its own lead, anything else
+   stops. *)
+let lead_of node =
+  let buf = Buffer.create 16 in
+  let anchored = ref false in
+  let rec go first nodes =
+    match nodes with
+    | [] -> ()
+    | Syntax.Bol :: rest when first && Buffer.length buf = 0 ->
+      anchored := true;
+      go false rest
+    | Syntax.Char c :: rest ->
+      Buffer.add_char buf c;
+      go false rest
+    | Syntax.Seq inner :: rest -> go first (inner @ rest)
+    | Syntax.Repeat (inner, lo, _) :: _ when lo >= 1 && Buffer.length buf = 0 ->
+      (* e.g. [a+b]: the match must still open with [inner]'s lead, but
+         nothing past the repeat can extend it *)
+      go false [ inner ]
+    | Syntax.Empty :: rest -> go first rest
+    | _ -> ()
+  in
+  (match node with
+   | Syntax.Seq nodes -> go true nodes
+   | Syntax.Bol -> anchored := true
+   | Syntax.Char c -> Buffer.add_char buf c
+   | _ -> ());
+  (!anchored, Buffer.contents buf)
+
+(* Naive substring scan, allocation-free; needles here are short
+   literal runs from the pattern, so there is nothing for Boyer-Moore
+   machinery to win. *)
+let occurs_from s needle from =
+  let len = String.length s and nlen = String.length needle in
+  let rec agree pos i =
+    i = nlen || (String.unsafe_get s (pos + i) = String.unsafe_get needle i && agree pos (i + 1))
+  in
+  let rec at pos =
+    if pos + nlen > len then None
+    else if agree pos 0 then Some pos
+    else at (pos + 1)
+  in
+  at (max 0 from)
+
+let contains s needle = needle = "" || occurs_from s needle 0 <> None
+
+let fast_path_of node =
+  let anchored, lead = lead_of node in
+  let required =
+    List.fold_left
+      (fun best run -> if String.length run > String.length best then run else best)
+      "" (required_runs node)
+  in
+  (* a required run that already sits inside the lead is subsumed by
+     the lead check — dropping it saves a second scan per search *)
+  let required = if contains lead required then "" else required in
+  { anchored; lead; required }
 
 let compile source =
   match Syntax.parse source with
-  | Ok node -> Ok { source; node }
+  | Ok node -> Ok { source; node; fast = fast_path_of node }
   | Error msg -> Error msg
 
 let compile_exn source =
@@ -55,14 +173,37 @@ let run node s start ~k =
   in
   go node start k
 
-let search t s =
+let fast_path t = t.fast
+
+let search_scan t s =
   let len = String.length s in
   let rec at pos = run t.node s pos ~k:(fun _ -> true) || (pos < len && at (pos + 1)) in
   at 0
 
+let search t s =
+  let { anchored; lead; required } = t.fast in
+  if not (contains s required) then false
+  else if anchored then
+    (lead = "" || String.starts_with ~prefix:lead s)
+    && run t.node s 0 ~k:(fun _ -> true)
+  else if lead <> "" then begin
+    (* the match must open with [lead]: only its occurrences are
+       candidate start positions *)
+    let rec at pos =
+      match occurs_from s lead pos with
+      | None -> false
+      | Some p -> run t.node s p ~k:(fun _ -> true) || at (p + 1)
+    in
+    at 0
+  end
+  else search_scan t s
+
 let matches t s =
   let len = String.length s in
-  run t.node s 0 ~k:(fun pos -> pos = len)
+  let { lead; required; _ } = t.fast in
+  (lead = "" || String.starts_with ~prefix:lead s)
+  && contains s required
+  && run t.node s 0 ~k:(fun pos -> pos = len)
 
 let find t s =
   let len = String.length s in
@@ -82,4 +223,4 @@ let find t s =
       | None -> at (pos + 1)
     end
   in
-  at 0
+  if not (contains s t.fast.required) then None else at 0

@@ -2,7 +2,19 @@
 
     Patterns in IOCov filters are short (mount-point prefixes such as
     ["^/mnt/test(/|$)"]), so a depth-first backtracking matcher is the
-    right trade-off: simple, correct, and fast on realistic inputs. *)
+    right trade-off: simple, correct, and fast on realistic inputs.
+
+    Compilation additionally extracts a {e literal fast path}
+    ({!fast_path}): the anchor, the literal run a match must start
+    with, and the longest literal run a match must contain.  {!search}
+    checks those with plain string scans first and runs the
+    backtracking matcher only at candidate positions — on a trace
+    filter's hot path most records fail the prefix check and never
+    reach the matcher.
+
+    A compiled pattern is immutable after {!compile} and safe to share
+    across domains: the parallel pipeline compiles filters once and
+    hands the same values to every worker shard. *)
 
 type t
 (** A compiled pattern. *)
@@ -18,7 +30,24 @@ val pattern : t -> string
 
 val search : t -> string -> bool
 (** [search t s] is [true] iff the pattern matches {e somewhere} in [s]
-    (leftmost search; [^]/[$] anchor to the whole string's ends). *)
+    (leftmost search; [^]/[$] anchor to the whole string's ends).
+    Uses the compiled literal fast path; always agrees with
+    {!search_scan}. *)
+
+val search_scan : t -> string -> bool
+(** {!search} without the literal pre-checks: the position-by-position
+    backtracking scan.  The reference implementation that tests and
+    benches compare the fast path against. *)
+
+type fast_path = {
+  anchored : bool;  (** pattern opens with [^]: matches only start at 0 *)
+  lead : string;    (** literal every match must start with ([""] = none) *)
+  required : string;(** longest literal every match must contain ([""] = none) *)
+}
+
+val fast_path : t -> fast_path
+(** The literal facts {!compile} extracted.  Conservative: possibly
+    weaker than the pattern, never wrong. *)
 
 val matches : t -> string -> bool
 (** [matches t s] is [true] iff the pattern matches the {e whole} of [s]

@@ -314,7 +314,8 @@ let seq2_workload ctx ~crashes rng =
   incr crashes;
   ignore (aux ctx Fs.Sync)
 
-let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?sink ?(seq2 = 0) ~coverage () =
+let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ?(seq2 = 0)
+    ~coverage () =
   let config = Config.with_faults faults Config.default in
   let ctx = Workload.init ~config ~comm ~mount ~seed () in
   (* the raw sink sees every record, before mount-point filtering *)
@@ -323,12 +324,18 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?sink ?(seq2 = 0) ~coverage (
    | None -> ());
   let filter = Filter.mount_point mount in
   let kept = ref 0 in
-  Tracer.on_event ctx.Workload.tracer
-    (Filter.sink filter (fun e ->
-         incr kept;
-         match e.Event.payload with
-         | Event.Tracked call -> Coverage.observe coverage call e.Event.outcome
-         | Event.Aux _ -> ()));
+  (match dispatch with
+   | Some d ->
+     (* the pipeline owns filtering and accumulation; [kept] stays 0
+        here and the caller takes it from the merge *)
+     Tracer.on_event ctx.Workload.tracer d
+   | None ->
+     Tracer.on_event ctx.Workload.tracer
+       (Filter.sink filter (fun e ->
+            incr kept;
+            match e.Event.payload with
+            | Event.Tracked call -> Coverage.observe coverage call e.Event.outcome
+            | Event.Aux _ -> ())));
   Workload.noise ctx;
   let crashes = ref 0 in
   let reps = max 1 (int_of_float (Float.round scale)) in

@@ -28,7 +28,8 @@ type stats = {
 
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list ->
-  ?sink:(Iocov_trace.Event.t -> unit) -> ?seq2:int ->
+  ?sink:(Iocov_trace.Event.t -> unit) ->
+  ?dispatch:(Iocov_trace.Event.t -> unit) -> ?seq2:int ->
   coverage:Iocov_core.Coverage.t -> unit -> string list * stats
 (** Run the suite; coverage accumulates through the mount-point filter
     into [coverage].  Returns the oracle failures (crash-consistency
@@ -37,4 +38,10 @@ val run :
     counts; [faults] are planted in the file system under test; [seq2]
     adds that many sampled length-2 operation sequences (the seq-2
     workloads of CrashMonkey's bounded search; the paper's evaluation
-    runs seq-1 only, so the default is 0). *)
+    runs seq-1 only, so the default is 0).
+
+    [dispatch] hands every raw event to an external analysis pipeline
+    (e.g. [Iocov_par.Replay.sink]) {e instead of} the inline
+    filter-and-observe path: [coverage] is left untouched and
+    [events_kept] stays 0 — the caller takes both from the pipeline's
+    merge. *)

@@ -442,7 +442,7 @@ let all_cases ~iters =
   open_cases @ read_write_cases @ lseek_cases @ truncate_cases @ metadata_cases
   @ xattr_cases @ functional_cases ~iters
 
-let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ~coverage () =
+let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ~coverage () =
   let master = Prng.create ~seed in
   let failures = ref [] in
   let events_total = ref 0 in
@@ -462,12 +462,18 @@ let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ~coverage () =
       (match sink with
        | Some sink -> Tracer.on_event ctx.Workload.tracer sink
        | None -> ());
-      Tracer.on_event ctx.Workload.tracer
-        (Filter.sink filter (fun e ->
-             incr events_kept;
-             match e.Event.payload with
-             | Event.Tracked call -> Coverage.observe coverage call e.Event.outcome
-             | Event.Aux _ -> ()));
+      (match dispatch with
+       | Some d ->
+         (* the pipeline owns filtering and accumulation; [events_kept]
+            stays 0 here and the caller takes it from the merge *)
+         Tracer.on_event ctx.Workload.tracer d
+       | None ->
+         Tracer.on_event ctx.Workload.tracer
+           (Filter.sink filter (fun e ->
+                incr events_kept;
+                match e.Event.payload with
+                | Event.Tracked call -> Coverage.observe coverage call e.Event.outcome
+                | Event.Aux _ -> ())));
       Workload.begin_test ctx name;
       body ctx;
       events_total := !events_total + Tracer.events_emitted ctx.Workload.tracer;

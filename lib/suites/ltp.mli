@@ -29,6 +29,13 @@ type stats = {
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list ->
   ?sink:(Iocov_trace.Event.t -> unit) ->
+  ?dispatch:(Iocov_trace.Event.t -> unit) ->
   coverage:Iocov_core.Coverage.t -> unit -> string list * stats
 (** Run the suite; returns oracle failures (each testcase asserts its
-    expected errno) and statistics. *)
+    expected errno) and statistics.
+
+    [dispatch] hands every raw event to an external analysis pipeline
+    (e.g. [Iocov_par.Replay.sink]) {e instead of} the inline
+    filter-and-observe path: [coverage] is left untouched and
+    [events_kept] stays 0 — the caller takes both from the pipeline's
+    merge. *)

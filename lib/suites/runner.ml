@@ -1,7 +1,10 @@
 module Coverage = Iocov_core.Coverage
+module Filter = Iocov_trace.Filter
 module Metrics = Iocov_obs.Metrics
 module Span = Iocov_obs.Span
 module Log = Iocov_obs.Log
+module Pool = Iocov_par.Pool
+module Replay = Iocov_par.Replay
 
 type suite = Crashmonkey | Xfstests | Ltp
 
@@ -32,37 +35,66 @@ let suite_counter name help suite =
     ~labels:[ ("suite", suite_name suite) ]
     ~help
 
-let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) suite =
-  let coverage = Coverage.create () in
+let mount_of = function
+  | Crashmonkey -> Crashmonkey.mount
+  | Xfstests -> Xfstests.mount
+  | Ltp -> Ltp.mount
+
+let exec ?dispatch ~seed ~scale ~faults ~coverage suite =
+  match suite with
+  | Crashmonkey ->
+    let failures, stats = Crashmonkey.run ~seed ~scale ~faults ?dispatch ~coverage () in
+    ( failures,
+      stats.Crashmonkey.events_total,
+      stats.Crashmonkey.events_kept,
+      stats.Crashmonkey.workloads_run )
+  | Xfstests ->
+    let failures, stats = Xfstests.run ~seed ~scale ~faults ?dispatch ~coverage () in
+    ( failures,
+      stats.Xfstests.events_total,
+      stats.Xfstests.events_kept,
+      stats.Xfstests.tests_run )
+  | Ltp ->
+    let failures, stats = Ltp.run ~seed ~scale ~faults ?dispatch ~coverage () in
+    ( failures,
+      stats.Ltp.events_total,
+      stats.Ltp.events_kept,
+      stats.Ltp.testcases_run )
+
+let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs suite =
   Log.info "suite run starting"
     ~fields:
       [ ("suite", Log.str (suite_name suite));
         ("seed", Log.int seed);
         ("scale", Log.float scale);
-        ("faults", Log.int (List.length faults)) ];
+        ("faults", Log.int (List.length faults));
+        ("jobs", Log.int (match jobs with None -> 1 | Some j -> j)) ];
   (* The root span doubles as the run's wall clock: [elapsed_s] is the
      root's duration, so profile tree and result always agree. *)
-  let (failures, events_total, events_kept, workloads), root =
+  let (coverage, failures, events_total, events_kept, workloads), root =
     Span.timed ~name:("runner/" ^ suite_name suite) (fun () ->
-        match suite with
-        | Crashmonkey ->
-          let failures, stats = Crashmonkey.run ~seed ~scale ~faults ~coverage () in
-          ( failures,
-            stats.Crashmonkey.events_total,
-            stats.Crashmonkey.events_kept,
-            stats.Crashmonkey.workloads_run )
-        | Xfstests ->
-          let failures, stats = Xfstests.run ~seed ~scale ~faults ~coverage () in
-          ( failures,
-            stats.Xfstests.events_total,
-            stats.Xfstests.events_kept,
-            stats.Xfstests.tests_run )
-        | Ltp ->
-          let failures, stats = Ltp.run ~seed ~scale ~faults ~coverage () in
-          ( failures,
-            stats.Ltp.events_total,
-            stats.Ltp.events_kept,
-            stats.Ltp.testcases_run ))
+        match jobs with
+        | None ->
+          let coverage = Coverage.create () in
+          let failures, events_total, events_kept, workloads =
+            exec ~seed ~scale ~faults ~coverage suite
+          in
+          (coverage, failures, events_total, events_kept, workloads)
+        | Some j ->
+          (* route the suite's live event stream through the sharded
+             pipeline; the inline observe path is bypassed, so hand the
+             suite a throwaway accumulator *)
+          let pool = Pool.create ~jobs:j () in
+          let session =
+            Replay.session ~pool ~filter:(Filter.mount_point (mount_of suite)) ()
+          in
+          let failures, events_total, _, workloads =
+            exec ~dispatch:(Replay.sink session) ~seed ~scale ~faults
+              ~coverage:(Coverage.create ~metered:false ())
+              suite
+          in
+          let o = Replay.finish session in
+          (o.Replay.coverage, failures, events_total, o.Replay.kept, workloads))
   in
   Metrics.Counter.add
     (suite_counter "iocov_runner_workloads_total" "Workloads or tests executed." suite)

@@ -20,9 +20,16 @@ type result = {
 }
 
 val run :
-  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> suite -> result
+  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->
+  suite -> result
 (** Run one suite from scratch.  Deterministic for a fixed seed, scale,
-    and fault set. *)
+    and fault set.
+
+    [jobs] routes the suite's event stream through the sharded
+    analysis pipeline ([Iocov_par.Replay]) with that many worker
+    shards (0 = [Domain.recommended_domain_count]); omitted means the
+    classic inline path.  The resulting coverage is byte-identical
+    either way — only wall-clock changes. *)
 
 val run_both :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> unit -> result * result

@@ -804,7 +804,12 @@ let dir_listing_pass ctx =
   | Some fd -> close_fd ctx fd
   | None -> ()
 
-let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?per_test ~coverage () =
+let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ?per_test ~coverage
+    () =
+  (match (dispatch, per_test) with
+   | Some _, Some _ ->
+     invalid_arg "Xfstests.run: dispatch and per_test are mutually exclusive"
+   | _ -> ());
   let master = Prng.create ~seed in
   let failures = ref [] in
   let tests = ref 0 in
@@ -833,16 +838,22 @@ let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?per_test ~coverage () =
     let test_cov =
       match per_test with Some _ -> Some (Coverage.create ()) | None -> None
     in
-    Tracer.on_event ctx.Workload.tracer
-      (Filter.sink filter (fun e ->
-           incr events_kept;
-           match e.Event.payload with
-           | Event.Tracked call ->
-             Coverage.observe coverage call e.Event.outcome;
-             (match test_cov with
-              | Some cov -> Coverage.observe cov call e.Event.outcome
-              | None -> ())
-           | Event.Aux _ -> ()));
+    (match dispatch with
+     | Some d ->
+       (* the pipeline owns filtering and accumulation; [events_kept]
+          stays 0 here and the caller takes it from the merge *)
+       Tracer.on_event ctx.Workload.tracer d
+     | None ->
+       Tracer.on_event ctx.Workload.tracer
+         (Filter.sink filter (fun e ->
+              incr events_kept;
+              match e.Event.payload with
+              | Event.Tracked call ->
+                Coverage.observe coverage call e.Event.outcome;
+                (match test_cov with
+                 | Some cov -> Coverage.observe cov call e.Event.outcome
+                 | None -> ())
+              | Event.Aux _ -> ())));
     Workload.begin_test ctx name;
     if index mod 7 = 0 then Workload.noise ctx;
     dir_listing_pass ctx;

@@ -37,9 +37,17 @@ type stats = {
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list ->
   ?sink:(Iocov_trace.Event.t -> unit) ->
+  ?dispatch:(Iocov_trace.Event.t -> unit) ->
   ?per_test:(string -> Iocov_core.Coverage.t -> unit) ->
   coverage:Iocov_core.Coverage.t -> unit -> string list * stats
 (** Run the whole suite into [coverage] (through the [/mnt/test]
     mount-point filter).  [scale] multiplies inner-loop iteration counts;
     at 1.0 a run produces a few million traced syscalls.  Returns oracle
-    failures (empty on a correct file system) and statistics. *)
+    failures (empty on a correct file system) and statistics.
+
+    [dispatch] hands every raw event to an external analysis pipeline
+    (e.g. [Iocov_par.Replay.sink]) {e instead of} the inline
+    filter-and-observe path: [coverage] is left untouched and
+    [events_kept] stays 0 — the caller takes both from the pipeline's
+    merge.  Mutually exclusive with [per_test]
+    ([Invalid_argument]). *)

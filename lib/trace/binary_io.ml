@@ -4,10 +4,11 @@ let magic = "IOCT\001"
 
 (* --- varints --- *)
 
-let write_uvarint oc n =
-  if n < 0 then invalid_arg "Binary_io.write_uvarint: negative";
+(* [lsr] makes the loop total even when [n]'s sign bit is set, so the
+   full 63-bit pattern a zigzagged extreme offset produces round-trips *)
+let write_varbits oc n =
   let rec go n =
-    if n < 0x80 then output_byte oc n
+    if n >= 0 && n < 0x80 then output_byte oc n
     else begin
       output_byte oc (0x80 lor (n land 0x7F));
       go (n lsr 7)
@@ -15,10 +16,16 @@ let write_uvarint oc n =
   in
   go n
 
-let zigzag n = if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1
-let unzigzag n = if n land 1 = 0 then n lsr 1 else -((n + 1) lsr 1)
+let write_uvarint oc n =
+  if n < 0 then invalid_arg "Binary_io.write_uvarint: negative";
+  write_varbits oc n
 
-let write_svarint oc n = write_uvarint oc (zigzag n)
+(* branch-free zigzag: correct for the whole int range, including
+   magnitudes ≥ 2^61 where [n lsl 1] alone would overflow the guard *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (-(n land 1))
+
+let write_svarint oc n = write_varbits oc (zigzag n)
 
 exception Corrupt of string
 
@@ -282,25 +289,70 @@ let read_event r ~seq ~last_ts ~first =
   in
   { Event.seq; timestamp_ns = ts; pid; comm; payload; outcome; path_hint }
 
-let fold_channel ic ~init ~f =
-  try
-    let header = really_input_string ic (String.length magic) in
-    if header <> magic then Error "not a binary iocov trace (bad magic)"
-    else begin
-      let r = { ic; strings = Array.make 256 ""; count = 0 } in
-      let rec go acc seq last_ts =
-        match In_channel.input_byte ic with
-        | None -> Ok acc
+(* --- streaming decode --- *)
+
+(* The string table makes the decode inherently sequential, but it does
+   not make it inherently materializing: a stream hands out events in
+   bounded batches, so a multi-million-event trace is processed in
+   O(batch) memory and the decoded batches can feed parallel analysis
+   workers. *)
+type stream = {
+  sr : reader;
+  mutable seq : int;
+  mutable last_ts : int;
+  mutable failed : bool;
+}
+
+let open_stream ic =
+  match really_input_string ic (String.length magic) with
+  | header when header = magic ->
+    Ok { sr = { ic; strings = Array.make 256 ""; count = 0 }; seq = 1; last_ts = 0;
+         failed = false }
+  | _ -> Error "not a binary iocov trace (bad magic)"
+  | exception End_of_file -> Error "not a binary iocov trace (bad magic)"
+
+let read_batch st ~max =
+  if max <= 0 then invalid_arg "Binary_io.read_batch: max must be positive";
+  if st.failed then Error "reading past a decode error"
+  else begin
+    try
+      let batch = ref [] in
+      let n = ref 0 in
+      let eof = ref false in
+      while (not !eof) && !n < max do
+        match In_channel.input_byte st.sr.ic with
+        | None -> eof := true
         | Some first ->
-          let event = read_event r ~seq ~last_ts ~first in
-          go (f acc event) (seq + 1) event.Event.timestamp_ns
-      in
-      go init 1 0
-    end
-  with
-  | Corrupt msg -> Error msg
-  | End_of_file -> Error "truncated binary trace"
-  | Invalid_argument msg -> Error ("corrupt record: " ^ msg)
+          let event = read_event st.sr ~seq:st.seq ~last_ts:st.last_ts ~first in
+          st.seq <- st.seq + 1;
+          st.last_ts <- event.Event.timestamp_ns;
+          batch := event :: !batch;
+          incr n
+      done;
+      Ok (Array.of_list (List.rev !batch))
+    with
+    | Corrupt msg ->
+      st.failed <- true;
+      Error msg
+    | End_of_file ->
+      st.failed <- true;
+      Error "truncated binary trace"
+    | Invalid_argument msg ->
+      st.failed <- true;
+      Error ("corrupt record: " ^ msg)
+  end
+
+let fold_channel ic ~init ~f =
+  match open_stream ic with
+  | Error msg -> Error msg
+  | Ok st ->
+    let rec go acc =
+      match read_batch st ~max:4096 with
+      | Error msg -> Error msg
+      | Ok batch when Array.length batch = 0 -> Ok acc
+      | Ok batch -> go (Array.fold_left f acc batch)
+    in
+    go init
 
 let read_channel ic =
   Result.map List.rev (fold_channel ic ~init:[] ~f:(fun acc e -> e :: acc))

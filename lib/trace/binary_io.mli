@@ -29,9 +29,27 @@ val sink : writer -> Event.t -> unit
 
 val flush : writer -> unit
 
+(** {2 Streaming decode}
+
+    The incremental string table makes decoding sequential, but not
+    materializing: a {!stream} hands out events in bounded batches, so a
+    multi-million-event trace runs in O(batch) memory — and the decoded
+    batches are what the parallel pipeline feeds to its worker shards. *)
+
+type stream
+
+val open_stream : in_channel -> (stream, string) result
+(** Consume and check the magic header. *)
+
+val read_batch : stream -> max:int -> (Event.t array, string) result
+(** Decode up to [max] events ([max > 0]); an empty array means EOF.
+    [seq] is assigned from record order, starting at 1.  After an
+    [Error] the stream stays failed. *)
+
 val fold_channel : in_channel -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
-(** Streaming decode to EOF; fails with a message on corruption.  [seq]
-    is assigned from record order. *)
+(** Streaming decode to EOF (batched {!read_batch} internally); fails
+    with a message on corruption.  [seq] is assigned from record
+    order. *)
 
 val read_channel : in_channel -> (Event.t list, string) result
 

@@ -34,6 +34,14 @@ val fold :
     [iocov_filter_events_total{result=kept|dropped_no_hint|dropped_no_match}]
     in {!Iocov_obs.Metrics.default}. *)
 
+val keep_all : t -> Event.t list -> Event.t list
+(** [keep_all t events] is the kept records in order — the chunk
+    pipeline's batched decision.  Counts exactly like per-record
+    {!fold}/{!sink} metering (same counters, same totals), but applied
+    as one add per batch, so parallel worker shards do not contend on
+    the counters per record.  A compiled filter is immutable and may be
+    shared across domains. *)
+
 val sink : t -> (Event.t -> unit) -> Event.t -> unit
 (** [sink t k] is a tracer sink that forwards kept records to [k],
     metering each decision like {!fold}. *)

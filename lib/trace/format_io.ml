@@ -97,20 +97,54 @@ let write_channel oc events =
 
 let sink_channel oc e = output_string oc (to_line e ^ "\n")
 
-let fold_channel ic ~init ~f =
-  let rec go acc lineno =
-    match In_channel.input_line ic with
-    | None -> Ok acc
+(* --- streaming reads --- *)
+
+(* Text records are self-contained, so the reader's only sequential job
+   is line numbering; the parse itself can happen anywhere — the
+   parallel pipeline ships raw line batches to worker shards and parses
+   there. *)
+type stream = { s_ic : in_channel; mutable next_line : int }
+
+let open_stream ic = { s_ic = ic; next_line = 1 }
+
+let read_raw_batch st ~max =
+  if max <= 0 then invalid_arg "Format_io.read_raw_batch: max must be positive";
+  let batch = ref [] in
+  let n = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !n < max do
+    match In_channel.input_line st.s_ic with
+    | None -> eof := true
     | Some line ->
+      let lineno = st.next_line in
+      st.next_line <- lineno + 1;
       let trimmed = String.trim line in
-      if trimmed = "" || trimmed.[0] = '#' then go acc (lineno + 1)
-      else begin
-        match of_line ~seq:lineno trimmed with
-        | Ok e -> go (f acc e) (lineno + 1)
-        | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      if trimmed <> "" && trimmed.[0] <> '#' then begin
+        batch := (lineno, trimmed) :: !batch;
+        incr n
       end
+  done;
+  Array.of_list (List.rev !batch)
+
+let fold_channel ic ~init ~f =
+  let st = open_stream ic in
+  let rec go acc =
+    let batch = read_raw_batch st ~max:4096 in
+    if Array.length batch = 0 then Ok acc
+    else begin
+      let rec consume acc i =
+        if i = Array.length batch then go acc
+        else begin
+          let lineno, line = batch.(i) in
+          match of_line ~seq:lineno line with
+          | Ok e -> consume (f acc e) (i + 1)
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+        end
+      in
+      consume acc 0
+    end
   in
-  go init 1
+  go init
 
 let read_channel ic =
   let* events = fold_channel ic ~init:[] ~f:(fun acc e -> e :: acc) in

@@ -29,3 +29,19 @@ val read_channel : in_channel -> (Event.t list, string) result
 val fold_channel : in_channel -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
 (** Streaming fold over records — the analyzer's entry point for large
     traces (never materializes the list). *)
+
+(** {2 Streaming reads}
+
+    Text records are self-contained, so only line numbering is
+    sequential: a {!stream} hands out raw line batches in O(batch)
+    memory, and the parse ({!of_line}) can run on any domain — the
+    parallel pipeline parses on its worker shards. *)
+
+type stream
+
+val open_stream : in_channel -> stream
+
+val read_raw_batch : stream -> max:int -> (int * string) array
+(** Up to [max] [(line_number, line)] pairs ([max > 0]), blank and
+    [#]-comment lines already skipped (they still advance the line
+    number); an empty array means EOF. *)

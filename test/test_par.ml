@@ -1,0 +1,390 @@
+(* Tests for the parallel sharded analysis pipeline: the bounded
+   channel, the domain pool, merge algebra, and the determinism
+   contract — parallel replay byte-identical to sequential at any job
+   count, over in-memory, text, and binary trace paths. *)
+
+open Iocov_syscall
+module Prng = Iocov_util.Prng
+module Event = Iocov_trace.Event
+module Filter = Iocov_trace.Filter
+module Format_io = Iocov_trace.Format_io
+module Binary_io = Iocov_trace.Binary_io
+module Coverage = Iocov_core.Coverage
+module Snapshot = Iocov_core.Snapshot
+module Metrics = Iocov_obs.Metrics
+module Chan = Iocov_par.Chan
+module Pool = Iocov_par.Pool
+module Replay = Iocov_par.Replay
+module Runner = Iocov_suites.Runner
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- random traces, deterministic in the seed --- *)
+
+let synth_call rng path fd =
+  match Prng.int rng 7 with
+  | 0 ->
+    let flags =
+      Prng.choose rng
+        [| Open_flags.of_flags Open_flags.[ O_RDONLY ];
+           Open_flags.of_flags Open_flags.[ O_RDWR; O_CREAT ];
+           Open_flags.of_flags Open_flags.[ O_WRONLY; O_APPEND ] |]
+    in
+    (Model.open_ ~flags ~mode:0o644 path, Model.Ret fd)
+  | 1 -> (Model.open_ ~flags:(Open_flags.of_flags Open_flags.[ O_RDONLY ]) path,
+          Model.Err Errno.ENOENT)
+  | 2 ->
+    let count = Prng.pow2_size rng ~max_log2:16 in
+    (Model.read ~fd ~count (), Model.Ret count)
+  | 3 ->
+    let count = Prng.pow2_size rng ~max_log2:18 in
+    (Model.write ~variant:Model.Sys_pwrite64 ~offset:(Prng.int rng 4096) ~fd ~count (),
+     Model.Ret count)
+  | 4 ->
+    (Model.lseek ~fd ~offset:(Prng.int rng 100_000)
+       ~whence:(Prng.choose rng Whence.[| SEEK_SET; SEEK_CUR; SEEK_END |]),
+     Model.Ret 0)
+  | 5 -> (Model.truncate ~target:(Model.Path path) ~length:(Prng.int rng 65536) (),
+          Model.Ret 0)
+  | _ -> (Model.chmod ~target:(Model.Path path) ~mode:(Prng.int rng 0o7777) (),
+          Model.Ret 0)
+
+let synth_events ~seed n =
+  let rng = Prng.create ~seed in
+  List.init n (fun seq ->
+      let inside = Prng.chance rng 0.75 in
+      let path =
+        if inside then Printf.sprintf "/mnt/test/d%d/f%d" (Prng.int rng 8) (Prng.int rng 200)
+        else Printf.sprintf "/etc/noise%d" (Prng.int rng 50)
+      in
+      let call, outcome = synth_call rng path (3 + Prng.int rng 20) in
+      {
+        Event.seq;
+        timestamp_ns = seq * 31;
+        pid = 100 + Prng.int rng 4;
+        comm = "test";
+        payload = Event.Tracked call;
+        outcome;
+        path_hint = (if Prng.chance rng 0.95 then Some path else None);
+      })
+
+(* the sequential reference: per-event filter + observe, no pipeline *)
+let sequential_coverage filter events =
+  let cov = Coverage.create () in
+  let kept = ref 0 in
+  List.iter
+    (fun e ->
+      if Filter.keeps filter e then begin
+        incr kept;
+        match e.Event.payload with
+        | Event.Tracked call -> Coverage.observe cov call e.Event.outcome
+        | Event.Aux _ -> ()
+      end)
+    events;
+  (cov, !kept)
+
+(* --- Chan --- *)
+
+let test_chan_fifo () =
+  let c = Chan.create ~capacity:4 in
+  List.iter (Chan.push c) [ 1; 2; 3 ];
+  check_int "length" 3 (Chan.length c);
+  Chan.close c;
+  let p1 = Chan.pop c in
+  let p2 = Chan.pop c in
+  let p3 = Chan.pop c in
+  let p4 = Chan.pop c in
+  check_bool "drains in order" true
+    ([ p1; p2; p3; p4 ] = [ Some 1; Some 2; Some 3; None ]);
+  Chan.close c (* idempotent *)
+
+let test_chan_closed_push () =
+  let c = Chan.create ~capacity:2 in
+  Chan.close c;
+  Alcotest.check_raises "push after close" Chan.Closed (fun () -> Chan.push c 1)
+
+let test_chan_capacity_positive () =
+  check_bool "zero capacity rejected" true
+    (match Chan.create ~capacity:0 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_chan_cross_domain () =
+  (* capacity far below the item count forces both full- and
+     empty-side blocking; the sum check proves no loss or duplication *)
+  let c = Chan.create ~capacity:3 in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          Chan.push c i
+        done;
+        Chan.close c)
+  in
+  let sum = ref 0 and count = ref 0 in
+  let rec drain () =
+    match Chan.pop c with
+    | Some v ->
+      sum := !sum + v;
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  check_int "all items" n !count;
+  check_int "sum preserved" (n * (n + 1) / 2) !sum
+
+(* --- Pool --- *)
+
+let test_pool_shard_order () =
+  let pool = Pool.create ~jobs:3 () in
+  let results = Pool.run pool (fun ~shard -> shard * 10) in
+  check_bool "results in shard order" true (results = [| 0; 10; 20 |])
+
+let test_pool_jobs_one_inline () =
+  let pool = Pool.create ~jobs:1 () in
+  let domain_before = Domain.self () in
+  let results = Pool.run pool (fun ~shard -> (shard, Domain.self ())) in
+  check_int "one shard" 1 (Array.length results);
+  check_bool "runs on the calling domain" true (snd results.(0) = domain_before)
+
+let test_pool_exception_propagates () =
+  let pool = Pool.create ~jobs:2 () in
+  Alcotest.check_raises "shard failure re-raised" (Failure "shard-0")
+    (fun () ->
+      ignore
+        (Pool.run pool (fun ~shard ->
+             if shard = 0 then failwith "shard-0" else ())))
+
+let test_pool_default_jobs () =
+  check_bool "auto jobs positive" true (Pool.jobs (Pool.create ()) >= 1);
+  check_int "non-positive means auto" (Pool.jobs (Pool.create ()))
+    (Pool.jobs (Pool.create ~jobs:0 ()))
+
+(* --- merge algebra: the determinism contract's foundation --- *)
+
+let random_coverage ~seed n =
+  let rng = Prng.create ~seed in
+  let cov = Coverage.create () in
+  for i = 0 to n - 1 do
+    let call, outcome = synth_call rng (Printf.sprintf "/mnt/test/f%d" i) (3 + (i mod 9)) in
+    Coverage.observe cov call outcome
+  done;
+  cov
+
+let merged a b =
+  let dst = Coverage.create () in
+  Coverage.merge_into ~dst a;
+  Coverage.merge_into ~dst b;
+  dst
+
+let test_merge_commutative () =
+  let a = random_coverage ~seed:11 400 and b = random_coverage ~seed:22 300 in
+  check_string "a+b = b+a"
+    (Snapshot.to_string (merged a b))
+    (Snapshot.to_string (merged b a))
+
+let test_merge_associative () =
+  let a = random_coverage ~seed:31 200
+  and b = random_coverage ~seed:32 250
+  and c = random_coverage ~seed:33 300 in
+  check_string "(a+b)+c = a+(b+c)"
+    (Snapshot.to_string (merged (merged a b) c))
+    (Snapshot.to_string (merged a (merged b c)))
+
+(* --- Replay: parallel vs sequential byte-equality --- *)
+
+let test_replay_matches_sequential () =
+  let events = synth_events ~seed:5 5_000 in
+  let filter = Filter.mount_point "/mnt/test" in
+  let ref_cov, ref_kept = sequential_coverage filter events in
+  List.iter
+    (fun jobs ->
+      let pool = Pool.create ~jobs () in
+      (* small batches force many work items per shard *)
+      let o = Replay.analyze_events ~pool ~batch:64 ~filter events in
+      check_bool
+        (Printf.sprintf "coverage identical at jobs=%d" jobs)
+        true
+        (Snapshot.equal ref_cov o.Replay.coverage);
+      check_int (Printf.sprintf "kept at jobs=%d" jobs) ref_kept o.Replay.kept;
+      check_int (Printf.sprintf "events at jobs=%d" jobs) 5_000 o.Replay.events;
+      check_int (Printf.sprintf "shards at jobs=%d" jobs) jobs o.Replay.shards)
+    [ 1; 2; 4 ]
+
+let with_temp_file f =
+  let path = Filename.temp_file "iocov_par" ".trace" in
+  Fun.protect (fun () -> f path) ~finally:(fun () -> Sys.remove path)
+
+let test_replay_text_channel () =
+  let events = synth_events ~seed:6 2_000 in
+  let filter = Filter.mount_point "/mnt/test" in
+  let ref_cov, ref_kept = sequential_coverage filter events in
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (Format_io.sink_channel oc) events);
+      List.iter
+        (fun jobs ->
+          let ic = open_in_bin path in
+          let pool = Pool.create ~jobs () in
+          let result = Replay.analyze_channel ~pool ~batch:128 ~filter ic in
+          close_in ic;
+          match result with
+          | Error msg -> Alcotest.failf "text replay failed: %s" msg
+          | Ok o ->
+            check_bool
+              (Printf.sprintf "text coverage identical at jobs=%d" jobs)
+              true
+              (Snapshot.equal ref_cov o.Replay.coverage);
+            check_int (Printf.sprintf "text kept at jobs=%d" jobs) ref_kept o.Replay.kept)
+        [ 1; 3 ])
+
+let test_replay_binary_channel () =
+  let events = synth_events ~seed:7 2_000 in
+  let filter = Filter.mount_point "/mnt/test" in
+  let ref_cov, ref_kept = sequential_coverage filter events in
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      let w = Binary_io.writer oc in
+      List.iter (Binary_io.sink w) events;
+      close_out oc;
+      List.iter
+        (fun jobs ->
+          let ic = open_in_bin path in
+          let pool = Pool.create ~jobs () in
+          let result = Replay.analyze_channel ~pool ~batch:128 ~filter ic in
+          close_in ic;
+          match result with
+          | Error msg -> Alcotest.failf "binary replay failed: %s" msg
+          | Ok o ->
+            check_bool
+              (Printf.sprintf "binary coverage identical at jobs=%d" jobs)
+              true
+              (Snapshot.equal ref_cov o.Replay.coverage);
+            check_int (Printf.sprintf "binary kept at jobs=%d" jobs) ref_kept o.Replay.kept)
+        [ 1; 2 ])
+
+let test_replay_text_error_line () =
+  (* parse failures must report the lowest offending line, exactly as
+     the sequential reader does *)
+  let events = synth_events ~seed:8 50 in
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          List.iteri
+            (fun i e ->
+              if i = 20 then output_string oc "this is not a trace record\n";
+              Format_io.sink_channel oc e)
+            events);
+      let sequential_err =
+        let ic = open_in_bin path in
+        let r = Format_io.fold_channel ic ~init:() ~f:(fun () _ -> ()) in
+        close_in ic;
+        match r with Ok () -> Alcotest.fail "expected a parse error" | Error m -> m
+      in
+      List.iter
+        (fun jobs ->
+          let ic = open_in_bin path in
+          let pool = Pool.create ~jobs () in
+          let result = Replay.analyze_channel ~pool ~batch:8 ~filter:(Filter.mount_point "/mnt/test") ic in
+          close_in ic;
+          match result with
+          | Ok _ -> Alcotest.fail "expected a parse error"
+          | Error msg ->
+            check_string (Printf.sprintf "error agrees at jobs=%d" jobs) sequential_err msg)
+        [ 1; 2 ])
+
+let test_session_matches_analyze () =
+  let events = synth_events ~seed:9 3_000 in
+  let filter = Filter.mount_point "/mnt/test" in
+  let direct = Replay.analyze_events ~pool:(Pool.create ~jobs:1 ()) ~filter events in
+  List.iter
+    (fun jobs ->
+      let s = Replay.session ~pool:(Pool.create ~jobs ()) ~batch:100 ~filter () in
+      List.iter (Replay.sink s) events;
+      let o = Replay.finish s in
+      check_bool
+        (Printf.sprintf "session coverage identical at jobs=%d" jobs)
+        true
+        (Snapshot.equal direct.Replay.coverage o.Replay.coverage);
+      check_int (Printf.sprintf "session kept at jobs=%d" jobs) direct.Replay.kept
+        o.Replay.kept)
+    [ 1; 2 ]
+
+(* --- keep_all: batched filtering preserves results and counters --- *)
+
+let filter_counter result =
+  Metrics.counter Metrics.default "iocov_filter_events_total"
+    ~labels:[ ("result", result) ]
+
+let test_keep_all_agrees_with_keeps () =
+  let events = synth_events ~seed:10 1_000 in
+  let filter = Filter.mount_point "/mnt/test" in
+  let one_by_one = List.filter (Filter.keeps filter) events in
+  let batched = Filter.keep_all filter events in
+  check_int "same kept count" (List.length one_by_one) (List.length batched);
+  check_bool "same kept events in order" true
+    (List.for_all2 (fun a b -> a == b) one_by_one batched)
+
+let test_keep_all_counters_match_per_event () =
+  let events = synth_events ~seed:12 800 in
+  let filter = Filter.mount_point "/mnt/test" in
+  let kept_c = filter_counter "kept"
+  and no_hint_c = filter_counter "dropped_no_hint"
+  and no_match_c = filter_counter "dropped_no_match" in
+  let read () =
+    (Metrics.Counter.value kept_c, Metrics.Counter.value no_hint_c,
+     Metrics.Counter.value no_match_c)
+  in
+  let k0, h0, m0 = read () in
+  (* [fold] is the metered per-event path; [keeps] is pure by design *)
+  ignore (Filter.fold filter ~init:() ~f:(fun () _ -> ()) events);
+  let k1, h1, m1 = read () in
+  ignore (Filter.keep_all filter events);
+  let k2, h2, m2 = read () in
+  check_int "kept delta equal" (k1 - k0) (k2 - k1);
+  check_int "no-hint delta equal" (h1 - h0) (h2 - h1);
+  check_int "no-match delta equal" (m1 - m0) (m2 - m1)
+
+(* --- the whole stack: Runner with jobs --- *)
+
+let test_runner_jobs_parity () =
+  let sequential = Runner.run ~seed:4 ~scale:0.05 Runner.Ltp in
+  let parallel = Runner.run ~seed:4 ~scale:0.05 ~jobs:2 Runner.Ltp in
+  check_bool "coverage identical" true
+    (Snapshot.equal sequential.Runner.coverage parallel.Runner.coverage);
+  check_int "events kept identical" sequential.Runner.events_kept
+    parallel.Runner.events_kept;
+  check_int "events total identical" sequential.Runner.events_total
+    parallel.Runner.events_total;
+  check_int "failures identical"
+    (List.length sequential.Runner.failures)
+    (List.length parallel.Runner.failures)
+
+let suites =
+  [ ( "par.chan",
+      [ Alcotest.test_case "fifo and close" `Quick test_chan_fifo;
+        Alcotest.test_case "push after close" `Quick test_chan_closed_push;
+        Alcotest.test_case "capacity validated" `Quick test_chan_capacity_positive;
+        Alcotest.test_case "cross-domain transfer" `Quick test_chan_cross_domain ] );
+    ( "par.pool",
+      [ Alcotest.test_case "shard order" `Quick test_pool_shard_order;
+        Alcotest.test_case "jobs=1 runs inline" `Quick test_pool_jobs_one_inline;
+        Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+        Alcotest.test_case "default jobs" `Quick test_pool_default_jobs ] );
+    ( "par.merge",
+      [ Alcotest.test_case "commutative" `Quick test_merge_commutative;
+        Alcotest.test_case "associative" `Quick test_merge_associative ] );
+    ( "par.replay",
+      [ Alcotest.test_case "in-memory vs sequential" `Quick test_replay_matches_sequential;
+        Alcotest.test_case "text channel" `Quick test_replay_text_channel;
+        Alcotest.test_case "binary channel" `Quick test_replay_binary_channel;
+        Alcotest.test_case "text error line" `Quick test_replay_text_error_line;
+        Alcotest.test_case "session" `Quick test_session_matches_analyze ] );
+    ( "par.filter",
+      [ Alcotest.test_case "keep_all agrees" `Quick test_keep_all_agrees_with_keeps;
+        Alcotest.test_case "keep_all counters" `Quick test_keep_all_counters_match_per_event ] );
+    ( "par.runner",
+      [ Alcotest.test_case "jobs=2 parity" `Quick test_runner_jobs_parity ] ) ]

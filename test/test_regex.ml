@@ -2,6 +2,7 @@
 
 module Engine = Iocov_regex.Engine
 module Syntax = Iocov_regex.Syntax
+module Prng = Iocov_util.Prng
 
 let check_bool = Alcotest.(check bool)
 
@@ -83,6 +84,58 @@ let star_absorbs_prop =
     QCheck.(int_range 0 50)
     (fun n -> matches "a*" (String.make n 'a'))
 
+(* --- literal fast path: extracted facts and agreement with the
+   plain scan --- *)
+
+let expect_fast pattern ~anchored ~lead ~required () =
+  let f = Engine.fast_path (Engine.compile_exn pattern) in
+  check_bool (Printf.sprintf "%S anchored" pattern) anchored f.Engine.anchored;
+  Alcotest.(check string) (Printf.sprintf "%S lead" pattern) lead f.Engine.lead;
+  Alcotest.(check string) (Printf.sprintf "%S required" pattern) required f.Engine.required
+
+(* A deterministic path corpus that exercises the fast path's edges:
+   exact mount hits, sibling near-misses ([/mnt/testx]), truncated
+   prefixes, deep subpaths, and strings that contain a required run
+   without the lead. *)
+let path_corpus =
+  let rng = Prng.create ~seed:977 in
+  let fixed =
+    [ ""; "/"; "/mnt"; "/mnt/"; "/mnt/test"; "/mnt/test/"; "/mnt/testx";
+      "/mnt/tes"; "/mnt/test/a/b/c"; "/var/mnt/test/f"; "important";
+      "/mnt/important"; "/mnt/x/important/y"; "x/mnt/test"; "catdogfood";
+      "catfood"; "/tmp/a.tmp"; "a.tmpx"; ".tmp"; "xyz" ]
+  in
+  let segments = [| "a"; "bb"; "test"; "testx"; "mnt"; "important"; "x.tmp"; "cat"; "dog" |] in
+  let random =
+    List.init 400 (fun _ ->
+        let depth = 1 + Prng.int rng 4 in
+        let parts = List.init depth (fun _ -> Prng.choose rng segments) in
+        (if Prng.chance rng 0.7 then "/" else "") ^ String.concat "/" parts)
+  in
+  fixed @ random
+
+let fast_path_patterns =
+  [ "^/mnt/test(/|$)";      (* anchored, required subsumed by lead *)
+    "^/mnt/.*important";    (* anchored, separate required run *)
+    "^(/mnt/test|/mnt/scratch)(/|$)"; (* anchored, alternation head: no lead *)
+    "(cat|dog)food";        (* unanchored, empty lead, required "food" *)
+    "\\.tmp$";              (* end anchor only *)
+    ".*x";                  (* empty lead, single-char required *)
+    "";                     (* empty pattern: everything matches *)
+    "x?yz" ]                (* optional head breaks the lead *)
+
+let test_fast_path_agreement () =
+  List.iter
+    (fun pattern ->
+      let t = Engine.compile_exn pattern in
+      List.iter
+        (fun s ->
+          check_bool
+            (Printf.sprintf "%S on %S: search = search_scan" pattern s)
+            (Engine.search_scan t s) (Engine.search t s))
+        path_corpus)
+    fast_path_patterns
+
 let anchored_prefix_prop =
   QCheck.Test.make ~name:"^abc search only at start"
     QCheck.(string_of_size (QCheck.Gen.int_range 0 10))
@@ -147,4 +200,25 @@ let suites =
         Alcotest.test_case "class membership" `Quick test_class_mem;
         QCheck_alcotest.to_alcotest literal_self_match_prop;
         QCheck_alcotest.to_alcotest star_absorbs_prop;
-        QCheck_alcotest.to_alcotest anchored_prefix_prop ] ) ]
+        QCheck_alcotest.to_alcotest anchored_prefix_prop ] );
+    ( "regex.fast_path",
+      [ Alcotest.test_case "mount idiom: lead subsumes required" `Quick
+          (expect_fast "^/mnt/test(/|$)" ~anchored:true ~lead:"/mnt/test" ~required:"");
+        Alcotest.test_case "separate required run" `Quick
+          (expect_fast "^/mnt/.*important" ~anchored:true ~lead:"/mnt/" ~required:"important");
+        Alcotest.test_case "alternation head: anchor only" `Quick
+          (expect_fast "^(/mnt/test|/mnt/scratch)(/|$)" ~anchored:true ~lead:"" ~required:"");
+        Alcotest.test_case "unanchored alternation then literal" `Quick
+          (expect_fast "(cat|dog)food" ~anchored:false ~lead:"" ~required:"food");
+        Alcotest.test_case "plain literal: lead is whole pattern" `Quick
+          (expect_fast "snapshot" ~anchored:false ~lead:"snapshot" ~required:"");
+        Alcotest.test_case "end anchor keeps lead" `Quick
+          (expect_fast "log$" ~anchored:false ~lead:"log" ~required:"");
+        Alcotest.test_case "dot-star head: empty lead" `Quick
+          (expect_fast ".*foo" ~anchored:false ~lead:"" ~required:"foo");
+        Alcotest.test_case "optional head breaks lead" `Quick
+          (expect_fast "x?yz" ~anchored:false ~lead:"" ~required:"yz");
+        Alcotest.test_case "empty pattern: no facts" `Quick
+          (expect_fast "" ~anchored:false ~lead:"" ~required:"");
+        Alcotest.test_case "search = search_scan over path corpus" `Quick
+          test_fast_path_agreement ] ) ]
