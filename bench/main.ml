@@ -29,6 +29,7 @@ let seed = ref 42
 let only = ref []
 let perf = ref true
 let metrics_json = ref ""
+let coverage_events = ref 1_000_000
 
 let usage = "bench/main.exe [--scale S] [--seed N] [--only ID]* [--no-perf] [--metrics-json F]"
 
@@ -39,7 +40,11 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
-        perf|parallel)");
+        perf|parallel|coverage)");
+      ("--coverage-bench", Arg.Unit (fun () -> only := "coverage" :: !only),
+       "shorthand for --only coverage (E12, counter backend microbench)");
+      ("--events", Arg.Set_int coverage_events,
+       "synthetic trace size for --only coverage (default 1000000)");
       ("--no-perf", Arg.Clear perf, "skip the Bechamel performance benches");
       ("--metrics-json", Arg.Set_string metrics_json,
        "after the experiments, write the self-observability registry (metrics + span \
@@ -726,6 +731,98 @@ let e11_parallel () =
   in
   write_json "BENCH_parallel.json" body
 
+(* --- E12: coverage counter backends — compiled dense plan vs reference --- *)
+
+let e12_coverage () =
+  heading "E12" "Coverage counters: compiled dense plan vs reference histograms";
+  let n = !coverage_events in
+  Printf.printf "generating a %s-event synthetic trace...\n%!" (Ascii.si_count n);
+  let events = synth_events n in
+  (* pre-decode to (call, outcome) pairs so the single-thread loops
+     measure pure observe throughput — no filtering, no batching *)
+  let rev_pairs = ref [] in
+  Event.iter_tracked events (fun c o -> rev_pairs := (c, o) :: !rev_pairs);
+  let pairs = Array.of_list (List.rev !rev_pairs) in
+  let m = Array.length pairs in
+  Printf.printf "plan: %d cells; %s tracked observations per pass\n%!"
+    Iocov_core.Plan.total (Ascii.si_count m);
+  let run_dense () =
+    let d = Coverage.Dense.create () in
+    let (), dt =
+      timed_wall (fun () ->
+          Array.iter (fun (c, o) -> Coverage.Dense.observe d c o) pairs)
+    in
+    (d, dt)
+  in
+  let run_reference () =
+    let cov = Coverage.create () in
+    let (), dt =
+      timed_wall (fun () -> Array.iter (fun (c, o) -> Coverage.observe cov c o) pairs)
+    in
+    (cov, dt)
+  in
+  (* one warm-up pass each, then the measured pass *)
+  ignore (run_dense ());
+  ignore (run_reference ());
+  let dense_acc, dense_dt = run_dense () in
+  let ref_acc, ref_dt = run_reference () in
+  let dense_rate = float_of_int m /. dense_dt in
+  let ref_rate = float_of_int m /. ref_dt in
+  let speedup = ref_dt /. dense_dt in
+  let single_identical = Snapshot.equal (Coverage.Dense.to_reference dense_acc) ref_acc in
+  Printf.printf "  dense:     %.3fs (%s observes/s)\n" dense_dt
+    (Ascii.si_count (int_of_float dense_rate));
+  Printf.printf "  reference: %.3fs (%s observes/s)\n" ref_dt
+    (Ascii.si_count (int_of_float ref_rate));
+  Printf.printf "  speedup %.2fx, snapshots %s\n%!" speedup
+    (if single_identical then "identical" else "DIFFER");
+  (* the same trace through the sharded pipeline, both backends *)
+  let filter = Filter.mount_point "/mnt/test" in
+  let counters_name = function Replay.Dense -> "dense" | Replay.Reference -> "reference" in
+  let baseline_snap = ref "" in
+  let sweep =
+    List.concat_map
+      (fun jobs ->
+        List.map
+          (fun counters ->
+            let pool = Pool.create ~jobs () in
+            let outcome, dt =
+              timed_wall (fun () -> Replay.analyze_events ~pool ~counters ~filter events)
+            in
+            let snap = Snapshot.to_string outcome.Replay.coverage in
+            if !baseline_snap = "" then baseline_snap := snap;
+            let identical = String.equal snap !baseline_snap in
+            let rate = float_of_int n /. dt in
+            Printf.printf
+              "  jobs=%d %-9s: %.2fs (%s events/s), coverage %s\n%!" jobs
+              (counters_name counters) dt
+              (Ascii.si_count (int_of_float rate))
+              (if identical then "identical" else "DIFFERS");
+            (jobs, counters_name counters, dt, rate, identical))
+          [ Replay.Reference; Replay.Dense ])
+      [ 1; 2; 4 ]
+  in
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-coverage/1\",\n  \"seed\": %d,\n  \"trace_events\": %d,\n  \
+       \"tracked_observations\": %d,\n  \"plan_cells\": %d,\n  \"single_thread\": {\n    \
+       \"dense\": { \"elapsed_s\": %.4f, \"observes_per_s\": %.0f },\n    \
+       \"reference\": { \"elapsed_s\": %.4f, \"observes_per_s\": %.0f },\n    \
+       \"speedup_dense_vs_reference\": %.3f,\n    \"snapshot_identical\": %b\n  },\n  \
+       \"pipeline\": [\n%s\n  ]\n}\n"
+      !seed n m Iocov_core.Plan.total dense_dt dense_rate ref_dt ref_rate speedup
+      single_identical
+      (String.concat ",\n"
+         (List.map
+            (fun (jobs, name, dt, rate, identical) ->
+              Printf.sprintf
+                "    { \"jobs\": %d, \"counters\": \"%s\", \"elapsed_s\": %.4f, \
+                 \"events_per_s\": %.0f, \"coverage_identical\": %b }"
+                jobs name dt rate identical)
+            sweep))
+  in
+  write_json "BENCH_coverage.json" body
+
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
   if wanted "fig2" then e2_figure2 ();
@@ -744,6 +841,7 @@ let () =
   if wanted "fuzzer" then e10_fuzzer ();
   if !perf && wanted "perf" then perf_benches ();
   if wanted "parallel" then e11_parallel ();
+  if wanted "coverage" then e12_coverage ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

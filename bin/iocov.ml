@@ -39,6 +39,28 @@ let jobs_arg =
               $(b,Domain.recommended_domain_count).  Coverage results are byte-identical \
               at any job count.")
 
+let counters_conv =
+  let parse = function
+    | "dense" -> Ok Iocov_par.Replay.Dense
+    | "reference" -> Ok Iocov_par.Replay.Reference
+    | s -> Error (`Msg (Printf.sprintf "unknown counter backend %S (dense|reference)" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with Iocov_par.Replay.Dense -> "dense" | Iocov_par.Replay.Reference -> "reference")
+  in
+  Arg.conv (parse, print)
+
+let counters_arg =
+  Arg.(
+    value
+    & opt counters_conv Iocov_par.Replay.Dense
+    & info [ "counters" ]
+        ~docv:"BACKEND"
+        ~doc:"Coverage counter backend: $(b,dense) (the default — compiled partition \
+              plan, flat integer counters on the hot path) or $(b,reference) (hashed \
+              histograms — the differential oracle).  Results are byte-identical.")
+
 let fault_conv =
   let parse s =
     match Fault.of_string s with
@@ -133,11 +155,12 @@ let print_result (r : Runner.result) =
   print_endline (Report.untested_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage)
 
 let suite_cmd =
-  let run obs suite seed scale faults jobs =
-    (* --jobs 1 keeps the classic inline path; anything else routes the
-       event stream through the sharded pipeline *)
+  let run obs suite seed scale faults jobs counters =
+    (* --jobs 1 keeps the inline path; anything else routes the event
+       stream through the sharded pipeline *)
     let jobs = if jobs = 1 then None else Some jobs in
-    with_obs obs (fun () -> print_result (Runner.run ~seed ~scale ~faults ?jobs suite))
+    with_obs obs (fun () ->
+        print_result (Runner.run ~seed ~scale ~faults ?jobs ~counters suite))
   in
   let suite_pos =
     Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
@@ -145,7 +168,8 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
     Term.(
-      const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ faults_arg $ jobs_arg)
+      const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ faults_arg $ jobs_arg
+      $ counters_arg)
 
 (* --- trace: run a suite and store the raw trace --- *)
 
@@ -187,7 +211,7 @@ let trace_cmd =
 (* --- analyze a stored trace --- *)
 
 let analyze_cmd =
-  let run obs file patterns mount save jobs =
+  let run obs file patterns mount save jobs counters =
     with_obs obs @@ fun () ->
     let filter =
       match (patterns, mount) with
@@ -202,7 +226,7 @@ let analyze_cmd =
        memory) and at --jobs 1 runs inline — the sequential path. *)
     let pool = Iocov_par.Pool.create ~jobs () in
     let ic = open_in_bin file in
-    let result = Iocov_par.Replay.analyze_channel ~pool ~filter ic in
+    let result = Iocov_par.Replay.analyze_channel ~pool ~counters ~filter ic in
     close_in ic;
     (match result with
      | Ok o ->
@@ -234,7 +258,8 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute input/output coverage from a stored trace file.")
     Term.(
-      const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg $ jobs_arg)
+      const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg $ jobs_arg
+      $ counters_arg)
 
 (* --- compare: the paper's evaluation --- *)
 

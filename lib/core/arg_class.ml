@@ -29,6 +29,26 @@ let all =
     Write_offset; Lseek_offset; Lseek_whence; Truncate_length; Mkdir_mode;
     Chmod_mode; Setxattr_size; Setxattr_flags; Getxattr_size ]
 
+(* Dense index in declaration order ([all]'s order), for array-indexed
+   counting in the compiled partition plan. *)
+let index = function
+  | Open_flags_arg -> 0
+  | Open_mode -> 1
+  | Read_count -> 2
+  | Read_offset -> 3
+  | Write_count -> 4
+  | Write_offset -> 5
+  | Lseek_offset -> 6
+  | Lseek_whence -> 7
+  | Truncate_length -> 8
+  | Mkdir_mode -> 9
+  | Chmod_mode -> 10
+  | Setxattr_size -> 11
+  | Setxattr_flags -> 12
+  | Getxattr_size -> 13
+
+let count = 14
+
 let name = function
   | Open_flags_arg -> "open.flags"
   | Open_mode -> "open.mode"

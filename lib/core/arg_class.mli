@@ -35,6 +35,12 @@ type arg =
 val all : arg list
 (** The 14 arguments, in the order above. *)
 
+val index : arg -> int
+(** Dense index in [{!all}]'s order, in [[0, count)] — an array offset
+    for the compiled partition plan ({!Plan}). *)
+
+val count : int
+
 val name : arg -> string
 (** Dotted name, e.g. ["open.flags"]. *)
 

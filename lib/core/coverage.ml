@@ -29,8 +29,12 @@ let create ?(metered = true) () =
   {
     inputs = Hashtbl.create 16;
     outputs = Hashtbl.create 16;
-    variants = Histogram.create ~compare:Stdlib.compare;
-    flag_sets = Histogram.create ~compare:Stdlib.compare;
+    (* Monomorphic comparators: polymorphic [Stdlib.compare] walks the
+       runtime representation on every histogram sort; these compile to
+       integer compares (variants order by their dense index, which
+       matches declaration order). *)
+    variants = Histogram.create ~compare:Model.compare_variant;
+    flag_sets = Histogram.create ~compare:Int.compare;
     calls = 0;
     metered;
   }
@@ -51,27 +55,49 @@ let output_hist t base =
     Hashtbl.add t.outputs base h;
     h
 
-let observe_input_only t call =
+(* Shared table-update body of the observe paths.  Returns the number
+   of input-table updates and whether a flag set was recorded, so the
+   caller can credit metering in one batch. *)
+let record_inputs t call =
   t.calls <- t.calls + 1;
-  if t.metered then Metrics.Counter.incr m_calls;
   Histogram.add t.variants (Model.variant_of_call call);
-  if t.metered then Metrics.Counter.incr m_variant_updates;
-  List.iter
-    (fun (arg, part) ->
-      Histogram.add (input_hist t arg) part;
-      if t.metered then Metrics.Counter.incr m_input_updates)
-    (Partition.of_call call);
-  match call with
-  | Model.Open_call { flags; _ } ->
-    Histogram.add t.flag_sets flags;
-    if t.metered then Metrics.Counter.incr m_flag_set_updates
-  | _ -> ()
+  let n_inputs =
+    List.fold_left
+      (fun acc (arg, part) ->
+        Histogram.add (input_hist t arg) part;
+        acc + 1)
+      0 (Partition.of_call call)
+  in
+  let flag_set =
+    match call with
+    | Model.Open_call { flags; _ } ->
+      Histogram.add t.flag_sets flags;
+      true
+    | _ -> false
+  in
+  (n_inputs, flag_set)
+
+(* Metering is hoisted out of the per-update loops: one observation
+   credits all its counter increments in a single batch, with totals
+   exactly equal to per-update metering (asserted in test_obs). *)
+let meter_observation t ~inputs ~flag_set ~outputs =
+  if t.metered then begin
+    Metrics.Counter.incr m_calls;
+    Metrics.Counter.incr m_variant_updates;
+    if inputs > 0 then Metrics.Counter.add m_input_updates inputs;
+    if flag_set then Metrics.Counter.incr m_flag_set_updates;
+    if outputs > 0 then Metrics.Counter.add m_output_updates outputs
+  end
+
+let observe_input_only t call =
+  let inputs, flag_set = record_inputs t call in
+  meter_observation t ~inputs ~flag_set ~outputs:0
 
 let observe t call outcome =
-  observe_input_only t call;
+  let inputs, flag_set = record_inputs t call in
   let base = Model.base_of_call call in
   Histogram.add (output_hist t base) (Partition.output_of base outcome);
-  if t.metered then Metrics.Counter.incr m_output_updates
+  meter_observation t ~inputs ~flag_set ~outputs:1
 
 (* Table sizes are per-accumulator, so they are published on demand for
    one chosen instance (the run's accumulator) rather than streamed —
@@ -214,3 +240,69 @@ let add_flag_set t mask count = Histogram.add t.flag_sets ~count mask
 let add_calls t n =
   if n < 0 then invalid_arg "Coverage.add_calls: negative";
   t.calls <- t.calls + n
+
+(* --- dense counters --- *)
+
+module Dense = struct
+  (* Bound before [t] is shadowed by the dense record below. *)
+  let coverage_create = create
+
+  type t = {
+    counts : int array; (* one counter per Plan cell ID *)
+    bump : int -> unit; (* pre-bound [counts] incrementer, so the hot
+                           path passes one closure with no per-call
+                           allocation *)
+    flag_sets : (int, int ref) Hashtbl.t; (* exact open masks: unbounded
+                                             key space, stays a table *)
+    mutable calls : int;
+  }
+
+  let create () =
+    let counts = Array.make Plan.total 0 in
+    let bump id = counts.(id) <- counts.(id) + 1 in
+    { counts; bump; flag_sets = Hashtbl.create 64; calls = 0 }
+
+  let observe_input_only t call =
+    t.calls <- t.calls + 1;
+    t.bump (Plan.variant_cell (Model.variant_of_call call));
+    Plan.iter_input_slots call t.bump;
+    match call with
+    | Model.Open_call { flags; _ } -> (
+      match Hashtbl.find t.flag_sets flags with
+      | r -> incr r
+      | exception Not_found -> Hashtbl.add t.flag_sets flags (ref 1))
+    | _ -> ()
+
+  let observe t call outcome =
+    observe_input_only t call;
+    t.bump (Plan.output_cell (Model.base_of_call call) outcome)
+
+  let merge_into ~dst src =
+    dst.calls <- dst.calls + src.calls;
+    let d = dst.counts and s = src.counts in
+    for i = 0 to Array.length d - 1 do
+      d.(i) <- d.(i) + s.(i)
+    done;
+    Hashtbl.iter
+      (fun mask r ->
+        match Hashtbl.find dst.flag_sets mask with
+        | r' -> r' := !r' + !r
+        | exception Not_found -> Hashtbl.add dst.flag_sets mask (ref !r))
+      src.flag_sets
+
+  let calls_observed t = t.calls
+
+  let to_reference ?(metered = false) t =
+    let cov = coverage_create ~metered () in
+    Array.iteri
+      (fun id n ->
+        if n > 0 then
+          match Plan.cells.(id) with
+          | Plan.Cell_variant v -> add_variant cov v n
+          | Plan.Cell_input (arg, part) -> add_input cov arg part n
+          | Plan.Cell_output (base, out) -> add_output cov base out n)
+      t.counts;
+    Hashtbl.iter (fun mask r -> add_flag_set cov mask !r) t.flag_sets;
+    add_calls cov t.calls;
+    cov
+end

@@ -109,3 +109,40 @@ val add_output : t -> Model.base -> Partition.output -> int -> unit
 val add_variant : t -> Model.variant -> int -> unit
 val add_flag_set : t -> Open_flags.t -> int -> unit
 val add_calls : t -> int -> unit
+
+(** {2 Dense counters}
+
+    The replay hot-path accumulator: a flat [int array] indexed by
+    {!Plan} cell IDs instead of hashed histograms.  [observe] is
+    allocation-free integer arithmetic (exact open-flag {e sets} keep a
+    small int-keyed table — their key space is unbounded); shard merge
+    is pointwise array addition.  {!Dense.to_reference} converts
+    losslessly to the reference {!t}, so reports, snapshots, TCD and
+    adequacy analyses are unchanged downstream.  The reference
+    accumulator remains the differential oracle: both paths must
+    produce byte-identical snapshots (property-tested). *)
+
+type reference := t
+
+module Dense : sig
+  type t
+
+  val create : unit -> t
+  (** Dense accumulators are unmetered; credit the global counters
+      after conversion with {!meter_counts} on the result, which yields
+      totals identical to per-event metering. *)
+
+  val observe : t -> Model.call -> Model.outcome -> unit
+  val observe_input_only : t -> Model.call -> unit
+
+  val merge_into : dst:t -> t -> unit
+  (** Pointwise array sum — commutative and associative, like
+      {!merge_into} on the reference type. *)
+
+  val calls_observed : t -> int
+
+  val to_reference : ?metered:bool -> t -> reference
+  (** Rebuild a reference accumulator with exactly the same counts.
+      [metered] (default [false]) sets the metering flag of the {e
+      result} for any further observations fed to it directly. *)
+end

@@ -37,13 +37,31 @@ let label = function
   | P_whence w -> Whence.to_string w
   | P_xflag f -> Xattr_flag.to_string f
 
+(* Parse the decimal suffix [s.[from..]] in place — the snapshot-parse
+   path calls this per stored bucket label, and [String.sub] would
+   allocate a copy each time.  Plain digits only (no sign, base prefix,
+   or [_] separators), overflow-guarded; returns [-1] when malformed —
+   valid exponents are non-negative, so [-1] is free as a sentinel. *)
+let decimal_suffix s from =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let c = s.[i] in
+      if c < '0' || c > '9' then -1
+      else
+        let d = Char.code c - Char.code '0' in
+        if acc > (max_int - d) / 10 then -1 else go (i + 1) ((acc * 10) + d)
+  in
+  if from >= n then -1 else go from 0
+
 let of_label s =
   if s = "MODE_0000" then Some P_mode_zero
   else if s = "=0" then Some (P_bucket Log2.Zero)
   else if s = "<0" then Some (P_bucket Log2.Negative)
-  else if String.length s > 2 && String.sub s 0 2 = "2^" then
-    match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
-    | Some k when k >= 0 -> Some (P_bucket (Log2.Pow2 k))
+  else if String.length s > 2 && s.[0] = '2' && s.[1] = '^' then
+    match decimal_suffix s 2 with
+    | k when k >= 0 -> Some (P_bucket (Log2.Pow2 k))
     | _ -> None
   else
     match Open_flags.flag_of_name s with
@@ -149,9 +167,12 @@ let output_token = function
 let output_of_token s =
   if s = "OK" then Some O_ok
   else if s = "OK=0" then Some O_ok_zero
-  else if String.length s > 5 && String.sub s 0 5 = "OK:2^" then
-    match int_of_string_opt (String.sub s 5 (String.length s - 5)) with
-    | Some k when k >= 0 -> Some (O_ok_bucket k)
+  else if
+    String.length s > 5
+    && s.[0] = 'O' && s.[1] = 'K' && s.[2] = ':' && s.[3] = '2' && s.[4] = '^'
+  then
+    match decimal_suffix s 5 with
+    | k when k >= 0 -> Some (O_ok_bucket k)
     | _ -> None
   else
     match Errno.of_string s with

@@ -14,6 +14,14 @@ let m_events =
   Metrics.counter Metrics.default "iocov_par_events_total"
     ~help:"Trace records processed by the parallel pipeline."
 
+let m_observed kind =
+  Metrics.counter Metrics.default "iocov_par_observed_events_total"
+    ~labels:[ ("counters", kind) ]
+    ~help:"Filtered records fed to a coverage accumulator, by counter backend."
+
+let m_observed_dense = m_observed "dense"
+let m_observed_reference = m_observed "reference"
+
 let default_batch = 1024
 
 (* Channel capacity in batches.  Small multiple of the worker count:
@@ -38,22 +46,42 @@ type work =
   | Events of Event.t list
   | Lines of (int * string) list
 
+(* Counter backend for shard accumulators.  [Dense] (the default)
+   counts into {!Coverage.Dense}'s flat array and converts to a
+   reference accumulator once at merge time; [Reference] keeps the
+   hashed histograms on the hot path and serves as the differential
+   oracle — both must produce byte-identical snapshots. *)
+type counters = Dense | Reference
+
+type acc = A_ref of Coverage.t | A_dense of Coverage.Dense.t
+
 type shard_state = {
-  cov : Coverage.t;
+  acc : acc;
   mutable s_events : int;
   mutable s_kept : int;
   mutable s_batches : int;
   mutable s_error : (int * string) option;  (* lowest-line parse error *)
 }
 
-let make_shard ~metered () =
-  { cov = Coverage.create ~metered (); s_events = 0; s_kept = 0; s_batches = 0;
-    s_error = None }
+let make_shard ~counters ~metered () =
+  let acc =
+    match counters with
+    | Reference -> A_ref (Coverage.create ~metered ())
+    (* dense shards are inherently unmetered; finalize credits the
+       converted accumulator in one batch *)
+    | Dense -> A_dense (Coverage.Dense.create ())
+  in
+  { acc; s_events = 0; s_kept = 0; s_batches = 0; s_error = None }
 
-let observe_kept st (e : Event.t) =
-  match e.Event.payload with
-  | Event.Tracked call -> Coverage.observe st.cov call e.Event.outcome
-  | Event.Aux _ -> ()
+(* One backend dispatch per batch, not per event. *)
+let observe_batch st kept =
+  match st.acc with
+  | A_ref cov ->
+    Event.iter_tracked kept (Coverage.observe cov);
+    Metrics.Counter.add m_observed_reference (List.length kept)
+  | A_dense d ->
+    Event.iter_tracked kept (Coverage.Dense.observe d);
+    Metrics.Counter.add m_observed_dense (List.length kept)
 
 let note_error st lineno msg =
   match st.s_error with
@@ -76,7 +104,7 @@ let process filter st work =
   in
   let n = List.length events in
   let kept = Filter.keep_all filter events in
-  List.iter (observe_kept st) kept;
+  observe_batch st kept;
   st.s_events <- st.s_events + n;
   st.s_kept <- st.s_kept + List.length kept;
   st.s_batches <- st.s_batches + 1;
@@ -104,12 +132,33 @@ let finalize shards =
   | None ->
     let coverage =
       match shards with
-      | [| st |] -> st.cov (* single shard: metered per event already *)
-      | _ ->
-        let dst = Coverage.create () in
-        Array.iter (fun st -> Coverage.merge_into ~dst st.cov) shards;
-        Coverage.meter_counts dst;
-        dst
+      | [| { acc = A_ref cov; _ } |] ->
+        cov (* single reference shard: metered per event already *)
+      | _ -> (
+        match shards.(0).acc with
+        | A_ref _ ->
+          let dst = Coverage.create () in
+          Array.iter
+            (fun st ->
+              match st.acc with
+              | A_ref cov -> Coverage.merge_into ~dst cov
+              | A_dense _ -> assert false (* one backend per pipeline *))
+            shards;
+          Coverage.meter_counts dst;
+          dst
+        | A_dense _ ->
+          (* O(cells) pointwise array sums, then one lossless rebuild
+             of the reference shape for every downstream consumer. *)
+          let dst = Coverage.Dense.create () in
+          Array.iter
+            (fun st ->
+              match st.acc with
+              | A_dense d -> Coverage.Dense.merge_into ~dst d
+              | A_ref _ -> assert false)
+            shards;
+          let cov = Coverage.Dense.to_reference ~metered:true dst in
+          Coverage.meter_counts cov;
+          cov)
     in
     let sum f = Array.fold_left (fun acc st -> acc + f st) 0 shards in
     let events = sum (fun st -> st.s_events) in
@@ -127,9 +176,9 @@ let finalize shards =
 (* The engine: [feed] pushes work items; shards drain them.  With one
    job everything runs inline on the caller — the --jobs 1 path is the
    sequential path, with a metered shard and no channel. *)
-let run_pipeline ~pool ~feed ~filter =
+let run_pipeline ~pool ~counters ~feed ~filter =
   if Pool.jobs pool = 1 then begin
-    let st = make_shard ~metered:true () in
+    let st = make_shard ~counters ~metered:true () in
     Span.with_ ~name:"par/shard-0" (fun () -> feed (process filter st));
     finalize [| st |]
   end
@@ -138,7 +187,7 @@ let run_pipeline ~pool ~feed ~filter =
     let chan = Chan.create ~capacity:(capacity_for jobs) in
     let running =
       Pool.launch pool (fun ~shard ->
-          let st = make_shard ~metered:false () in
+          let st = make_shard ~counters ~metered:false () in
           Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
               let rec loop () =
                 match Chan.pop chan with
@@ -160,7 +209,8 @@ let run_pipeline ~pool ~feed ~filter =
 
 let or_default pool = match pool with Some p -> p | None -> Pool.create ()
 
-let analyze_events ?pool ?(batch = default_batch) ~filter events =
+let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ~filter
+    events =
   if batch <= 0 then invalid_arg "Replay.analyze_events: batch must be positive";
   let pool = or_default pool in
   let feed push =
@@ -180,7 +230,7 @@ let analyze_events ?pool ?(batch = default_batch) ~filter events =
     in
     chunks events
   in
-  match run_pipeline ~pool ~feed ~filter with
+  match run_pipeline ~pool ~counters ~feed ~filter with
   | Ok outcome -> outcome
   | Error msg ->
     (* event lists carry no text to fail parsing on *)
@@ -188,7 +238,8 @@ let analyze_events ?pool ?(batch = default_batch) ~filter events =
 
 exception Feed_error of string
 
-let analyze_channel ?pool ?(batch = default_batch) ~filter ic =
+let analyze_channel ?pool ?(batch = default_batch) ?(counters = Dense) ~filter
+    ic =
   if batch <= 0 then invalid_arg "Replay.analyze_channel: batch must be positive";
   let pool = or_default pool in
   let feed push =
@@ -218,7 +269,7 @@ let analyze_channel ?pool ?(batch = default_batch) ~filter ic =
       loop ()
     end
   in
-  match run_pipeline ~pool ~feed ~filter with
+  match run_pipeline ~pool ~counters ~feed ~filter with
   | outcome -> outcome
   | exception Feed_error msg -> Error msg
 
@@ -232,11 +283,11 @@ type session = {
   complete : unit -> (outcome, string) result;
 }
 
-let session ?pool ?(batch = default_batch) ~filter () =
+let session ?pool ?(batch = default_batch) ?(counters = Dense) ~filter () =
   if batch <= 0 then invalid_arg "Replay.session: batch must be positive";
   let pool = or_default pool in
   if Pool.jobs pool = 1 then begin
-    let st = make_shard ~metered:true () in
+    let st = make_shard ~counters ~metered:true () in
     {
       batch_size = batch;
       buf = [];
@@ -250,7 +301,7 @@ let session ?pool ?(batch = default_batch) ~filter () =
     let chan = Chan.create ~capacity:(capacity_for jobs) in
     let running =
       Pool.launch pool (fun ~shard ->
-          let st = make_shard ~metered:false () in
+          let st = make_shard ~counters ~metered:false () in
           Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
               let rec loop () =
                 match Chan.pop chan with

@@ -9,8 +9,9 @@
     {b Determinism contract.}  Coverage accumulation is commutative
     and associative ({!Iocov_core.Coverage.merge_into}), so the merged
     result is byte-identical to a sequential replay of the same trace
-    regardless of job count, batch size, or how the scheduler spread
-    batches over shards — property-tested in [test/test_par.ml].
+    regardless of job count, batch size, counter backend, or how the
+    scheduler spread batches over shards — property-tested in
+    [test/test_par.ml] and [test/test_dense.ml].
     Global metric counter totals are likewise identical: shards
     accumulate unmetered and the merged accumulator is credited once
     via {!Iocov_core.Coverage.meter_counts}.  Only timing (span
@@ -19,6 +20,16 @@
     With [jobs = 1] no domain is spawned and no channel is created:
     everything runs inline on the caller, so [--jobs 1] {e is} the
     sequential path. *)
+
+type counters =
+  | Dense
+      (** Shards count into {!Iocov_core.Coverage.Dense} — flat integer
+          arrays indexed by compiled {!Iocov_core.Plan} cell IDs,
+          allocation-free observe, O(cells) merge.  Converted losslessly
+          to the reference shape at merge time; the default. *)
+  | Reference
+      (** Shards use the hashed-histogram {!Iocov_core.Coverage.t}
+          directly — the differential oracle for the dense path. *)
 
 type outcome = {
   coverage : Iocov_core.Coverage.t;  (** merged across shards *)
@@ -37,14 +48,15 @@ val default_batch : int
 (** Events per work batch when [?batch] is omitted (1024). *)
 
 val analyze_events :
-  ?pool:Pool.t -> ?batch:int -> filter:Iocov_trace.Filter.t ->
-  Iocov_trace.Event.t list -> outcome
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters ->
+  filter:Iocov_trace.Filter.t -> Iocov_trace.Event.t list -> outcome
 (** Replay an in-memory event list.  [pool] defaults to a fresh
-    {!Pool.create}[ ()]; [batch] must be positive. *)
+    {!Pool.create}[ ()]; [batch] must be positive; [counters] defaults
+    to [Dense]. *)
 
 val analyze_channel :
-  ?pool:Pool.t -> ?batch:int -> filter:Iocov_trace.Filter.t ->
-  in_channel -> (outcome, string) result
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters ->
+  filter:Iocov_trace.Filter.t -> in_channel -> (outcome, string) result
 (** Replay a trace from a channel, auto-detecting binary
     ({!Iocov_trace.Binary_io}) versus text ({!Iocov_trace.Format_io}).
     Binary records are decoded in batches on the calling domain (the
@@ -63,8 +75,8 @@ val analyze_channel :
 type session
 
 val session :
-  ?pool:Pool.t -> ?batch:int -> filter:Iocov_trace.Filter.t -> unit ->
-  session
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters ->
+  filter:Iocov_trace.Filter.t -> unit -> session
 
 val sink : session -> Iocov_trace.Event.t -> unit
 

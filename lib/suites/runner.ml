@@ -61,32 +61,44 @@ let exec ?dispatch ~seed ~scale ~faults ~coverage suite =
       stats.Ltp.events_kept,
       stats.Ltp.testcases_run )
 
-let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs suite =
+let counters_name = function
+  | Replay.Dense -> "dense"
+  | Replay.Reference -> "reference"
+
+let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
+    ?(counters = Replay.Dense) suite =
   Log.info "suite run starting"
     ~fields:
       [ ("suite", Log.str (suite_name suite));
         ("seed", Log.int seed);
         ("scale", Log.float scale);
         ("faults", Log.int (List.length faults));
-        ("jobs", Log.int (match jobs with None -> 1 | Some j -> j)) ];
+        ("jobs", Log.int (match jobs with None -> 1 | Some j -> j));
+        ("counters", Log.str (counters_name counters)) ];
   (* The root span doubles as the run's wall clock: [elapsed_s] is the
      root's duration, so profile tree and result always agree. *)
   let (coverage, failures, events_total, events_kept, workloads), root =
     Span.timed ~name:("runner/" ^ suite_name suite) (fun () ->
-        match jobs with
-        | None ->
+        match (jobs, counters) with
+        | None, Replay.Reference ->
+          (* the classic inline path: the suite observes directly into
+             a metered reference accumulator *)
           let coverage = Coverage.create () in
           let failures, events_total, events_kept, workloads =
             exec ~seed ~scale ~faults ~coverage suite
           in
           (coverage, failures, events_total, events_kept, workloads)
-        | Some j ->
-          (* route the suite's live event stream through the sharded
-             pipeline; the inline observe path is bypassed, so hand the
-             suite a throwaway accumulator *)
-          let pool = Pool.create ~jobs:j () in
+        | _ ->
+          (* route the suite's live event stream through the replay
+             pipeline (inline at one job — no domain, no channel —
+             sharded otherwise); the suite's own observe path is
+             bypassed, so hand it a throwaway accumulator *)
+          let pool =
+            Pool.create ~jobs:(match jobs with Some j -> j | None -> 1) ()
+          in
           let session =
-            Replay.session ~pool ~filter:(Filter.mount_point (mount_of suite)) ()
+            Replay.session ~pool ~counters
+              ~filter:(Filter.mount_point (mount_of suite)) ()
           in
           let failures, events_total, _, workloads =
             exec ~dispatch:(Replay.sink session) ~seed ~scale ~faults

@@ -21,15 +21,17 @@ type result = {
 
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->
-  suite -> result
+  ?counters:Iocov_par.Replay.counters -> suite -> result
 (** Run one suite from scratch.  Deterministic for a fixed seed, scale,
     and fault set.
 
     [jobs] routes the suite's event stream through the sharded
     analysis pipeline ([Iocov_par.Replay]) with that many worker
-    shards (0 = [Domain.recommended_domain_count]); omitted means the
-    classic inline path.  The resulting coverage is byte-identical
-    either way — only wall-clock changes. *)
+    shards (0 = [Domain.recommended_domain_count]); omitted means one
+    inline shard.  [counters] picks the accumulator backend (default
+    [Dense]; [Reference] with [jobs] omitted is the classic direct
+    observe path).  The resulting coverage is byte-identical across
+    all combinations — only wall-clock changes. *)
 
 val run_both :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> unit -> result * result

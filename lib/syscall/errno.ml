@@ -40,6 +40,46 @@ let all =
     ENOENT; ENOMEM; ENOSPC; ENOTDIR; ENXIO; EOVERFLOW; EPERM; EROFS;
     ETXTBSY; EXDEV; EIO; ENODATA; ERANGE; ENOTSUP; ESPIPE; EMLINK; ENOTEMPTY ]
 
+(* Dense index in declaration order, for array-indexed counting — not
+   the kernel code (see [to_code]). *)
+let index = function
+  | E2BIG -> 0
+  | EACCES -> 1
+  | EAGAIN -> 2
+  | EBADF -> 3
+  | EBUSY -> 4
+  | EDQUOT -> 5
+  | EEXIST -> 6
+  | EFAULT -> 7
+  | EFBIG -> 8
+  | EINTR -> 9
+  | EINVAL -> 10
+  | EISDIR -> 11
+  | ELOOP -> 12
+  | EMFILE -> 13
+  | ENAMETOOLONG -> 14
+  | ENFILE -> 15
+  | ENODEV -> 16
+  | ENOENT -> 17
+  | ENOMEM -> 18
+  | ENOSPC -> 19
+  | ENOTDIR -> 20
+  | ENXIO -> 21
+  | EOVERFLOW -> 22
+  | EPERM -> 23
+  | EROFS -> 24
+  | ETXTBSY -> 25
+  | EXDEV -> 26
+  | EIO -> 27
+  | ENODATA -> 28
+  | ERANGE -> 29
+  | ENOTSUP -> 30
+  | ESPIPE -> 31
+  | EMLINK -> 32
+  | ENOTEMPTY -> 33
+
+let count = 34
+
 let open_manual_domain =
   [ E2BIG; EACCES; EAGAIN; EBADF; EBUSY; EDQUOT; EEXIST; EFAULT; EFBIG;
     EINTR; EINVAL; EISDIR; ELOOP; EMFILE; ENAMETOOLONG; ENFILE; ENODEV;

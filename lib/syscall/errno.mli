@@ -63,3 +63,10 @@ val describe : t -> string
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
+val index : t -> int
+(** Dense index in declaration order, in [[0, count)] — an array offset
+    for the compiled partition plan, unrelated to the kernel's numeric
+    code ({!to_code}). *)
+
+val count : int

@@ -32,6 +32,23 @@ let bit_name = function
   | S_IWOTH -> "S_IWOTH"
   | S_IXOTH -> "S_IXOTH"
 
+(* Dense index in declaration order, for array-indexed counting. *)
+let bit_index = function
+  | S_ISUID -> 0
+  | S_ISGID -> 1
+  | S_ISVTX -> 2
+  | S_IRUSR -> 3
+  | S_IWUSR -> 4
+  | S_IXUSR -> 5
+  | S_IRGRP -> 6
+  | S_IWGRP -> 7
+  | S_IXGRP -> 8
+  | S_IROTH -> 9
+  | S_IWOTH -> 10
+  | S_IXOTH -> 11
+
+let bit_count = 12
+
 let by_name = List.map (fun b -> (bit_name b, b)) all_bits
 let bit_of_name s = List.assoc_opt s by_name
 

@@ -26,6 +26,12 @@ val all_bits : bit list
 (** The 12-bit domain, high bits first. *)
 
 val bit_name : bit -> string
+
+val bit_index : bit -> int
+(** Dense index in declaration order, in [[0, bit_count)] — an array
+    offset for the compiled partition plan. *)
+
+val bit_count : int
 val bit_of_name : string -> bit option
 
 val mask : bit -> int

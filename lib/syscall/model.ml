@@ -50,6 +50,60 @@ let all_variants =
     Sys_fchmodat; Sys_close; Sys_chdir; Sys_fchdir; Sys_setxattr;
     Sys_lsetxattr; Sys_fsetxattr; Sys_getxattr; Sys_lgetxattr; Sys_fgetxattr ]
 
+(* Dense integer indexes, in declaration order — the compiled partition
+   plan (lib/core/plan.ml) uses these as array offsets, and the
+   monomorphic comparators below are index comparisons, so histogram
+   order is unchanged from the polymorphic [Stdlib.compare] they
+   replace. *)
+
+let base_index = function
+  | Open -> 0
+  | Read -> 1
+  | Write -> 2
+  | Lseek -> 3
+  | Truncate -> 4
+  | Mkdir -> 5
+  | Chmod -> 6
+  | Close -> 7
+  | Chdir -> 8
+  | Setxattr -> 9
+  | Getxattr -> 10
+
+let base_count = 11
+
+let variant_index = function
+  | Sys_open -> 0
+  | Sys_openat -> 1
+  | Sys_creat -> 2
+  | Sys_openat2 -> 3
+  | Sys_read -> 4
+  | Sys_pread64 -> 5
+  | Sys_readv -> 6
+  | Sys_write -> 7
+  | Sys_pwrite64 -> 8
+  | Sys_writev -> 9
+  | Sys_lseek -> 10
+  | Sys_truncate -> 11
+  | Sys_ftruncate -> 12
+  | Sys_mkdir -> 13
+  | Sys_mkdirat -> 14
+  | Sys_chmod -> 15
+  | Sys_fchmod -> 16
+  | Sys_fchmodat -> 17
+  | Sys_close -> 18
+  | Sys_chdir -> 19
+  | Sys_fchdir -> 20
+  | Sys_setxattr -> 21
+  | Sys_lsetxattr -> 22
+  | Sys_fsetxattr -> 23
+  | Sys_getxattr -> 24
+  | Sys_lgetxattr -> 25
+  | Sys_fgetxattr -> 26
+
+let variant_count = 27
+let compare_base a b = Int.compare (base_index a) (base_index b)
+let compare_variant a b = Int.compare (variant_index a) (variant_index b)
+
 let base_of_variant = function
   | Sys_open | Sys_openat | Sys_creat | Sys_openat2 -> Open
   | Sys_read | Sys_pread64 | Sys_readv -> Read

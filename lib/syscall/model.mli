@@ -58,6 +58,26 @@ val all_variants : variant list
 val base_of_variant : variant -> base
 val variants_of_base : base -> variant list
 
+(** {2 Dense integer indexes}
+
+    Constructors numbered in declaration order, for array-indexed
+    counting (the compiled partition plan) and monomorphic comparison.
+    [compare_base]/[compare_variant] order exactly as the polymorphic
+    [Stdlib.compare] they replace. *)
+
+val base_index : base -> int
+(** In [[0, base_count)]. *)
+
+val base_count : int
+
+val variant_index : variant -> int
+(** In [[0, variant_count)]. *)
+
+val variant_count : int
+
+val compare_base : base -> base -> int
+val compare_variant : variant -> variant -> int
+
 val base_name : base -> string
 (** Lower-case base name, e.g. ["open"]. *)
 

@@ -52,6 +52,32 @@ let flag_name = function
   | O_PATH -> "O_PATH"
   | O_TMPFILE -> "O_TMPFILE"
 
+(* Dense index in declaration order, for array-indexed counting. *)
+let flag_index = function
+  | O_RDONLY -> 0
+  | O_WRONLY -> 1
+  | O_RDWR -> 2
+  | O_CREAT -> 3
+  | O_EXCL -> 4
+  | O_NOCTTY -> 5
+  | O_TRUNC -> 6
+  | O_APPEND -> 7
+  | O_NONBLOCK -> 8
+  | O_DSYNC -> 9
+  | O_ASYNC -> 10
+  | O_DIRECT -> 11
+  | O_LARGEFILE -> 12
+  | O_DIRECTORY -> 13
+  | O_NOFOLLOW -> 14
+  | O_NOATIME -> 15
+  | O_CLOEXEC -> 16
+  | O_SYNC -> 17
+  | O_RSYNC -> 18
+  | O_PATH -> 19
+  | O_TMPFILE -> 20
+
+let flag_count = 21
+
 let by_name = List.map (fun f -> (flag_name f, f)) all
 let flag_of_name s = List.assoc_opt s by_name
 

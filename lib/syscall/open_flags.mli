@@ -37,6 +37,12 @@ val all : flag list
 (** The 21-flag domain, in Figure 2's x-axis order. *)
 
 val flag_name : flag -> string
+
+val flag_index : flag -> int
+(** Dense index in declaration order, in [[0, flag_count)] — an array
+    offset for the compiled partition plan. *)
+
+val flag_count : int
 val flag_of_name : string -> flag option
 
 val bit : flag -> int

@@ -19,3 +19,8 @@ let base t =
   match t.payload with
   | Tracked c -> Some (Iocov_syscall.Model.base_of_call c)
   | Aux _ -> None
+
+let iter_tracked events f =
+  List.iter
+    (fun t -> match t.payload with Tracked c -> f c t.outcome | Aux _ -> ())
+    events

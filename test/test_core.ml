@@ -245,6 +245,66 @@ let test_coverage_flag_sets () =
   let sets = Coverage.open_flag_sets cov in
   check_int "two distinct sets" 2 (List.length sets)
 
+(* The monomorphic comparators replacing [Stdlib.compare] in the
+   variant and flag-set histograms must induce exactly the order the
+   polymorphic compare gave (declaration order for nullary
+   constructors, numeric order for masks) — snapshot byte-stability
+   depends on it. *)
+let test_monomorphic_comparators_agree () =
+  let sign n = Stdlib.compare n 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int
+            (Printf.sprintf "variant order %s vs %s" (Model.variant_name a)
+               (Model.variant_name b))
+            (sign (Stdlib.compare a b))
+            (sign (Model.compare_variant a b)))
+        Model.all_variants)
+    Model.all_variants;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_int
+            (Printf.sprintf "base order %s vs %s" (Model.base_name a)
+               (Model.base_name b))
+            (sign (Stdlib.compare a b))
+            (sign (Model.compare_base a b)))
+        Model.all_bases)
+    Model.all_bases
+
+(* --- label parsing: the in-place 2^k parsers (no String.sub) --- *)
+
+let test_bucket_label_roundtrip_boundaries () =
+  List.iter
+    (fun k ->
+      let p = Partition.P_bucket (Log2.Pow2 k) in
+      check_bool (Printf.sprintf "2^%d roundtrips" k) true
+        (Partition.of_label (Partition.label p) = Some p);
+      let o = Partition.O_ok_bucket k in
+      check_bool (Printf.sprintf "OK:2^%d roundtrips" k) true
+        (Partition.output_of_token (Partition.output_token o) = Some o))
+    [ 0; 1; 31; 62 ];
+  check_bool "<0 roundtrips" true
+    (Partition.of_label "<0" = Some (Partition.P_bucket Log2.Negative));
+  check_bool "=0 roundtrips" true
+    (Partition.of_label "=0" = Some (Partition.P_bucket Log2.Zero))
+
+let test_bucket_label_malformed () =
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "%S rejected" s) true (Partition.of_label s = None))
+    [ "2^"; "2^-1"; "2^x"; "2^ 3"; "2^0x3"; "2^1_0"; "2^+5";
+      "2^99999999999999999999"; "^3"; "2" ];
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "%S rejected" s) true
+        (Partition.output_of_token s = None))
+    [ "OK:2^"; "OK:2^-1"; "OK:2^x"; "OK:2^0x3"; "OK:2^+5";
+      "OK:2^99999999999999999999"; "OK:"; "ok:2^3" ]
+
 (* --- Combos --- *)
 
 let combo_sets =
@@ -421,7 +481,11 @@ let suites =
         Alcotest.test_case "partitions land in domains" `Quick test_every_call_partition_in_domain;
         Alcotest.test_case "output partitioning" `Quick test_output_partitions;
         Alcotest.test_case "output domains" `Quick test_output_domains;
-        Alcotest.test_case "output grouping" `Quick test_output_grouping ] );
+        Alcotest.test_case "output grouping" `Quick test_output_grouping;
+        Alcotest.test_case "bucket labels roundtrip" `Quick
+          test_bucket_label_roundtrip_boundaries;
+        Alcotest.test_case "malformed bucket labels" `Quick
+          test_bucket_label_malformed ] );
     ( "core.coverage",
       [ Alcotest.test_case "counts" `Quick test_coverage_counts;
         Alcotest.test_case "variant merging" `Quick test_coverage_variant_merging;
@@ -432,7 +496,9 @@ let suites =
         Alcotest.test_case "merge" `Quick test_coverage_merge;
         Alcotest.test_case "copy isolation" `Quick test_coverage_copy_isolated;
         Alcotest.test_case "grouped outputs" `Quick test_coverage_grouped_outputs;
-        Alcotest.test_case "flag sets" `Quick test_coverage_flag_sets ] );
+        Alcotest.test_case "flag sets" `Quick test_coverage_flag_sets;
+        Alcotest.test_case "monomorphic comparators" `Quick
+          test_monomorphic_comparators_agree ] );
     ( "core.combos",
       [ Alcotest.test_case "by flag count" `Quick test_combos_by_count;
         Alcotest.test_case "percentages" `Quick test_combos_percent;

@@ -326,6 +326,74 @@ let test_pipeline_counters_deterministic () =
   check_bool "identical non-timing snapshots" true (s1 = s2);
   check_bool "snapshot is non-trivial" true (List.length s1 > 10)
 
+(* The observe paths hoist metering out of the per-update loops and
+   credit each observation as one batch; the batched totals must equal
+   what per-update increments would have produced — and the dense
+   backend (unmetered shards + [meter_counts] after conversion) must
+   credit exactly the same amounts. *)
+let test_coverage_metering_batched_exact () =
+  let open Iocov_syscall in
+  let module Coverage = Iocov_core.Coverage in
+  let module Partition = Iocov_core.Partition in
+  let calls_c = Metrics.counter Metrics.default "iocov_coverage_calls_total" in
+  let upd kind =
+    Metrics.counter Metrics.default "iocov_coverage_updates_total"
+      ~labels:[ ("table", kind) ]
+  in
+  let read () =
+    ( Metrics.Counter.value calls_c,
+      Metrics.Counter.value (upd "variant"),
+      Metrics.Counter.value (upd "input"),
+      Metrics.Counter.value (upd "output"),
+      Metrics.Counter.value (upd "flag_set") )
+  in
+  let stream =
+    [ (Model.open_ ~flags:(Open_flags.of_flags Open_flags.[ O_RDWR; O_CREAT ])
+         ~mode:0o644 "/mnt/test/a", Model.Ret 3);
+      (Model.open_ ~flags:(Open_flags.of_flags Open_flags.[ O_RDONLY ]) "/mnt/test/b",
+       Model.Err Errno.ENOENT);
+      (Model.read ~fd:3 ~count:4096 (), Model.Ret 4096);
+      (Model.write ~variant:Model.Sys_pwrite64 ~offset:8192 ~fd:3 ~count:512 (),
+       Model.Ret 512);
+      (Model.lseek ~fd:3 ~offset:(-10) ~whence:Whence.SEEK_CUR, Model.Ret 0);
+      (Model.chmod ~target:(Model.Path "/mnt/test/a") ~mode:0 (), Model.Ret 0);
+      (Model.close 3, Model.Ret 0) ]
+  in
+  let input_updates =
+    List.fold_left
+      (fun acc (c, _) -> acc + List.length (Partition.of_call c))
+      0 stream
+  in
+  let opens =
+    List.length
+      (List.filter
+         (fun (c, _) -> match c with Model.Open_call _ -> true | _ -> false)
+         stream)
+  in
+  let n = List.length stream in
+  (* per-event metered path, plus one input-only observation *)
+  let c0, v0, i0, o0, f0 = read () in
+  let cov = Coverage.create () in
+  List.iter (fun (c, o) -> Coverage.observe cov c o) stream;
+  Coverage.observe_input_only cov (Model.read ~fd:4 ~count:0 ());
+  let c1, v1, i1, o1, f1 = read () in
+  check_int "calls delta" (n + 1) (c1 - c0);
+  check_int "variant delta" (n + 1) (v1 - v0);
+  check_int "input delta" (input_updates + 1) (i1 - i0);
+  check_int "output delta" n (o1 - o0);
+  check_int "flag-set delta" opens (f1 - f0);
+  (* dense path: unmetered observe, one meter_counts after conversion *)
+  let d = Coverage.Dense.create () in
+  List.iter (fun (c, o) -> Coverage.Dense.observe d c o) stream;
+  Coverage.Dense.observe_input_only d (Model.read ~fd:4 ~count:0 ());
+  Coverage.meter_counts (Coverage.Dense.to_reference d);
+  let c2, v2, i2, o2, f2 = read () in
+  check_int "dense calls delta" (c1 - c0) (c2 - c1);
+  check_int "dense variant delta" (v1 - v0) (v2 - v1);
+  check_int "dense input delta" (i1 - i0) (i2 - i1);
+  check_int "dense output delta" (o1 - o0) (o2 - o1);
+  check_int "dense flag-set delta" (f1 - f0) (f2 - f1)
+
 let test_runner_elapsed_is_root_span () =
   Metrics.reset Metrics.default;
   Span.reset ();
@@ -369,5 +437,7 @@ let suites =
     ( "obs.pipeline",
       [ Alcotest.test_case "non-timing metrics deterministic" `Quick
           test_pipeline_counters_deterministic;
+        Alcotest.test_case "batched metering is exact" `Quick
+          test_coverage_metering_batched_exact;
         Alcotest.test_case "elapsed_s is the root span" `Quick
           test_runner_elapsed_is_root_span ] ) ]
