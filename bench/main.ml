@@ -40,7 +40,7 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
-        perf|parallel|coverage)");
+        perf|parallel|coverage|robustness)");
       ("--coverage-bench", Arg.Unit (fun () -> only := "coverage" :: !only),
        "shorthand for --only coverage (E12, counter backend microbench)");
       ("--events", Arg.Set_int coverage_events,
@@ -823,6 +823,105 @@ let e12_coverage () =
   in
   write_json "BENCH_coverage.json" body
 
+(* --- E13: fault-tolerant ingestion — what robustness costs --- *)
+
+let e13_robustness () =
+  heading "E13" "Fault tolerance: CRC framing, lenient ingest, and checkpoint overhead";
+  let n = min !coverage_events 500_000 in
+  Printf.printf "generating a %s-event synthetic trace...\n%!" (Ascii.si_count n);
+  let events = synth_events n in
+  let filter = Filter.mount_point "/mnt/test" in
+  let with_trace version f =
+    let path = Filename.temp_file "iocov_bench" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin path in
+        let w = Iocov_trace.Binary_io.writer ~version oc in
+        List.iter (Iocov_trace.Binary_io.sink w) events;
+        close_out oc;
+        f path)
+  in
+  let run ?ingest ?checkpoint path =
+    let pool = Pool.create ~jobs:1 () in
+    timed_wall (fun () ->
+        match Replay.analyze_file ~pool ?ingest ?checkpoint ~filter path with
+        | Ok o -> o
+        | Error msg -> failwith ("robustness bench: " ^ msg))
+  in
+  let rate dt = float_of_int n /. dt in
+  with_trace 1 @@ fun v1_path ->
+  with_trace 2 @@ fun v2_path ->
+  let v1_size = (Unix.stat v1_path).Unix.st_size in
+  let v2_size = (Unix.stat v2_path).Unix.st_size in
+  ignore (run v2_path) (* warm-up *);
+  let _, v1_dt = run v1_path in
+  let _, strict_dt = run v2_path in
+  let _, lenient_dt = run ~ingest:(Replay.Lenient Iocov_util.Anomaly.Unlimited) v2_path in
+  let ckpt_path = Filename.temp_file "iocov_bench" ".ckpt" in
+  let (_, ckpt_dt) =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove ckpt_path with Sys_error _ -> ())
+      (fun () ->
+        run ~checkpoint:{ Replay.ckpt_path; ckpt_every = max 1 (n / 10) } v2_path)
+  in
+  (* flip one byte per ~1000 frames and measure degraded-mode replay *)
+  let corrupt, corrupt_dt, skipped =
+    let b =
+      let ic = open_in_bin v2_path in
+      let len = in_channel_length ic in
+      let b = Bytes.create len in
+      really_input ic b 0 len;
+      close_in ic;
+      b
+    in
+    let rng = Prng.create ~seed:(!seed + 13) in
+    let flips = max 1 (n / 1000) in
+    for _ = 1 to flips do
+      let off = 8 + Prng.int rng (Bytes.length b - 8) in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40))
+    done;
+    let path = Filename.temp_file "iocov_bench" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin path in
+        output_bytes oc b;
+        close_out oc;
+        let o, dt = run ~ingest:(Replay.Lenient Iocov_util.Anomaly.Unlimited) path in
+        (flips, dt, o.Replay.completeness.Iocov_util.Anomaly.records_skipped))
+  in
+  Printf.printf "  trace size:     v1 %s B, v2 %s B (%.1f%% framing overhead)\n"
+    (Ascii.si_count v1_size) (Ascii.si_count v2_size)
+    (100.0 *. (float_of_int (v2_size - v1_size) /. float_of_int v1_size));
+  Printf.printf "  v1 strict:      %.3fs (%s events/s)\n" v1_dt
+    (Ascii.si_count (int_of_float (rate v1_dt)));
+  Printf.printf "  v2 strict:      %.3fs (%s events/s)\n" strict_dt
+    (Ascii.si_count (int_of_float (rate strict_dt)));
+  Printf.printf "  v2 lenient:     %.3fs (%s events/s, clean trace)\n" lenient_dt
+    (Ascii.si_count (int_of_float (rate lenient_dt)));
+  Printf.printf "  v2 checkpointed:%.3fs (%s events/s, 10 checkpoints)\n" ckpt_dt
+    (Ascii.si_count (int_of_float (rate ckpt_dt)));
+  Printf.printf "  v2 degraded:    %.3fs (%d flips, %d records skipped)\n%!" corrupt_dt
+    corrupt skipped;
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-robustness/1\",\n  \"seed\": %d,\n  \
+       \"trace_events\": %d,\n  \"bytes_v1\": %d,\n  \"bytes_v2\": %d,\n  \
+       \"framing_overhead_pct\": %.2f,\n  \
+       \"v1_strict\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v2_strict\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v2_lenient_clean\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v2_checkpointed\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v2_lenient_corrupt\": { \"elapsed_s\": %.4f, \"flips\": %d, \
+       \"records_skipped\": %d }\n}\n"
+      !seed n v1_size v2_size
+      (100.0 *. (float_of_int (v2_size - v1_size) /. float_of_int v1_size))
+      v1_dt (rate v1_dt) strict_dt (rate strict_dt) lenient_dt (rate lenient_dt)
+      ckpt_dt (rate ckpt_dt) corrupt_dt corrupt skipped
+  in
+  write_json "BENCH_robustness.json" body
+
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
   if wanted "fig2" then e2_figure2 ();
@@ -842,6 +941,7 @@ let () =
   if !perf && wanted "perf" then perf_benches ();
   if wanted "parallel" then e11_parallel ();
   if wanted "coverage" then e12_coverage ();
+  if wanted "robustness" then e13_robustness ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

@@ -134,6 +134,14 @@ let with_obs metrics_out f =
         Obs.Export.write_file ~path ~spans:(Obs.Span.roots ()) Obs.Metrics.default
       | None -> ())
 
+(* Bad user input is a diagnostic and exit 1, never a backtrace. *)
+let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "error: %s\n" msg; exit 1) fmt
+
+let arg_class_of_name name =
+  match Arg_class.of_name name with
+  | Some a -> a
+  | None -> die "unknown tracked argument %S (e.g. open.flags, write.count)" name
+
 (* --- suite --- *)
 
 let print_result (r : Runner.result) =
@@ -211,8 +219,36 @@ let trace_cmd =
 (* --- analyze a stored trace --- *)
 
 let analyze_cmd =
-  let run obs file patterns mount save jobs counters =
+  let run obs file patterns mount save jobs counters lenient max_bad checkpoint
+      checkpoint_every resume limit =
     with_obs obs @@ fun () ->
+    (* a bad flag value or a failed run is a diagnostic and exit 1,
+       never a backtrace *)
+    let fail msg =
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+    in
+    let ingest =
+      if not lenient then Iocov_par.Replay.Strict
+      else
+        match Iocov_util.Anomaly.budget_of_string max_bad with
+        | Ok budget -> Iocov_par.Replay.Lenient budget
+        | Error msg -> fail ("--max-bad-records: " ^ msg)
+    in
+    let resume =
+      match resume with
+      | None -> None
+      | Some path -> (
+        match Iocov_par.Checkpoint.load path with
+        | Ok ck -> Some (path, ck)
+        | Error msg -> fail (Printf.sprintf "cannot resume from %s: %s" path msg))
+    in
+    let file =
+      match (file, resume) with
+      | Some f, _ -> f
+      | None, Some (_, ck) -> ck.Iocov_par.Checkpoint.trace
+      | None, None -> fail "a TRACE argument (or --resume) is required"
+    in
     let filter =
       match (patterns, mount) with
       | [], None -> Iocov_trace.Filter.mount_point "/mnt/test"
@@ -220,29 +256,40 @@ let analyze_cmd =
       | ps, _ ->
         (match Iocov_trace.Filter.create ~patterns:ps with
          | Ok f -> f
-         | Error msg -> failwith msg)
+         | Error msg -> fail ("--filter: " ^ msg))
+    in
+    let checkpoint =
+      Option.map
+        (fun path -> { Iocov_par.Replay.ckpt_path = path; ckpt_every = checkpoint_every })
+        checkpoint
     in
     (* The sharded pipeline streams the trace in batches (O(batch)
        memory) and at --jobs 1 runs inline — the sequential path. *)
     let pool = Iocov_par.Pool.create ~jobs () in
-    let ic = open_in_bin file in
-    let result = Iocov_par.Replay.analyze_channel ~pool ~counters ~filter ic in
-    close_in ic;
-    (match result with
-     | Ok o ->
-       let open Iocov_par.Replay in
-       Printf.printf "%s: %d records kept, %d filtered out%s\n" file o.kept o.dropped
-         (if o.shards > 1 then Printf.sprintf " (%d shards)" o.shards else "");
-       print_endline (Report.suite_summary ~name:file o.coverage);
-       print_endline (Report.untested_summary ~name:file o.coverage);
-       (match save with
-        | Some path ->
-          Iocov_core.Snapshot.save_file path o.coverage;
-          Printf.printf "coverage snapshot written to %s\n" path
-        | None -> ())
-     | Error msg -> Printf.eprintf "error: %s\n" msg)
+    let result =
+      Iocov_par.Replay.analyze_file ~pool ~counters ~ingest ?checkpoint ?resume ?limit
+        ~filter file
+    in
+    match result with
+    | Ok o ->
+      let open Iocov_par.Replay in
+      Printf.printf "%s: %d records kept, %d filtered out%s\n" file o.kept o.dropped
+        (if o.shards > 1 then Printf.sprintf " (%d shards)" o.shards else "");
+      print_endline (Report.completeness ~name:file o.completeness);
+      print_endline (Report.suite_summary ~name:file o.coverage);
+      print_endline (Report.untested_summary ~name:file o.coverage);
+      (match save with
+       | Some path ->
+         Iocov_core.Snapshot.save_file path o.coverage;
+         Printf.printf "coverage snapshot written to %s\n" path
+       | None -> ())
+    | Error msg -> fail msg
   in
-  let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  let file_pos =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"TRACE"
+             ~doc:"Trace file to analyze; optional with $(b,--resume), which remembers it.")
+  in
   let patterns_arg =
     Arg.(value & opt_all string [] & info [ "filter" ] ~docv:"REGEX"
            ~doc:"Keep records whose path matches (repeatable).")
@@ -255,11 +302,48 @@ let analyze_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Write the computed coverage as a snapshot file.")
   in
+  let lenient_arg =
+    Arg.(value & flag
+         & info [ "lenient" ]
+             ~doc:"Skip corrupt or unparsable records instead of failing — binary traces \
+                   resync on the next intact frame — and report every loss in the \
+                   completeness section.")
+  in
+  let max_bad_arg =
+    Arg.(value & opt string "none"
+         & info [ "max-bad-records" ] ~docv:"N|P%"
+             ~doc:"Error budget for $(b,--lenient): an absolute record count, a percentage \
+                   of the trace (e.g. $(b,1%)), or $(b,none).")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Periodically write a resumable checkpoint (atomic) while replaying a \
+                   binary trace; requires $(b,--jobs) 1.")
+  in
+  let checkpoint_every_arg =
+    Arg.(value & opt int 100_000
+         & info [ "checkpoint-every" ] ~docv:"EVENTS"
+             ~doc:"Events between checkpoints (default 100000).")
+  in
+  let resume_arg =
+    Arg.(value & opt (some file) None
+         & info [ "resume" ] ~docv:"CKPT"
+             ~doc:"Continue a crashed replay from a checkpoint file; the final report is \
+                   byte-identical to an uninterrupted run's.  Works at any $(b,--jobs).")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Stop after $(docv) records (with $(b,--checkpoint), the final checkpoint \
+                   marks the stopping point).")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute input/output coverage from a stored trace file.")
     Term.(
       const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg $ jobs_arg
-      $ counters_arg)
+      $ counters_arg $ lenient_arg $ max_bad_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ limit_arg)
 
 (* --- compare: the paper's evaluation --- *)
 
@@ -287,11 +371,7 @@ let compare_cmd =
 let tcd_cmd =
   let run obs seed scale arg_name =
     with_obs obs @@ fun () ->
-    let arg =
-      match Arg_class.of_name arg_name with
-      | Some a -> a
-      | None -> failwith (Printf.sprintf "unknown argument %S" arg_name)
-    in
+    let arg = arg_class_of_name arg_name in
     let cm, xf = Runner.run_both ~seed ~scale () in
     let freqs cov =
       Array.of_list (List.map snd (Coverage.input_series cov arg))
@@ -320,11 +400,7 @@ let tcd_cmd =
 let adequacy_cmd =
   let run obs suite seed scale arg_name target theta =
     with_obs obs @@ fun () ->
-    let arg =
-      match Arg_class.of_name arg_name with
-      | Some a -> a
-      | None -> failwith (Printf.sprintf "unknown argument %S" arg_name)
-    in
+    let arg = arg_class_of_name arg_name in
     let r = Runner.run ~seed ~scale suite in
     print_endline
       (Report.adequacy_table ~name:(Runner.suite_name suite) r.Runner.coverage ~arg ~target

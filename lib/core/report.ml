@@ -191,3 +191,57 @@ let adequacy_table ~name cov ~arg ~target ~theta =
          (Arg_class.name arg) target theta)
     ~headers:[ "partition"; "frequency"; "verdict" ]
     rows
+
+(* The completeness section: what a fault-tolerant run read, skipped,
+   retried, and lost.  A clean run is one line; a degraded run gets the
+   full ledger plus the first recorded anomalies, so the reader can
+   judge how much to trust the coverage numbers above it. *)
+let completeness ~name (c : Iocov_util.Anomaly.completeness) =
+  let module Anomaly = Iocov_util.Anomaly in
+  if Anomaly.is_clean c then
+    Printf.sprintf "%s: complete — %s events read, nothing skipped%s" name
+      (Ascii.si_count c.Anomaly.events_read)
+      (match c.Anomaly.resumed_from with
+       | Some path -> Printf.sprintf " (resumed from %s)" path
+       | None -> "")
+  else begin
+    let rows =
+      List.filter_map
+        (fun (label, value) -> if value = "" then None else Some [ label; value ])
+        [ ("events read", Ascii.si_count c.Anomaly.events_read);
+          ( "records skipped",
+            if c.Anomaly.records_skipped = 0 then "" else string_of_int c.Anomaly.records_skipped );
+          ( "corrupt regions",
+            if c.Anomaly.corrupt_regions = 0 then "" else string_of_int c.Anomaly.corrupt_regions );
+          ( "bytes skipped",
+            if c.Anomaly.bytes_skipped = 0 then "" else string_of_int c.Anomaly.bytes_skipped );
+          ( "batches retried",
+            if c.Anomaly.batches_retried = 0 then "" else string_of_int c.Anomaly.batches_retried );
+          ( "shards failed",
+            if c.Anomaly.shards_failed = 0 then "" else string_of_int c.Anomaly.shards_failed );
+          ( "events abandoned",
+            if c.Anomaly.events_abandoned = 0 then "" else string_of_int c.Anomaly.events_abandoned );
+          ("truncated", if c.Anomaly.truncated then "yes" else "");
+          ( "resumed from",
+            match c.Anomaly.resumed_from with Some path -> path | None -> "" ) ]
+    in
+    let shown = 8 in
+    let anomaly_lines =
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | a :: tl -> ("  " ^ Anomaly.to_string a) :: take (n - 1) tl
+      in
+      match c.Anomaly.anomalies with
+      | [] -> []
+      | all ->
+        let extra = List.length all - shown in
+        take shown all
+        @ (if extra > 0 then [ Printf.sprintf "  … and %d more" extra ] else [])
+    in
+    String.concat "\n"
+      ((Ascii.table
+          ~title:(Printf.sprintf "%s: completeness (run was degraded)" name)
+          ~headers:[ "counter"; "value" ] rows)
+      :: anomaly_lines)
+  end

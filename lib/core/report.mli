@@ -53,3 +53,8 @@ val suite_summary : name:string -> Coverage.t -> string
 val adequacy_table :
   name:string -> Coverage.t -> arg:Arg_class.arg -> target:float -> theta:float -> string
 (** Under-/over-testing verdict per partition for one argument. *)
+
+val completeness : name:string -> Iocov_util.Anomaly.completeness -> string
+(** The completeness section of a report: events read vs skipped,
+    resync regions, retries, shard failures, truncation, and the first
+    recorded anomalies.  One line when the run was clean. *)

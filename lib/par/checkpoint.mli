@@ -1,0 +1,34 @@
+(** Replay checkpoints: crash-resumable coverage analysis.
+
+    A long replay periodically freezes its progress — the trace's
+    decode {!Iocov_trace.Binary_io.cursor}, the running event counts,
+    the completeness ledger, and the coverage accumulated so far
+    (embedded as an {!Iocov_core.Snapshot} text) — into a single file.
+    [iocov analyze --resume FILE] reopens the trace at the cursor and
+    continues; because coverage merging is commutative and associative,
+    the resumed run's final report is byte-identical to an
+    uninterrupted one (DESIGN.md §12).
+
+    Checkpoints are written atomically (temp file + rename), so a crash
+    mid-write leaves the previous checkpoint intact, never a torn one.
+    The anomaly {e list} is not persisted — only the completeness
+    counters are; a resumed report keeps exact totals but not the
+    prefix's per-anomaly detail. *)
+
+type t = {
+  trace : string;  (** path of the trace being analyzed *)
+  cursor : Iocov_trace.Binary_io.cursor;
+  events : int;    (** records fed to analysis so far *)
+  kept : int;      (** records that passed the filter so far *)
+  batches : int;
+  completeness : Iocov_util.Anomaly.completeness;
+  coverage : Iocov_core.Coverage.t;  (** accumulated coverage at the cursor *)
+}
+
+val save : path:string -> t -> unit
+(** Write atomically.  Increments [iocov_ckpt_written_total]. *)
+
+val load : string -> (t, string) result
+(** Parse and validate a checkpoint file; every malformation is an
+    [Error], never an exception.  Increments
+    [iocov_ckpt_loaded_total]. *)

@@ -8,6 +8,14 @@ let m_jobs =
   Metrics.gauge Metrics.default "iocov_par_jobs"
     ~help:"Worker count of the most recently created pool."
 
+let m_task_retries =
+  Metrics.counter Metrics.default "iocov_par_task_retries_total"
+    ~help:"Supervised shard tasks retried after an exception."
+
+let m_task_failures =
+  Metrics.counter Metrics.default "iocov_par_task_failures_total"
+    ~help:"Supervised shard tasks that failed permanently."
+
 type t = { jobs : int }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
@@ -55,3 +63,56 @@ let join r =
       results
 
 let run t f = join (launch t f)
+
+(* --- supervision --- *)
+
+exception Shard_killed of string
+
+type policy = { max_retries : int; backoff_unit : int }
+
+let default_policy = { max_retries = 2; backoff_unit = 256 }
+
+(* Deterministic bounded backoff: a pure spin through
+   [Domain.cpu_relax], doubling per attempt up to a cap.  No clock, no
+   sleep — this library has no unix dependency, and a deterministic
+   delay keeps supervised runs reproducible. *)
+let backoff policy ~attempt =
+  if policy.backoff_unit > 0 && attempt > 0 then begin
+    let spins = policy.backoff_unit * (1 lsl min (attempt - 1) 8) in
+    for _ = 1 to spins do
+      Domain.cpu_relax ()
+    done
+  end
+
+type 'a supervised = {
+  results : 'a option array;
+  retries : int;
+  failed : int;
+}
+
+let run_supervised ?(policy = default_policy) t f =
+  let retries = Atomic.make 0 in
+  let results =
+    run t (fun ~shard ->
+        let rec attempt n =
+          match f ~shard with
+          | v -> Some v
+          | exception Shard_killed _ ->
+            (* an explicit kill is terminal: no retry *)
+            Metrics.Counter.incr m_task_failures;
+            None
+          | exception _ when n < policy.max_retries ->
+            Atomic.incr retries;
+            Metrics.Counter.incr m_task_retries;
+            backoff policy ~attempt:(n + 1);
+            attempt (n + 1)
+          | exception _ ->
+            Metrics.Counter.incr m_task_failures;
+            None
+        in
+        attempt 0)
+  in
+  let failed =
+    Array.fold_left (fun acc r -> if r = None then acc + 1 else acc) 0 results
+  in
+  { results; retries = Atomic.get retries; failed }

@@ -37,3 +37,43 @@ val join : 'a running -> 'a array
 val run : t -> (shard:int -> 'a) -> 'a array
 (** [launch] then [join] — for work that needs no concurrent
     producer. *)
+
+(** {1 Supervision}
+
+    Plain {!run} propagates the first shard exception and loses every
+    other shard's work.  A supervised run retries a failing shard task
+    with deterministic bounded backoff, and degrades — a task that
+    still fails yields [None] while the survivors' results stand. *)
+
+exception Shard_killed of string
+(** A terminal shard failure: supervision does {e not} retry it.  The
+    fault-injection hooks ({!Replay}'s [chaos]) raise it to simulate a
+    worker death. *)
+
+type policy = {
+  max_retries : int;   (** retry attempts per task after the first try *)
+  backoff_unit : int;  (** base spin count; doubles per attempt, capped *)
+}
+
+val default_policy : policy
+(** 2 retries, 256-spin base. *)
+
+val backoff : policy -> attempt:int -> unit
+(** A deterministic bounded delay before retry [attempt] (1-based): a
+    pure [Domain.cpu_relax] spin, doubling per attempt up to a cap.  No
+    clock and no sleep — supervised runs stay reproducible and the
+    library keeps its no-unix dependency. *)
+
+type 'a supervised = {
+  results : 'a option array;
+      (** per shard; [None] = failed even after retries *)
+  retries : int;  (** total retry attempts across shards *)
+  failed : int;   (** shards whose task never succeeded *)
+}
+
+val run_supervised : ?policy:policy -> t -> (shard:int -> 'a) -> 'a supervised
+(** Like {!run}, but each shard task is retried up to
+    [policy.max_retries] times (with {!backoff} between attempts)
+    instead of poisoning the whole join.  {!Shard_killed} is terminal —
+    it fails the task immediately.  Increments
+    [iocov_par_task_retries_total] and [iocov_par_task_failures_total]. *)

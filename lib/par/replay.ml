@@ -3,6 +3,7 @@ module Filter = Iocov_trace.Filter
 module Event = Iocov_trace.Event
 module Binary_io = Iocov_trace.Binary_io
 module Format_io = Iocov_trace.Format_io
+module Anomaly = Iocov_util.Anomaly
 module Span = Iocov_obs.Span
 module Metrics = Iocov_obs.Metrics
 
@@ -22,6 +23,18 @@ let m_observed kind =
 let m_observed_dense = m_observed "dense"
 let m_observed_reference = m_observed "reference"
 
+let m_retries =
+  Metrics.counter Metrics.default "iocov_par_batch_retries_total"
+    ~help:"Work batches retried after a worker exception."
+
+let m_abandoned =
+  Metrics.counter Metrics.default "iocov_par_batches_abandoned_total"
+    ~help:"Work batches abandoned after exhausting their retries."
+
+let m_shards_failed =
+  Metrics.counter Metrics.default "iocov_par_shards_failed_total"
+    ~help:"Worker shards that died mid-run; survivors absorbed their queue."
+
 let default_batch = 1024
 
 (* Channel capacity in batches.  Small multiple of the worker count:
@@ -37,6 +50,7 @@ type outcome = {
   shards : int;
   batches : int;
   shard_events : int array;
+  completeness : Anomaly.completeness;
 }
 
 (* A unit of work: either decoded events (binary traces, live tracers)
@@ -46,12 +60,21 @@ type work =
   | Events of Event.t list
   | Lines of (int * string) list
 
+let work_size = function Events l -> List.length l | Lines l -> List.length l
+
 (* Counter backend for shard accumulators.  [Dense] (the default)
    counts into {!Coverage.Dense}'s flat array and converts to a
    reference accumulator once at merge time; [Reference] keeps the
    hashed histograms on the hot path and serves as the differential
    oracle — both must produce byte-identical snapshots. *)
 type counters = Dense | Reference
+
+(* Re-exported equation with {!Binary_io.mode}: the same value both
+   selects the trace decoder's corruption handling and the pipeline's
+   treatment of unparsable text lines and abandoned batches. *)
+type ingest = Binary_io.mode = Strict | Lenient of Anomaly.budget
+
+type chaos = shard:int -> batch:int -> unit
 
 type acc = A_ref of Coverage.t | A_dense of Coverage.Dense.t
 
@@ -60,7 +83,15 @@ type shard_state = {
   mutable s_events : int;
   mutable s_kept : int;
   mutable s_batches : int;
-  mutable s_error : (int * string) option;  (* lowest-line parse error *)
+  mutable s_error : (int * string) option;  (* strict: lowest-line parse error *)
+  mutable s_skipped : int;      (* lenient: unparsable records dropped *)
+  mutable s_retried : int;      (* batch retry attempts *)
+  mutable s_abandoned_batches : int;
+  mutable s_abandoned_events : int;
+  mutable s_killed : string option;  (* terminal shard failure *)
+  mutable s_fatal : string option;   (* strict: batch dead after retries *)
+  mutable s_anomaly_count : int;
+  mutable s_anomalies : Anomaly.t list;  (* newest first, capped *)
 }
 
 let make_shard ~counters ~metered () =
@@ -71,24 +102,55 @@ let make_shard ~counters ~metered () =
        converted accumulator in one batch *)
     | Dense -> A_dense (Coverage.Dense.create ())
   in
-  { acc; s_events = 0; s_kept = 0; s_batches = 0; s_error = None }
+  {
+    acc;
+    s_events = 0;
+    s_kept = 0;
+    s_batches = 0;
+    s_error = None;
+    s_skipped = 0;
+    s_retried = 0;
+    s_abandoned_batches = 0;
+    s_abandoned_events = 0;
+    s_killed = None;
+    s_fatal = None;
+    s_anomaly_count = 0;
+    s_anomalies = [];
+  }
+
+let shard_note st a =
+  st.s_anomaly_count <- st.s_anomaly_count + 1;
+  if st.s_anomaly_count <= Anomaly.max_kept_anomalies then
+    st.s_anomalies <- a :: st.s_anomalies
 
 (* One backend dispatch per batch, not per event. *)
-let observe_batch st kept =
+let observe_batch st kept n_kept =
   match st.acc with
   | A_ref cov ->
     Event.iter_tracked kept (Coverage.observe cov);
-    Metrics.Counter.add m_observed_reference (List.length kept)
+    Metrics.Counter.add m_observed_reference n_kept
   | A_dense d ->
     Event.iter_tracked kept (Coverage.Dense.observe d);
-    Metrics.Counter.add m_observed_dense (List.length kept)
+    Metrics.Counter.add m_observed_dense n_kept
 
 let note_error st lineno msg =
   match st.s_error with
   | Some (l, _) when l <= lineno -> ()
   | _ -> st.s_error <- Some (lineno, msg)
 
-let process filter st work =
+(* A batch is processed in two halves so supervision can retry safely:
+   [prepare] (parse + filter) touches no shard state and may run any
+   number of times; [commit] is the only mutating half and runs exactly
+   once per batch. *)
+type prepared = {
+  p_n : int;
+  p_kept : Event.t list;
+  p_kept_n : int;
+  p_errors : (int * string) list;  (* text lines that failed to parse *)
+}
+
+let prepare filter work =
+  let errors = ref [] in
   let events =
     match work with
     | Events batch -> batch
@@ -98,18 +160,110 @@ let process filter st work =
           match Format_io.of_line ~seq:lineno line with
           | Ok e -> Some e
           | Error msg ->
-            note_error st lineno msg;
+            errors := (lineno, msg) :: !errors;
             None)
         batch
   in
-  let n = List.length events in
   let kept = Filter.keep_all filter events in
-  observe_batch st kept;
-  st.s_events <- st.s_events + n;
-  st.s_kept <- st.s_kept + List.length kept;
+  {
+    p_n = List.length events;
+    p_kept = kept;
+    p_kept_n = List.length kept;
+    p_errors = List.rev !errors;
+  }
+
+let commit ~ingest st p =
+  (match ingest with
+   | Strict -> List.iter (fun (l, m) -> note_error st l m) p.p_errors
+   | Lenient _ ->
+     List.iter
+       (fun (l, m) ->
+         st.s_skipped <- st.s_skipped + 1;
+         shard_note st (Anomaly.v ~line:l Anomaly.Parse_error m))
+       p.p_errors);
+  observe_batch st p.p_kept p.p_kept_n;
+  st.s_events <- st.s_events + p.p_n;
+  st.s_kept <- st.s_kept + p.p_kept_n;
   st.s_batches <- st.s_batches + 1;
   Metrics.Counter.incr m_batches;
-  Metrics.Counter.add m_events n
+  Metrics.Counter.add m_events p.p_n
+
+(* Run one batch under supervision: retry [prepare] (with deterministic
+   backoff) on any exception except {!Pool.Shard_killed}, which is a
+   terminal shard failure and propagates to the worker loop.  A batch
+   that exhausts its retries is abandoned — an accounted loss in
+   lenient mode, a run-fatal error in strict mode (but the shard keeps
+   draining either way, so siblings never stall). *)
+let supervised_batch ~ingest ~(policy : Pool.policy) ~chaos ~filter st ~shard ~batchno w =
+  let rec attempt n =
+    match
+      (match chaos with Some f -> f ~shard ~batch:batchno | None -> ());
+      prepare filter w
+    with
+    | p -> commit ~ingest st p
+    | exception (Pool.Shard_killed _ as e) -> raise e
+    | exception exn ->
+      if n < policy.Pool.max_retries then begin
+        st.s_retried <- st.s_retried + 1;
+        Metrics.Counter.incr m_retries;
+        Pool.backoff policy ~attempt:(n + 1);
+        attempt (n + 1)
+      end
+      else begin
+        let lost = work_size w in
+        let msg =
+          Printf.sprintf "batch failed after %d retries: %s" policy.Pool.max_retries
+            (Printexc.to_string exn)
+        in
+        st.s_abandoned_batches <- st.s_abandoned_batches + 1;
+        st.s_abandoned_events <- st.s_abandoned_events + lost;
+        Metrics.Counter.incr m_abandoned;
+        shard_note st (Anomaly.v Anomaly.Batch_abandoned msg);
+        match ingest with
+        | Strict -> if st.s_fatal = None then st.s_fatal <- Some msg
+        | Lenient _ -> ()
+      end
+  in
+  attempt 0
+
+let record_kill st msg w =
+  st.s_killed <- Some msg;
+  st.s_abandoned_batches <- st.s_abandoned_batches + 1;
+  st.s_abandoned_events <- st.s_abandoned_events + work_size w;
+  shard_note st (Anomaly.v Anomaly.Shard_failed msg);
+  Metrics.Counter.incr m_shards_failed
+
+(* The worker loop of a spawned shard.  A {!Pool.Shard_killed} ends
+   this shard only: its committed batches survive, its queue drains to
+   the siblings, and the last shard to die closes the channel so the
+   producer stops instead of blocking forever. *)
+let worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard =
+  let batchno = ref 0 in
+  let rec loop () =
+    match Chan.pop chan with
+    | None -> ()
+    | Some w -> (
+      let b = !batchno in
+      incr batchno;
+      match supervised_batch ~ingest ~policy ~chaos ~filter st ~shard ~batchno:b w with
+      | () -> loop ()
+      | exception Pool.Shard_killed msg ->
+        record_kill st msg w;
+        if Atomic.fetch_and_add live (-1) = 1 then Chan.close chan)
+  in
+  loop ()
+
+(* The shard-side half of the completeness ledger; the producer-side
+   half (decode skips, resyncs) comes from {!Binary_io.completeness}. *)
+let shard_completeness st =
+  {
+    (Anomaly.clean ~events_read:0) with
+    Anomaly.records_skipped = st.s_skipped;
+    batches_retried = st.s_retried;
+    shards_failed = (if st.s_killed = None then 0 else 1);
+    events_abandoned = st.s_abandoned_events;
+    anomalies = List.rev st.s_anomalies;
+  }
 
 (* Merge shard results in shard order.  merge_into is commutative and
    associative (property-tested), so the result is independent of how
@@ -117,7 +271,7 @@ let process filter st work =
    contract.  Shards accumulate unmetered; the merged accumulator is
    credited to the global counters in one batch, matching the
    sequential path's totals exactly. *)
-let finalize shards =
+let finalize ~ingest ~pushed ~producer shards =
   let error =
     Array.fold_left
       (fun acc st ->
@@ -127,8 +281,25 @@ let finalize shards =
           if la <= lb then a else st.s_error)
       None shards
   in
-  match error with
-  | Some (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  let first_of f =
+    Array.fold_left (fun acc st -> match acc with Some _ -> acc | None -> f st) None shards
+  in
+  let strict_failure =
+    match ingest with
+    | Lenient _ -> None
+    | Strict -> (
+      match error with
+      | Some (lineno, msg) -> Some (Printf.sprintf "line %d: %s" lineno msg)
+      | None -> (
+        match first_of (fun st -> st.s_fatal) with
+        | Some msg -> Some msg
+        | None ->
+          Option.map
+            (fun msg -> "worker shard failed: " ^ msg)
+            (first_of (fun st -> st.s_killed))))
+  in
+  match strict_failure with
+  | Some msg -> Error msg
   | None ->
     let coverage =
       match shards with
@@ -162,58 +333,129 @@ let finalize shards =
     in
     let sum f = Array.fold_left (fun acc st -> acc + f st) 0 shards in
     let events = sum (fun st -> st.s_events) in
-    Ok
+    let completeness =
+      let shard_side =
+        Array.fold_left
+          (fun acc st -> Anomaly.merge acc (shard_completeness st))
+          (Anomaly.clean ~events_read:0)
+          shards
+      in
+      let merged = Anomaly.merge { producer with Anomaly.events_read = 0 } shard_side in
+      (* work pushed but neither committed, skipped, nor individually
+         abandoned was stranded in the channel when every worker died *)
+      let stranded =
+        max 0
+          (pushed - events
+          - shard_side.Anomaly.events_abandoned
+          - shard_side.Anomaly.records_skipped)
+      in
       {
-        coverage;
-        events;
-        kept = sum (fun st -> st.s_kept);
-        dropped = events - sum (fun st -> st.s_kept);
-        shards = Array.length shards;
-        batches = sum (fun st -> st.s_batches);
-        shard_events = Array.map (fun st -> st.s_events) shards;
+        merged with
+        Anomaly.events_read = events;
+        events_abandoned = merged.Anomaly.events_abandoned + stranded;
+        truncated = merged.Anomaly.truncated || stranded > 0;
       }
+    in
+    let budget_failure =
+      match ingest with
+      | Strict -> None
+      | Lenient budget ->
+        let bad = completeness.Anomaly.records_skipped in
+        if Anomaly.budget_allows budget ~bad ~total:(events + bad) ~final:true then None
+        else
+          Some
+            (Printf.sprintf "error budget exceeded: %d of %d records corrupt (budget %s)"
+               bad (events + bad) (Anomaly.budget_to_string budget))
+    in
+    match budget_failure with
+    | Some msg -> Error msg
+    | None ->
+      Ok
+        {
+          coverage;
+          events;
+          kept = sum (fun st -> st.s_kept);
+          dropped = events - sum (fun st -> st.s_kept);
+          shards = Array.length shards;
+          batches = sum (fun st -> st.s_batches);
+          shard_events = Array.map (fun st -> st.s_events) shards;
+          completeness;
+        }
 
-(* The engine: [feed] pushes work items; shards drain them.  With one
-   job everything runs inline on the caller — the --jobs 1 path is the
-   sequential path, with a metered shard and no channel. *)
-let run_pipeline ~pool ~counters ~feed ~filter =
+exception Halted
+(* Raised out of the inline work handler when the single shard was
+   killed: there is nobody left to feed, so the feed stops early. *)
+
+(* The engine: [feed] pushes work items and reports the producer-side
+   completeness through [set_comp] (on every exit path); shards drain
+   the items.  With one job everything runs inline on the caller — the
+   --jobs 1 path is the sequential path, with a metered shard and no
+   channel. *)
+let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~filter () =
+  let producer = ref (Anomaly.clean ~events_read:0) in
+  let pushed = ref 0 in
   if Pool.jobs pool = 1 then begin
     let st = make_shard ~counters ~metered:true () in
-    Span.with_ ~name:"par/shard-0" (fun () -> feed (process filter st));
-    finalize [| st |]
+    (match expose_shard with Some f -> f st | None -> ());
+    let batchno = ref 0 in
+    let handler w =
+      if st.s_killed <> None then raise Halted;
+      pushed := !pushed + work_size w;
+      let b = !batchno in
+      incr batchno;
+      match supervised_batch ~ingest ~policy ~chaos ~filter st ~shard:0 ~batchno:b w with
+      | () -> ()
+      | exception Pool.Shard_killed msg ->
+        record_kill st msg w;
+        raise Halted
+    in
+    (match
+       Span.with_ ~name:"par/shard-0" (fun () ->
+           feed ~push:handler ~set_comp:(fun c -> producer := c))
+     with
+     | () -> ()
+     | exception Halted -> ());
+    finalize ~ingest ~pushed:!pushed ~producer:!producer [| st |]
   end
   else begin
     let jobs = Pool.jobs pool in
     let chan = Chan.create ~capacity:(capacity_for jobs) in
+    let live = Atomic.make jobs in
     let running =
       Pool.launch pool (fun ~shard ->
           let st = make_shard ~counters ~metered:false () in
           Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
-              let rec loop () =
-                match Chan.pop chan with
-                | None -> ()
-                | Some w ->
-                  process filter st w;
-                  loop ()
-              in
-              loop ());
+              worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard);
           st)
     in
-    let fed = match feed (Chan.push chan) with () -> Ok () | exception exn -> Error exn in
+    let push w =
+      pushed := !pushed + work_size w;
+      Chan.push chan w
+    in
+    let fed =
+      match feed ~push ~set_comp:(fun c -> producer := c) with
+      | () -> Ok ()
+      | exception Chan.Closed -> Ok () (* every worker died; partial run *)
+      | exception exn -> Error exn
+    in
     Chan.close chan;
     let shards = Pool.join running in
-    match fed with Error exn -> raise exn | Ok () -> finalize shards
+    match fed with
+    | Error exn -> raise exn
+    | Ok () -> finalize ~ingest ~pushed:!pushed ~producer:!producer shards
   end
 
 (* --- entry points --- *)
 
 let or_default pool = match pool with Some p -> p | None -> Pool.create ()
+let or_policy policy = match policy with Some p -> p | None -> Pool.default_policy
 
-let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ~filter
-    events =
+let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
+    ?policy ?chaos ~filter events =
   if batch <= 0 then invalid_arg "Replay.analyze_events: batch must be positive";
   let pool = or_default pool in
-  let feed push =
+  let policy = or_policy policy in
+  let feed ~push ~set_comp:_ =
     let rec chunks = function
       | [] -> ()
       | events ->
@@ -230,7 +472,7 @@ let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ~filter
     in
     chunks events
   in
-  match run_pipeline ~pool ~counters ~feed ~filter with
+  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~feed ~filter () with
   | Ok outcome -> outcome
   | Error msg ->
     (* event lists carry no text to fail parsing on *)
@@ -238,40 +480,173 @@ let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ~filter
 
 exception Feed_error of string
 
-let analyze_channel ?pool ?(batch = default_batch) ?(counters = Dense) ~filter
-    ic =
+type checkpoint_spec = { ckpt_path : string; ckpt_every : int }
+
+let coverage_of_acc = function
+  | A_ref cov -> cov
+  | A_dense d -> Coverage.Dense.to_reference ~metered:false d
+
+(* One checkpoint: the resumed prefix (if any) + the producer's decode
+   state + the inline shard's accumulation so far. *)
+let write_checkpoint ~spec ~trace_path ~base ~stream st =
+  let coverage = Coverage.create () in
+  (match base with
+   | Some (ck : Checkpoint.t) -> Coverage.merge_into ~dst:coverage ck.Checkpoint.coverage
+   | None -> ());
+  Coverage.merge_into ~dst:coverage (coverage_of_acc st.acc);
+  let base_events, base_kept, base_batches, base_comp =
+    match base with
+    | Some ck ->
+      ( ck.Checkpoint.events,
+        ck.Checkpoint.kept,
+        ck.Checkpoint.batches,
+        { ck.Checkpoint.completeness with Anomaly.events_read = 0 } )
+    | None -> (0, 0, 0, Anomaly.clean ~events_read:0)
+  in
+  let events = base_events + st.s_events in
+  let completeness =
+    let producer = { (Binary_io.completeness stream) with Anomaly.events_read = 0 } in
+    let merged = Anomaly.merge base_comp (Anomaly.merge producer (shard_completeness st)) in
+    { merged with Anomaly.events_read = events }
+  in
+  Checkpoint.save ~path:spec.ckpt_path
+    {
+      Checkpoint.trace = trace_path;
+      cursor = Binary_io.cursor stream;
+      events;
+      kept = base_kept + st.s_kept;
+      batches = base_batches + st.s_batches;
+      completeness;
+      coverage;
+    }
+
+let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint ~resume ~limit
+    ~filter ~trace_path ic =
   if batch <= 0 then invalid_arg "Replay.analyze_channel: batch must be positive";
-  let pool = or_default pool in
-  let feed push =
+  (match limit with
+   | Some n when n < 0 -> invalid_arg "Replay.analyze_channel: limit must be non-negative"
+   | _ -> ());
+  let inline_shard = ref None in
+  let expose_shard st = inline_shard := Some st in
+  let remaining = ref (match limit with Some n -> n | None -> max_int) in
+  let feed ~push ~set_comp =
     if Binary_io.is_binary_trace ic then begin
-      match Binary_io.open_stream ic with
+      let stream =
+        match resume with
+        | Some (_, (ck : Checkpoint.t)) -> Binary_io.resume_stream ~mode:ingest ic ck.cursor
+        | None -> Binary_io.open_stream ~mode:ingest ic
+      in
+      match stream with
       | Error msg -> raise (Feed_error msg)
       | Ok st ->
-        let rec loop () =
-          match Binary_io.read_batch st ~max:batch with
-          | Error msg -> raise (Feed_error msg)
-          | Ok b when Array.length b = 0 -> ()
-          | Ok b ->
-            push (Events (Array.to_list b));
-            loop ()
+        let next_due = ref (match checkpoint with Some c -> c.ckpt_every | None -> max_int) in
+        let maybe_checkpoint ~force =
+          match (checkpoint, !inline_shard) with
+          | Some spec, Some shard when force || shard.s_events >= !next_due ->
+            write_checkpoint ~spec ~trace_path ~base:(Option.map snd resume) ~stream:st
+              shard;
+            next_due := shard.s_events + spec.ckpt_every
+          | _ -> ()
         in
-        loop ()
+        Fun.protect
+          ~finally:(fun () -> set_comp (Binary_io.completeness st))
+          (fun () ->
+            let rec loop () =
+              if !remaining > 0 then begin
+                match Binary_io.read_batch st ~max:(min batch !remaining) with
+                | Error msg -> raise (Feed_error msg)
+                | Ok b when Array.length b = 0 -> ()
+                | Ok b ->
+                  remaining := !remaining - Array.length b;
+                  push (Events (Array.to_list b));
+                  maybe_checkpoint ~force:false;
+                  loop ()
+              end
+            in
+            loop ();
+            maybe_checkpoint ~force:(checkpoint <> None))
     end
     else begin
       let st = Format_io.open_stream ic in
       let rec loop () =
-        let b = Format_io.read_raw_batch st ~max:batch in
-        if Array.length b > 0 then begin
-          push (Lines (Array.to_list b));
-          loop ()
+        if !remaining > 0 then begin
+          let b = Format_io.read_raw_batch st ~max:(min batch !remaining) in
+          if Array.length b > 0 then begin
+            remaining := !remaining - Array.length b;
+            push (Lines (Array.to_list b));
+            loop ()
+          end
         end
       in
       loop ()
     end
   in
-  match run_pipeline ~pool ~counters ~feed ~filter with
+  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ~feed ~filter () with
   | outcome -> outcome
   | exception Feed_error msg -> Error msg
+
+(* Fold a resumed prefix into a suffix outcome.  Coverage merging is
+   commutative and associative, so prefix + suffix is byte-identical to
+   the uninterrupted run — at any job count or counter backend. *)
+let merge_resumed ~from (ck : Checkpoint.t) (o : outcome) =
+  let coverage = Coverage.create () in
+  Coverage.merge_into ~dst:coverage ck.Checkpoint.coverage;
+  Coverage.merge_into ~dst:coverage o.coverage;
+  let events = ck.Checkpoint.events + o.events in
+  let kept = ck.Checkpoint.kept + o.kept in
+  let completeness =
+    let prefix = { ck.Checkpoint.completeness with Anomaly.events_read = 0 } in
+    let suffix = { o.completeness with Anomaly.events_read = 0 } in
+    { (Anomaly.merge prefix suffix) with Anomaly.events_read = events; resumed_from = Some from }
+  in
+  {
+    o with
+    coverage;
+    events;
+    kept;
+    dropped = events - kept;
+    batches = ck.Checkpoint.batches + o.batches;
+    completeness;
+  }
+
+let analyze_channel ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
+    ?policy ?chaos ?limit ~filter ic =
+  let pool = or_default pool in
+  let policy = or_policy policy in
+  analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint:None ~resume:None
+    ~limit ~filter ~trace_path:"<channel>" ic
+
+let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
+    ?policy ?chaos ?checkpoint ?resume ?limit ~filter path =
+  let pool = or_default pool in
+  let policy = or_policy policy in
+  match checkpoint with
+  | Some spec when spec.ckpt_every <= 0 ->
+    Error "checkpoint interval must be positive"
+  | Some _ when Pool.jobs pool <> 1 ->
+    (* only the inline path has a single deterministic cursor to freeze;
+       resuming, by contrast, works at any job count *)
+    Error "checkpointing requires --jobs 1 (resume works at any job count)"
+  | _ -> (
+    match open_in_bin path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (match resume with
+           | Some _ when not (Binary_io.is_binary_trace ic) ->
+             Error "resume requires a binary trace"
+           | _ ->
+             match
+               analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint
+                 ~resume ~limit ~filter ~trace_path:path ic
+             with
+             | Error _ as e -> e
+             | Ok o -> (
+               match resume with
+               | None -> Ok o
+               | Some (from, ck) -> Ok (merge_resumed ~from ck o)))))
 
 (* --- the push-based session, for live tracers --- *)
 
@@ -283,45 +658,59 @@ type session = {
   complete : unit -> (outcome, string) result;
 }
 
-let session ?pool ?(batch = default_batch) ?(counters = Dense) ~filter () =
+let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict) ?policy
+    ?chaos ~filter () =
   if batch <= 0 then invalid_arg "Replay.session: batch must be positive";
   let pool = or_default pool in
+  let policy = or_policy policy in
+  let pushed = ref 0 in
   if Pool.jobs pool = 1 then begin
     let st = make_shard ~counters ~metered:true () in
+    let batchno = ref 0 in
     {
       batch_size = batch;
       buf = [];
       buf_n = 0;
-      submit = process filter st;
-      complete = (fun () -> finalize [| st |]);
+      submit =
+        (fun w ->
+          pushed := !pushed + work_size w;
+          if st.s_killed = None then begin
+            let b = !batchno in
+            incr batchno;
+            match supervised_batch ~ingest ~policy ~chaos ~filter st ~shard:0 ~batchno:b w with
+            | () -> ()
+            | exception Pool.Shard_killed msg -> record_kill st msg w
+          end);
+      complete =
+        (fun () ->
+          finalize ~ingest ~pushed:!pushed ~producer:(Anomaly.clean ~events_read:0) [| st |]);
     }
   end
   else begin
     let jobs = Pool.jobs pool in
     let chan = Chan.create ~capacity:(capacity_for jobs) in
+    let live = Atomic.make jobs in
     let running =
       Pool.launch pool (fun ~shard ->
           let st = make_shard ~counters ~metered:false () in
           Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
-              let rec loop () =
-                match Chan.pop chan with
-                | None -> ()
-                | Some w ->
-                  process filter st w;
-                  loop ()
-              in
-              loop ());
+              worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard);
           st)
     in
     {
       batch_size = batch;
       buf = [];
       buf_n = 0;
-      submit = Chan.push chan;
+      submit =
+        (fun w ->
+          pushed := !pushed + work_size w;
+          (* every worker dead: the events are accounted as stranded *)
+          try Chan.push chan w with Chan.Closed -> ());
       complete =
         (fun () ->
           Chan.close chan;
-          finalize (Pool.join running));
+          finalize ~ingest ~pushed:!pushed ~producer:(Anomaly.clean ~events_read:0)
+            (Pool.join running));
     }
   end
 

@@ -19,7 +19,23 @@
 
     With [jobs = 1] no domain is spawned and no channel is created:
     everything runs inline on the caller, so [--jobs 1] {e is} the
-    sequential path. *)
+    sequential path.
+
+    {b Fault tolerance} (DESIGN.md §12).  Three layers compose:
+    {ul
+    {- {e ingestion}: [?ingest] selects strict (first defect fails the
+       run with its position) or lenient (skip, resync, account — up to
+       an error budget) handling of corrupt binary records and
+       unparsable text lines;}
+    {- {e supervision}: each work batch runs as a retry-safe
+       prepare/commit pair; a worker exception is retried with
+       {!Pool.backoff}, an exhausted batch is abandoned (fatal in
+       strict mode, accounted in lenient), and a {!Pool.Shard_killed}
+       ends one shard while its queue drains to the survivors;}
+    {- {e checkpointing}: [?checkpoint] freezes cursor + coverage
+       periodically so [?resume] can continue a crashed run with a
+       byte-identical final report.}}
+    Every loss is tallied in the outcome's [completeness] ledger. *)
 
 type counters =
   | Dense
@@ -31,9 +47,23 @@ type counters =
       (** Shards use the hashed-histogram {!Iocov_core.Coverage.t}
           directly — the differential oracle for the dense path. *)
 
+type ingest = Iocov_trace.Binary_io.mode =
+  | Strict
+  | Lenient of Iocov_util.Anomaly.budget
+      (** Re-exported {!Iocov_trace.Binary_io.mode}: one value governs
+          both the binary decoder's corruption handling and the
+          pipeline's treatment of unparsable text lines and abandoned
+          batches. *)
+
+type chaos = shard:int -> batch:int -> unit
+(** A fault-injection hook, called at the start of every batch attempt
+    (including retries) with the shard index and the shard-local batch
+    number.  Raising any exception exercises the retry path; raising
+    {!Pool.Shard_killed} kills the shard.  Test-only. *)
+
 type outcome = {
   coverage : Iocov_core.Coverage.t;  (** merged across shards *)
-  events : int;   (** trace records seen (before filtering) *)
+  events : int;   (** trace records analyzed (before filtering) *)
   kept : int;     (** records that passed the filter *)
   dropped : int;  (** [events - kept] *)
   shards : int;   (** worker count actually used *)
@@ -42,20 +72,26 @@ type outcome = {
       (** per-shard record counts, indexed by shard.  Scheduling
           dependent — reported for observability, excluded from the
           determinism contract. *)
+  completeness : Iocov_util.Anomaly.completeness;
+      (** what was read, skipped, retried, and lost; clean on a
+          fully-successful strict run *)
 }
 
 val default_batch : int
 (** Events per work batch when [?batch] is omitted (1024). *)
 
 val analyze_events :
-  ?pool:Pool.t -> ?batch:int -> ?counters:counters ->
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
+  ?policy:Pool.policy -> ?chaos:chaos ->
   filter:Iocov_trace.Filter.t -> Iocov_trace.Event.t list -> outcome
 (** Replay an in-memory event list.  [pool] defaults to a fresh
     {!Pool.create}[ ()]; [batch] must be positive; [counters] defaults
-    to [Dense]. *)
+    to [Dense]; [ingest] to [Strict]; [policy] to
+    {!Pool.default_policy}. *)
 
 val analyze_channel :
-  ?pool:Pool.t -> ?batch:int -> ?counters:counters ->
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
+  ?policy:Pool.policy -> ?chaos:chaos -> ?limit:int ->
   filter:Iocov_trace.Filter.t -> in_channel -> (outcome, string) result
 (** Replay a trace from a channel, auto-detecting binary
     ({!Iocov_trace.Binary_io}) versus text ({!Iocov_trace.Format_io}).
@@ -63,8 +99,33 @@ val analyze_channel :
     string table makes decode inherently sequential) and analyzed on
     the shards; text lines are shipped raw and parsed on the shards.
     Runs in O(capacity × batch) memory regardless of trace length.
-    Parse and decode failures report the lowest-numbered offending
-    record, matching the sequential reader's error. *)
+    In strict mode, parse and decode failures report the
+    lowest-numbered offending record, matching the sequential reader's
+    error.  [limit] stops after that many records (for sampling and
+    for deterministic interrupted-run tests). *)
+
+type checkpoint_spec = {
+  ckpt_path : string;   (** where to write (atomically, tmp + rename) *)
+  ckpt_every : int;     (** events between checkpoints; must be positive *)
+}
+
+val analyze_file :
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
+  ?policy:Pool.policy -> ?chaos:chaos ->
+  ?checkpoint:checkpoint_spec -> ?resume:string * Checkpoint.t -> ?limit:int ->
+  filter:Iocov_trace.Filter.t -> string -> (outcome, string) result
+(** {!analyze_channel} on a file path, plus checkpointed replay.
+
+    [checkpoint] periodically freezes the decode cursor and the
+    accumulated coverage to a file; it requires a binary trace and
+    [--jobs 1] (only the inline path has a single deterministic cursor
+    to freeze), and a final checkpoint is written when the feed ends.
+    [resume = (path, ck)] continues from a loaded {!Checkpoint} — at
+    {e any} job count and either counter backend — and folds the
+    checkpointed prefix into the outcome; the final report is
+    byte-identical to an uninterrupted run's.  When both are given, the
+    new checkpoints carry the combined progress, so a run can crash and
+    resume repeatedly. *)
 
 (** {1 Push-based sessions}
 
@@ -75,7 +136,8 @@ val analyze_channel :
 type session
 
 val session :
-  ?pool:Pool.t -> ?batch:int -> ?counters:counters ->
+  ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
+  ?policy:Pool.policy -> ?chaos:chaos ->
   filter:Iocov_trace.Filter.t -> unit -> session
 
 val sink : session -> Iocov_trace.Event.t -> unit

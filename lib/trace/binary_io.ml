@@ -1,12 +1,68 @@
 open Iocov_syscall
+module Anomaly = Iocov_util.Anomaly
+module Crc32 = Iocov_util.Crc32
+module Metrics = Iocov_obs.Metrics
 
-let magic = "IOCT\001"
+(* --- corruption metering, process-wide --- *)
+
+let m_corrupt =
+  Metrics.counter Metrics.default "iocov_trace_corrupt_records_total"
+    ~help:"Trace records skipped by lenient ingestion (corrupt, lost-reference, truncated)."
+
+let m_resyncs =
+  Metrics.counter Metrics.default "iocov_trace_resyncs_total"
+    ~help:"Resync scans past damaged byte ranges of a binary trace."
+
+let m_bytes_skipped =
+  Metrics.counter Metrics.default "iocov_trace_bytes_skipped_total"
+    ~help:"Bytes discarded while resyncing past trace corruption."
+
+(* --- format constants --- *)
+
+let magic_v1 = "IOCT\001"
+let magic_v2 = "IOCT\002"
+let magic_len = String.length magic_v2
+
+(* v2 frame: sync marker, payload length, CRC-32 of the payload, then
+   the payload (chapter id, string-table base count, record bytes).
+   The marker is what lenient ingestion scans for when resyncing; a
+   false positive in record bytes is harmless because a candidate frame
+   is only accepted when its CRC checks out. *)
+let sync0 = 0xF5
+let sync1 = 0x9E
+let max_frame = 1 lsl 24
+
+let default_chapter = 1024
+
+exception Corrupt of string
+exception Lost_ref of string
 
 (* --- varints --- *)
 
 (* [lsr] makes the loop total even when [n]'s sign bit is set, so the
    full 63-bit pattern a zigzagged extreme offset produces round-trips *)
-let write_varbits oc n =
+let buf_varbits b n =
+  let rec go n =
+    if n >= 0 && n < 0x80 then Buffer.add_char b (Char.unsafe_chr n)
+    else begin
+      Buffer.add_char b (Char.unsafe_chr (0x80 lor (n land 0x7F)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let buf_uvarint b n =
+  if n < 0 then invalid_arg "Binary_io.write_uvarint: negative";
+  buf_varbits b n
+
+(* branch-free zigzag: correct for the whole int range, including
+   magnitudes ≥ 2^61 where [n lsl 1] alone would overflow the guard *)
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let buf_svarint b n = buf_varbits b (zigzag n)
+
+let chan_varbits oc n =
   let rec go n =
     if n >= 0 && n < 0x80 then output_byte oc n
     else begin
@@ -16,79 +72,108 @@ let write_varbits oc n =
   in
   go n
 
-let write_uvarint oc n =
-  if n < 0 then invalid_arg "Binary_io.write_uvarint: negative";
-  write_varbits oc n
+(* --- byte sources ---
 
-(* branch-free zigzag: correct for the whole int range, including
-   magnitudes ≥ 2^61 where [n lsl 1] alone would overflow the guard *)
-let zigzag n = (n lsl 1) lxor (n asr 62)
-let unzigzag n = (n lsr 1) lxor (-(n land 1))
+   v1 records are decoded straight off the channel; v2 records are
+   decoded out of the CRC-checked frame payload, an in-memory string.
+   One reader serves both through a two-way source dispatch. *)
 
-let write_svarint oc n = write_varbits oc (zigzag n)
+type src = { mutable s : string; mutable pos : int }
 
-exception Corrupt of string
+type reader = {
+  ic : in_channel;
+  src : src option;  (* [Some] for v2 frame-payload decoding *)
+  mutable strings : string option array;  (* [None] = lost in a corrupt frame *)
+  mutable count : int;
+}
 
-let read_byte ic =
-  match In_channel.input_byte ic with
-  | Some b -> b
-  | None -> raise (Corrupt "unexpected end of trace")
+let read_byte r =
+  match r.src with
+  | None -> (
+    match In_channel.input_byte r.ic with
+    | Some b -> b
+    | None -> raise (Corrupt "unexpected end of trace"))
+  | Some s ->
+    if s.pos >= String.length s.s then raise (Corrupt "unexpected end of record")
+    else begin
+      let b = Char.code (String.unsafe_get s.s s.pos) in
+      s.pos <- s.pos + 1;
+      b
+    end
 
-let read_uvarint ic =
+let read_exact r len =
+  match r.src with
+  | None -> (
+    try really_input_string r.ic len
+    with End_of_file -> raise (Corrupt "unexpected end of trace"))
+  | Some s ->
+    if s.pos + len > String.length s.s then raise (Corrupt "unexpected end of record")
+    else begin
+      let x = String.sub s.s s.pos len in
+      s.pos <- s.pos + len;
+      x
+    end
+
+let read_uvarint r =
   let rec go shift acc =
     if shift > 62 then raise (Corrupt "varint overflow");
-    let b = read_byte ic in
+    let b = read_byte r in
     let acc = acc lor ((b land 0x7F) lsl shift) in
     if b land 0x80 = 0 then acc else go (shift + 7) acc
   in
   go 0 0
 
-let read_svarint ic = unzigzag (read_uvarint ic)
+let read_svarint r = unzigzag (read_uvarint r)
 
 (* --- string table --- *)
 
 type writer = {
   oc : out_channel;
+  version : int;
+  chapter_size : int;
+  buf : Buffer.t;  (* current record's encoding *)
   table : (string, int) Hashtbl.t;
   mutable next_index : int;
   mutable last_ts : int;
+  mutable chapter : int;
+  mutable in_chapter : int;
 }
 
 let write_string w s =
   match Hashtbl.find_opt w.table s with
-  | Some index -> write_uvarint w.oc (index + 1)
+  | Some index -> buf_uvarint w.buf (index + 1)
   | None ->
     Hashtbl.add w.table s w.next_index;
     w.next_index <- w.next_index + 1;
-    write_uvarint w.oc 0;
-    write_uvarint w.oc (String.length s);
-    output_string w.oc s
+    buf_uvarint w.buf 0;
+    buf_uvarint w.buf (String.length s);
+    Buffer.add_string w.buf s
 
-type reader = {
-  ic : in_channel;
-  mutable strings : string array;
-  mutable count : int;
-}
+let intern_string r s =
+  if r.count = Array.length r.strings then begin
+    let bigger = Array.make (max 16 (2 * r.count)) None in
+    Array.blit r.strings 0 bigger 0 r.count;
+    r.strings <- bigger
+  end;
+  r.strings.(r.count) <- s;
+  r.count <- r.count + 1
 
 let read_string r =
-  let tag = read_uvarint r.ic in
+  let tag = read_uvarint r in
   if tag = 0 then begin
-    let len = read_uvarint r.ic in
+    let len = read_uvarint r in
     if len > 1 lsl 20 then raise (Corrupt "string too long");
-    let s = really_input_string r.ic len in
-    if r.count = Array.length r.strings then begin
-      let bigger = Array.make (max 16 (2 * r.count)) "" in
-      Array.blit r.strings 0 bigger 0 r.count;
-      r.strings <- bigger
-    end;
-    r.strings.(r.count) <- s;
-    r.count <- r.count + 1;
+    let s = read_exact r len in
+    intern_string r (Some s);
     s
   end
   else begin
     let index = tag - 1 in
     if index >= r.count then raise (Corrupt "string reference out of range");
-    r.strings.(index)
+    match r.strings.(index) with
+    | Some s -> s
+    | None ->
+      raise (Lost_ref (Printf.sprintf "string %d was introduced in a corrupt frame" index))
   end
 
 (* --- enums --- *)
@@ -113,161 +198,211 @@ let errno_of_index =
 
 (* --- calls --- *)
 
+let write_byte w b = Buffer.add_char w.buf (Char.unsafe_chr (b land 0xFF))
+
 let write_target w = function
   | Model.Path p ->
-    output_byte w.oc 0;
+    write_byte w 0;
     write_string w p
   | Model.Fd fd ->
-    output_byte w.oc 1;
-    write_svarint w.oc fd
+    write_byte w 1;
+    buf_svarint w.buf fd
 
 let read_target r =
-  match read_byte r.ic with
+  match read_byte r with
   | 0 -> Model.Path (read_string r)
-  | 1 -> Model.Fd (read_svarint r.ic)
+  | 1 -> Model.Fd (read_svarint r)
   | _ -> raise (Corrupt "bad target tag")
 
 let write_call w call =
-  write_uvarint w.oc (variant_index (Model.variant_of_call call));
+  buf_uvarint w.buf (variant_index (Model.variant_of_call call));
   match call with
   | Model.Open_call { path; flags; mode; _ } ->
     write_string w path;
-    write_uvarint w.oc flags;
-    write_uvarint w.oc mode
+    buf_uvarint w.buf flags;
+    buf_uvarint w.buf mode
   | Model.Read_call { fd; count; offset; _ } | Model.Write_call { fd; count; offset; _ } ->
-    write_svarint w.oc fd;
-    write_uvarint w.oc count;
-    (match offset with Some off -> write_svarint w.oc off | None -> ())
+    buf_svarint w.buf fd;
+    buf_uvarint w.buf count;
+    (match offset with Some off -> buf_svarint w.buf off | None -> ())
   | Model.Lseek_call { fd; offset; whence } ->
-    write_svarint w.oc fd;
-    write_svarint w.oc offset;
-    output_byte w.oc (Whence.to_code whence)
+    buf_svarint w.buf fd;
+    buf_svarint w.buf offset;
+    write_byte w (Whence.to_code whence)
   | Model.Truncate_call { target; length; _ } ->
     write_target w target;
-    write_svarint w.oc length
+    buf_svarint w.buf length
   | Model.Mkdir_call { path; mode; _ } ->
     write_string w path;
-    write_uvarint w.oc mode
+    buf_uvarint w.buf mode
   | Model.Chmod_call { target; mode; _ } ->
     write_target w target;
-    write_uvarint w.oc mode
-  | Model.Close_call { fd } -> write_svarint w.oc fd
+    buf_uvarint w.buf mode
+  | Model.Close_call { fd } -> buf_svarint w.buf fd
   | Model.Chdir_call { target } -> write_target w target
   | Model.Setxattr_call { target; name; size; flags; _ } ->
     write_target w target;
     write_string w name;
-    write_uvarint w.oc size;
-    output_byte w.oc (Xattr_flag.to_code flags)
+    buf_uvarint w.buf size;
+    write_byte w (Xattr_flag.to_code flags)
   | Model.Getxattr_call { target; name; size; _ } ->
     write_target w target;
     write_string w name;
-    write_uvarint w.oc size
+    buf_uvarint w.buf size
 
 let read_call r =
-  let variant = variant_of_index (read_uvarint r.ic) in
+  let variant = variant_of_index (read_uvarint r) in
   match Model.base_of_variant variant with
   | Model.Open ->
     let path = read_string r in
-    let flags = read_uvarint r.ic in
-    let mode = read_uvarint r.ic in
+    let flags = read_uvarint r in
+    let mode = read_uvarint r in
     (* creat's flags are forced by the constructor; the stored flags are
        authoritative, so bypass the creat rewrite by reconstructing the
        record shape directly through open_ for non-creat variants *)
     Model.open_ ~variant ~flags ~mode path
   | Model.Read | Model.Write ->
-    let fd = read_svarint r.ic in
-    let count = read_uvarint r.ic in
+    let fd = read_svarint r in
+    let count = read_uvarint r in
     let offset =
       match variant with
-      | Model.Sys_pread64 | Model.Sys_pwrite64 -> Some (read_svarint r.ic)
+      | Model.Sys_pread64 | Model.Sys_pwrite64 -> Some (read_svarint r)
       | _ -> None
     in
     if Model.base_of_variant variant = Model.Read then Model.read ~variant ?offset ~fd ~count ()
     else Model.write ~variant ?offset ~fd ~count ()
   | Model.Lseek ->
-    let fd = read_svarint r.ic in
-    let offset = read_svarint r.ic in
-    (match Whence.of_code (read_byte r.ic) with
+    let fd = read_svarint r in
+    let offset = read_svarint r in
+    (match Whence.of_code (read_byte r) with
      | Some whence -> Model.lseek ~fd ~offset ~whence
      | None -> raise (Corrupt "bad whence"))
   | Model.Truncate ->
     let target = read_target r in
-    let length = read_svarint r.ic in
+    let length = read_svarint r in
     Model.truncate ~variant ~target ~length ()
   | Model.Mkdir ->
     let path = read_string r in
-    let mode = read_uvarint r.ic in
+    let mode = read_uvarint r in
     Model.mkdir ~variant ~mode path
   | Model.Chmod ->
     let target = read_target r in
-    let mode = read_uvarint r.ic in
+    let mode = read_uvarint r in
     Model.chmod ~variant ~target ~mode ()
-  | Model.Close -> Model.close (read_svarint r.ic)
+  | Model.Close -> Model.close (read_svarint r)
   | Model.Chdir -> Model.chdir (read_target r)
   | Model.Setxattr ->
     let target = read_target r in
     let name = read_string r in
-    let size = read_uvarint r.ic in
-    (match Xattr_flag.of_code (read_byte r.ic) with
+    let size = read_uvarint r in
+    (match Xattr_flag.of_code (read_byte r) with
      | Some flags -> Model.setxattr ~variant ~flags ~target ~name ~size ()
      | None -> raise (Corrupt "bad xattr flag"))
   | Model.Getxattr ->
     let target = read_target r in
     let name = read_string r in
-    let size = read_uvarint r.ic in
+    let size = read_uvarint r in
     Model.getxattr ~variant ~target ~name ~size ()
 
-(* --- events --- *)
+(* --- events, writer side --- *)
 
-let writer oc =
-  output_string oc magic;
-  { oc; table = Hashtbl.create 256; next_index = 0; last_ts = 0 }
+let max_chapter_size = 1 lsl 20
 
-let write_event w (e : Event.t) =
-  write_uvarint w.oc (max 0 (e.timestamp_ns - w.last_ts));
+let writer ?(version = 2) ?(chapter = default_chapter) oc =
+  if chapter <= 0 || chapter > max_chapter_size then
+    invalid_arg "Binary_io.writer: chapter out of range";
+  (match version with
+   | 1 -> output_string oc magic_v1
+   | 2 ->
+     output_string oc magic_v2;
+     (* the chapter size is part of the header so a reader can map a
+        frame's (chapter, in-chapter) pair to an absolute record
+        number — the basis for exact loss accounting *)
+     chan_varbits oc chapter
+   | v -> invalid_arg (Printf.sprintf "Binary_io.writer: unsupported version %d" v));
+  {
+    oc;
+    version;
+    chapter_size = chapter;
+    buf = Buffer.create 256;
+    table = Hashtbl.create 256;
+    next_index = 0;
+    last_ts = 0;
+    chapter = 0;
+    in_chapter = 0;
+  }
+
+let encode_record w (e : Event.t) =
+  buf_uvarint w.buf (max 0 (e.timestamp_ns - w.last_ts));
   w.last_ts <- e.timestamp_ns;
-  write_uvarint w.oc e.pid;
+  buf_uvarint w.buf e.pid;
   write_string w e.comm;
   (match e.payload with
    | Event.Tracked call ->
-     output_byte w.oc 0;
+     write_byte w 0;
      write_call w call
    | Event.Aux { name; detail } ->
-     output_byte w.oc 1;
+     write_byte w 1;
      write_string w name;
      write_string w detail);
   (match e.outcome with
    | Model.Ret n ->
-     output_byte w.oc 0;
-     write_svarint w.oc n
+     write_byte w 0;
+     buf_svarint w.buf n
    | Model.Err errno ->
-     output_byte w.oc 1;
-     output_byte w.oc (errno_index errno));
+     write_byte w 1;
+     write_byte w (errno_index errno));
   match e.path_hint with
   | Some hint ->
-    output_byte w.oc 1;
+    write_byte w 1;
     write_string w hint
-  | None -> output_byte w.oc 0
+  | None -> write_byte w 0
+
+let write_event w (e : Event.t) =
+  Buffer.clear w.buf;
+  if w.version = 1 then begin
+    encode_record w e;
+    Buffer.output_buffer w.oc w.buf
+  end
+  else begin
+    (* chapter rollover: restart the string table so a corrupt frame can
+       only orphan references until the next chapter, not to the end of
+       the trace *)
+    if w.in_chapter >= w.chapter_size then begin
+      Hashtbl.reset w.table;
+      w.next_index <- 0;
+      w.chapter <- w.chapter + 1;
+      w.in_chapter <- 0
+    end;
+    buf_uvarint w.buf w.chapter;
+    buf_uvarint w.buf w.in_chapter;
+    buf_uvarint w.buf w.next_index;
+    encode_record w e;
+    w.in_chapter <- w.in_chapter + 1;
+    let payload = Buffer.contents w.buf in
+    let crc = Crc32.string payload in
+    output_byte w.oc sync0;
+    output_byte w.oc sync1;
+    chan_varbits w.oc (String.length payload);
+    output_byte w.oc (crc land 0xFF);
+    output_byte w.oc ((crc lsr 8) land 0xFF);
+    output_byte w.oc ((crc lsr 16) land 0xFF);
+    output_byte w.oc ((crc lsr 24) land 0xFF)
+    ;
+    output_string w.oc payload
+  end
 
 let sink = write_event
 let flush w = Stdlib.flush w.oc
 
-(* [first] is the already-consumed first byte of the timestamp varint —
-   the EOF probe that decides whether another record exists. *)
-let read_event r ~seq ~last_ts ~first =
-  let ts =
-    last_ts
-    +
-    let rec go shift acc b =
-      let acc = acc lor ((b land 0x7F) lsl shift) in
-      if b land 0x80 = 0 then acc else go (shift + 7) acc (read_byte r.ic)
-    in
-    go 0 0 first
-  in
-  let pid = read_uvarint r.ic in
+(* --- events, reader side --- *)
+
+(* Shared decode of everything after the timestamp. *)
+let read_event_rest r ~seq ~ts =
+  let pid = read_uvarint r in
   let comm = read_string r in
   let payload =
-    match read_byte r.ic with
+    match read_byte r with
     | 0 -> Event.Tracked (read_call r)
     | 1 ->
       let name = read_string r in
@@ -276,20 +411,40 @@ let read_event r ~seq ~last_ts ~first =
     | _ -> raise (Corrupt "bad payload tag")
   in
   let outcome =
-    match read_byte r.ic with
-    | 0 -> Model.Ret (read_svarint r.ic)
-    | 1 -> Model.Err (errno_of_index (read_byte r.ic))
+    match read_byte r with
+    | 0 -> Model.Ret (read_svarint r)
+    | 1 -> Model.Err (errno_of_index (read_byte r))
     | _ -> raise (Corrupt "bad outcome tag")
   in
   let path_hint =
-    match read_byte r.ic with
+    match read_byte r with
     | 0 -> None
     | 1 -> Some (read_string r)
     | _ -> raise (Corrupt "bad hint tag")
   in
   { Event.seq; timestamp_ns = ts; pid; comm; payload; outcome; path_hint }
 
+(* [first] is the already-consumed first byte of the timestamp varint —
+   the v1 EOF probe that decides whether another record exists. *)
+let read_event_v1 r ~seq ~last_ts ~first =
+  let ts =
+    last_ts
+    +
+    let rec go shift acc b =
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc (read_byte r)
+    in
+    go 0 0 first
+  in
+  read_event_rest r ~seq ~ts
+
+let read_event_v2 r ~seq ~last_ts =
+  let ts = last_ts + read_uvarint r in
+  read_event_rest r ~seq ~ts
+
 (* --- streaming decode --- *)
+
+type mode = Strict | Lenient of Anomaly.budget
 
 (* The string table makes the decode inherently sequential, but it does
    not make it inherently materializing: a stream hands out events in
@@ -297,19 +452,332 @@ let read_event r ~seq ~last_ts ~first =
    O(batch) memory and the decoded batches can feed parallel analysis
    workers. *)
 type stream = {
+  ic : in_channel;
+  version : int;
+  mode : mode;
+  chapter_size : int;  (* from the v2 header; 0 for v1 *)
   sr : reader;
+  frame : src;  (* the v2 frame-payload window [sr.src] points at *)
   mutable seq : int;
+  mutable next_record : int;  (* 0-based absolute index expected next (v2) *)
   mutable last_ts : int;
+  mutable chapter : int;
   mutable failed : bool;
+  mutable eof : bool;
+  (* the completeness ledger *)
+  mutable produced : int;
+  mutable skipped : int;
+  mutable regions : int;
+  mutable bytes_skipped : int;
+  mutable truncated : bool;
+  mutable anomaly_count : int;
+  mutable anomalies : Anomaly.t list;  (* newest first, capped *)
 }
 
-let open_stream ic =
-  match really_input_string ic (String.length magic) with
-  | header when header = magic ->
-    Ok { sr = { ic; strings = Array.make 256 ""; count = 0 }; seq = 1; last_ts = 0;
-         failed = false }
+let make_stream ?(mode = Strict) ic ~version ~chapter_size =
+  let frame = { s = ""; pos = 0 } in
+  let src = if version = 2 then Some frame else None in
+  {
+    ic;
+    version;
+    mode;
+    chapter_size;
+    sr = { ic; src; strings = Array.make 256 None; count = 0 };
+    frame;
+    seq = 1;
+    next_record = 0;
+    last_ts = 0;
+    chapter = 0;
+    failed = false;
+    eof = false;
+    produced = 0;
+    skipped = 0;
+    regions = 0;
+    bytes_skipped = 0;
+    truncated = false;
+    anomaly_count = 0;
+    anomalies = [];
+  }
+
+let read_header_uvarint ic =
+  let rec go shift acc =
+    if shift > 24 then None
+    else
+      match In_channel.input_byte ic with
+      | None -> None
+      | Some b ->
+        let acc = acc lor ((b land 0x7F) lsl shift) in
+        if b land 0x80 = 0 then Some acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let open_stream ?(mode = Strict) ic =
+  match really_input_string ic magic_len with
+  | header when header = magic_v2 -> (
+    match read_header_uvarint ic with
+    | Some cs when cs > 0 && cs <= max_chapter_size ->
+      Ok (make_stream ~mode ic ~version:2 ~chapter_size:cs)
+    | _ -> Error "corrupt trace header (bad chapter size)")
+  | header when header = magic_v1 -> Ok (make_stream ~mode ic ~version:1 ~chapter_size:0)
   | _ -> Error "not a binary iocov trace (bad magic)"
   | exception End_of_file -> Error "not a binary iocov trace (bad magic)"
+
+let stream_version st = st.version
+
+let note st ?offset kind detail =
+  st.anomaly_count <- st.anomaly_count + 1;
+  if st.anomaly_count <= Anomaly.max_kept_anomalies then
+    st.anomalies <- Anomaly.v ?offset kind detail :: st.anomalies
+
+(* one skipped record = one metric tick, even when a whole region of
+   frames vanished at once and the loss was counted from an index gap *)
+let bump_skipped st n =
+  st.skipped <- st.skipped + n;
+  Metrics.Counter.add m_corrupt n
+
+let completeness st =
+  {
+    (Anomaly.clean ~events_read:st.produced) with
+    Anomaly.records_skipped = st.skipped;
+    corrupt_regions = st.regions;
+    bytes_skipped = st.bytes_skipped;
+    truncated = st.truncated;
+    anomalies = List.rev st.anomalies;
+  }
+
+(* --- v2 framing --- *)
+
+type frame_read =
+  | Frame_eof
+  | Frame of string
+  | Frame_bad of string  (* structural damage: resync candidates move on *)
+
+let read_u32_le ic =
+  let b0 = input_byte ic in
+  let b1 = input_byte ic in
+  let b2 = input_byte ic in
+  let b3 = input_byte ic in
+  b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+
+(* Read one frame at the current position.  Structural failures (bad
+   sync, insane length, short read, CRC mismatch) are data, not
+   exceptions: lenient mode treats them as resync triggers. *)
+let read_frame ic =
+  match In_channel.input_byte ic with
+  | None -> Frame_eof
+  | Some b0 -> (
+    try
+      if b0 <> sync0 then Frame_bad "bad sync marker"
+      else if input_byte ic <> sync1 then Frame_bad "bad sync marker"
+      else begin
+        let len =
+          let rec go shift acc =
+            if shift > 24 then raise Exit;
+            let b = input_byte ic in
+            let acc = acc lor ((b land 0x7F) lsl shift) in
+            if b land 0x80 = 0 then acc else go (shift + 7) acc
+          in
+          try go 0 0 with Exit -> -1
+        in
+        if len < 0 || len > max_frame then Frame_bad "bad frame length"
+        else begin
+          let crc = read_u32_le ic in
+          let payload = really_input_string ic len in
+          if Crc32.string payload <> crc then Frame_bad "crc mismatch"
+          else Frame payload
+        end
+      end
+    with End_of_file -> Frame_bad "truncated frame")
+
+type decoded =
+  | Decoded of Event.t
+  | Skipped of Anomaly.kind * string  (* frame consumed but record unusable *)
+
+(* Decode a CRC-valid frame payload: chapter id, string-table base
+   count, record.  The base count is the self-healing hook — if frames
+   were lost, it tells us how many string introductions went with them,
+   and the placeholders make later references to them fail loudly
+   (Lost_reference) instead of resolving to the wrong string. *)
+let decode_frame st payload =
+  st.frame.s <- payload;
+  st.frame.pos <- 0;
+  let r = st.sr in
+  try
+    let chapter = read_uvarint r in
+    let in_chapter = read_uvarint r in
+    let base = read_uvarint r in
+    if in_chapter >= st.chapter_size then raise (Corrupt "in-chapter index out of range");
+    (* (chapter, in-chapter) pins this frame to an absolute record
+       number; a gap against the expected index is the exact count of
+       records destroyed with the frames between — however many resync
+       regions it took to get here *)
+    let idx = (chapter * st.chapter_size) + in_chapter in
+    if idx < st.next_record then raise (Corrupt "record index regression");
+    let gap = idx - st.next_record in
+    if gap > 0 then begin
+      (match st.mode with
+       | Strict -> raise (Corrupt (Printf.sprintf "%d records missing before this frame" gap))
+       | Lenient _ -> bump_skipped st gap)
+    end;
+    st.next_record <- idx + 1;
+    if chapter <> st.chapter then begin
+      (* writer restarted its table (or we lost the frames in between) *)
+      st.chapter <- chapter;
+      r.count <- 0
+    end;
+    if base > r.count then
+      for _ = r.count + 1 to base do
+        intern_string r None
+      done
+    else if base < r.count then raise (Corrupt "string table regression");
+    let e = read_event_v2 r ~seq:(idx + 1) ~last_ts:st.last_ts in
+    st.seq <- idx + 2;
+    st.last_ts <- e.Event.timestamp_ns;
+    st.produced <- st.produced + 1;
+    Decoded e
+  with
+  | Corrupt msg -> Skipped (Anomaly.Corrupt_record, msg)
+  | Lost_ref msg -> Skipped (Anomaly.Lost_reference, msg)
+
+(* Scan forward for the next CRC-valid frame.  Every candidate either
+   validates or advances the scan position by at least one byte, so the
+   scan always terminates at EOF. *)
+let resync st ~from =
+  Metrics.Counter.incr m_resyncs;
+  st.regions <- st.regions + 1;
+  seek_in st.ic from;
+  let rec scan () =
+    match In_channel.input_byte st.ic with
+    | None -> None
+    | Some b when b <> sync0 -> scan ()
+    | Some _ ->
+      let cand = pos_in st.ic - 1 in
+      seek_in st.ic cand;
+      (match read_frame st.ic with
+       | Frame payload -> Some (cand, payload)
+       | Frame_eof -> None
+       | Frame_bad _ ->
+         seek_in st.ic (cand + 1);
+         scan ())
+  in
+  scan ()
+
+exception Stream_error of string
+
+let budget_of_mode st = match st.mode with Strict -> Anomaly.Unlimited | Lenient b -> b
+
+let check_budget st ~final =
+  let total = st.produced + st.skipped in
+  if not (Anomaly.budget_allows (budget_of_mode st) ~bad:st.skipped ~total ~final) then begin
+    st.failed <- true;
+    let b = budget_of_mode st in
+    note st Anomaly.Budget_exceeded
+      (Printf.sprintf "%d of %d records corrupt (budget %s)" st.skipped total
+         (Anomaly.budget_to_string b));
+    raise
+      (Stream_error
+         (Printf.sprintf "error budget exceeded: %d of %d records corrupt (budget %s)"
+            st.skipped total (Anomaly.budget_to_string b)))
+  end
+
+let skip_tail st ~from =
+  let eof_pos = Int64.to_int (In_channel.length st.ic) in
+  st.bytes_skipped <- st.bytes_skipped + max 0 (eof_pos - from);
+  Metrics.Counter.add m_bytes_skipped (max 0 (eof_pos - from));
+  st.truncated <- true;
+  st.eof <- true
+
+(* The v2 record pump: one event, or [None] at end of stream.  Strict
+   mode turns the first defect into [Stream_error] with its offset;
+   lenient mode skips, resyncs, and keeps the ledger. *)
+let rec next_v2 st =
+  if st.eof then None
+  else begin
+    let start = pos_in st.ic in
+    match read_frame st.ic with
+    | Frame_eof ->
+      st.eof <- true;
+      None
+    | Frame payload -> consume_payload st ~start payload
+    | Frame_bad reason -> (
+      match st.mode with
+      | Strict ->
+        st.failed <- true;
+        raise (Stream_error (Printf.sprintf "offset %d: %s" start reason))
+      | Lenient _ -> (
+        (* don't count records here: the lost count is unknowable until
+           the next intact frame's index gap reveals it exactly *)
+        note st ~offset:start Anomaly.Corrupt_record reason;
+        match resync st ~from:(start + 1) with
+        | None ->
+          note st ~offset:start Anomaly.Truncated "no further intact frame";
+          skip_tail st ~from:start;
+          None
+        | Some (cand, payload) ->
+          st.bytes_skipped <- st.bytes_skipped + (cand - start);
+          Metrics.Counter.add m_bytes_skipped (cand - start);
+          consume_payload st ~start:cand payload))
+  end
+
+and consume_payload st ~start payload =
+  match decode_frame st payload with
+  | Decoded e ->
+    (* an index gap discovered on this frame may have pushed the ledger
+       over the budget even though the frame itself is fine *)
+    check_budget st ~final:false;
+    Some e
+  | Skipped (kind, reason) -> (
+    match st.mode with
+    | Strict ->
+      st.failed <- true;
+      raise (Stream_error (Printf.sprintf "offset %d: %s" start reason))
+    | Lenient _ ->
+      note st ~offset:start kind reason;
+      bump_skipped st 1;
+      check_budget st ~final:false;
+      next_v2 st)
+
+(* The v1 pump: no frames, no checksums — corruption is detected only
+   when a field fails to decode, and with no sync markers there is
+   nothing to resync on.  Lenient mode records the damage and treats
+   the rest of the stream as lost. *)
+let next_v1 st =
+  if st.eof then None
+  else begin
+    let start = pos_in st.ic in
+    match In_channel.input_byte st.ic with
+    | None ->
+      st.eof <- true;
+      None
+    | Some first -> (
+      match read_event_v1 st.sr ~seq:st.seq ~last_ts:st.last_ts ~first with
+      | e ->
+        st.seq <- st.seq + 1;
+        st.last_ts <- e.Event.timestamp_ns;
+        st.produced <- st.produced + 1;
+        Some e
+      | exception (Corrupt msg | Lost_ref msg) -> (
+        match st.mode with
+        | Strict ->
+          st.failed <- true;
+          raise (Stream_error (Printf.sprintf "offset %d: %s" start msg))
+        | Lenient _ ->
+          note st ~offset:start Anomaly.Corrupt_record
+            (msg ^ " (v1 trace: no sync markers, rest of stream unrecoverable)");
+          bump_skipped st 1;
+          skip_tail st ~from:start;
+          None)
+      | exception End_of_file -> (
+        match st.mode with
+        | Strict ->
+          st.failed <- true;
+          raise (Stream_error "truncated binary trace")
+        | Lenient _ ->
+          note st ~offset:start Anomaly.Truncated "trace ends mid-record";
+          bump_skipped st 1;
+          skip_tail st ~from:start;
+          None))
+  end
 
 let read_batch st ~max =
   if max <= 0 then invalid_arg "Binary_io.read_batch: max must be positive";
@@ -318,19 +786,18 @@ let read_batch st ~max =
     try
       let batch = ref [] in
       let n = ref 0 in
-      let eof = ref false in
-      while (not !eof) && !n < max do
-        match In_channel.input_byte st.sr.ic with
-        | None -> eof := true
-        | Some first ->
-          let event = read_event st.sr ~seq:st.seq ~last_ts:st.last_ts ~first in
-          st.seq <- st.seq + 1;
-          st.last_ts <- event.Event.timestamp_ns;
-          batch := event :: !batch;
+      let continue = ref true in
+      while !continue && !n < max do
+        match (if st.version = 2 then next_v2 st else next_v1 st) with
+        | None -> continue := false
+        | Some e ->
+          batch := e :: !batch;
           incr n
       done;
+      if st.eof then check_budget st ~final:true;
       Ok (Array.of_list (List.rev !batch))
     with
+    | Stream_error msg -> Error msg
     | Corrupt msg ->
       st.failed <- true;
       Error msg
@@ -361,10 +828,54 @@ let is_binary_trace ic =
   let pos = In_channel.pos ic in
   let result =
     try
-      let header = really_input_string ic (String.length magic) in
-      header = magic
+      let header = really_input_string ic magic_len in
+      header = magic_v1 || header = magic_v2
     with End_of_file -> false
   in
   In_channel.seek ic pos;
   result
 
+(* --- cursors: suspend and resume a decode --- *)
+
+type cursor = {
+  c_version : int;
+  c_offset : int;
+  c_seq : int;
+  c_last_ts : int;
+  c_chapter : int;
+  c_strings : string option array;
+}
+
+let cursor st =
+  {
+    c_version = st.version;
+    c_offset = pos_in st.ic;
+    c_seq = st.seq;
+    c_last_ts = st.last_ts;
+    c_chapter = st.chapter;
+    c_strings = Array.sub st.sr.strings 0 st.sr.count;
+  }
+
+let resume_stream ?(mode = Strict) ic cur =
+  match open_stream ~mode ic with
+  | Error _ as e -> e
+  | Ok st ->
+    let header_end = pos_in ic in
+    if st.version <> cur.c_version then
+      Error
+        (Printf.sprintf "checkpoint is for a v%d trace but the file is v%d" cur.c_version
+           st.version)
+    else if cur.c_offset < header_end || cur.c_offset > Int64.to_int (In_channel.length ic) then
+      Error (Printf.sprintf "checkpoint offset %d is outside the trace" cur.c_offset)
+    else begin
+      seek_in ic cur.c_offset;
+      st.seq <- cur.c_seq;
+      st.next_record <- max 0 (cur.c_seq - 1);
+      st.last_ts <- cur.c_last_ts;
+      st.chapter <- cur.c_chapter;
+      let n = Array.length cur.c_strings in
+      st.sr.strings <- Array.make (max 256 n) None;
+      Array.blit cur.c_strings 0 st.sr.strings 0 n;
+      st.sr.count <- n;
+      Ok st
+    end

@@ -9,18 +9,50 @@
     trace shrinks by roughly an order of magnitude versus the text form
     and parses several times faster.
 
-    Layout: the 5-byte header ["IOCT\x01"], then per event:
-    timestamp delta (uvarint) · pid (uvarint) · comm (string ref) ·
-    payload (tracked: variant index + argument fields; aux: name and
-    detail string refs) · outcome (tag + zigzag value or errno index) ·
-    optional path hint (string ref).  String refs are uvarints: [0]
-    introduces a fresh string (length + bytes) appended to the table,
-    [n+1] references table entry [n]. *)
+    {b v2 layout} (the default; DESIGN.md §12): the 5-byte magic
+    ["IOCT\x02"] followed by the chapter size (uvarint), then one
+    {e frame} per event:
+
+    {v sync(0xF5 0x9E) · payload length (uvarint) · CRC-32 of payload (4B LE) ·
+   payload = chapter id (uvarint) · in-chapter index (uvarint) ·
+             string-table base count (uvarint) · record bytes (as v1) v}
+
+    The sync marker and CRC make corruption detectable and {e local}:
+    lenient ingestion scans for the next CRC-valid frame instead of
+    giving up.  [chapter id × chapter size + in-chapter index] pins
+    every frame to an absolute record number, so the index gap at the
+    first intact frame after a damaged region is the {e exact} count of
+    records lost in it (a lost tail — no further intact frame — is the
+    one loss reported as [truncated] without a count).  The writer
+    restarts its string table every [chapter] records, and each payload
+    carries the table size before the record — so a reader that lost
+    frames can pad the table with placeholders and fail loudly
+    ([Lost_reference]) on a dangling reference instead of resolving it
+    to the wrong string.  Timestamps are delta-encoded; after a lenient
+    skip the deltas of lost records are missing, so subsequent absolute
+    timestamps are offset — coverage, which never reads timestamps, is
+    unaffected.
+
+    {b v1 layout} (["IOCT\x01"], still readable): the bare record bytes
+    with no framing — corruption is detected only as a decode failure
+    and nothing after it is recoverable.
+
+    Record bytes: timestamp delta (uvarint) · pid (uvarint) · comm
+    (string ref) · payload (tracked: variant index + argument fields;
+    aux: name and detail string refs) · outcome (tag + zigzag value or
+    errno index) · optional path hint (string ref).  String refs are
+    uvarints: [0] introduces a fresh string (length + bytes) appended to
+    the table, [n+1] references table entry [n]. *)
 
 type writer
 
-val writer : out_channel -> writer
-(** Write the header and return a streaming encoder. *)
+val writer : ?version:int -> ?chapter:int -> out_channel -> writer
+(** Write the header and return a streaming encoder.  [version] is [2]
+    (default) or [1]; [chapter] (default 1024, v2 only) is how many
+    records share a string table before it restarts — smaller chapters
+    bound corruption blast radius at the cost of re-emitting hot
+    strings.  Raises [Invalid_argument] on an unsupported version or a
+    non-positive chapter. *)
 
 val write_event : writer -> Event.t -> unit
 
@@ -36,23 +68,69 @@ val flush : writer -> unit
     multi-million-event trace runs in O(batch) memory — and the decoded
     batches are what the parallel pipeline feeds to its worker shards. *)
 
+type mode =
+  | Strict  (** first defect fails the stream, reporting its byte offset *)
+  | Lenient of Iocov_util.Anomaly.budget
+      (** skip damaged records, resync on the next intact frame, and
+          account for every loss — up to the error budget *)
+
 type stream
 
-val open_stream : in_channel -> (stream, string) result
-(** Consume and check the magic header. *)
+val open_stream : ?mode:mode -> in_channel -> (stream, string) result
+(** Consume and check the magic header (either version).  [mode]
+    defaults to [Strict]. *)
+
+val stream_version : stream -> int
 
 val read_batch : stream -> max:int -> (Event.t array, string) result
 (** Decode up to [max] events ([max > 0]); an empty array means EOF.
     [seq] is assigned from record order, starting at 1.  After an
-    [Error] the stream stays failed. *)
+    [Error] the stream stays failed.
+
+    In [Strict] mode the first corrupt or truncated record is an
+    [Error] carrying its byte offset.  In [Lenient] mode damaged
+    records are skipped (v2: with a resync scan to the next CRC-valid
+    frame; v1: the rest of the stream is abandoned as truncated) and
+    tallied into {!completeness}; the only [Error]s are an exceeded
+    budget or a non-trace input. *)
+
+val completeness : stream -> Iocov_util.Anomaly.completeness
+(** The stream's ledger so far: events decoded, records skipped,
+    resync regions, bytes discarded, truncation, and the first
+    anomalies in stream order. *)
 
 val fold_channel : in_channel -> init:'a -> f:('a -> Event.t -> 'a) -> ('a, string) result
-(** Streaming decode to EOF (batched {!read_batch} internally); fails
-    with a message on corruption.  [seq] is assigned from record
+(** Strict streaming decode to EOF (batched {!read_batch} internally);
+    fails with a message on corruption.  [seq] is assigned from record
     order. *)
 
 val read_channel : in_channel -> (Event.t list, string) result
 
 val is_binary_trace : in_channel -> bool
-(** Peek the magic without consuming it (the channel is rewound), so
-    [analyze] can auto-detect the format. *)
+(** Peek the magic (either version) without consuming it (the channel
+    is rewound), so [analyze] can auto-detect the format. *)
+
+(** {2 Cursors}
+
+    A cursor freezes a stream's decode state at a batch boundary —
+    offset, sequence number, timestamp base, chapter, and the live
+    string table — so a checkpointed run can reopen the trace and
+    continue exactly where it stopped. *)
+
+type cursor = {
+  c_version : int;
+  c_offset : int;  (** byte offset of the next unread frame *)
+  c_seq : int;
+  c_last_ts : int;
+  c_chapter : int;
+  c_strings : string option array;  (** [None] = lost in a corrupt frame *)
+}
+
+val cursor : stream -> cursor
+(** Capture the current decode state.  Only meaningful between
+    {!read_batch} calls. *)
+
+val resume_stream : ?mode:mode -> in_channel -> cursor -> (stream, string) result
+(** Reopen a trace at a cursor: checks the magic and version, seeks to
+    the cursor offset, and restores the decode state.  Subsequent
+    {!read_batch} calls continue the original numbering. *)

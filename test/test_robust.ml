@@ -1,0 +1,651 @@
+(* Tests for the fault-tolerant pipeline (DESIGN.md §12): CRC framing
+   and resync in the v2 binary format, exact loss accounting, error
+   budgets, worker supervision (retry / abandon / shard death), and
+   checkpointed replay with byte-identical resume. *)
+
+module Anomaly = Iocov_util.Anomaly
+module Crc32 = Iocov_util.Crc32
+module Event = Iocov_trace.Event
+module Filter = Iocov_trace.Filter
+module Format_io = Iocov_trace.Format_io
+module Binary_io = Iocov_trace.Binary_io
+module Coverage = Iocov_core.Coverage
+module Snapshot = Iocov_core.Snapshot
+module Pool = Iocov_par.Pool
+module Checkpoint = Iocov_par.Checkpoint
+module Replay = Iocov_par.Replay
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let synth_events = Test_par.synth_events
+let sequential_coverage = Test_par.sequential_coverage
+let with_temp_file = Test_par.with_temp_file
+
+let filter = Filter.mount_point "/mnt/test"
+
+let write_binary ?version ?chapter path events =
+  let oc = open_out_bin path in
+  let w = Binary_io.writer ?version ?chapter oc in
+  List.iter (Binary_io.sink w) events;
+  close_out oc
+
+(* byte offset of every frame, recovered with a clean strict read *)
+let frame_offsets path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      match Binary_io.open_stream ic with
+      | Error msg -> Alcotest.failf "open_stream: %s" msg
+      | Ok st ->
+        let offs = ref [] in
+        let continue = ref true in
+        while !continue do
+          let off = pos_in ic in
+          match Binary_io.read_batch st ~max:1 with
+          | Error msg -> Alcotest.failf "read_batch: %s" msg
+          | Ok b when Array.length b = 0 -> continue := false
+          | Ok _ -> offs := off :: !offs
+        done;
+        Array.of_list (List.rev !offs))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let write_file path b =
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let flip_bytes path offsets =
+  let b = read_file path in
+  List.iter
+    (fun off -> Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40)))
+    offsets;
+  write_file path b
+
+let truncate_file path len =
+  let b = read_file path in
+  write_file path (Bytes.sub b 0 len)
+
+(* drain a whole stream in the given mode; Ok (events, completeness) *)
+let read_all ?(mode = Binary_io.Strict) path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      match Binary_io.open_stream ~mode ic with
+      | Error msg -> Error msg
+      | Ok st ->
+        let rec go acc =
+          match Binary_io.read_batch st ~max:256 with
+          | Error msg -> Error msg
+          | Ok b when Array.length b = 0 ->
+            Ok (List.rev acc, Binary_io.completeness st)
+          | Ok b -> go (List.rev_append (Array.to_list b) acc)
+        in
+        go [])
+
+let ignore_seq (e : Event.t) = { e with Event.seq = 0 }
+
+(* --- CRC-32 --- *)
+
+let test_crc32_vectors () =
+  (* the catalogue check value for reflected CRC-32/ISO-HDLC *)
+  check_int "check value" 0xCBF43926 (Crc32.string "123456789");
+  check_int "empty" 0 (Crc32.string "");
+  let s = "the quick brown fox jumps over the lazy dog" in
+  let split = 17 in
+  let incremental =
+    Crc32.update (Crc32.update 0 s ~pos:0 ~len:split) s ~pos:split
+      ~len:(String.length s - split)
+  in
+  check_int "incremental = whole" (Crc32.string s) incremental
+
+(* --- error budgets --- *)
+
+let test_budget_parse () =
+  check_bool "none" true (Anomaly.budget_of_string "none" = Ok Anomaly.Unlimited);
+  check_bool "count" true (Anomaly.budget_of_string "64" = Ok (Anomaly.Max_records 64));
+  check_bool "percent" true
+    (match Anomaly.budget_of_string "0.5%" with
+     | Ok (Anomaly.Max_fraction f) -> Float.abs (f -. 0.005) < 1e-9
+     | _ -> false);
+  check_bool "negative rejected" true (Result.is_error (Anomaly.budget_of_string "-3"));
+  check_bool "garbage rejected" true (Result.is_error (Anomaly.budget_of_string "abc"));
+  check_bool "over 100% rejected" true (Result.is_error (Anomaly.budget_of_string "150%"))
+
+let test_budget_allows () =
+  check_bool "absolute trips online" false
+    (Anomaly.budget_allows (Anomaly.Max_records 2) ~bad:3 ~total:10 ~final:false);
+  check_bool "absolute within" true
+    (Anomaly.budget_allows (Anomaly.Max_records 3) ~bad:3 ~total:10 ~final:false);
+  (* fractional budgets need the denominator: never trip before EOF *)
+  check_bool "fraction deferred" true
+    (Anomaly.budget_allows (Anomaly.Max_fraction 0.01) ~bad:50 ~total:60 ~final:false);
+  check_bool "fraction trips at EOF" false
+    (Anomaly.budget_allows (Anomaly.Max_fraction 0.01) ~bad:50 ~total:60 ~final:true);
+  check_bool "fraction within at EOF" true
+    (Anomaly.budget_allows (Anomaly.Max_fraction 0.5) ~bad:3 ~total:100 ~final:true)
+
+let test_completeness_algebra () =
+  let clean = Anomaly.clean ~events_read:10 in
+  check_bool "clean is clean" true (Anomaly.is_clean clean);
+  let dirty =
+    { clean with Anomaly.records_skipped = 2; anomalies = [ Anomaly.v Anomaly.Corrupt_record "x" ] }
+  in
+  check_bool "dirty is not clean" false (Anomaly.is_clean dirty);
+  let m = Anomaly.merge clean dirty in
+  check_int "events sum" 20 m.Anomaly.events_read;
+  check_int "skips sum" 2 m.Anomaly.records_skipped;
+  check_int "anomalies concatenated" 1 (List.length m.Anomaly.anomalies)
+
+(* --- v2 format round-trips --- *)
+
+let test_v2_round_trip_chapters () =
+  let events = synth_events ~seed:40 500 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:16 path events;
+      match read_all path with
+      | Error msg -> Alcotest.failf "clean v2 read failed: %s" msg
+      | Ok (got, c) ->
+        check_int "count" 500 (List.length got);
+        check_bool "records identical" true
+          (List.for_all2 (fun a b -> ignore_seq a = ignore_seq b) events got);
+        check_bool "ledger clean" true (Anomaly.is_clean c))
+
+let test_v1_still_readable () =
+  let events = synth_events ~seed:41 300 in
+  with_temp_file (fun path ->
+      write_binary ~version:1 path events;
+      match read_all path with
+      | Error msg -> Alcotest.failf "v1 read failed: %s" msg
+      | Ok (got, c) ->
+        check_int "count" 300 (List.length got);
+        check_bool "records identical" true
+          (List.for_all2 (fun a b -> ignore_seq a = ignore_seq b) events got);
+        check_bool "ledger clean" true (Anomaly.is_clean c))
+
+(* --- corruption recovery --- *)
+
+let test_strict_reports_first_offset () =
+  let events = synth_events ~seed:42 200 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:16 path events;
+      let offs = frame_offsets path in
+      let target = offs.(100) + 7 in
+      flip_bytes path [ target ];
+      match read_all path with
+      | Ok _ -> Alcotest.fail "strict read of a corrupt trace succeeded"
+      | Error msg ->
+        let reported = Scanf.sscanf msg "offset %d:" Fun.id in
+        check_bool "offset points at the damaged frame" true
+          (reported >= offs.(100) && reported <= target))
+
+let test_lenient_exact_single_flip () =
+  let events = synth_events ~seed:43 300 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:16 path events;
+      let offs = frame_offsets path in
+      (* CRC byte of a mid-trace frame: exactly one record damaged *)
+      flip_bytes path [ offs.(150) + 4 ];
+      match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+      | Error msg -> Alcotest.failf "lenient read failed: %s" msg
+      | Ok (got, c) ->
+        check_int "read + skipped = written" 300
+          (List.length got + c.Anomaly.records_skipped);
+        check_int "exactly one record lost" 1 c.Anomaly.records_skipped;
+        check_int "one corrupt region" 1 c.Anomaly.corrupt_regions;
+        check_bool "not truncated" false c.Anomaly.truncated)
+
+let test_lenient_exact_adjacent_frames () =
+  (* two consecutive damaged frames collapse into one resync region;
+     the in-chapter index gap still yields the exact per-record count.
+     Mid-chapter frames (85, 86 with chapter 16) so no table
+     introductions for later records are lost with them. *)
+  let events = synth_events ~seed:44 300 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:16 path events;
+      let offs = frame_offsets path in
+      flip_bytes path [ offs.(85) + 4; offs.(86) + 4 ];
+      match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+      | Error msg -> Alcotest.failf "lenient read failed: %s" msg
+      | Ok (got, c) ->
+        check_int "exactly two records lost" 2 c.Anomaly.records_skipped;
+        check_int "read + skipped = written" 300
+          (List.length got + c.Anomaly.records_skipped))
+
+let test_lenient_lost_reference_cascade () =
+  (* damaging the frame that introduces the shared comm string orphans
+     the rest of its chapter; the next chapter restarts the table *)
+  let events = synth_events ~seed:45 64 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:8 path events;
+      let offs = frame_offsets path in
+      flip_bytes path [ offs.(8) + 7 ];
+      match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+      | Error msg -> Alcotest.failf "lenient read failed: %s" msg
+      | Ok (got, c) ->
+        check_int "read + skipped = written" 64
+          (List.length got + c.Anomaly.records_skipped);
+        check_bool "cascade bounded by the chapter" true (c.Anomaly.records_skipped <= 8);
+        check_bool "lost references were classified" true
+          (List.exists
+             (fun a -> a.Anomaly.kind = Anomaly.Lost_reference)
+             c.Anomaly.anomalies))
+
+let test_lenient_truncated_tail () =
+  let events = synth_events ~seed:46 200 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:16 path events;
+      let size = Bytes.length (read_file path) in
+      truncate_file path (size - 5);
+      (match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+       | Error msg -> Alcotest.failf "lenient read failed: %s" msg
+       | Ok (got, c) ->
+         check_int "all but the torn record" 199 (List.length got);
+         check_bool "flagged truncated" true c.Anomaly.truncated);
+      match read_all path with
+      | Ok _ -> Alcotest.fail "strict read of a truncated trace succeeded"
+      | Error _ -> ())
+
+let test_fuzz_bit_flips_never_raise () =
+  let n = 400 in
+  let chapter = 16 in
+  let events = synth_events ~seed:47 n in
+  with_temp_file (fun clean_path ->
+      write_binary ~chapter clean_path events;
+      let clean = read_file clean_path in
+      let size = Bytes.length clean in
+      (* past the magic and the chapter-size varint *)
+      let header_end = 7 in
+      for seed = 0 to 19 do
+        let rng = Iocov_util.Prng.create ~seed:(1000 + seed) in
+        let flips = 1 + Iocov_util.Prng.int rng 4 in
+        let offsets =
+          List.init flips (fun _ ->
+              header_end + Iocov_util.Prng.int rng (size - header_end))
+        in
+        with_temp_file (fun path ->
+            write_file path clean;
+            flip_bytes path offsets;
+            match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+            | Error msg -> Alcotest.failf "seed %d: lenient errored: %s" seed msg
+            | exception e ->
+              Alcotest.failf "seed %d: lenient raised %s" seed (Printexc.to_string e)
+            | Ok (got, c) ->
+              let read = List.length got in
+              if not c.Anomaly.truncated then
+                check_int
+                  (Printf.sprintf "seed %d: read + skipped = written" seed)
+                  n
+                  (read + c.Anomaly.records_skipped);
+              (* each flip can lose at most its chapter (lost refs)
+                 plus the damaged frame's neighbours *)
+              check_bool
+                (Printf.sprintf "seed %d: bounded blast radius" seed)
+                true
+                (read >= n - (flips * (chapter + 2))))
+      done)
+
+let test_budget_enforced () =
+  let events = synth_events ~seed:48 300 in
+  with_temp_file (fun path ->
+      write_binary ~chapter:16 path events;
+      let offs = frame_offsets path in
+      flip_bytes path [ offs.(50) + 4; offs.(150) + 4 ];
+      (* zero tolerance: fails on the first skip, online *)
+      (match read_all ~mode:(Binary_io.Lenient (Anomaly.Max_records 0)) path with
+       | Ok _ -> Alcotest.fail "zero budget accepted corruption"
+       | Error msg ->
+         check_bool "names the budget" true
+           (String.length msg >= 6 && String.sub msg 0 6 = "error "));
+      (* roomy absolute budget passes *)
+      (match read_all ~mode:(Binary_io.Lenient (Anomaly.Max_records 10)) path with
+       | Error msg -> Alcotest.failf "budget 10 rejected 2 bad records: %s" msg
+       | Ok (_, c) -> check_int "both skips counted" 2 c.Anomaly.records_skipped);
+      (* 2 of 300 is ~0.67%: a 0.1% budget trips at EOF, a 5% one allows *)
+      (match read_all ~mode:(Binary_io.Lenient (Anomaly.Max_fraction 0.001)) path with
+       | Ok _ -> Alcotest.fail "0.1% budget accepted 0.67% corruption"
+       | Error _ -> ());
+      match read_all ~mode:(Binary_io.Lenient (Anomaly.Max_fraction 0.05)) path with
+      | Error msg -> Alcotest.failf "5%% budget rejected 0.67%% corruption: %s" msg
+      | Ok _ -> ())
+
+(* --- differential: lenient == strict on clean traces --- *)
+
+let test_lenient_strict_identical_on_clean () =
+  let events = synth_events ~seed:49 3_000 in
+  let ref_cov, ref_kept = sequential_coverage filter events in
+  with_temp_file (fun path ->
+      write_binary path events;
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun counters ->
+              List.iter
+                (fun ingest ->
+                  let ic = open_in_bin path in
+                  let pool = Pool.create ~jobs () in
+                  let result =
+                    Replay.analyze_channel ~pool ~batch:128 ~counters ~ingest ~filter ic
+                  in
+                  close_in ic;
+                  match result with
+                  | Error msg -> Alcotest.failf "replay failed: %s" msg
+                  | Ok o ->
+                    let label =
+                      Printf.sprintf "jobs=%d %s %s" jobs
+                        (match counters with Replay.Dense -> "dense" | _ -> "reference")
+                        (match ingest with Replay.Strict -> "strict" | _ -> "lenient")
+                    in
+                    check_string (label ^ " coverage")
+                      (Snapshot.to_string ref_cov)
+                      (Snapshot.to_string o.Replay.coverage);
+                    check_int (label ^ " kept") ref_kept o.Replay.kept;
+                    check_bool (label ^ " clean") true
+                      (Anomaly.is_clean o.Replay.completeness))
+                [ Replay.Strict; Replay.Lenient Anomaly.Unlimited ])
+            [ Replay.Dense; Replay.Reference ])
+        [ 1; 2; 4 ])
+
+let test_lenient_text_skips_bad_lines () =
+  let events = synth_events ~seed:50 200 in
+  let ref_cov, ref_kept = sequential_coverage filter events in
+  with_temp_file (fun path ->
+      Out_channel.with_open_text path (fun oc ->
+          List.iteri
+            (fun i e ->
+              if i = 30 || i = 90 || i = 150 then output_string oc "not a trace line\n";
+              Format_io.sink_channel oc e)
+            events);
+      (* strict: fails with the first offending line *)
+      let ic = open_in_bin path in
+      let strict = Replay.analyze_channel ~pool:(Pool.create ~jobs:2 ()) ~filter ic in
+      close_in ic;
+      (match strict with
+       | Ok _ -> Alcotest.fail "strict accepted bad text lines"
+       | Error msg -> check_string "first bad line" "line 31" (String.sub msg 0 7));
+      (* lenient: skips all three, coverage unharmed *)
+      let ic = open_in_bin path in
+      let lenient =
+        Replay.analyze_channel ~pool:(Pool.create ~jobs:2 ())
+          ~ingest:(Replay.Lenient Anomaly.Unlimited) ~filter ic
+      in
+      close_in ic;
+      match lenient with
+      | Error msg -> Alcotest.failf "lenient text replay failed: %s" msg
+      | Ok o ->
+        check_int "three lines skipped" 3 o.Replay.completeness.Anomaly.records_skipped;
+        check_int "kept unchanged" ref_kept o.Replay.kept;
+        check_string "coverage unchanged" (Snapshot.to_string ref_cov)
+          (Snapshot.to_string o.Replay.coverage);
+        check_bool "parse errors carry line numbers" true
+          (List.exists
+             (fun a -> a.Anomaly.kind = Anomaly.Parse_error && a.Anomaly.line <> None)
+             o.Replay.completeness.Anomaly.anomalies))
+
+(* --- supervision --- *)
+
+let test_transient_fault_is_retried () =
+  let events = synth_events ~seed:51 2_000 in
+  let reference = Replay.analyze_events ~pool:(Pool.create ~jobs:1 ()) ~filter events in
+  List.iter
+    (fun jobs ->
+      let tripped = Atomic.make false in
+      let chaos ~shard:_ ~batch:_ =
+        if Atomic.compare_and_set tripped false true then failwith "transient fault"
+      in
+      let o =
+        Replay.analyze_events ~pool:(Pool.create ~jobs ()) ~batch:64 ~chaos ~filter events
+      in
+      check_string
+        (Printf.sprintf "coverage survives the fault at jobs=%d" jobs)
+        (Snapshot.to_string reference.Replay.coverage)
+        (Snapshot.to_string o.Replay.coverage);
+      check_int (Printf.sprintf "events at jobs=%d" jobs) 2_000 o.Replay.events;
+      check_bool (Printf.sprintf "retry recorded at jobs=%d" jobs) true
+        (o.Replay.completeness.Anomaly.batches_retried >= 1))
+    [ 1; 2 ]
+
+let test_persistent_fault_abandons_batch () =
+  let events = synth_events ~seed:52 512 in
+  let policy = { Pool.max_retries = 1; backoff_unit = 0 } in
+  let chaos ~shard:_ ~batch = if batch = 0 then failwith "persistent fault" in
+  (* lenient: the first batch is abandoned, the rest analyzed *)
+  let o =
+    Replay.analyze_events ~pool:(Pool.create ~jobs:1 ()) ~batch:64 ~policy ~chaos
+      ~ingest:(Replay.Lenient Anomaly.Unlimited) ~filter events
+  in
+  check_int "abandoned the first batch" 64
+    o.Replay.completeness.Anomaly.events_abandoned;
+  check_int "analyzed the rest" 448 o.Replay.events;
+  check_bool "abandonment classified" true
+    (List.exists
+       (fun a -> a.Anomaly.kind = Anomaly.Batch_abandoned)
+       o.Replay.completeness.Anomaly.anomalies);
+  (* strict: an abandoned batch is fatal *)
+  check_bool "strict failed" true
+    (match
+       Replay.analyze_events ~pool:(Pool.create ~jobs:1 ()) ~batch:64 ~policy ~chaos
+         ~filter events
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_all_shards_killed () =
+  let events = synth_events ~seed:53 1_000 in
+  let chaos ~shard:_ ~batch:_ = raise (Pool.Shard_killed "chaos") in
+  let o =
+    Replay.analyze_events ~pool:(Pool.create ~jobs:2 ()) ~batch:64 ~chaos
+      ~ingest:(Replay.Lenient Anomaly.Unlimited) ~filter events
+  in
+  check_int "both shards died" 2 o.Replay.completeness.Anomaly.shards_failed;
+  check_int "nothing analyzed" 0 o.Replay.events;
+  (* the producer stops as soon as the channel closes, so events never
+     pushed are signalled by [truncated], not counted as abandoned *)
+  check_bool "pushed events accounted as lost" true
+    (o.Replay.completeness.Anomaly.events_abandoned > 0);
+  check_bool "unread remainder flagged" true o.Replay.completeness.Anomaly.truncated;
+  check_bool "nothing double-counted" true
+    (o.Replay.completeness.Anomaly.events_abandoned <= 1_000);
+  check_bool "strict failed" true
+    (match
+       Replay.analyze_events ~pool:(Pool.create ~jobs:2 ()) ~batch:64 ~chaos ~filter events
+     with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_one_shard_killed_survivors_continue () =
+  let events = synth_events ~seed:54 2_000 in
+  let chaos ~shard ~batch:_ = if shard = 1 then raise (Pool.Shard_killed "chaos") in
+  let o =
+    Replay.analyze_events ~pool:(Pool.create ~jobs:2 ()) ~batch:32 ~chaos
+      ~ingest:(Replay.Lenient Anomaly.Unlimited) ~filter events
+  in
+  let c = o.Replay.completeness in
+  check_bool "at most one shard lost" true (c.Anomaly.shards_failed <= 1);
+  check_int "every event read or accounted" 2_000
+    (c.Anomaly.events_read + c.Anomaly.events_abandoned);
+  check_bool "survivor did most of the work" true (o.Replay.events >= 1_000)
+
+let test_run_supervised () =
+  let pool = Pool.create ~jobs:3 () in
+  let tripped = Atomic.make false in
+  let s =
+    Pool.run_supervised pool (fun ~shard ->
+        if shard = 1 && Atomic.compare_and_set tripped false true then
+          failwith "transient";
+        shard * 10)
+  in
+  check_bool "all shards succeeded" true
+    (Array.for_all Option.is_some s.Pool.results);
+  check_bool "retry counted" true (s.Pool.retries >= 1);
+  check_int "no failures" 0 s.Pool.failed;
+  let s2 =
+    Pool.run_supervised pool (fun ~shard ->
+        if shard = 2 then raise (Pool.Shard_killed "chaos");
+        shard)
+  in
+  check_bool "killed shard yields None" true (s2.Pool.results.(2) = None);
+  check_int "one failure" 1 s2.Pool.failed;
+  check_bool "others survive" true (s2.Pool.results.(0) = Some 0)
+
+(* --- checkpointed replay --- *)
+
+let test_checkpoint_resume_byte_identical () =
+  let events = synth_events ~seed:55 4_000 in
+  with_temp_file (fun trace ->
+      write_binary trace events;
+      let full =
+        match Replay.analyze_file ~pool:(Pool.create ~jobs:1 ()) ~filter trace with
+        | Ok o -> o
+        | Error msg -> Alcotest.failf "full run failed: %s" msg
+      in
+      with_temp_file (fun ck_path ->
+          (* interrupted run: stop at 1500 events, checkpointing as we go *)
+          (match
+             Replay.analyze_file ~pool:(Pool.create ~jobs:1 ())
+               ~checkpoint:{ Replay.ckpt_path = ck_path; ckpt_every = 500 }
+               ~limit:1500 ~filter trace
+           with
+          | Ok o -> check_int "prefix events" 1_500 o.Replay.events
+          | Error msg -> Alcotest.failf "interrupted run failed: %s" msg);
+          let ck =
+            match Checkpoint.load ck_path with
+            | Ok ck -> ck
+            | Error msg -> Alcotest.failf "checkpoint load failed: %s" msg
+          in
+          check_int "checkpoint cursor events" 1_500 ck.Checkpoint.events;
+          (* resume at different job counts and both counter backends *)
+          List.iter
+            (fun (jobs, counters) ->
+              match
+                Replay.analyze_file ~pool:(Pool.create ~jobs ()) ~counters
+                  ~resume:(ck_path, ck) ~filter trace
+              with
+              | Error msg -> Alcotest.failf "resume failed: %s" msg
+              | Ok o ->
+                let label = Printf.sprintf "resumed jobs=%d" jobs in
+                check_int (label ^ " total events") 4_000 o.Replay.events;
+                check_string (label ^ " coverage byte-identical")
+                  (Snapshot.to_string full.Replay.coverage)
+                  (Snapshot.to_string o.Replay.coverage);
+                check_bool (label ^ " provenance") true
+                  (o.Replay.completeness.Anomaly.resumed_from = Some ck_path))
+            [ (1, Replay.Dense); (4, Replay.Dense); (2, Replay.Reference) ]))
+
+let test_checkpoint_rejects_bad_config () =
+  let events = synth_events ~seed:56 100 in
+  with_temp_file (fun trace ->
+      write_binary trace events;
+      with_temp_file (fun ck_path ->
+          let spec = { Replay.ckpt_path = ck_path; ckpt_every = 500 } in
+          check_bool "multi-shard checkpointing rejected" true
+            (Result.is_error
+               (Replay.analyze_file ~pool:(Pool.create ~jobs:2 ()) ~checkpoint:spec
+                  ~filter trace));
+          check_bool "non-positive interval rejected" true
+            (Result.is_error
+               (Replay.analyze_file ~pool:(Pool.create ~jobs:1 ())
+                  ~checkpoint:{ spec with Replay.ckpt_every = 0 }
+                  ~filter trace))))
+
+let test_checkpoint_load_rejects_garbage () =
+  with_temp_file (fun path ->
+      write_file path (Bytes.of_string "not a checkpoint at all\n");
+      check_bool "garbage is an Error" true (Result.is_error (Checkpoint.load path)));
+  (* a torn checkpoint (interrupted write) must also be an Error *)
+  let events = synth_events ~seed:57 500 in
+  with_temp_file (fun trace ->
+      write_binary trace events;
+      with_temp_file (fun ck_path ->
+          (match
+             Replay.analyze_file ~pool:(Pool.create ~jobs:1 ())
+               ~checkpoint:{ Replay.ckpt_path = ck_path; ckpt_every = 100 }
+               ~filter trace
+           with
+          | Ok _ -> ()
+          | Error msg -> Alcotest.failf "checkpointed run failed: %s" msg);
+          let whole = read_file ck_path in
+          write_file ck_path (Bytes.sub whole 0 (Bytes.length whole - 30));
+          check_bool "torn checkpoint is an Error" true
+            (Result.is_error (Checkpoint.load ck_path))))
+
+let test_limit_caps_events () =
+  let events = synth_events ~seed:58 1_000 in
+  with_temp_file (fun trace ->
+      write_binary trace events;
+      match
+        Replay.analyze_file ~pool:(Pool.create ~jobs:1 ()) ~limit:100 ~filter trace
+      with
+      | Error msg -> Alcotest.failf "limited run failed: %s" msg
+      | Ok o -> check_int "limit honoured" 100 o.Replay.events)
+
+let test_lenient_file_run_with_corruption () =
+  (* the end-to-end shape of the acceptance scenario: a mildly corrupt
+     trace, a percent budget, a run that completes and accounts *)
+  let events = synth_events ~seed:59 2_000 in
+  with_temp_file (fun trace ->
+      write_binary ~chapter:32 trace events;
+      let offs = frame_offsets trace in
+      flip_bytes trace [ offs.(400) + 4; offs.(1200) + 4 ];
+      match
+        Replay.analyze_file ~pool:(Pool.create ~jobs:2 ())
+          ~ingest:(Replay.Lenient (Anomaly.Max_fraction 0.01))
+          ~filter trace
+      with
+      | Error msg -> Alcotest.failf "lenient corrupt run failed: %s" msg
+      | Ok o ->
+        let c = o.Replay.completeness in
+        check_int "exact skip count" 2 c.Anomaly.records_skipped;
+        check_int "read + skipped = written" 2_000
+          (c.Anomaly.events_read + c.Anomaly.records_skipped))
+
+let suites =
+  [ ( "robust.format",
+      [ Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+        Alcotest.test_case "budget parsing" `Quick test_budget_parse;
+        Alcotest.test_case "budget semantics" `Quick test_budget_allows;
+        Alcotest.test_case "completeness algebra" `Quick test_completeness_algebra;
+        Alcotest.test_case "v2 chapter round-trip" `Quick test_v2_round_trip_chapters;
+        Alcotest.test_case "v1 back-compat" `Quick test_v1_still_readable ] );
+    ( "robust.corruption",
+      [ Alcotest.test_case "strict reports first offset" `Quick
+          test_strict_reports_first_offset;
+        Alcotest.test_case "single flip, exact ledger" `Quick
+          test_lenient_exact_single_flip;
+        Alcotest.test_case "adjacent frames, exact ledger" `Quick
+          test_lenient_exact_adjacent_frames;
+        Alcotest.test_case "lost-reference cascade" `Quick
+          test_lenient_lost_reference_cascade;
+        Alcotest.test_case "truncated tail" `Quick test_lenient_truncated_tail;
+        Alcotest.test_case "bit-flip fuzz never raises" `Quick
+          test_fuzz_bit_flips_never_raise;
+        Alcotest.test_case "error budgets enforced" `Quick test_budget_enforced ] );
+    ( "robust.pipeline",
+      [ Alcotest.test_case "lenient == strict on clean traces" `Quick
+          test_lenient_strict_identical_on_clean;
+        Alcotest.test_case "lenient text skips bad lines" `Quick
+          test_lenient_text_skips_bad_lines;
+        Alcotest.test_case "transient fault retried" `Quick
+          test_transient_fault_is_retried;
+        Alcotest.test_case "persistent fault abandons batch" `Quick
+          test_persistent_fault_abandons_batch;
+        Alcotest.test_case "all shards killed" `Quick test_all_shards_killed;
+        Alcotest.test_case "one shard killed, survivors continue" `Quick
+          test_one_shard_killed_survivors_continue;
+        Alcotest.test_case "run_supervised" `Quick test_run_supervised ] );
+    ( "robust.checkpoint",
+      [ Alcotest.test_case "resume is byte-identical" `Quick
+          test_checkpoint_resume_byte_identical;
+        Alcotest.test_case "bad config rejected" `Quick
+          test_checkpoint_rejects_bad_config;
+        Alcotest.test_case "garbage checkpoints rejected" `Quick
+          test_checkpoint_load_rejects_garbage;
+        Alcotest.test_case "limit caps events" `Quick test_limit_caps_events;
+        Alcotest.test_case "corrupt trace, budgeted run completes" `Quick
+          test_lenient_file_run_with_corruption ] ) ]
