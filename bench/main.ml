@@ -23,6 +23,16 @@ module Event = Iocov_trace.Event
 module Filter = Iocov_trace.Filter
 module Pool = Iocov_par.Pool
 module Replay = Iocov_par.Replay
+module Source = Iocov_pipe.Source
+module Stage = Iocov_pipe.Stage
+module Sink = Iocov_pipe.Sink
+module Driver = Iocov_pipe.Driver
+
+(* Benches describe runs declaratively and fail loudly on a bad pipeline. *)
+let pipe_run ?config ?stages ?sinks source =
+  match Driver.run ?config ?stages ?sinks source with
+  | Ok run -> run.Driver.product
+  | Error msg -> failwith ("bench pipeline: " ^ msg)
 
 let scale = ref 55.0
 let seed = ref 42
@@ -606,22 +616,66 @@ let perf_benches () =
      construction, mount-point filtering, and coverage accumulation — the\n\
      'low-overhead tracing' requirement of Section 3.";
   (* sequential replay throughput: the baseline the --jobs sweep of E11
-     is judged against *)
+     is judged against — expressed as the declarative pipeline it is *)
   let replay_n = 200_000 in
   let events = synth_events replay_n in
   let filter = Filter.mount_point "/mnt/test" in
-  let pool = Pool.create ~jobs:1 () in
-  let outcome, dt = timed_wall (fun () -> Replay.analyze_events ~pool ~filter events) in
+  let product, dt =
+    timed_wall (fun () ->
+        pipe_run ~stages:[ Stage.filter filter ] (Source.events events))
+  in
   let events_per_s = float_of_int replay_n /. dt in
   Printf.printf "\nsequential replay: %s events in %.2fs (%s events/s, %s kept)\n"
     (Ascii.si_count replay_n) dt
     (Ascii.si_count (int_of_float events_per_s))
-    (Ascii.si_count outcome.Replay.kept);
+    (Ascii.si_count product.Sink.kept);
+  (* per-stage cost: each compiled batch transform in isolation over
+     the same trace, batched as the worker shards would see it *)
+  let batches =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | evs ->
+        let rec take k got rest =
+          if k = 0 then (List.rev got, rest)
+          else
+            match rest with
+            | [] -> (List.rev got, [])
+            | e :: tl -> take (k - 1) (e :: got) tl
+        in
+        let head, tail = take Replay.default_batch [] evs in
+        go (head :: acc) tail
+    in
+    go [] events
+  in
+  let time_stage stage =
+    let transform =
+      match Stage.compile [ stage ] with
+      | Some f, None -> Filter.keep_all f
+      | None, Some t -> t
+      | _ -> fun evs -> evs
+    in
+    let (), st_dt =
+      timed_wall (fun () -> List.iter (fun b -> ignore (transform b)) batches)
+    in
+    (Stage.name stage, st_dt, float_of_int replay_n /. st_dt)
+  in
+  let stage_rows =
+    List.map time_stage
+      [ Stage.filter filter;
+        Stage.map ~name:"map-identity" Option.some;
+        Stage.meter "bench" ]
+  in
+  print_endline "per-stage pipeline cost (compiled batch transforms):";
+  List.iter
+    (fun (name, st_dt, rate) ->
+      Printf.printf "  %-14s %.3fs (%s events/s)\n" name st_dt
+        (Ascii.si_count (int_of_float rate)))
+    stage_rows;
   let body =
     Printf.sprintf
-      "{\n  \"schema\": \"iocov-bench-pipeline/1\",\n  \"seed\": %d,\n  \"benches\": [\n%s\n  \
+      "{\n  \"schema\": \"iocov-bench-pipeline/2\",\n  \"seed\": %d,\n  \"benches\": [\n%s\n  \
        ],\n  \"sequential_replay\": { \"events\": %d, \"elapsed_s\": %.4f, \"events_per_s\": \
-       %.0f }\n}\n"
+       %.0f },\n  \"pipeline_stages\": [\n%s\n  ]\n}\n"
       !seed
       (String.concat ",\n"
          (List.map
@@ -630,6 +684,13 @@ let perf_benches () =
                 (json_escape name) est)
             measured))
       replay_n dt events_per_s
+      (String.concat ",\n"
+         (List.map
+            (fun (name, st_dt, rate) ->
+              Printf.sprintf
+                "    { \"stage\": \"%s\", \"elapsed_s\": %.4f, \"events_per_s\": %.0f }"
+                (json_escape name) st_dt rate)
+            stage_rows))
   in
   write_json "BENCH_pipeline.json" body
 
@@ -648,11 +709,14 @@ let e11_parallel () =
   let sweep =
     List.map
       (fun jobs ->
-        let pool = Pool.create ~jobs () in
-        let outcome, dt =
-          timed_wall (fun () -> Replay.analyze_events ~pool ~filter events)
+        let product, dt =
+          timed_wall (fun () ->
+              pipe_run
+                ~config:(Driver.config ~jobs ())
+                ~stages:[ Stage.filter filter ]
+                (Source.events events))
         in
-        let snap = Snapshot.to_string outcome.Replay.coverage in
+        let snap = Snapshot.to_string product.Sink.coverage in
         if jobs = 1 then begin
           baseline_snap := snap;
           baseline_rate := float_of_int n /. dt
@@ -664,7 +728,7 @@ let e11_parallel () =
           (Ascii.si_count (int_of_float rate))
           (rate /. !baseline_rate)
           (if identical then "identical" else "DIFFERS");
-        (jobs, dt, rate, identical, outcome.Replay.kept))
+        (jobs, dt, rate, identical, product.Sink.kept))
       [ 1; 2; 4; 8 ]
   in
   (* the filter fast path: literal-prefix pre-check vs the plain
@@ -785,11 +849,14 @@ let e12_coverage () =
       (fun jobs ->
         List.map
           (fun counters ->
-            let pool = Pool.create ~jobs () in
-            let outcome, dt =
-              timed_wall (fun () -> Replay.analyze_events ~pool ~counters ~filter events)
+            let product, dt =
+              timed_wall (fun () ->
+                  pipe_run
+                    ~config:(Driver.config ~jobs ~counters ())
+                    ~stages:[ Stage.filter filter ]
+                    (Source.events events))
             in
-            let snap = Snapshot.to_string outcome.Replay.coverage in
+            let snap = Snapshot.to_string product.Sink.coverage in
             if !baseline_snap = "" then baseline_snap := snap;
             let identical = String.equal snap !baseline_snap in
             let rate = float_of_int n /. dt in
@@ -843,11 +910,15 @@ let e13_robustness () =
         f path)
   in
   let run ?ingest ?checkpoint path =
-    let pool = Pool.create ~jobs:1 () in
+    let sinks =
+      match checkpoint with
+      | Some (ckpt, every) -> [ Sink.checkpoint ~path:ckpt ~every ]
+      | None -> []
+    in
     timed_wall (fun () ->
-        match Replay.analyze_file ~pool ?ingest ?checkpoint ~filter path with
-        | Ok o -> o
-        | Error msg -> failwith ("robustness bench: " ^ msg))
+        pipe_run
+          ~config:(Driver.config ?ingest ())
+          ~stages:[ Stage.filter filter ] ~sinks (Source.file path))
   in
   let rate dt = float_of_int n /. dt in
   with_trace 1 @@ fun v1_path ->
@@ -863,7 +934,7 @@ let e13_robustness () =
     Fun.protect
       ~finally:(fun () -> try Sys.remove ckpt_path with Sys_error _ -> ())
       (fun () ->
-        run ~checkpoint:{ Replay.ckpt_path; ckpt_every = max 1 (n / 10) } v2_path)
+        run ~checkpoint:(ckpt_path, max 1 (n / 10)) v2_path)
   in
   (* flip one byte per ~1000 frames and measure degraded-mode replay *)
   let corrupt, corrupt_dt, skipped =
@@ -889,7 +960,7 @@ let e13_robustness () =
         output_bytes oc b;
         close_out oc;
         let o, dt = run ~ingest:(Replay.Lenient Iocov_util.Anomaly.Unlimited) path in
-        (flips, dt, o.Replay.completeness.Iocov_util.Anomaly.records_skipped))
+        (flips, dt, o.Sink.completeness.Iocov_util.Anomaly.records_skipped))
   in
   Printf.printf "  trace size:     v1 %s B, v2 %s B (%.1f%% framing overhead)\n"
     (Ascii.si_count v1_size) (Ascii.si_count v2_size)

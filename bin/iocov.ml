@@ -3,7 +3,11 @@
    Subcommands mirror the paper's pipeline: run a simulated tester under
    the tracer ([suite]), analyze a stored trace ([analyze]), compare the
    two testers figure-by-figure ([compare]), evaluate TCD ([tcd]), and
-   reproduce the bug study and the differential-testing demo. *)
+   reproduce the bug study and the differential-testing demo.
+
+   Shared flags live in [Opts]; every coverage-producing subcommand is a
+   declarative [Iocov_pipe] pipeline — a source, a stage chain, and the
+   sinks whose sections it prints (DESIGN.md §13). *)
 
 open Cmdliner
 module Runner = Iocov_suites.Runner
@@ -13,134 +17,21 @@ module Tcd = Iocov_core.Tcd
 module Arg_class = Iocov_core.Arg_class
 module Fault = Iocov_vfs.Fault
 module Obs = Iocov_obs
+module Pipe = Iocov_pipe
+module Sink = Iocov_pipe.Sink
 
-(* --- shared arguments --- *)
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-
-let scale_arg =
-  Arg.(
-    value
-    & opt float 1.0
-    & info [ "scale" ]
-        ~docv:"SCALE"
-        ~doc:"Workload scale factor; 1.0 is a quick shape-complete run, larger values \
-              approach the paper's absolute frequencies.")
-
-let jobs_arg =
-  Arg.(
-    value
-    & opt int 1
-    & info [ "j"; "jobs" ]
-        ~docv:"N"
-        ~doc:"Analysis worker shards.  1 (the default) analyzes inline on the calling \
-              domain; $(docv) > 1 spawns that many worker domains; 0 picks \
-              $(b,Domain.recommended_domain_count).  Coverage results are byte-identical \
-              at any job count.")
-
-let counters_conv =
-  let parse = function
-    | "dense" -> Ok Iocov_par.Replay.Dense
-    | "reference" -> Ok Iocov_par.Replay.Reference
-    | s -> Error (`Msg (Printf.sprintf "unknown counter backend %S (dense|reference)" s))
-  in
-  let print ppf c =
-    Format.pp_print_string ppf
-      (match c with Iocov_par.Replay.Dense -> "dense" | Iocov_par.Replay.Reference -> "reference")
-  in
-  Arg.conv (parse, print)
-
-let counters_arg =
-  Arg.(
-    value
-    & opt counters_conv Iocov_par.Replay.Dense
-    & info [ "counters" ]
-        ~docv:"BACKEND"
-        ~doc:"Coverage counter backend: $(b,dense) (the default — compiled partition \
-              plan, flat integer counters on the hot path) or $(b,reference) (hashed \
-              histograms — the differential oracle).  Results are byte-identical.")
-
-let fault_conv =
-  let parse s =
-    match Fault.of_string s with
-    | Some f -> Ok f
-    | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown fault %S (try: %s)" s
-              (String.concat ", " (List.map Fault.to_string Fault.all))))
-  in
-  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Fault.to_string f))
-
-let faults_arg =
-  Arg.(
-    value & opt_all fault_conv []
-    & info [ "fault" ] ~docv:"FAULT" ~doc:"Inject a fault into the tested file system \
-                                           (repeatable); see $(b,iocov faults).")
-
-let suite_conv =
-  let parse s =
-    match Runner.suite_of_name s with
-    | Some suite -> Ok suite
-    | None -> Error (`Msg (Printf.sprintf "unknown suite %S (crashmonkey|xfstests|ltp)" s))
-  in
-  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Runner.suite_name s))
-
-(* --- observability options, shared by every subcommand --- *)
-
-let log_level_conv =
-  let parse s =
-    match Obs.Log.level_of_string s with
-    | Some l -> Ok l
-    | None ->
-      Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
-  in
-  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Log.level_to_string l))
-
-let obs_term =
-  let log_level =
-    Arg.(
-      value
-      & opt (some log_level_conv) None
-      & info [ "log-level" ] ~docv:"LEVEL"
-          ~doc:"Structured-log verbosity: debug, info, warn (the default), or error.")
-  in
-  let log_json =
-    Arg.(value & flag & info [ "log-json" ] ~doc:"Emit log lines as JSON objects.")
-  in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics-out" ] ~docv:"FILE"
-          ~doc:"On exit, write the metrics registry to $(docv): Prometheus text, or the \
-                combined JSON report when $(docv) ends in .json.")
-  in
-  let setup level json out =
-    (match level with Some l -> Obs.Log.set_level l | None -> ());
-    if json then Obs.Log.set_format Obs.Log.Json;
-    out
-  in
-  Term.(const setup $ log_level $ log_json $ metrics_out)
-
-(* Run a subcommand body under the observability options; the registry
-   dump happens even when the body fails, so a crashed run still leaves
-   its counters behind. *)
-let with_obs metrics_out f =
-  Fun.protect f ~finally:(fun () ->
-      match metrics_out with
-      | Some path ->
-        Obs.Export.write_file ~path ~spans:(Obs.Span.roots ()) Obs.Metrics.default
-      | None -> ())
-
-(* Bad user input is a diagnostic and exit 1, never a backtrace. *)
-let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "error: %s\n" msg; exit 1) fmt
+let die = Opts.die
 
 let arg_class_of_name name =
   match Arg_class.of_name name with
   | Some a -> a
   | None -> die "unknown tracked argument %S (e.g. open.flags, write.count)" name
+
+(* --jobs 1 keeps the inline path; anything else routes the event
+   stream through the sharded pipeline *)
+let jobs_opt jobs = if jobs = 1 then None else Some jobs
+
+let print_sections sections = List.iter (fun (_, text) -> print_endline text) sections
 
 (* --- suite --- *)
 
@@ -164,26 +55,24 @@ let print_result (r : Runner.result) =
 
 let suite_cmd =
   let run obs suite seed scale faults jobs counters =
-    (* --jobs 1 keeps the inline path; anything else routes the event
-       stream through the sharded pipeline *)
-    let jobs = if jobs = 1 then None else Some jobs in
-    with_obs obs (fun () ->
-        print_result (Runner.run ~seed ~scale ~faults ?jobs ~counters suite))
+    Opts.with_obs obs (fun () ->
+        print_result
+          (Runner.run ~seed ~scale ~faults ?jobs:(jobs_opt jobs) ~counters suite))
   in
   let suite_pos =
-    Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
+    Arg.(required & pos 0 (some Opts.suite_conv) None & info [] ~docv:"SUITE")
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
     Term.(
-      const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ faults_arg $ jobs_arg
-      $ counters_arg)
+      const run $ Opts.obs_term $ suite_pos $ Opts.seed $ Opts.scale $ Opts.faults
+      $ Opts.jobs $ Opts.counters)
 
 (* --- trace: run a suite and store the raw trace --- *)
 
 let trace_cmd =
   let run obs suite seed scale file binary =
-    with_obs obs @@ fun () ->
+    Opts.with_obs obs @@ fun () ->
     (* Re-run the suite with a file sink attached; the trace is raw
        (unfiltered), as a kernel tracer would deliver it. *)
     let oc = if binary then open_out_bin file else open_out file in
@@ -202,7 +91,7 @@ let trace_cmd =
     Printf.printf "wrote %s\n" file
   in
   let suite_pos =
-    Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE")
+    Arg.(required & pos 0 (some Opts.suite_conv) None & info [] ~docv:"SUITE")
   in
   let out_arg =
     Arg.(value & opt string "trace.txt" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
@@ -214,40 +103,26 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Run a suite and write its raw (unfiltered) trace to a file for later analysis.")
-    Term.(const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ out_arg $ binary_arg)
+    Term.(const run $ Opts.obs_term $ suite_pos $ Opts.seed $ Opts.scale $ out_arg $ binary_arg)
 
 (* --- analyze a stored trace --- *)
 
 let analyze_cmd =
-  let run obs file patterns mount save jobs counters lenient max_bad checkpoint
-      checkpoint_every resume limit =
-    with_obs obs @@ fun () ->
-    (* a bad flag value or a failed run is a diagnostic and exit 1,
-       never a backtrace *)
-    let fail msg =
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
-    in
-    let ingest =
-      if not lenient then Iocov_par.Replay.Strict
-      else
-        match Iocov_util.Anomaly.budget_of_string max_bad with
-        | Ok budget -> Iocov_par.Replay.Lenient budget
-        | Error msg -> fail ("--max-bad-records: " ^ msg)
-    in
+  let run obs file patterns mount save jobs counters ingest ckpt resume limit =
+    Opts.with_obs obs @@ fun () ->
     let resume =
       match resume with
       | None -> None
       | Some path -> (
         match Iocov_par.Checkpoint.load path with
         | Ok ck -> Some (path, ck)
-        | Error msg -> fail (Printf.sprintf "cannot resume from %s: %s" path msg))
+        | Error msg -> die "cannot resume from %s: %s" path msg)
     in
     let file =
       match (file, resume) with
       | Some f, _ -> f
       | None, Some (_, ck) -> ck.Iocov_par.Checkpoint.trace
-      | None, None -> fail "a TRACE argument (or --resume) is required"
+      | None, None -> die "a TRACE argument (or --resume) is required"
     in
     let filter =
       match (patterns, mount) with
@@ -256,34 +131,33 @@ let analyze_cmd =
       | ps, _ ->
         (match Iocov_trace.Filter.create ~patterns:ps with
          | Ok f -> f
-         | Error msg -> fail ("--filter: " ^ msg))
+         | Error msg -> die "--filter: %s" msg)
     in
-    let checkpoint =
-      Option.map
-        (fun path -> { Iocov_par.Replay.ckpt_path = path; ckpt_every = checkpoint_every })
-        checkpoint
+    (* The whole subcommand is one pipeline: the trace file is the
+       source, the record filter a stage, and every printed section a
+       sink over the single traversal's product. *)
+    let header =
+      Sink.custom ~name:"header" (fun p ->
+          Some
+            (Printf.sprintf "%s: %d records kept, %d filtered out%s" p.Sink.label
+               p.Sink.kept p.Sink.dropped
+               (if p.Sink.shards > 1 then Printf.sprintf " (%d shards)" p.Sink.shards
+                else "")))
     in
-    (* The sharded pipeline streams the trace in batches (O(batch)
-       memory) and at --jobs 1 runs inline — the sequential path. *)
-    let pool = Iocov_par.Pool.create ~jobs () in
-    let result =
-      Iocov_par.Replay.analyze_file ~pool ~counters ~ingest ?checkpoint ?resume ?limit
-        ~filter file
+    let sinks =
+      [ header; Sink.completeness; Sink.summary; Sink.untested ]
+      @ (match save with Some path -> [ Sink.snapshot ~path ] | None -> [])
+      @ (match ckpt with
+         | Some (path, every) -> [ Sink.checkpoint ~path ~every ]
+         | None -> [])
     in
-    match result with
-    | Ok o ->
-      let open Iocov_par.Replay in
-      Printf.printf "%s: %d records kept, %d filtered out%s\n" file o.kept o.dropped
-        (if o.shards > 1 then Printf.sprintf " (%d shards)" o.shards else "");
-      print_endline (Report.completeness ~name:file o.completeness);
-      print_endline (Report.suite_summary ~name:file o.coverage);
-      print_endline (Report.untested_summary ~name:file o.coverage);
-      (match save with
-       | Some path ->
-         Iocov_core.Snapshot.save_file path o.coverage;
-         Printf.printf "coverage snapshot written to %s\n" path
-       | None -> ())
-    | Error msg -> fail msg
+    let config = Pipe.Driver.config ~jobs ~counters ~ingest ?limit ?resume () in
+    match
+      Pipe.Driver.run ~config ~stages:[ Pipe.Stage.filter filter ] ~sinks
+        (Pipe.Source.file file)
+    with
+    | Ok { sections; _ } -> print_sections sections
+    | Error msg -> die "%s" msg
   in
   let file_pos =
     Arg.(value & pos 0 (some file) None
@@ -302,30 +176,6 @@ let analyze_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Write the computed coverage as a snapshot file.")
   in
-  let lenient_arg =
-    Arg.(value & flag
-         & info [ "lenient" ]
-             ~doc:"Skip corrupt or unparsable records instead of failing — binary traces \
-                   resync on the next intact frame — and report every loss in the \
-                   completeness section.")
-  in
-  let max_bad_arg =
-    Arg.(value & opt string "none"
-         & info [ "max-bad-records" ] ~docv:"N|P%"
-             ~doc:"Error budget for $(b,--lenient): an absolute record count, a percentage \
-                   of the trace (e.g. $(b,1%)), or $(b,none).")
-  in
-  let checkpoint_arg =
-    Arg.(value & opt (some string) None
-         & info [ "checkpoint" ] ~docv:"FILE"
-             ~doc:"Periodically write a resumable checkpoint (atomic) while replaying a \
-                   binary trace; requires $(b,--jobs) 1.")
-  in
-  let checkpoint_every_arg =
-    Arg.(value & opt int 100_000
-         & info [ "checkpoint-every" ] ~docv:"EVENTS"
-             ~doc:"Events between checkpoints (default 100000).")
-  in
   let resume_arg =
     Arg.(value & opt (some file) None
          & info [ "resume" ] ~docv:"CKPT"
@@ -341,16 +191,16 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc:"Compute input/output coverage from a stored trace file.")
     Term.(
-      const run $ obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg $ jobs_arg
-      $ counters_arg $ lenient_arg $ max_bad_arg $ checkpoint_arg $ checkpoint_every_arg
+      const run $ Opts.obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg
+      $ Opts.jobs $ Opts.counters $ Opts.ingest_term $ Opts.checkpoint_term
       $ resume_arg $ limit_arg)
 
 (* --- compare: the paper's evaluation --- *)
 
 let compare_cmd =
-  let run obs seed scale =
-    with_obs obs @@ fun () ->
-    let cm, xf = Runner.run_both ~seed ~scale () in
+  let run obs seed scale jobs counters =
+    Opts.with_obs obs @@ fun () ->
+    let cm, xf = Runner.run_both ~seed ~scale ?jobs:(jobs_opt jobs) ~counters () in
     let name_a = "CrashMonkey" and name_b = "xfstests" in
     let cov_a = cm.Runner.coverage and cov_b = xf.Runner.coverage in
     print_endline (Report.figure2 ~name_a ~cov_a ~name_b ~cov_b);
@@ -364,15 +214,15 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Run CrashMonkey and xfstests and print Figures 2-5 and Table 1.")
-    Term.(const run $ obs_term $ seed_arg $ scale_arg)
+    Term.(const run $ Opts.obs_term $ Opts.seed $ Opts.scale $ Opts.jobs $ Opts.counters)
 
 (* --- tcd --- *)
 
 let tcd_cmd =
-  let run obs seed scale arg_name =
-    with_obs obs @@ fun () ->
+  let run obs seed scale jobs counters arg_name =
+    Opts.with_obs obs @@ fun () ->
     let arg = arg_class_of_name arg_name in
-    let cm, xf = Runner.run_both ~seed ~scale () in
+    let cm, xf = Runner.run_both ~seed ~scale ?jobs:(jobs_opt jobs) ~counters () in
     let freqs cov =
       Array.of_list (List.map snd (Coverage.input_series cov arg))
     in
@@ -393,13 +243,15 @@ let tcd_cmd =
   in
   Cmd.v
     (Cmd.info "tcd" ~doc:"Test Coverage Deviation sweep for one tracked argument.")
-    Term.(const run $ obs_term $ seed_arg $ scale_arg $ arg_name)
+    Term.(
+      const run $ Opts.obs_term $ Opts.seed $ Opts.scale $ Opts.jobs $ Opts.counters
+      $ arg_name)
 
 (* --- adequacy: the under/over-testing classifier --- *)
 
 let adequacy_cmd =
   let run obs suite seed scale arg_name target theta =
-    with_obs obs @@ fun () ->
+    Opts.with_obs obs @@ fun () ->
     let arg = arg_class_of_name arg_name in
     let r = Runner.run ~seed ~scale suite in
     print_endline
@@ -414,7 +266,9 @@ let adequacy_cmd =
       (fun hint -> print_endline ("hint: " ^ hint))
       (Iocov_core.Adequacy.rebalance_hint Iocov_core.Partition.label rows)
   in
-  let suite_pos = Arg.(required & pos 0 (some suite_conv) None & info [] ~docv:"SUITE") in
+  let suite_pos =
+    Arg.(required & pos 0 (some Opts.suite_conv) None & info [] ~docv:"SUITE")
+  in
   let arg_name =
     Arg.(value & opt string "open.flags" & info [ "arg" ] ~docv:"ARG"
            ~doc:"Tracked argument to classify.")
@@ -432,8 +286,8 @@ let adequacy_cmd =
        ~doc:"Classify each partition of one argument as untested, under-tested, adequate, \
              or over-tested against a target frequency.")
     Term.(
-      const run $ obs_term $ suite_pos $ seed_arg $ scale_arg $ arg_name $ target_arg
-      $ theta_arg)
+      const run $ Opts.obs_term $ suite_pos $ Opts.seed $ Opts.scale $ arg_name
+      $ target_arg $ theta_arg)
 
 (* --- bugstudy / differential / faults --- *)
 
@@ -452,7 +306,7 @@ let bugstudy_cmd =
 
 let differential_cmd =
   let run obs budget =
-    with_obs obs @@ fun () ->
+    Opts.with_obs obs @@ fun () ->
     let reports = Iocov_bugstudy.Differential.campaign ~budget () in
     print_endline (Iocov_bugstudy.Differential.render reports);
     Printf.printf "detection rate: code-coverage-style %.0f%%, IOCov-guided %.0f%%\n"
@@ -469,7 +323,7 @@ let differential_cmd =
   Cmd.v
     (Cmd.info "differential"
        ~doc:"Hunt injected faults with code-coverage-style vs IOCov-guided probes.")
-    Term.(const run $ obs_term $ budget_arg)
+    Term.(const run $ Opts.obs_term $ budget_arg)
 
 let faults_cmd =
   let run () =
@@ -483,7 +337,7 @@ let faults_cmd =
 
 let report_cmd =
   let run obs files =
-    with_obs obs @@ fun () ->
+    Opts.with_obs obs @@ fun () ->
     let coverage = Coverage.create () in
     let ok =
       List.for_all
@@ -508,47 +362,53 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Load one or more coverage snapshots (see $(b,analyze --save)), merge them, \
              and print the coverage report.")
-    Term.(const run $ obs_term $ files_pos)
+    Term.(const run $ Opts.obs_term $ files_pos)
 
 (* --- syz: input coverage of a Syzkaller program --- *)
 
 let syz_cmd =
-  let run obs file =
-    with_obs obs @@ fun () ->
+  let run obs counters file =
+    Opts.with_obs obs @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
-    match Iocov_trace.Syzlang.parse_program text with
+    let header =
+      Sink.custom ~name:"header" (fun p ->
+          Some
+            (Printf.sprintf "%s: %d modeled calls, %d foreign syscalls skipped%s"
+               p.Sink.label p.Sink.events
+               (List.length p.Sink.notes)
+               (String.concat ""
+                  (List.map (fun note -> "\n  " ^ note) p.Sink.notes))))
+    in
+    let caveat =
+      Sink.custom ~name:"caveat" (fun _ ->
+          Some "(program logs carry no return values, so only input coverage is measured)")
+    in
+    match
+      Pipe.Driver.run
+        ~config:(Pipe.Driver.config ~counters ())
+        ~sinks:[ header; Sink.summary; Sink.untested; caveat ]
+        (Pipe.Source.syz ~label:file text)
+    with
+    | Ok { sections; _ } -> print_sections sections
     | Error msg -> Printf.eprintf "error: %s\n" msg
-    | Ok program ->
-      Printf.printf "%s: %d modeled calls, %d foreign syscalls skipped\n" file
-        (List.length program.Iocov_trace.Syzlang.calls)
-        (List.length program.Iocov_trace.Syzlang.skipped);
-      List.iter
-        (fun (line, reason) -> Printf.printf "  skipped line %d: %s\n" line reason)
-        program.Iocov_trace.Syzlang.skipped;
-      let coverage = Coverage.create () in
-      List.iter (Coverage.observe_input_only coverage) program.Iocov_trace.Syzlang.calls;
-      print_endline (Report.suite_summary ~name:file coverage);
-      print_endline (Report.untested_summary ~name:file coverage);
-      print_endline
-        "(program logs carry no return values, so only input coverage is measured)"
   in
   let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM") in
   Cmd.v
     (Cmd.info "syz"
        ~doc:"Measure the input coverage of a Syzkaller program log (syzlang format).")
-    Term.(const run $ obs_term $ file_pos)
+    Term.(const run $ Opts.obs_term $ Opts.counters $ file_pos)
 
 (* --- metrics: run a suite, dump the self-observability registry --- *)
 
 let metrics_cmd =
-  let run obs suite seed scale faults json out =
-    with_obs obs @@ fun () ->
+  let run obs suite seed scale faults jobs counters json out =
+    Opts.with_obs obs @@ fun () ->
     (* Start from a clean registry so two invocations with the same
        seed/scale/faults produce identical counters (timings aside). *)
     Obs.Metrics.reset Obs.Metrics.default;
     Obs.Span.reset ();
     Obs.Log.reset_seq ();
-    let r = Runner.run ~seed ~scale ~faults suite in
+    let r = Runner.run ~seed ~scale ~faults ?jobs:(jobs_opt jobs) ~counters suite in
     Printf.printf "%s: %d workloads, %s traced records, %.2fs\n\n"
       (Runner.suite_name r.Runner.suite) r.Runner.workloads
       (Iocov_util.Ascii.si_count r.Runner.events_total)
@@ -569,7 +429,7 @@ let metrics_cmd =
   let suite_arg =
     Arg.(
       value
-      & opt suite_conv Runner.Xfstests
+      & opt Opts.suite_conv Runner.Xfstests
       & info [ "suite" ] ~docv:"SUITE" ~doc:"Suite to run (crashmonkey|xfstests|ltp).")
   in
   let json_arg =
@@ -589,14 +449,14 @@ let metrics_cmd =
        ~doc:"Run one suite and print the self-observability registry: pipeline counters \
              and histograms, plus the span-tree profile of the run.")
     Term.(
-      const run $ obs_term $ suite_arg $ seed_arg $ scale_arg $ faults_arg $ json_arg
-      $ out_arg)
+      const run $ Opts.obs_term $ suite_arg $ Opts.seed $ Opts.scale $ Opts.faults
+      $ Opts.jobs $ Opts.counters $ json_arg $ out_arg)
 
 (* --- fuzz: feedback-comparison fuzzer --- *)
 
 let fuzz_cmd =
   let run obs budget seed faults compare =
-    with_obs obs @@ fun () ->
+    Opts.with_obs obs @@ fun () ->
     let module Fuzzer = Iocov_suites.Fuzzer in
     let show (r : Fuzzer.result) =
       Printf.printf "%s: %d executions, corpus %d, %d partitions covered%s\n"
@@ -632,7 +492,7 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Fuzz the modeled file system with partition-novelty (IOCov-guided) feedback; \
              $(b,--compare) pits it against path-style outcome-novelty feedback.")
-    Term.(const run $ obs_term $ budget_arg $ seed_arg $ faults_arg $ compare_arg)
+    Term.(const run $ Opts.obs_term $ budget_arg $ Opts.seed $ Opts.faults $ compare_arg)
 
 let main =
   Cmd.group

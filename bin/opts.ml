@@ -1,0 +1,181 @@
+(* Shared command-line options.
+
+   Every subcommand that runs a pipeline takes the same knobs — seed,
+   scale, jobs, counter backend, fault injection, lenient ingestion,
+   checkpointing, log/metrics output.  They are defined once here so
+   the flags parse, print, and document identically everywhere. *)
+
+open Cmdliner
+module Runner = Iocov_suites.Runner
+module Replay = Iocov_par.Replay
+module Fault = Iocov_vfs.Fault
+module Obs = Iocov_obs
+
+(* Bad user input is a diagnostic and exit 1, never a backtrace. *)
+let die fmt = Printf.ksprintf (fun msg -> Printf.eprintf "error: %s\n" msg; exit 1) fmt
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let scale =
+  Arg.(
+    value
+    & opt float 1.0
+    & info [ "scale" ]
+        ~docv:"SCALE"
+        ~doc:"Workload scale factor; 1.0 is a quick shape-complete run, larger values \
+              approach the paper's absolute frequencies.")
+
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ]
+        ~docv:"N"
+        ~doc:"Analysis worker shards.  1 (the default) analyzes inline on the calling \
+              domain; $(docv) > 1 spawns that many worker domains; 0 picks \
+              $(b,Domain.recommended_domain_count).  Coverage results are byte-identical \
+              at any job count.")
+
+let counters_conv =
+  let parse = function
+    | "dense" -> Ok Replay.Dense
+    | "reference" -> Ok Replay.Reference
+    | s -> Error (`Msg (Printf.sprintf "unknown counter backend %S (dense|reference)" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with Replay.Dense -> "dense" | Replay.Reference -> "reference")
+  in
+  Arg.conv (parse, print)
+
+let counters =
+  Arg.(
+    value
+    & opt counters_conv Replay.Dense
+    & info [ "counters" ]
+        ~docv:"BACKEND"
+        ~doc:"Coverage counter backend: $(b,dense) (the default — compiled partition \
+              plan, flat integer counters on the hot path) or $(b,reference) (hashed \
+              histograms — the differential oracle).  Results are byte-identical.")
+
+let fault_conv =
+  let parse s =
+    match Fault.of_string s with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown fault %S (try: %s)" s
+              (String.concat ", " (List.map Fault.to_string Fault.all))))
+  in
+  Arg.conv (parse, fun ppf f -> Format.pp_print_string ppf (Fault.to_string f))
+
+let faults =
+  Arg.(
+    value & opt_all fault_conv []
+    & info [ "fault" ] ~docv:"FAULT" ~doc:"Inject a fault into the tested file system \
+                                           (repeatable); see $(b,iocov faults).")
+
+let suite_conv =
+  let parse s =
+    match Runner.suite_of_name s with
+    | Some suite -> Ok suite
+    | None -> Error (`Msg (Printf.sprintf "unknown suite %S (crashmonkey|xfstests|ltp)" s))
+  in
+  Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Runner.suite_name s))
+
+(* --- lenient ingestion: --lenient + --max-bad-records -> Replay.ingest --- *)
+
+let lenient =
+  Arg.(value & flag
+       & info [ "lenient" ]
+           ~doc:"Skip corrupt or unparsable records instead of failing — binary traces \
+                 resync on the next intact frame — and report every loss in the \
+                 completeness section.")
+
+let max_bad =
+  Arg.(value & opt string "none"
+       & info [ "max-bad-records" ] ~docv:"N|P%"
+           ~doc:"Error budget for $(b,--lenient): an absolute record count, a percentage \
+                 of the trace (e.g. $(b,1%)), or $(b,none).")
+
+let ingest_term =
+  let combine lenient max_bad =
+    if not lenient then Replay.Strict
+    else
+      match Iocov_util.Anomaly.budget_of_string max_bad with
+      | Ok budget -> Replay.Lenient budget
+      | Error msg -> die "--max-bad-records: %s" msg
+  in
+  Term.(const combine $ lenient $ max_bad)
+
+(* --- checkpointing: --checkpoint + --checkpoint-every --- *)
+
+let checkpoint =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Periodically write a resumable checkpoint (atomic) while replaying a \
+                 binary trace; requires $(b,--jobs) 1.")
+
+let checkpoint_every =
+  Arg.(value & opt int 100_000
+       & info [ "checkpoint-every" ] ~docv:"EVENTS"
+           ~doc:"Events between checkpoints (default 100000).")
+
+let checkpoint_term =
+  let combine path every =
+    match path with
+    | None -> None
+    | Some path ->
+      if every <= 0 then die "--checkpoint-every must be positive"
+      else Some (path, every)
+  in
+  Term.(const combine $ checkpoint $ checkpoint_every)
+
+(* --- observability options, shared by every subcommand --- *)
+
+let log_level_conv =
+  let parse s =
+    match Obs.Log.level_of_string s with
+    | Some l -> Ok l
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown log level %S (debug|info|warn|error)" s))
+  in
+  Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Log.level_to_string l))
+
+let obs_term =
+  let log_level =
+    Arg.(
+      value
+      & opt (some log_level_conv) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Structured-log verbosity: debug, info, warn (the default), or error.")
+  in
+  let log_json =
+    Arg.(value & flag & info [ "log-json" ] ~doc:"Emit log lines as JSON objects.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"On exit, write the metrics registry to $(docv): Prometheus text, or the \
+                combined JSON report when $(docv) ends in .json.")
+  in
+  let setup level json out =
+    (match level with Some l -> Obs.Log.set_level l | None -> ());
+    if json then Obs.Log.set_format Obs.Log.Json;
+    out
+  in
+  Term.(const setup $ log_level $ log_json $ metrics_out)
+
+(* Run a subcommand body under the observability options; the registry
+   dump happens even when the body fails, so a crashed run still leaves
+   its counters behind. *)
+let with_obs metrics_out f =
+  Fun.protect f ~finally:(fun () ->
+      match metrics_out with
+      | Some path ->
+        Obs.Export.write_file ~path ~spans:(Obs.Span.roots ()) Obs.Metrics.default
+      | None -> ())

@@ -37,6 +37,8 @@ let m_shards_failed =
 
 let default_batch = 1024
 
+type stage = Event.t list -> Event.t list
+
 (* Channel capacity in batches.  Small multiple of the worker count:
    enough slack to ride out scheduling jitter, small enough that decode
    stays O(capacity × batch) ahead of analysis. *)
@@ -149,7 +151,17 @@ type prepared = {
   p_errors : (int * string) list;  (* text lines that failed to parse *)
 }
 
-let prepare filter work =
+(* The batch-level stage chain: mount filter (when given) then any
+   extra stages.  Compiled once per run; shard-safe because every
+   component is a pure batch transform over immutable events. *)
+let compile_keep ?filter ?stage () =
+  match (filter, stage) with
+  | None, None -> fun events -> events
+  | Some f, None -> Filter.keep_all f
+  | None, Some s -> s
+  | Some f, Some s -> fun events -> s (Filter.keep_all f events)
+
+let prepare keep work =
   let errors = ref [] in
   let events =
     match work with
@@ -164,7 +176,7 @@ let prepare filter work =
             None)
         batch
   in
-  let kept = Filter.keep_all filter events in
+  let kept = keep events in
   {
     p_n = List.length events;
     p_kept = kept;
@@ -194,11 +206,11 @@ let commit ~ingest st p =
    that exhausts its retries is abandoned — an accounted loss in
    lenient mode, a run-fatal error in strict mode (but the shard keeps
    draining either way, so siblings never stall). *)
-let supervised_batch ~ingest ~(policy : Pool.policy) ~chaos ~filter st ~shard ~batchno w =
+let supervised_batch ~ingest ~(policy : Pool.policy) ~chaos ~keep st ~shard ~batchno w =
   let rec attempt n =
     match
       (match chaos with Some f -> f ~shard ~batch:batchno | None -> ());
-      prepare filter w
+      prepare keep w
     with
     | p -> commit ~ingest st p
     | exception (Pool.Shard_killed _ as e) -> raise e
@@ -237,7 +249,7 @@ let record_kill st msg w =
    this shard only: its committed batches survive, its queue drains to
    the siblings, and the last shard to die closes the channel so the
    producer stops instead of blocking forever. *)
-let worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard =
+let worker_loop ~ingest ~policy ~chaos ~keep ~chan ~live st ~shard =
   let batchno = ref 0 in
   let rec loop () =
     match Chan.pop chan with
@@ -245,7 +257,7 @@ let worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard =
     | Some w -> (
       let b = !batchno in
       incr batchno;
-      match supervised_batch ~ingest ~policy ~chaos ~filter st ~shard ~batchno:b w with
+      match supervised_batch ~ingest ~policy ~chaos ~keep st ~shard ~batchno:b w with
       | () -> loop ()
       | exception Pool.Shard_killed msg ->
         record_kill st msg w;
@@ -391,7 +403,7 @@ exception Halted
    the items.  With one job everything runs inline on the caller — the
    --jobs 1 path is the sequential path, with a metered shard and no
    channel. *)
-let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~filter () =
+let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~keep () =
   let producer = ref (Anomaly.clean ~events_read:0) in
   let pushed = ref 0 in
   if Pool.jobs pool = 1 then begin
@@ -403,7 +415,7 @@ let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~fil
       pushed := !pushed + work_size w;
       let b = !batchno in
       incr batchno;
-      match supervised_batch ~ingest ~policy ~chaos ~filter st ~shard:0 ~batchno:b w with
+      match supervised_batch ~ingest ~policy ~chaos ~keep st ~shard:0 ~batchno:b w with
       | () -> ()
       | exception Pool.Shard_killed msg ->
         record_kill st msg w;
@@ -425,7 +437,7 @@ let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~fil
       Pool.launch pool (fun ~shard ->
           let st = make_shard ~counters ~metered:false () in
           Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
-              worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard);
+              worker_loop ~ingest ~policy ~chaos ~keep ~chan ~live st ~shard);
           st)
     in
     let push w =
@@ -451,10 +463,11 @@ let or_default pool = match pool with Some p -> p | None -> Pool.create ()
 let or_policy policy = match policy with Some p -> p | None -> Pool.default_policy
 
 let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
-    ?policy ?chaos ~filter events =
+    ?policy ?chaos ?filter ?stage events =
   if batch <= 0 then invalid_arg "Replay.analyze_events: batch must be positive";
   let pool = or_default pool in
   let policy = or_policy policy in
+  let keep = compile_keep ?filter ?stage () in
   let feed ~push ~set_comp:_ =
     let rec chunks = function
       | [] -> ()
@@ -472,7 +485,7 @@ let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest =
     in
     chunks events
   in
-  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~feed ~filter () with
+  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~feed ~keep () with
   | Ok outcome -> outcome
   | Error msg ->
     (* event lists carry no text to fail parsing on *)
@@ -521,7 +534,7 @@ let write_checkpoint ~spec ~trace_path ~base ~stream st =
     }
 
 let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint ~resume ~limit
-    ~filter ~trace_path ic =
+    ~keep ~trace_path ic =
   if batch <= 0 then invalid_arg "Replay.analyze_channel: batch must be positive";
   (match limit with
    | Some n when n < 0 -> invalid_arg "Replay.analyze_channel: limit must be non-negative"
@@ -581,7 +594,7 @@ let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint ~resume
       loop ()
     end
   in
-  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ~feed ~filter () with
+  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ~feed ~keep () with
   | outcome -> outcome
   | exception Feed_error msg -> Error msg
 
@@ -610,16 +623,18 @@ let merge_resumed ~from (ck : Checkpoint.t) (o : outcome) =
   }
 
 let analyze_channel ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
-    ?policy ?chaos ?limit ~filter ic =
+    ?policy ?chaos ?limit ?filter ?stage ic =
   let pool = or_default pool in
   let policy = or_policy policy in
+  let keep = compile_keep ?filter ?stage () in
   analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint:None ~resume:None
-    ~limit ~filter ~trace_path:"<channel>" ic
+    ~limit ~keep ~trace_path:"<channel>" ic
 
 let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
-    ?policy ?chaos ?checkpoint ?resume ?limit ~filter path =
+    ?policy ?chaos ?checkpoint ?resume ?limit ?filter ?stage path =
   let pool = or_default pool in
   let policy = or_policy policy in
+  let keep = compile_keep ?filter ?stage () in
   match checkpoint with
   | Some spec when spec.ckpt_every <= 0 ->
     Error "checkpoint interval must be positive"
@@ -640,7 +655,7 @@ let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = S
            | _ ->
              match
                analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint
-                 ~resume ~limit ~filter ~trace_path:path ic
+                 ~resume ~limit ~keep ~trace_path:path ic
              with
              | Error _ as e -> e
              | Ok o -> (
@@ -655,14 +670,16 @@ type session = {
   mutable buf : Event.t list;  (* newest first *)
   mutable buf_n : int;
   submit : work -> unit;
+  peek : unit -> (Coverage.t * int) option;  (* inline shard only *)
   complete : unit -> (outcome, string) result;
 }
 
 let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict) ?policy
-    ?chaos ~filter () =
+    ?chaos ?filter ?stage () =
   if batch <= 0 then invalid_arg "Replay.session: batch must be positive";
   let pool = or_default pool in
   let policy = or_policy policy in
+  let keep = compile_keep ?filter ?stage () in
   let pushed = ref 0 in
   if Pool.jobs pool = 1 then begin
     let st = make_shard ~counters ~metered:true () in
@@ -677,10 +694,18 @@ let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict
           if st.s_killed = None then begin
             let b = !batchno in
             incr batchno;
-            match supervised_batch ~ingest ~policy ~chaos ~filter st ~shard:0 ~batchno:b w with
+            match supervised_batch ~ingest ~policy ~chaos ~keep st ~shard:0 ~batchno:b w with
             | () -> ()
             | exception Pool.Shard_killed msg -> record_kill st msg w
           end);
+      peek =
+        (fun () ->
+          let coverage =
+            match st.acc with
+            | A_ref cov -> Coverage.copy cov
+            | A_dense d -> Coverage.Dense.to_reference ~metered:false d
+          in
+          Some (coverage, st.s_events));
       complete =
         (fun () ->
           finalize ~ingest ~pushed:!pushed ~producer:(Anomaly.clean ~events_read:0) [| st |]);
@@ -694,7 +719,7 @@ let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict
       Pool.launch pool (fun ~shard ->
           let st = make_shard ~counters ~metered:false () in
           Span.with_ ~name:(Printf.sprintf "par/shard-%d" shard) (fun () ->
-              worker_loop ~ingest ~policy ~chaos ~filter ~chan ~live st ~shard);
+              worker_loop ~ingest ~policy ~chaos ~keep ~chan ~live st ~shard);
           st)
     in
     {
@@ -706,6 +731,7 @@ let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict
           pushed := !pushed + work_size w;
           (* every worker dead: the events are accounted as stranded *)
           try Chan.push chan w with Chan.Closed -> ());
+      peek = (fun () -> None);
       complete =
         (fun () ->
           Chan.close chan;
@@ -726,8 +752,15 @@ let sink s e =
   s.buf_n <- s.buf_n + 1;
   if s.buf_n >= s.batch_size then flush s
 
-let finish s =
+let progress s =
   flush s;
-  match s.complete () with
+  s.peek ()
+
+let complete s =
+  flush s;
+  s.complete ()
+
+let finish s =
+  match complete s with
   | Ok outcome -> outcome
   | Error msg -> failwith ("Replay.finish: " ^ msg)

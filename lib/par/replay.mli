@@ -1,4 +1,13 @@
-(** Sharded parallel trace analysis.
+(** Sharded parallel trace analysis — the execution strategy of the
+    streaming pipeline.
+
+    This module is the {e engine}, not the front door: consumers build
+    pipelines declaratively with [Iocov_pipe] (DESIGN.md §13) — one
+    {!Iocov_pipe.Driver} owns jobs, sharding, supervision,
+    checkpointing, and error budgets for live suite runs, trace replay,
+    and reporting alike — and that driver executes through the entry
+    points below.  Call them directly only when testing the engine
+    itself.
 
     The pipeline: a producer (the calling domain) feeds batches of
     work through a bounded {!Chan} to [jobs] worker shards, each of
@@ -80,19 +89,28 @@ type outcome = {
 val default_batch : int
 (** Events per work batch when [?batch] is omitted (1024). *)
 
+type stage = Iocov_trace.Event.t list -> Iocov_trace.Event.t list
+(** A batch-level transform applied on the worker shards {e after} the
+    mount filter: the compiled form of an [Iocov_pipe.Stage] chain.
+    Must be pure and deterministic (it runs on any shard, and a batch
+    may be re-run by supervision's retries).  Omitted, or the identity,
+    the engine behaves exactly as before the pipe layer existed —
+    which is what keeps the byte-identical coverage contract. *)
+
 val analyze_events :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
   ?policy:Pool.policy -> ?chaos:chaos ->
-  filter:Iocov_trace.Filter.t -> Iocov_trace.Event.t list -> outcome
+  ?filter:Iocov_trace.Filter.t -> ?stage:stage -> Iocov_trace.Event.t list -> outcome
 (** Replay an in-memory event list.  [pool] defaults to a fresh
     {!Pool.create}[ ()]; [batch] must be positive; [counters] defaults
     to [Dense]; [ingest] to [Strict]; [policy] to
-    {!Pool.default_policy}. *)
+    {!Pool.default_policy}.  [filter] omitted keeps every record;
+    [stage] runs after the filter. *)
 
 val analyze_channel :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
   ?policy:Pool.policy -> ?chaos:chaos -> ?limit:int ->
-  filter:Iocov_trace.Filter.t -> in_channel -> (outcome, string) result
+  ?filter:Iocov_trace.Filter.t -> ?stage:stage -> in_channel -> (outcome, string) result
 (** Replay a trace from a channel, auto-detecting binary
     ({!Iocov_trace.Binary_io}) versus text ({!Iocov_trace.Format_io}).
     Binary records are decoded in batches on the calling domain (the
@@ -113,7 +131,7 @@ val analyze_file :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
   ?policy:Pool.policy -> ?chaos:chaos ->
   ?checkpoint:checkpoint_spec -> ?resume:string * Checkpoint.t -> ?limit:int ->
-  filter:Iocov_trace.Filter.t -> string -> (outcome, string) result
+  ?filter:Iocov_trace.Filter.t -> ?stage:stage -> string -> (outcome, string) result
 (** {!analyze_channel} on a file path, plus checkpointed replay.
 
     [checkpoint] periodically freezes the decode cursor and the
@@ -138,10 +156,22 @@ type session
 val session :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
   ?policy:Pool.policy -> ?chaos:chaos ->
-  filter:Iocov_trace.Filter.t -> unit -> session
+  ?filter:Iocov_trace.Filter.t -> ?stage:stage -> unit -> session
 
 val sink : session -> Iocov_trace.Event.t -> unit
 
-val finish : session -> outcome
+val progress : session -> (Iocov_core.Coverage.t * int) option
+(** Flush pending events and report the coverage accumulated so far
+    with the number of events analyzed — a fresh copy, safe to persist.
+    Inline sessions (jobs = 1) only; [None] for sharded sessions, whose
+    accumulators are private to their worker domains.  The pipe
+    driver's live-checkpointing hook. *)
+
+val complete : session -> (outcome, string) result
 (** Flush any partial batch, close the channel, join the workers, and
-    merge.  Must be called exactly once. *)
+    merge.  Must be called exactly once per session.  Errors (strict
+    parse failures, exhausted error budgets) are values, never
+    exceptions — the pipe driver's shape. *)
+
+val finish : session -> outcome
+(** {!complete}, unwrapping [Error] into [Failure]. *)

@@ -1,0 +1,231 @@
+module Replay = Iocov_par.Replay
+module Pool = Iocov_par.Pool
+module Checkpoint = Iocov_par.Checkpoint
+module Coverage = Iocov_core.Coverage
+module Snapshot = Iocov_core.Snapshot
+module Syzlang = Iocov_trace.Syzlang
+module Anomaly = Iocov_util.Anomaly
+module Metrics = Iocov_obs.Metrics
+module Span = Iocov_obs.Span
+
+let runs_total kind =
+  Metrics.counter Metrics.default "iocov_pipe_runs_total"
+    ~labels:[ ("source", kind) ]
+    ~help:"Pipeline runs started, by source kind."
+
+type config = {
+  jobs : int;
+  batch : int;
+  counters : Replay.counters;
+  ingest : Replay.ingest;
+  policy : Pool.policy;
+  limit : int option;
+  resume : (string * Checkpoint.t) option;
+}
+
+let default =
+  {
+    jobs = 1;
+    batch = Replay.default_batch;
+    counters = Replay.Dense;
+    ingest = Replay.Strict;
+    policy = Pool.default_policy;
+    limit = None;
+    resume = None;
+  }
+
+let config ?(jobs = default.jobs) ?(batch = default.batch)
+    ?(counters = default.counters) ?(ingest = default.ingest)
+    ?(policy = default.policy) ?limit ?resume () =
+  { jobs; batch; counters; ingest; policy; limit; resume }
+
+type run = { product : Sink.product; sections : (string * string) list }
+
+let product_of ~label ?(notes = []) (o : Replay.outcome) =
+  {
+    Sink.label;
+    coverage = o.coverage;
+    completeness = o.completeness;
+    events = o.events;
+    kept = o.kept;
+    dropped = o.dropped;
+    shards = o.shards;
+    batches = o.batches;
+    notes;
+  }
+
+(* At most one Checkpoint sink; split it from the Render sinks so the
+   engine can act during the traversal while renders run after it. *)
+let split_sinks sinks =
+  let ckpts, renders =
+    List.partition (function Sink.Checkpoint _ -> true | Sink.Render _ -> false) sinks
+  in
+  match ckpts with
+  | [] -> Ok (None, renders)
+  | [ Sink.Checkpoint { path; every } ] ->
+    if every <= 0 then Error "checkpoint interval must be positive"
+    else Ok (Some (path, every), renders)
+  | _ -> Error "a pipeline takes at most one checkpoint sink"
+
+let truncate limit events =
+  match limit with
+  | None -> events
+  | Some n ->
+    let rec take n acc = function
+      | e :: tl when n > 0 -> take (n - 1) (e :: acc) tl
+      | _ -> List.rev acc
+    in
+    take n [] events
+
+(* A crash mid-write must leave the previous snapshot intact. *)
+let atomic_snapshot path cov =
+  let tmp = path ^ ".tmp" in
+  Snapshot.save_file tmp cov;
+  Sys.rename tmp path
+
+(* Syzlang programs carry no return values and are tiny: feed input-only
+   coverage directly, on the configured counter backend, matching the
+   engine's metering discipline (dense accumulates unmetered, credited
+   once after conversion). *)
+let run_syz ~counters ~label text =
+  match Syzlang.parse_program text with
+  | Error msg -> Error msg
+  | Ok program ->
+    let coverage =
+      match counters with
+      | Replay.Reference ->
+        let cov = Coverage.create () in
+        List.iter (Coverage.observe_input_only cov) program.Syzlang.calls;
+        cov
+      | Replay.Dense ->
+        let d = Coverage.Dense.create () in
+        List.iter (Coverage.Dense.observe_input_only d) program.Syzlang.calls;
+        let cov = Coverage.Dense.to_reference ~metered:false d in
+        Coverage.meter_counts cov;
+        cov
+    in
+    let calls = List.length program.Syzlang.calls in
+    let notes =
+      List.map
+        (fun (line, reason) -> Printf.sprintf "skipped line %d: %s" line reason)
+        program.Syzlang.skipped
+    in
+    Ok
+      {
+        Sink.label;
+        coverage;
+        completeness = Anomaly.clean ~events_read:calls;
+        events = calls;
+        kept = calls;
+        dropped = 0;
+        shards = 1;
+        batches = 0;
+        notes;
+      }
+
+let run_live ~pool ~cfg ~filter ~stage ~ckpt ~label feed =
+  match ckpt with
+  | Some _ when cfg.jobs <> 1 ->
+    Error "live checkpointing requires --jobs 1 (sharded accumulators are private)"
+  | _ ->
+    let s =
+      Replay.session ~pool ~batch:cfg.batch ~counters:cfg.counters
+        ~ingest:cfg.ingest ~policy:cfg.policy ?filter ?stage ()
+    in
+    let emit =
+      match ckpt with
+      | None -> Replay.sink s
+      | Some (path, every) ->
+        let seen = ref 0 in
+        fun ev ->
+          Replay.sink s ev;
+          incr seen;
+          if !seen mod every = 0 then
+            match Replay.progress s with
+            | Some (cov, _) -> atomic_snapshot path cov
+            | None -> ()
+    in
+    let fed = try Ok (feed emit) with exn -> Error (Printexc.to_string exn) in
+    (* Always complete: the shards must be joined even if the feed died. *)
+    let completed = Replay.complete s in
+    (match (completed, fed) with
+     | Error msg, _ | _, Error msg -> Error msg
+     | Ok outcome, Ok () ->
+       Option.iter
+         (fun (path, _) -> atomic_snapshot path outcome.Replay.coverage)
+         ckpt;
+       Ok (product_of ~label outcome))
+
+let execute ~cfg ~stages ~ckpt source =
+  let filter, stage = Stage.compile stages in
+  let reject_resume k =
+    match cfg.resume with
+    | Some _ -> Error (Printf.sprintf "--resume applies to file sources, not %s" k)
+    | None -> Ok ()
+  in
+  let reject_ckpt k =
+    match ckpt with
+    | Some _ ->
+      Error (Printf.sprintf "checkpoint sinks apply to file and live sources, not %s" k)
+    | None -> Ok ()
+  in
+  let ( let* ) = Result.bind in
+  match source with
+  | Source.Syz { label; text } ->
+    let* () = reject_resume "syzlang programs" in
+    let* () = reject_ckpt "syzlang programs" in
+    if stages <> [] then Error "stages do not apply to syzlang sources (input-only)"
+    else run_syz ~counters:cfg.counters ~label text
+  | Source.Events { label; events } ->
+    let* () = reject_resume "event lists" in
+    let* () = reject_ckpt "event lists" in
+    let pool = Pool.create ~jobs:cfg.jobs () in
+    let events = truncate cfg.limit events in
+    (try
+       Ok
+         (product_of ~label
+            (Replay.analyze_events ~pool ~batch:cfg.batch ~counters:cfg.counters
+               ~ingest:cfg.ingest ~policy:cfg.policy ?filter ?stage events))
+     with Failure msg -> Error msg)
+  | Source.Channel { label; ic } ->
+    let* () = reject_resume "channels" in
+    let* () = reject_ckpt "channels" in
+    let pool = Pool.create ~jobs:cfg.jobs () in
+    Result.map (product_of ~label)
+      (Replay.analyze_channel ~pool ~batch:cfg.batch ~counters:cfg.counters
+         ~ingest:cfg.ingest ~policy:cfg.policy ?limit:cfg.limit ?filter ?stage ic)
+  | Source.File { path } ->
+    let pool = Pool.create ~jobs:cfg.jobs () in
+    let checkpoint =
+      Option.map
+        (fun (ckpt_path, ckpt_every) -> { Replay.ckpt_path; ckpt_every })
+        ckpt
+    in
+    Result.map (product_of ~label:path)
+      (Replay.analyze_file ~pool ~batch:cfg.batch ~counters:cfg.counters
+         ~ingest:cfg.ingest ~policy:cfg.policy ?checkpoint ?resume:cfg.resume
+         ?limit:cfg.limit ?filter ?stage path)
+  | Source.Live { label; feed } ->
+    let* () = reject_resume "live sources" in
+    let pool = Pool.create ~jobs:cfg.jobs () in
+    run_live ~pool ~cfg ~filter ~stage ~ckpt ~label feed
+
+let run ?(config = default) ?(stages = []) ?(sinks = []) source =
+  let kind = Source.kind source in
+  Metrics.Counter.incr (runs_total kind);
+  Span.with_ ~name:("pipe/" ^ kind) @@ fun () ->
+  match split_sinks sinks with
+  | Error _ as e -> e
+  | Ok (ckpt, renders) ->
+    (match execute ~cfg:config ~stages ~ckpt source with
+     | Error _ as e -> e
+     | Ok product ->
+       let sections =
+         List.filter_map
+           (function
+             | Sink.Render { name; emit } ->
+               Option.map (fun text -> (name, text)) (emit product)
+             | Sink.Checkpoint _ -> None)
+           renders
+       in
+       Ok { product; sections })

@@ -1,0 +1,56 @@
+(** The one pipeline driver (DESIGN.md §13).
+
+    Every consumer — live suite runs ({!Iocov_suites.Runner}), stored
+    trace replay ([iocov analyze]), the benches, the examples —
+    describes {e what} to run as [source → stages → sinks] and hands
+    {e how} to run it to this driver: jobs and sharding, counter
+    backend, strict/lenient ingestion with error budgets, supervision
+    policy, checkpoint/resume.  Execution is
+    {!Iocov_par.Replay}'s sharded engine, so the determinism contract
+    carries over verbatim: the merged coverage is byte-identical at any
+    job count, batch size, or counter backend.
+
+    One traversal feeds every sink — coverage, TCD, completeness,
+    report sections, gauges, snapshots come out of a single pass over
+    the source. *)
+
+type config = {
+  jobs : int;        (** analysis shards; 1 = inline on the caller *)
+  batch : int;       (** events per work batch *)
+  counters : Iocov_par.Replay.counters;
+  ingest : Iocov_par.Replay.ingest;
+  policy : Iocov_par.Pool.policy;
+  limit : int option;  (** stop after this many records *)
+  resume : (string * Iocov_par.Checkpoint.t) option;
+      (** continue a checkpointed file replay *)
+}
+
+val default : config
+(** jobs 1, batch {!Iocov_par.Replay.default_batch}, dense counters,
+    strict ingest, {!Iocov_par.Pool.default_policy}, no limit, no
+    resume. *)
+
+val config :
+  ?jobs:int -> ?batch:int -> ?counters:Iocov_par.Replay.counters ->
+  ?ingest:Iocov_par.Replay.ingest -> ?policy:Iocov_par.Pool.policy ->
+  ?limit:int -> ?resume:string * Iocov_par.Checkpoint.t -> unit -> config
+(** {!default} with overrides. *)
+
+type run = {
+  product : Sink.product;   (** what the single pass produced *)
+  sections : (string * string) list;
+      (** rendered sink output, in sink order: (sink name, text) *)
+}
+
+val run :
+  ?config:config -> ?stages:Stage.t list -> ?sinks:Sink.t list ->
+  Source.t -> (run, string) result
+(** Run one pipeline.  Bad configurations (checkpointing a sharded or
+    channel source, resuming a text trace, exceeded error budgets,
+    strict-mode corruption) are [Error]s, never exceptions.
+
+    Source notes: [Events] applies [limit] by truncation; [Syz] parses
+    the program and feeds input-only coverage directly (stages and
+    sharding do not apply — programs are tiny); [Live] supports
+    {!Sink.checkpoint} at jobs = 1 as periodic atomic coverage
+    snapshots. *)

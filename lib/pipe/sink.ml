@@ -1,0 +1,102 @@
+module Coverage = Iocov_core.Coverage
+module Report = Iocov_core.Report
+module Tcd = Iocov_core.Tcd
+module Arg_class = Iocov_core.Arg_class
+module Snapshot = Iocov_core.Snapshot
+module Anomaly = Iocov_util.Anomaly
+
+type product = {
+  label : string;
+  coverage : Coverage.t;
+  completeness : Anomaly.completeness;
+  events : int;
+  kept : int;
+  dropped : int;
+  shards : int;
+  batches : int;
+  notes : string list;
+}
+
+type t =
+  | Render of { name : string; emit : product -> string option }
+  | Checkpoint of { path : string; every : int }
+
+let name = function
+  | Render { name; _ } -> name
+  | Checkpoint _ -> "checkpoint"
+
+let custom ~name emit = Render { name; emit }
+
+let summary =
+  Render
+    {
+      name = "summary";
+      emit = (fun p -> Some (Report.suite_summary ~name:p.label p.coverage));
+    }
+
+let untested =
+  Render
+    {
+      name = "untested";
+      emit = (fun p -> Some (Report.untested_summary ~name:p.label p.coverage));
+    }
+
+let completeness =
+  Render
+    {
+      name = "completeness";
+      emit = (fun p -> Some (Report.completeness ~name:p.label p.completeness));
+    }
+
+let tcd ?(arg = Arg_class.Open_flags_arg) ~targets () =
+  Render
+    {
+      name = "tcd";
+      emit =
+        (fun p ->
+          let frequencies =
+            Array.of_list (List.map snd (Coverage.input_series p.coverage arg))
+          in
+          let buf = Buffer.create 256 in
+          Buffer.add_string buf
+            (Printf.sprintf "TCD of %s (%s):\n" (Arg_class.name arg) p.label);
+          List.iter
+            (fun (target, tcd) ->
+              Buffer.add_string buf (Printf.sprintf "  T=%-10.0f TCD %.3f\n" target tcd))
+            (Tcd.sweep ~frequencies ~targets);
+          Some (Buffer.contents buf));
+    }
+
+let snapshot ~path =
+  Render
+    {
+      name = "snapshot";
+      emit =
+        (fun p ->
+          Snapshot.save_file path p.coverage;
+          Some (Printf.sprintf "coverage snapshot written to %s" path));
+    }
+
+let gauges =
+  Render
+    {
+      name = "gauges";
+      emit =
+        (fun p ->
+          Coverage.publish_gauges p.coverage;
+          None);
+    }
+
+let metrics_file ~path =
+  Render
+    {
+      name = "metrics";
+      emit =
+        (fun _ ->
+          Iocov_obs.Export.write_file ~path
+            ~spans:(Iocov_obs.Span.roots ())
+            Iocov_obs.Metrics.default;
+          None);
+    }
+
+let checkpoint ~path ~every = Checkpoint { path; every }

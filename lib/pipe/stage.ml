@@ -1,0 +1,43 @@
+module Filter = Iocov_trace.Filter
+module Event = Iocov_trace.Event
+module Metrics = Iocov_obs.Metrics
+
+type t =
+  | Keep of Filter.t
+  | Map of { name : string; f : Event.t -> Event.t option }
+  | Meter of { name : string }
+
+let filter f = Keep f
+let mount point = Keep (Filter.mount_point point)
+let map ~name f = Map { name; f }
+let meter name = Meter { name }
+
+let name = function
+  | Keep _ -> "filter"
+  | Map { name; _ } -> name
+  | Meter { name; _ } -> name
+
+(* Resolve each stage to its batch transform once, at compile time —
+   the per-batch path does no registry lookups. *)
+let transform_of = function
+  | Keep f -> Filter.keep_all f
+  | Map { f; _ } -> List.filter_map f
+  | Meter { name } ->
+    let c =
+      Metrics.counter Metrics.default "iocov_pipe_stage_events_total"
+        ~labels:[ ("stage", name) ]
+        ~help:"Events entering a metered pipeline stage."
+    in
+    fun events ->
+      Metrics.Counter.add c (List.length events);
+      events
+
+let chain = function
+  | [] -> None
+  | stages ->
+    let fns = List.map transform_of stages in
+    Some (fun events -> List.fold_left (fun evs f -> f evs) events fns)
+
+let compile = function
+  | Keep f :: rest -> (Some f, chain rest)
+  | stages -> (None, chain stages)

@@ -1,9 +1,7 @@
 module Coverage = Iocov_core.Coverage
-module Filter = Iocov_trace.Filter
 module Metrics = Iocov_obs.Metrics
 module Span = Iocov_obs.Span
 module Log = Iocov_obs.Log
-module Pool = Iocov_par.Pool
 module Replay = Iocov_par.Replay
 
 type suite = Crashmonkey | Xfstests | Ltp
@@ -79,34 +77,44 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
      root's duration, so profile tree and result always agree. *)
   let (coverage, failures, events_total, events_kept, workloads), root =
     Span.timed ~name:("runner/" ^ suite_name suite) (fun () ->
-        match (jobs, counters) with
-        | None, Replay.Reference ->
-          (* the classic inline path: the suite observes directly into
-             a metered reference accumulator *)
-          let coverage = Coverage.create () in
-          let failures, events_total, events_kept, workloads =
-            exec ~seed ~scale ~faults ~coverage suite
-          in
-          (coverage, failures, events_total, events_kept, workloads)
-        | _ ->
-          (* route the suite's live event stream through the replay
-             pipeline (inline at one job — no domain, no channel —
-             sharded otherwise); the suite's own observe path is
-             bypassed, so hand it a throwaway accumulator *)
-          let pool =
-            Pool.create ~jobs:(match jobs with Some j -> j | None -> 1) ()
-          in
-          let session =
-            Replay.session ~pool ~counters
-              ~filter:(Filter.mount_point (mount_of suite)) ()
-          in
-          let failures, events_total, _, workloads =
-            exec ~dispatch:(Replay.sink session) ~seed ~scale ~faults
+        (* One pipeline for every run: the suite is a live source, the
+           mount filter is a stage, and the sharded replay engine
+           (inline at one job — no domain, no channel) accumulates.
+           The suite's own observe path is bypassed, so hand it a
+           throwaway accumulator; the coverage is byte-identical to a
+           direct observe by the determinism contract (DESIGN.md §13),
+           differential-tested in test/test_pipe.ml. *)
+        let failures = ref [] in
+        let events_total = ref 0 in
+        let workloads = ref 0 in
+        let feed emit =
+          let f, et, _, w =
+            exec ~dispatch:emit ~seed ~scale ~faults
               ~coverage:(Coverage.create ~metered:false ())
               suite
           in
-          let o = Replay.finish session in
-          (o.Replay.coverage, failures, events_total, o.Replay.kept, workloads))
+          failures := f;
+          events_total := et;
+          workloads := w
+        in
+        let config =
+          Iocov_pipe.Driver.config
+            ~jobs:(match jobs with Some j -> j | None -> 1)
+            ~counters ()
+        in
+        match
+          Iocov_pipe.Driver.run ~config
+            ~stages:[ Iocov_pipe.Stage.mount (mount_of suite) ]
+            ~sinks:[ Iocov_pipe.Sink.gauges ]
+            (Iocov_pipe.Source.live ~label:(suite_name suite) feed)
+        with
+        | Error msg -> failwith ("Runner.run: " ^ msg)
+        | Ok { product; _ } ->
+          ( product.Iocov_pipe.Sink.coverage,
+            !failures,
+            !events_total,
+            product.Iocov_pipe.Sink.kept,
+            !workloads ))
   in
   Metrics.Counter.add
     (suite_counter "iocov_runner_workloads_total" "Workloads or tests executed." suite)
@@ -115,7 +123,6 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
     (suite_counter "iocov_runner_oracle_failures_total" "Oracle violations flagged."
        suite)
     (List.length failures);
-  Coverage.publish_gauges coverage;
   Log.info "suite run finished"
     ~fields:
       [ ("suite", Log.str (suite_name suite));
@@ -132,7 +139,8 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
     elapsed_s = root.Span.duration_s;
   }
 
-let run_both ?seed ?scale ?faults () =
-  (run ?seed ?scale ?faults Crashmonkey, run ?seed ?scale ?faults Xfstests)
+let run_both ?seed ?scale ?faults ?jobs ?counters () =
+  ( run ?seed ?scale ?faults ?jobs ?counters Crashmonkey,
+    run ?seed ?scale ?faults ?jobs ?counters Xfstests )
 
 let detects r = r.failures <> []

@@ -25,18 +25,21 @@ val run :
 (** Run one suite from scratch.  Deterministic for a fixed seed, scale,
     and fault set.
 
-    [jobs] routes the suite's event stream through the sharded
-    analysis pipeline ([Iocov_par.Replay]) with that many worker
-    shards (0 = [Domain.recommended_domain_count]); omitted means one
-    inline shard.  [counters] picks the accumulator backend (default
-    [Dense]; [Reference] with [jobs] omitted is the classic direct
-    observe path).  The resulting coverage is byte-identical across
-    all combinations — only wall-clock changes. *)
+    Every run executes as one streaming pipeline (DESIGN.md §13): the
+    suite is an [Iocov_pipe.Source.live] feed, the mount filter a
+    stage, and [Iocov_pipe.Driver] owns the sharding.  [jobs] is the
+    shard count (0 = [Domain.recommended_domain_count]); omitted means
+    one inline shard — no domain, no channel.  [counters] picks the
+    accumulator backend (default [Dense]; [Reference] is the hashed
+    differential oracle).  The resulting coverage is byte-identical
+    across all combinations — only wall-clock changes. *)
 
 val run_both :
-  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> unit -> result * result
+  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->
+  ?counters:Iocov_par.Replay.counters -> unit -> result * result
 (** (CrashMonkey, xfstests) with the same settings — the paper's
-    evaluation pair.  {!Ltp} is the third, extension suite. *)
+    evaluation pair.  {!Ltp} is the third, extension suite.  [jobs] and
+    [counters] are threaded to both runs. *)
 
 val detects : result -> bool
 (** True when the run's oracles flagged at least one violation — "the

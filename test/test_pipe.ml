@@ -1,0 +1,380 @@
+(* Differential tests for the unified streaming pipeline (DESIGN.md §13):
+   every consumer routed through Iocov_pipe.Driver must produce coverage
+   byte-identical to the pre-pipe path it replaced — live suite runs vs
+   direct observation, file replay vs Replay.analyze_file, binary v1/v2,
+   both counter backends, jobs 1/2/4 — plus lenient-mode completeness
+   equivalence, multi-sink single-pass analysis, stages, and the
+   configuration errors the driver must report as values. *)
+
+module Event = Iocov_trace.Event
+module Filter = Iocov_trace.Filter
+module Format_io = Iocov_trace.Format_io
+module Binary_io = Iocov_trace.Binary_io
+module Coverage = Iocov_core.Coverage
+module Snapshot = Iocov_core.Snapshot
+module Report = Iocov_core.Report
+module Anomaly = Iocov_util.Anomaly
+module Replay = Iocov_par.Replay
+module Pool = Iocov_par.Pool
+module Runner = Iocov_suites.Runner
+module Source = Iocov_pipe.Source
+module Stage = Iocov_pipe.Stage
+module Sink = Iocov_pipe.Sink
+module Driver = Iocov_pipe.Driver
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let synth_events = Test_par.synth_events
+let with_temp_file = Test_par.with_temp_file
+let filter = Filter.mount_point "/mnt/test"
+
+let snap cov = Snapshot.to_string cov
+
+let ok_run = function
+  | Ok (r : Driver.run) -> r
+  | Error msg -> Alcotest.failf "pipeline failed: %s" msg
+
+let jobs_sweep = [ 1; 2; 4 ]
+let backends = [ (Replay.Dense, "dense"); (Replay.Reference, "reference") ]
+
+(* --- live suite runs: Runner-through-driver vs direct observation --- *)
+
+let direct_suite_coverage suite ~seed ~scale =
+  (* the pre-pipe classic path: the suite observes straight into a
+     metered reference accumulator, filtering at the mount itself *)
+  let coverage = Coverage.create () in
+  let kept =
+    match suite with
+    | Runner.Crashmonkey ->
+      let _, stats = Iocov_suites.Crashmonkey.run ~seed ~scale ~coverage () in
+      stats.Iocov_suites.Crashmonkey.events_kept
+    | Runner.Xfstests ->
+      let _, stats = Iocov_suites.Xfstests.run ~seed ~scale ~coverage () in
+      stats.Iocov_suites.Xfstests.events_kept
+    | Runner.Ltp ->
+      let _, stats = Iocov_suites.Ltp.run ~seed ~scale ~coverage () in
+      stats.Iocov_suites.Ltp.events_kept
+  in
+  (coverage, kept)
+
+let test_suite_differential () =
+  List.iter
+    (fun suite ->
+      let seed = 42 and scale = 0.2 in
+      let oracle_cov, oracle_kept = direct_suite_coverage suite ~seed ~scale in
+      let oracle = snap oracle_cov in
+      List.iter
+        (fun jobs ->
+          List.iter
+            (fun (counters, cname) ->
+              let r =
+                Runner.run ~seed ~scale
+                  ?jobs:(if jobs = 1 then None else Some jobs)
+                  ~counters suite
+              in
+              let tag =
+                Printf.sprintf "%s jobs=%d %s" (Runner.suite_name suite) jobs cname
+              in
+              check_string (tag ^ " snapshot") oracle (snap r.Runner.coverage);
+              check_int (tag ^ " kept") oracle_kept r.Runner.events_kept)
+            backends)
+        jobs_sweep)
+    [ Runner.Crashmonkey; Runner.Xfstests; Runner.Ltp ]
+
+(* --- file replay: driver vs Replay.analyze_file, binary v1/v2 --- *)
+
+let write_binary ?version path events =
+  let oc = open_out_bin path in
+  let w = Binary_io.writer ?version oc in
+  List.iter (Binary_io.sink w) events;
+  close_out oc
+
+let write_text path events =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter (Format_io.sink_channel oc) events)
+
+let test_file_differential () =
+  let events = synth_events ~seed:11 3_000 in
+  List.iter
+    (fun (fmt, write) ->
+      with_temp_file (fun path ->
+          write path events;
+          (* the pre-pipe path: the engine called directly *)
+          let oracle =
+            match
+              Replay.analyze_file ~pool:(Pool.create ~jobs:1 ())
+                ~counters:Replay.Reference ~filter path
+            with
+            | Ok o -> o
+            | Error msg -> Alcotest.failf "%s oracle: %s" fmt msg
+          in
+          List.iter
+            (fun jobs ->
+              List.iter
+                (fun (counters, cname) ->
+                  let config = Driver.config ~jobs ~batch:256 ~counters () in
+                  let r =
+                    ok_run
+                      (Driver.run ~config ~stages:[ Stage.filter filter ]
+                         (Source.file path))
+                  in
+                  let tag = Printf.sprintf "%s jobs=%d %s" fmt jobs cname in
+                  check_string (tag ^ " snapshot")
+                    (snap oracle.Replay.coverage)
+                    (snap r.Driver.product.Sink.coverage);
+                  check_int (tag ^ " kept") oracle.Replay.kept
+                    r.Driver.product.Sink.kept;
+                  check_int (tag ^ " events") oracle.Replay.events
+                    r.Driver.product.Sink.events)
+                backends)
+            jobs_sweep))
+    [ ("text", write_text);
+      ("binary-v1", write_binary ~version:1);
+      ("binary-v2", write_binary ~version:2) ]
+
+(* --- lenient ingestion: completeness ledgers must agree --- *)
+
+let flip_byte path off =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x40));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let check_completeness tag (a : Anomaly.completeness) (b : Anomaly.completeness) =
+  check_int (tag ^ " events_read") a.Anomaly.events_read b.Anomaly.events_read;
+  check_int (tag ^ " records_skipped") a.Anomaly.records_skipped
+    b.Anomaly.records_skipped;
+  check_int (tag ^ " corrupt_regions") a.Anomaly.corrupt_regions
+    b.Anomaly.corrupt_regions;
+  check_int (tag ^ " bytes_skipped") a.Anomaly.bytes_skipped b.Anomaly.bytes_skipped;
+  check_bool (tag ^ " truncated") a.Anomaly.truncated b.Anomaly.truncated
+
+let test_lenient_differential () =
+  let events = synth_events ~seed:23 2_000 in
+  with_temp_file (fun path ->
+      write_binary ~version:2 path events;
+      flip_byte path 600;
+      let ingest = Replay.Lenient Anomaly.Unlimited in
+      let oracle =
+        match
+          Replay.analyze_file ~pool:(Pool.create ~jobs:1 ())
+            ~counters:Replay.Reference ~ingest ~filter path
+        with
+        | Ok o -> o
+        | Error msg -> Alcotest.failf "lenient oracle: %s" msg
+      in
+      check_bool "corruption was injected" true
+        (oracle.Replay.completeness.Anomaly.records_skipped > 0
+         || oracle.Replay.completeness.Anomaly.corrupt_regions > 0);
+      List.iter
+        (fun jobs ->
+          let config = Driver.config ~jobs ~ingest () in
+          let r =
+            ok_run
+              (Driver.run ~config ~stages:[ Stage.filter filter ]
+                 ~sinks:[ Sink.completeness ]
+                 (Source.file path))
+          in
+          let tag = Printf.sprintf "lenient jobs=%d" jobs in
+          check_string (tag ^ " snapshot")
+            (snap oracle.Replay.coverage)
+            (snap r.Driver.product.Sink.coverage);
+          check_completeness tag oracle.Replay.completeness
+            r.Driver.product.Sink.completeness;
+          check_string (tag ^ " ledger section")
+            (Report.completeness ~name:path oracle.Replay.completeness)
+            (List.assoc "completeness" r.Driver.sections))
+        jobs_sweep)
+
+(* --- multi-sink: one traversal feeds every consumer --- *)
+
+let test_multi_sink_single_pass () =
+  let events = synth_events ~seed:31 2_000 in
+  let config = Driver.config ~jobs:2 () in
+  let r =
+    ok_run
+      (Driver.run ~config ~stages:[ Stage.filter filter ]
+         ~sinks:
+           [ Sink.summary; Sink.untested; Sink.completeness;
+             Sink.tcd ~targets:[ 1.0; 100.0 ] ();
+             Sink.custom ~name:"kept" (fun p ->
+                 Some (string_of_int p.Sink.kept)) ]
+         (Source.events ~label:"synth" events))
+  in
+  check_int "five sections" 5 (List.length r.Driver.sections);
+  Alcotest.(check (list string))
+    "section order"
+    [ "summary"; "untested"; "completeness"; "tcd"; "kept" ]
+    (List.map fst r.Driver.sections);
+  let cov = r.Driver.product.Sink.coverage in
+  check_string "summary section" (Report.suite_summary ~name:"synth" cov)
+    (List.assoc "summary" r.Driver.sections);
+  check_string "untested section" (Report.untested_summary ~name:"synth" cov)
+    (List.assoc "untested" r.Driver.sections);
+  check_string "kept section"
+    (string_of_int r.Driver.product.Sink.kept)
+    (List.assoc "kept" r.Driver.sections)
+
+(* --- stages: maps compose with the filter, metering is transparent --- *)
+
+let drop_writes (e : Event.t) =
+  match e.Event.payload with
+  | Event.Tracked call
+    when Iocov_syscall.Model.base_of_call call = Iocov_syscall.Model.Write ->
+    None
+  | _ -> Some e
+
+let test_stage_map () =
+  let events = synth_events ~seed:47 4_000 in
+  let kept_events =
+    List.filter
+      (fun e -> Filter.keeps filter e && drop_writes e <> None)
+      events
+  in
+  let oracle =
+    Replay.analyze_events ~pool:(Pool.create ~jobs:1 ())
+      ~counters:Replay.Reference kept_events
+  in
+  List.iter
+    (fun jobs ->
+      let r =
+        ok_run
+          (Driver.run
+             ~config:(Driver.config ~jobs ~batch:128 ())
+             ~stages:
+               [ Stage.filter filter; Stage.meter "pre";
+                 Stage.map ~name:"drop-writes" drop_writes; Stage.meter "post" ]
+             (Source.events events))
+      in
+      let tag = Printf.sprintf "map jobs=%d" jobs in
+      check_string (tag ^ " snapshot")
+        (snap oracle.Replay.coverage)
+        (snap r.Driver.product.Sink.coverage))
+    jobs_sweep
+
+(* --- syzlang source: driver vs direct input-only observation --- *)
+
+let syz_text =
+  String.concat "\n"
+    [ "r0 = openat(0xffffffffffffff9c, &(0x7f0000000000)='./file0\\x00', 0x42, 0x1ff)";
+      "pwrite64(r0, &(0x7f0000000040)=\"deadbeef\", 0x4, 0x0)";
+      "lseek(r0, 0x10, 0x1)";
+      "socket(0x2, 0x1, 0x0)";
+      "close(r0)" ]
+
+let test_syz_differential () =
+  let program =
+    match Iocov_trace.Syzlang.parse_program syz_text with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "parse_program: %s" msg
+  in
+  let oracle = Coverage.create () in
+  List.iter (Coverage.observe_input_only oracle) program.Iocov_trace.Syzlang.calls;
+  List.iter
+    (fun (counters, cname) ->
+      let r =
+        ok_run
+          (Driver.run ~config:(Driver.config ~counters ()) (Source.syz syz_text))
+      in
+      check_string (cname ^ " snapshot") (snap oracle)
+        (snap r.Driver.product.Sink.coverage);
+      check_int (cname ^ " calls") (List.length program.Iocov_trace.Syzlang.calls)
+        r.Driver.product.Sink.events;
+      check_int (cname ^ " skips noted")
+        (List.length program.Iocov_trace.Syzlang.skipped)
+        (List.length r.Driver.product.Sink.notes))
+    backends
+
+(* --- live checkpointing: periodic atomic coverage snapshots --- *)
+
+let test_live_checkpoint () =
+  let events = synth_events ~seed:59 2_000 in
+  with_temp_file (fun ckpt ->
+      let feed emit = List.iter emit events in
+      let r =
+        ok_run
+          (Driver.run ~stages:[ Stage.filter filter ]
+             ~sinks:[ Sink.checkpoint ~path:ckpt ~every:500 ]
+             (Source.live ~label:"synth" feed))
+      in
+      match Iocov_core.Snapshot.load_file ckpt with
+      | Error msg -> Alcotest.failf "final live snapshot: %s" msg
+      | Ok cov ->
+        check_string "final snapshot = run coverage"
+          (snap r.Driver.product.Sink.coverage)
+          (snap cov))
+
+(* --- configuration errors are values, never exceptions --- *)
+
+let test_driver_errors () =
+  let events = synth_events ~seed:61 100 in
+  let is_error = function Ok _ -> false | Error _ -> true in
+  check_bool "checkpoint sink on an event list" true
+    (is_error
+       (Driver.run
+          ~sinks:[ Sink.checkpoint ~path:"/tmp/nope" ~every:10 ]
+          (Source.events events)));
+  check_bool "two checkpoint sinks" true
+    (is_error
+       (Driver.run
+          ~sinks:
+            [ Sink.checkpoint ~path:"/tmp/a" ~every:10;
+              Sink.checkpoint ~path:"/tmp/b" ~every:10 ]
+          (Source.file "/tmp/whatever")));
+  check_bool "non-positive checkpoint interval" true
+    (is_error
+       (Driver.run
+          ~sinks:[ Sink.checkpoint ~path:"/tmp/a" ~every:0 ]
+          (Source.file "/tmp/whatever")));
+  check_bool "sharded live checkpoint" true
+    (is_error
+       (Driver.run
+          ~config:(Driver.config ~jobs:2 ())
+          ~sinks:[ Sink.checkpoint ~path:"/tmp/a" ~every:10 ]
+          (Source.live (fun _ -> ()))));
+  check_bool "stages on a syzlang source" true
+    (is_error
+       (Driver.run ~stages:[ Stage.filter filter ] (Source.syz "close(3)")));
+  check_bool "missing trace file" true
+    (is_error (Driver.run (Source.file "/nonexistent/iocov.trace")))
+
+(* --- limit truncates event-list sources --- *)
+
+let test_events_limit () =
+  let events = synth_events ~seed:67 1_000 in
+  let r =
+    ok_run
+      (Driver.run
+         ~config:(Driver.config ~limit:250 ())
+         ~stages:[ Stage.filter filter ]
+         (Source.events events))
+  in
+  check_int "events limited" 250 r.Driver.product.Sink.events
+
+let suites =
+  [ ( "pipe.suite",
+      [ Alcotest.test_case "runner = direct observe, jobs x backends" `Quick
+          test_suite_differential ] );
+    ( "pipe.trace",
+      [ Alcotest.test_case "driver = engine, text + binary v1/v2" `Quick
+          test_file_differential;
+        Alcotest.test_case "lenient ledger equivalence" `Quick
+          test_lenient_differential ] );
+    ( "pipe.sinks",
+      [ Alcotest.test_case "multi-sink single pass" `Quick test_multi_sink_single_pass;
+        Alcotest.test_case "live checkpoint snapshots" `Quick test_live_checkpoint ] );
+    ( "pipe.stages",
+      [ Alcotest.test_case "map + meter on shards" `Quick test_stage_map ] );
+    ( "pipe.sources",
+      [ Alcotest.test_case "syzlang = direct input-only" `Quick test_syz_differential;
+        Alcotest.test_case "limit truncates events" `Quick test_events_limit ] );
+    ( "pipe.errors",
+      [ Alcotest.test_case "bad configurations are Error values" `Quick
+          test_driver_errors ] ) ]
