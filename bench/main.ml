@@ -50,7 +50,7 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
-        perf|parallel|coverage|robustness)");
+        perf|parallel|coverage|robustness|obs)");
       ("--coverage-bench", Arg.Unit (fun () -> only := "coverage" :: !only),
        "shorthand for --only coverage (E12, counter backend microbench)");
       ("--events", Arg.Set_int coverage_events,
@@ -993,6 +993,100 @@ let e13_robustness () =
   in
   write_json "BENCH_robustness.json" body
 
+(* --- E14: the flight recorder — what watching a run costs --- *)
+
+let e14_obs () =
+  heading "E14" "Flight recorder: progress + ledger + timeline overhead on replay";
+  let module Progress = Iocov_pipe.Progress in
+  let module Ledger = Iocov_pipe.Ledger in
+  let module Trace_event = Iocov_obs.Trace_event in
+  let n = 1_000_000 in
+  Printf.printf "generating a %s-event synthetic trace...\n%!" (Ascii.si_count n);
+  let events = synth_events n in
+  let filter = Filter.mount_point "/mnt/test" in
+  let replay ?progress () =
+    pipe_run
+      ~config:(Driver.config ?progress ())
+      ~stages:[ Stage.filter filter ]
+      (Source.events events)
+  in
+  (* the CLI's default instrumentation: a progress snapshot every 10k
+     events plus one ledger append per run *)
+  let emitted_bytes = ref 0 in
+  let progress =
+    { Progress.every = Progress.default_every;
+      format = Progress.Text;
+      emit = (fun line -> emitted_bytes := !emitted_bytes + String.length line);
+      budget = None }
+  in
+  let ledger_dir = Filename.temp_file "iocov_bench" ".ledger" in
+  Sys.remove ledger_dir;
+  let run_base () = ignore (replay ()) in
+  let run_inst () =
+    let product = replay ~progress () in
+    let r =
+      Ledger.make ~subcommand:"bench" ~label:"synthetic" ~flags:[] ~jobs:1
+        ~counters:"dense" ~events:n ~kept:product.Sink.kept ~lost:0
+        ~wall_s:0.0 ~stages:[] product.Sink.coverage
+    in
+    match Ledger.append ~dir:ledger_dir r with
+    | Ok _ -> ()
+    | Error msg -> failwith ("ledger append: " ^ msg)
+  in
+  let run_trace () = ignore (replay ~progress ())
+  and timeline_events = ref 0
+  and timeline_dropped = ref 0 in
+  (* Interleaved min-of-9 with a GC barrier before each sample: the
+     three configurations ride the same heap and scheduler drift, so a
+     slow phase of the machine penalizes all of them alike rather than
+     whichever block it landed on.  Min-of-k then discards the noise. *)
+  let rounds = 9 in
+  let base_dt = ref infinity and inst_dt = ref infinity and trace_dt = ref infinity in
+  let sample best f =
+    Gc.major ();
+    let _, dt = timed_wall f in
+    best := Float.min !best dt
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove (Ledger.path ~dir:ledger_dir) with Sys_error _ -> ());
+      try Sys.rmdir ledger_dir with Sys_error _ -> ())
+    (fun () ->
+      run_base () (* warm-up *);
+      for _ = 1 to rounds do
+        sample base_dt run_base;
+        sample inst_dt run_inst;
+        Trace_event.start ();
+        sample trace_dt run_trace;
+        Trace_event.stop ();
+        timeline_events := List.length (Trace_event.events ());
+        timeline_dropped := Trace_event.dropped ();
+        Trace_event.clear ()
+      done);
+  let base_dt = !base_dt and inst_dt = !inst_dt and trace_dt = !trace_dt in
+  let timeline_events = !timeline_events and timeline_dropped = !timeline_dropped in
+  let rate dt = float_of_int n /. dt in
+  let pct dt = 100.0 *. (dt -. base_dt) /. base_dt in
+  Printf.printf "  baseline replay:        %.3fs (%s events/s)\n" base_dt
+    (Ascii.si_count (int_of_float (rate base_dt)));
+  Printf.printf "  + progress + ledger:    %.3fs (%+.2f%%)\n" inst_dt (pct inst_dt);
+  Printf.printf "  + timeline recording:   %.3fs (%+.2f%%, %d events, %d dropped)\n%!"
+    trace_dt (pct trace_dt) timeline_events timeline_dropped;
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-obs/1\",\n  \"seed\": %d,\n  \
+       \"trace_events\": %d,\n  \"progress_every\": %d,\n  \
+       \"baseline\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"progress_ledger\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f, \
+       \"overhead_pct\": %.2f },\n  \
+       \"timeline\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f, \
+       \"overhead_pct\": %.2f, \"timeline_events\": %d, \"timeline_dropped\": %d }\n}\n"
+      !seed n Iocov_pipe.Progress.default_every base_dt (rate base_dt) inst_dt
+      (rate inst_dt) (pct inst_dt) trace_dt (rate trace_dt) (pct trace_dt)
+      timeline_events timeline_dropped
+  in
+  write_json "BENCH_obs.json" body
+
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
   if wanted "fig2" then e2_figure2 ();
@@ -1013,6 +1107,7 @@ let () =
   if wanted "parallel" then e11_parallel ();
   if wanted "coverage" then e12_coverage ();
   if wanted "robustness" then e13_robustness ();
+  if wanted "obs" then e14_obs ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

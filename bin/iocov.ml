@@ -19,6 +19,9 @@ module Fault = Iocov_vfs.Fault
 module Obs = Iocov_obs
 module Pipe = Iocov_pipe
 module Sink = Iocov_pipe.Sink
+module Ledger = Iocov_pipe.Ledger
+module Replay = Iocov_par.Replay
+module Anomaly = Iocov_util.Anomaly
 
 let die = Opts.die
 
@@ -32,6 +35,31 @@ let arg_class_of_name name =
 let jobs_opt jobs = if jobs = 1 then None else Some jobs
 
 let print_sections sections = List.iter (fun (_, text) -> print_endline text) sections
+
+(* --- the run ledger: one manifest record per completed run --- *)
+
+let counters_name = function
+  | Replay.Dense -> "dense"
+  | Replay.Reference -> "reference"
+
+(* Root spans completed so far become the record's per-stage durations;
+   a failed append is a warning, never a failed run. *)
+let ledger_append ~ledger ?seed ~subcommand ~label ~flags ~jobs ~counters ~events
+    ~kept ~lost ~wall_s coverage =
+  match ledger with
+  | None -> ()
+  | Some dir ->
+    let stages =
+      List.map (fun n -> (n.Obs.Span.name, n.Obs.Span.duration_s)) (Obs.Span.roots ())
+    in
+    let r =
+      Ledger.make ~time:(Obs.Clock.now ()) ?seed ~subcommand ~label ~flags ~jobs
+        ~counters:(counters_name counters) ~events ~kept ~lost ~wall_s ~stages
+        coverage
+    in
+    (match Ledger.append ~dir r with
+     | Ok _ -> ()
+     | Error msg -> Printf.eprintf "warning: ledger: %s\n" msg)
 
 (* --- suite --- *)
 
@@ -54,10 +82,23 @@ let print_result (r : Runner.result) =
   print_endline (Report.untested_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage)
 
 let suite_cmd =
-  let run obs suite seed scale faults jobs counters =
+  let run obs suite seed scale faults jobs counters progress ledger =
     Opts.with_obs obs (fun () ->
-        print_result
-          (Runner.run ~seed ~scale ~faults ?jobs:(jobs_opt jobs) ~counters suite))
+        let r =
+          Runner.run ~seed ~scale ~faults ?jobs:(jobs_opt jobs) ~counters
+            ?progress:(Opts.progress_conf progress) suite
+        in
+        print_result r;
+        let flags =
+          ("scale", string_of_float scale)
+          :: (match faults with
+              | [] -> []
+              | fs -> [ ("faults", String.concat "," (List.map Fault.to_string fs)) ])
+        in
+        ledger_append ~ledger ~seed ~subcommand:"suite"
+          ~label:(Runner.suite_name suite) ~flags ~jobs ~counters
+          ~events:r.Runner.events_total ~kept:r.Runner.events_kept ~lost:0
+          ~wall_s:r.Runner.elapsed_s r.Runner.coverage)
   in
   let suite_pos =
     Arg.(required & pos 0 (some Opts.suite_conv) None & info [] ~docv:"SUITE")
@@ -66,7 +107,7 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
     Term.(
       const run $ Opts.obs_term $ suite_pos $ Opts.seed $ Opts.scale $ Opts.faults
-      $ Opts.jobs $ Opts.counters)
+      $ Opts.jobs $ Opts.counters $ Opts.progress_term $ Opts.ledger_term)
 
 (* --- trace: run a suite and store the raw trace --- *)
 
@@ -108,7 +149,8 @@ let trace_cmd =
 (* --- analyze a stored trace --- *)
 
 let analyze_cmd =
-  let run obs file patterns mount save jobs counters ingest ckpt resume limit =
+  let run obs file patterns mount save jobs counters ingest ckpt resume limit
+      progress ledger =
     Opts.with_obs obs @@ fun () ->
     let resume =
       match resume with
@@ -151,12 +193,29 @@ let analyze_cmd =
          | Some (path, every) -> [ Sink.checkpoint ~path ~every ]
          | None -> [])
     in
-    let config = Pipe.Driver.config ~jobs ~counters ~ingest ?limit ?resume () in
+    let budget = match ingest with Replay.Lenient b -> Some b | _ -> None in
+    let config =
+      Pipe.Driver.config ~jobs ~counters ~ingest ?limit ?resume
+        ?progress:(Opts.progress_conf ?budget progress) ()
+    in
+    let t0 = Obs.Clock.now () in
     match
       Pipe.Driver.run ~config ~stages:[ Pipe.Stage.filter filter ] ~sinks
         (Pipe.Source.file file)
     with
-    | Ok { sections; _ } -> print_sections sections
+    | Ok { product; sections } ->
+      print_sections sections;
+      let c = product.Sink.completeness in
+      let flags =
+        [ ("ingest",
+           match ingest with Replay.Strict -> "strict" | Replay.Lenient _ -> "lenient") ]
+        @ (match limit with Some n -> [ ("limit", string_of_int n) ] | None -> [])
+        @ (match resume with Some (p, _) -> [ ("resume", p) ] | None -> [])
+      in
+      ledger_append ~ledger ~subcommand:"analyze" ~label:product.Sink.label ~flags
+        ~jobs ~counters ~events:product.Sink.events ~kept:product.Sink.kept
+        ~lost:(c.Anomaly.records_skipped + c.Anomaly.events_abandoned)
+        ~wall_s:(Obs.Clock.now () -. t0) product.Sink.coverage
     | Error msg -> die "%s" msg
   in
   let file_pos =
@@ -193,7 +252,7 @@ let analyze_cmd =
     Term.(
       const run $ Opts.obs_term $ file_pos $ patterns_arg $ mount_arg $ save_arg
       $ Opts.jobs $ Opts.counters $ Opts.ingest_term $ Opts.checkpoint_term
-      $ resume_arg $ limit_arg)
+      $ resume_arg $ limit_arg $ Opts.progress_term $ Opts.ledger_term)
 
 (* --- compare: the paper's evaluation --- *)
 
@@ -367,7 +426,7 @@ let report_cmd =
 (* --- syz: input coverage of a Syzkaller program --- *)
 
 let syz_cmd =
-  let run obs counters file =
+  let run obs counters ledger file =
     Opts.with_obs obs @@ fun () ->
     let text = In_channel.with_open_text file In_channel.input_all in
     let header =
@@ -383,20 +442,25 @@ let syz_cmd =
       Sink.custom ~name:"caveat" (fun _ ->
           Some "(program logs carry no return values, so only input coverage is measured)")
     in
+    let t0 = Obs.Clock.now () in
     match
       Pipe.Driver.run
         ~config:(Pipe.Driver.config ~counters ())
         ~sinks:[ header; Sink.summary; Sink.untested; caveat ]
         (Pipe.Source.syz ~label:file text)
     with
-    | Ok { sections; _ } -> print_sections sections
+    | Ok { product; sections } ->
+      print_sections sections;
+      ledger_append ~ledger ~subcommand:"syz" ~label:file ~flags:[] ~jobs:1
+        ~counters ~events:product.Sink.events ~kept:product.Sink.kept ~lost:0
+        ~wall_s:(Obs.Clock.now () -. t0) product.Sink.coverage
     | Error msg -> Printf.eprintf "error: %s\n" msg
   in
   let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"PROGRAM") in
   Cmd.v
     (Cmd.info "syz"
        ~doc:"Measure the input coverage of a Syzkaller program log (syzlang format).")
-    Term.(const run $ Opts.obs_term $ Opts.counters $ file_pos)
+    Term.(const run $ Opts.obs_term $ Opts.counters $ Opts.ledger_term $ file_pos)
 
 (* --- metrics: run a suite, dump the self-observability registry --- *)
 
@@ -452,6 +516,60 @@ let metrics_cmd =
       const run $ Opts.obs_term $ suite_arg $ Opts.seed $ Opts.scale $ Opts.faults
       $ Opts.jobs $ Opts.counters $ json_arg $ out_arg)
 
+(* --- runs: inspect the persistent run ledger --- *)
+
+let runs_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & opt string Ledger.default_dir
+      & info [ "ledger" ] ~docv:"DIR"
+          ~doc:"Ledger directory (default $(b,.iocov)).")
+  in
+  let get records dir key =
+    match Ledger.find records key with
+    | Some r -> r
+    | None -> die "no run %S in %s (try: iocov runs list)" key (Ledger.path ~dir)
+  in
+  let list_run dir = print_string (Ledger.render_list (Ledger.load ~dir)) in
+  let list_cmd =
+    Cmd.v
+      (Cmd.info "list" ~doc:"List every recorded run, newest last.")
+      Term.(const list_run $ dir_arg)
+  in
+  let show_cmd =
+    let run dir key =
+      let { Ledger.records; _ } = Ledger.load ~dir in
+      print_string (Ledger.render_show (get records dir key))
+    in
+    let key_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"RUN") in
+    Cmd.v
+      (Cmd.info "show" ~doc:"Show one recorded run's full manifest.")
+      Term.(const run $ dir_arg $ key_pos)
+  in
+  let diff_cmd =
+    let run dir key_a key_b =
+      let { Ledger.records; _ } = Ledger.load ~dir in
+      let a = get records dir key_a and b = get records dir key_b in
+      print_string (Ledger.render_diff ~a ~b (Ledger.diff a b))
+    in
+    let a_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
+    let b_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"B") in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:"Compare two recorded runs: coverage cells gained and lost, and \
+               throughput regressions.  Runs are named by id ($(b,r3)) or 1-based \
+               position.")
+      Term.(const run $ dir_arg $ a_pos $ b_pos)
+  in
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:"Inspect the persistent run ledger ($(b,.iocov/runs.jsonl)): every \
+             coverage-producing run appends one manifest record; list, show, and \
+             diff them.")
+    ~default:Term.(const list_run $ dir_arg)
+    [ list_cmd; show_cmd; diff_cmd ]
+
 (* --- fuzz: feedback-comparison fuzzer --- *)
 
 let fuzz_cmd =
@@ -500,6 +618,6 @@ let main =
        ~doc:"Input/output coverage for file system testing (HotStorage '23 reproduction).")
     [ suite_cmd; trace_cmd; analyze_cmd; report_cmd; compare_cmd; tcd_cmd;
       adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd;
-      metrics_cmd ]
+      metrics_cmd; runs_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -144,6 +144,11 @@ let log_level_conv =
   in
   Arg.conv (parse, fun ppf l -> Format.pp_print_string ppf (Obs.Log.level_to_string l))
 
+type obs = {
+  metrics_out : string option;
+  trace_out : string option;  (* flight-recorder timeline (Chrome JSON) *)
+}
+
 let obs_term =
   let log_level =
     Arg.(
@@ -163,19 +168,101 @@ let obs_term =
           ~doc:"On exit, write the metrics registry to $(docv): Prometheus text, or the \
                 combined JSON report when $(docv) ends in .json.")
   in
-  let setup level json out =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Record a flight-recorder timeline (span, pool, batch, checkpoint, and \
+                resync events) and write it to $(docv) as Chrome trace-event JSON on \
+                exit — viewable in ui.perfetto.dev or chrome://tracing.")
+  in
+  let setup level json metrics_out trace_out =
     (match level with Some l -> Obs.Log.set_level l | None -> ());
     if json then Obs.Log.set_format Obs.Log.Json;
-    out
+    { metrics_out; trace_out }
   in
-  Term.(const setup $ log_level $ log_json $ metrics_out)
+  Term.(const setup $ log_level $ log_json $ metrics_out $ trace_out)
 
 (* Run a subcommand body under the observability options; the registry
-   dump happens even when the body fails, so a crashed run still leaves
-   its counters behind. *)
-let with_obs metrics_out f =
+   and timeline dumps happen even when the body fails, so a crashed run
+   still leaves its counters and its trace behind. *)
+let with_obs obs f =
+  (match obs.trace_out with Some _ -> Obs.Trace_event.start () | None -> ());
   Fun.protect f ~finally:(fun () ->
-      match metrics_out with
+      (match obs.trace_out with
+       | Some path ->
+         Obs.Trace_event.stop ();
+         Obs.Trace_event.write_file path
+       | None -> ());
+      match obs.metrics_out with
       | Some path ->
         Obs.Export.write_file ~path ~spans:(Obs.Span.roots ()) Obs.Metrics.default
       | None -> ())
+
+(* --- live progress: --progress[=N|off] + --progress-format --- *)
+
+let progress_format_conv =
+  let parse = function
+    | "text" -> Ok Iocov_pipe.Progress.Text
+    | "jsonl" | "json" -> Ok Iocov_pipe.Progress.Jsonl
+    | s -> Error (`Msg (Printf.sprintf "unknown progress format %S (text|jsonl)" s))
+  in
+  let print ppf f =
+    Format.pp_print_string ppf
+      (match f with Iocov_pipe.Progress.Text -> "text" | Iocov_pipe.Progress.Jsonl -> "jsonl")
+  in
+  Arg.conv (parse, print)
+
+let progress_term =
+  let progress =
+    Arg.(
+      value
+      & opt ~vopt:(Some "on") (some string) None
+      & info [ "progress" ] ~docv:"EVERY"
+          ~doc:"Emit periodic progress snapshots to stderr: events/s (windowed and \
+                cumulative), cells lit, adequacy, anomaly burn, checkpoint age, and an \
+                ETA for bounded sources.  $(docv) is the event interval (default \
+                10000), or $(b,off).")
+  in
+  let progress_format =
+    Arg.(
+      value
+      & opt progress_format_conv Iocov_pipe.Progress.Text
+      & info [ "progress-format" ] ~docv:"FORMAT"
+          ~doc:"Progress snapshot format: $(b,text) (the default) or $(b,jsonl).")
+  in
+  let combine spec format =
+    match spec with
+    | None | Some "off" -> None
+    | Some "on" -> Some (Iocov_pipe.Progress.default_every, format)
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Some (n, format)
+      | _ -> die "--progress: expected a positive event interval or 'off', got %S" s)
+  in
+  Term.(const combine $ progress $ progress_format)
+
+(* Build the driver's progress configuration from the parsed flag. *)
+let progress_conf ?budget spec =
+  Option.map
+    (fun (every, format) ->
+      { Iocov_pipe.Progress.every; format; emit = prerr_endline; budget })
+    spec
+
+(* --- the run ledger: --ledger DIR / --no-ledger --- *)
+
+let ledger_term =
+  let dir =
+    Arg.(
+      value
+      & opt string Iocov_pipe.Ledger.default_dir
+      & info [ "ledger" ] ~docv:"DIR"
+          ~doc:"Directory of the persistent run ledger; every run appends one manifest \
+                record to $(docv)/runs.jsonl (see $(b,iocov runs)).")
+  in
+  let off =
+    Arg.(value & flag & info [ "no-ledger" ] ~doc:"Do not append this run to the ledger.")
+  in
+  let combine dir off = if off then None else Some dir in
+  Term.(const combine $ dir $ off)

@@ -292,6 +292,10 @@ module Dense = struct
 
   let calls_observed t = t.calls
 
+  (* Direct plan-cell read — what the live progress sink peeks at, so
+     a mid-run snapshot costs an array index, not a conversion. *)
+  let cell_count t id = t.counts.(id)
+
   let to_reference ?(metered = false) t =
     let cov = coverage_create ~metered () in
     Array.iteri
@@ -306,3 +310,32 @@ module Dense = struct
     add_calls cov t.calls;
     cov
 end
+
+(* --- cell summaries (flight recorder / run ledger) --- *)
+
+let cell_count t = function
+  | Plan.Cell_variant v -> variant_calls t v
+  | Plan.Cell_input (arg, part) -> input_count t arg part
+  | Plan.Cell_output (base, out) -> output_count t base out
+
+let lit_cells t =
+  let variants = ref 0 and inputs = ref 0 and outputs = ref 0 in
+  Array.iter
+    (fun cell ->
+      if cell_count t cell > 0 then
+        match cell with
+        | Plan.Cell_variant _ -> incr variants
+        | Plan.Cell_input _ -> incr inputs
+        | Plan.Cell_output _ -> incr outputs)
+    Plan.cells;
+  (!variants, !inputs, !outputs)
+
+let cell_bitmap t =
+  let bitmap = Bytes.make ((Plan.total + 7) / 8) '\000' in
+  Array.iteri
+    (fun id cell ->
+      if cell_count t cell > 0 then
+        Bytes.set bitmap (id / 8)
+          (Char.chr (Char.code (Bytes.get bitmap (id / 8)) lor (1 lsl (id mod 8)))))
+    Plan.cells;
+  bitmap

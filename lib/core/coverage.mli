@@ -141,8 +141,29 @@ module Dense : sig
 
   val calls_observed : t -> int
 
+  val cell_count : t -> int -> int
+  (** Count of one plan cell by dense id — an array read, cheap enough
+      for a live progress peek on the hot path. *)
+
   val to_reference : ?metered:bool -> t -> reference
   (** Rebuild a reference accumulator with exactly the same counts.
       [metered] (default [false]) sets the metering flag of the {e
       result} for any further observations fed to it directly. *)
 end
+
+(** {2 Cell summaries}
+
+    Dense-plan views of an accumulator, used by the flight recorder's
+    run ledger and the live progress sink (DESIGN.md §14). *)
+
+val cell_count : t -> Plan.cell -> int
+(** Observation count of one plan cell. *)
+
+val lit_cells : t -> int * int * int
+(** [(variants, inputs, outputs)]: how many cells of each kind have a
+    non-zero count, out of {!Plan.total} cells overall. *)
+
+val cell_bitmap : t -> bytes
+(** One bit per plan cell (cell [id] at byte [id / 8], bit [id mod 8]),
+    set iff the cell has been observed.  [(Plan.total + 7) / 8] bytes —
+    the ledger's coverage fingerprint, diffable with XOR. *)

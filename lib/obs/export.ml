@@ -18,13 +18,45 @@ let escape s =
 
 (* --- Prometheus text format --- *)
 
+(* The exposition format escapes exactly three characters in a label
+   value: backslash, double-quote, and line feed.  Anything else —
+   tabs, carriage returns, other control bytes — passes through raw;
+   JSON-style [\t] or [\uXXXX] sequences would be read back as literal
+   backslash-t etc. by a conforming parser. *)
+let prom_escape_label s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP text escapes only backslash and line feed (no quotes — the text
+   is not quoted in the exposition). *)
+let prom_escape_help s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let prom_labels labels =
   match labels with
   | [] -> ""
   | labels ->
     "{"
     ^ String.concat ","
-        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape v)) labels)
+        (List.map
+           (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape_label v))
+           labels)
     ^ "}"
 
 (* Upper bound of a bucket as Prometheus' inclusive [le]. *)
@@ -40,7 +72,9 @@ let to_prometheus reg =
   let header name kind help =
     if not (Hashtbl.mem seen_header name) then begin
       Hashtbl.add seen_header name ();
-      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      if help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name (prom_escape_help help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
     end
   in

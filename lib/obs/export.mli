@@ -12,6 +12,11 @@
     registry in one artifact. *)
 
 val to_prometheus : Metrics.t -> string
+(** Text exposition per the Prometheus format spec: one
+    [# HELP]/[# TYPE] pair per metric name (HELP with backslash and
+    line-feed escaped), label values escaped for exactly backslash,
+    double-quote and newline, histogram [_bucket] series cumulative
+    and closed by a [+Inf] bucket equal to [_count]. *)
 
 val to_json : Metrics.t -> string
 (** [{"metrics":[...]}] — one entry per metric, sorted as in

@@ -52,6 +52,8 @@ let with_ ?(registry = Metrics.default) ~name f =
       { name; duration_s = Clock.now () -. frame.f_start;
         children = List.rev frame.f_children }
     in
+    Trace_event.complete ~cat:"span" ~name ~ts:frame.f_start
+      ~dur:node.duration_s ();
     (match !stack with
      | parent :: _ -> parent.f_children <- node :: parent.f_children
      | [] -> locked (fun () -> completed_roots := node :: !completed_roots));
@@ -77,7 +79,18 @@ let timed ?registry ~name f =
   in
   (result, node)
 
-let roots () = locked (fun () -> List.rev !completed_roots)
+(* Completion order is scheduler-dependent when shards close their root
+   spans concurrently, so export order sorts by (name, duration): two
+   runs of the same workload render the same span tree regardless of
+   which shard finished first. *)
+let roots () =
+  locked (fun () ->
+      List.stable_sort
+        (fun a b ->
+          match String.compare a.name b.name with
+          | 0 -> Float.compare a.duration_s b.duration_s
+          | c -> c)
+        (List.rev !completed_roots))
 let reset () = locked (fun () -> completed_roots := [])
 
 let flatten node =

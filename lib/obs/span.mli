@@ -9,9 +9,12 @@
     The open-span stack is per-domain (a parallel worker shard times
     itself without touching the main pipeline's frames); completed
     top-level spans from every domain accumulate in the shared {!roots}
-    list until {!reset}.  Root order for concurrently completing spans
-    follows the scheduler, so consumers comparing runs byte-for-byte
-    should sort or exclude parallel shard spans. *)
+    list until {!reset}.  {!roots} sorts by (name, duration), so the
+    exported span tree is stable even when parallel shards complete
+    their root spans in scheduler order.
+
+    Every span completion is also forwarded to {!Trace_event} (category
+    [span]) when the flight recorder is running. *)
 
 type node = {
   name : string;
@@ -28,7 +31,8 @@ val timed : ?registry:Metrics.t -> name:string -> (unit -> 'a) -> 'a * node
     source of timing truth for callers that report an elapsed time. *)
 
 val roots : unit -> node list
-(** Completed top-level spans, in completion order. *)
+(** Completed top-level spans, sorted by (name, duration) for
+    deterministic export at any [--jobs]. *)
 
 val reset : unit -> unit
 (** Drop completed roots (open spans are unaffected). *)

@@ -1,4 +1,5 @@
 module Metrics = Iocov_obs.Metrics
+module Trace_event = Iocov_obs.Trace_event
 
 let m_domains =
   Metrics.counter Metrics.default "iocov_par_domains_spawned_total"
@@ -48,7 +49,13 @@ let launch t f =
       (Array.init t.jobs (fun shard ->
            Metrics.Counter.incr m_domains;
            Domain.spawn (fun () ->
-               match f ~shard with v -> Value v | exception exn -> Raised exn)))
+               let arg = [ ("shard", string_of_int shard) ] in
+               Trace_event.instant ~cat:"pool" ~args:arg "shard-spawn";
+               let r =
+                 match f ~shard with v -> Value v | exception exn -> Raised exn
+               in
+               Trace_event.instant ~cat:"pool" ~args:arg "shard-exit";
+               r)))
 
 let join r =
   match r with

@@ -1,4 +1,5 @@
 module Coverage = Iocov_core.Coverage
+module Plan = Iocov_core.Plan
 module Filter = Iocov_trace.Filter
 module Event = Iocov_trace.Event
 module Binary_io = Iocov_trace.Binary_io
@@ -6,6 +7,8 @@ module Format_io = Iocov_trace.Format_io
 module Anomaly = Iocov_util.Anomaly
 module Span = Iocov_obs.Span
 module Metrics = Iocov_obs.Metrics
+module Clock = Iocov_obs.Clock
+module Trace_event = Iocov_obs.Trace_event
 
 let m_batches =
   Metrics.counter Metrics.default "iocov_par_batches_total"
@@ -34,6 +37,14 @@ let m_abandoned =
 let m_shards_failed =
   Metrics.counter Metrics.default "iocov_par_shards_failed_total"
     ~help:"Worker shards that died mid-run; survivors absorbed their queue."
+
+let m_checkpoints =
+  Metrics.counter Metrics.default "iocov_par_checkpoints_total"
+    ~help:"Checkpoint files written by the replay pipeline."
+
+let m_checkpoint_events =
+  Metrics.gauge Metrics.default "iocov_par_checkpoint_events"
+    ~help:"Cumulative events covered by the most recent checkpoint."
 
 let default_batch = 1024
 
@@ -207,17 +218,32 @@ let commit ~ingest st p =
    lenient mode, a run-fatal error in strict mode (but the shard keeps
    draining either way, so siblings never stall). *)
 let supervised_batch ~ingest ~(policy : Pool.policy) ~chaos ~keep st ~shard ~batchno w =
+  let tracing = Trace_event.enabled () in
+  let trace_args = [ ("shard", string_of_int shard); ("batch", string_of_int batchno) ] in
+  let t_start = if tracing then Clock.now () else 0.0 in
   let rec attempt n =
     match
       (match chaos with Some f -> f ~shard ~batch:batchno | None -> ());
       prepare keep w
     with
-    | p -> commit ~ingest st p
+    | p ->
+      commit ~ingest st p;
+      if tracing then
+        Trace_event.complete ~cat:"stage" ~name:"batch"
+          ~args:
+            (trace_args
+            @ [ ("events", string_of_int p.p_n); ("kept", string_of_int p.p_kept_n) ])
+          ~ts:t_start
+          ~dur:(Clock.now () -. t_start)
+          ()
     | exception (Pool.Shard_killed _ as e) -> raise e
     | exception exn ->
       if n < policy.Pool.max_retries then begin
         st.s_retried <- st.s_retried + 1;
         Metrics.Counter.incr m_retries;
+        Trace_event.instant ~cat:"supervise"
+          ~args:(trace_args @ [ ("attempt", string_of_int (n + 1)) ])
+          "batch-retry";
         Pool.backoff policy ~attempt:(n + 1);
         attempt (n + 1)
       end
@@ -230,6 +256,9 @@ let supervised_batch ~ingest ~(policy : Pool.policy) ~chaos ~keep st ~shard ~bat
         st.s_abandoned_batches <- st.s_abandoned_batches + 1;
         st.s_abandoned_events <- st.s_abandoned_events + lost;
         Metrics.Counter.incr m_abandoned;
+        Trace_event.instant ~cat:"supervise"
+          ~args:(trace_args @ [ ("events_lost", string_of_int lost) ])
+          "batch-abandoned";
         shard_note st (Anomaly.v Anomaly.Batch_abandoned msg);
         match ingest with
         | Strict -> if st.s_fatal = None then st.s_fatal <- Some msg
@@ -243,6 +272,7 @@ let record_kill st msg w =
   st.s_abandoned_batches <- st.s_abandoned_batches + 1;
   st.s_abandoned_events <- st.s_abandoned_events + work_size w;
   shard_note st (Anomaly.v Anomaly.Shard_failed msg);
+  Trace_event.instant ~cat:"supervise" ~args:[ ("detail", msg) ] "shard-killed";
   Metrics.Counter.incr m_shards_failed
 
 (* The worker loop of a spawned shard.  A {!Pool.Shard_killed} ends
@@ -398,14 +428,55 @@ exception Halted
 (* Raised out of the inline work handler when the single shard was
    killed: there is nobody left to feed, so the feed stops early. *)
 
+(* The producer-side progress hook: called after every work item is
+   pushed, with the cumulative pushed-event count and a lazy [peek]
+   that yields a cheap cell view of the inline shard's accumulation so
+   far ([None] for sharded runs, whose accumulators are domain-private
+   until join).  A view reads cells in place — an array index on the
+   dense backend — so peeking never copies or converts an accumulator
+   on the hot path. *)
+type view = {
+  v_cells : int -> int;  (* plan cell id -> observation count *)
+  v_events : int;
+}
+
+type watch = pushed:int -> peek:(unit -> view option) -> unit
+
+let view_of_coverage cov ~events =
+  { v_cells = (fun id -> Coverage.cell_count cov Plan.cells.(id)); v_events = events }
+
+let view_shard st () =
+  let cells =
+    match st.acc with
+    | A_ref cov -> fun id -> Coverage.cell_count cov Plan.cells.(id)
+    | A_dense d -> Coverage.Dense.cell_count d
+  in
+  Some { v_cells = cells; v_events = st.s_events }
+
+let view_none () = None
+
+(* The checkpoint path still needs a real accumulator copy. *)
+let peek_shard st () =
+  let coverage =
+    match st.acc with
+    | A_ref cov -> Coverage.copy cov
+    | A_dense d -> Coverage.Dense.to_reference ~metered:false d
+  in
+  Some (coverage, st.s_events)
+
 (* The engine: [feed] pushes work items and reports the producer-side
    completeness through [set_comp] (on every exit path); shards drain
    the items.  With one job everything runs inline on the caller — the
    --jobs 1 path is the sequential path, with a metered shard and no
    channel. *)
-let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~keep () =
+let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ?watch ~feed ~keep () =
   let producer = ref (Anomaly.clean ~events_read:0) in
   let pushed = ref 0 in
+  let watching ~peek =
+    match watch with
+    | Some f -> f ~pushed:!pushed ~peek
+    | None -> ()
+  in
   if Pool.jobs pool = 1 then begin
     let st = make_shard ~counters ~metered:true () in
     (match expose_shard with Some f -> f st | None -> ());
@@ -416,7 +487,7 @@ let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~kee
       let b = !batchno in
       incr batchno;
       match supervised_batch ~ingest ~policy ~chaos ~keep st ~shard:0 ~batchno:b w with
-      | () -> ()
+      | () -> watching ~peek:(view_shard st)
       | exception Pool.Shard_killed msg ->
         record_kill st msg w;
         raise Halted
@@ -442,7 +513,8 @@ let run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?expose_shard ~feed ~kee
     in
     let push w =
       pushed := !pushed + work_size w;
-      Chan.push chan w
+      Chan.push chan w;
+      watching ~peek:view_none
     in
     let fed =
       match feed ~push ~set_comp:(fun c -> producer := c) with
@@ -463,7 +535,7 @@ let or_default pool = match pool with Some p -> p | None -> Pool.create ()
 let or_policy policy = match policy with Some p -> p | None -> Pool.default_policy
 
 let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
-    ?policy ?chaos ?filter ?stage events =
+    ?policy ?chaos ?watch ?filter ?stage events =
   if batch <= 0 then invalid_arg "Replay.analyze_events: batch must be positive";
   let pool = or_default pool in
   let policy = or_policy policy in
@@ -485,7 +557,7 @@ let analyze_events ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest =
     in
     chunks events
   in
-  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~feed ~keep () with
+  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ?watch ~feed ~keep () with
   | Ok outcome -> outcome
   | Error msg ->
     (* event lists carry no text to fail parsing on *)
@@ -531,10 +603,15 @@ let write_checkpoint ~spec ~trace_path ~base ~stream st =
       batches = base_batches + st.s_batches;
       completeness;
       coverage;
-    }
+    };
+  Metrics.Counter.incr m_checkpoints;
+  Metrics.Gauge.set m_checkpoint_events events;
+  Trace_event.instant ~cat:"checkpoint"
+    ~args:[ ("events", string_of_int events) ]
+    "checkpoint-write"
 
-let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint ~resume ~limit
-    ~keep ~trace_path ic =
+let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch ~checkpoint ~resume
+    ~limit ~keep ~trace_path ic =
   if batch <= 0 then invalid_arg "Replay.analyze_channel: batch must be positive";
   (match limit with
    | Some n when n < 0 -> invalid_arg "Replay.analyze_channel: limit must be non-negative"
@@ -594,7 +671,9 @@ let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint ~resume
       loop ()
     end
   in
-  match run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ~feed ~keep () with
+  match
+    run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ?watch ~feed ~keep ()
+  with
   | outcome -> outcome
   | exception Feed_error msg -> Error msg
 
@@ -623,15 +702,15 @@ let merge_resumed ~from (ck : Checkpoint.t) (o : outcome) =
   }
 
 let analyze_channel ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
-    ?policy ?chaos ?limit ?filter ?stage ic =
+    ?policy ?chaos ?watch ?limit ?filter ?stage ic =
   let pool = or_default pool in
   let policy = or_policy policy in
   let keep = compile_keep ?filter ?stage () in
-  analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint:None ~resume:None
-    ~limit ~keep ~trace_path:"<channel>" ic
+  analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch ~checkpoint:None
+    ~resume:None ~limit ~keep ~trace_path:"<channel>" ic
 
 let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
-    ?policy ?chaos ?checkpoint ?resume ?limit ?filter ?stage path =
+    ?policy ?chaos ?watch ?checkpoint ?resume ?limit ?filter ?stage path =
   let pool = or_default pool in
   let policy = or_policy policy in
   let keep = compile_keep ?filter ?stage () in
@@ -654,8 +733,8 @@ let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = S
              Error "resume requires a binary trace"
            | _ ->
              match
-               analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ~checkpoint
-                 ~resume ~limit ~keep ~trace_path:path ic
+               analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch
+                 ~checkpoint ~resume ~limit ~keep ~trace_path:path ic
              with
              | Error _ as e -> e
              | Ok o -> (
@@ -671,6 +750,7 @@ type session = {
   mutable buf_n : int;
   submit : work -> unit;
   peek : unit -> (Coverage.t * int) option;  (* inline shard only *)
+  view : unit -> view option;  (* cheap cell view, inline shard only *)
   complete : unit -> (outcome, string) result;
 }
 
@@ -698,14 +778,8 @@ let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict
             | () -> ()
             | exception Pool.Shard_killed msg -> record_kill st msg w
           end);
-      peek =
-        (fun () ->
-          let coverage =
-            match st.acc with
-            | A_ref cov -> Coverage.copy cov
-            | A_dense d -> Coverage.Dense.to_reference ~metered:false d
-          in
-          Some (coverage, st.s_events));
+      peek = peek_shard st;
+      view = view_shard st;
       complete =
         (fun () ->
           finalize ~ingest ~pushed:!pushed ~producer:(Anomaly.clean ~events_read:0) [| st |]);
@@ -732,6 +806,7 @@ let session ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict
           (* every worker dead: the events are accounted as stranded *)
           try Chan.push chan w with Chan.Closed -> ());
       peek = (fun () -> None);
+      view = (fun () -> None);
       complete =
         (fun () ->
           Chan.close chan;
@@ -755,6 +830,10 @@ let sink s e =
 let progress s =
   flush s;
   s.peek ()
+
+let progress_view s =
+  flush s;
+  s.view ()
 
 let complete s =
   flush s;

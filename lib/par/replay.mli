@@ -97,9 +97,32 @@ type stage = Iocov_trace.Event.t list -> Iocov_trace.Event.t list
     the engine behaves exactly as before the pipe layer existed —
     which is what keeps the byte-identical coverage contract. *)
 
+type view = {
+  v_cells : int -> int;  (** observation count by {!Iocov_core.Plan} cell id *)
+  v_events : int;        (** events analyzed so far *)
+}
+(** A read-only window onto an accumulator: cells are read {e in place}
+    (an array index on the dense backend), so consuming a view never
+    copies or converts coverage on the hot path.  Valid only until the
+    next event is analyzed — consume it inside the callback. *)
+
+val view_of_coverage : Iocov_core.Coverage.t -> events:int -> view
+(** View a merged (reference) accumulator — how the driver serves the
+    final progress snapshot at any job count. *)
+
+type watch = pushed:int -> peek:(unit -> view option) -> unit
+(** The producer-side progress hook (the [--progress] sink's feed):
+    called after every pushed work batch with the cumulative count of
+    records pushed and a {e lazy} [peek].  At [jobs = 1], [peek ()]
+    yields a {!view} of the inline shard's accumulation so far; for
+    sharded runs it returns [None] (worker accumulators are
+    domain-private until join), so consumers degrade to producer-side
+    throughput figures.  Called on the producer domain; must not
+    raise. *)
+
 val analyze_events :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
-  ?policy:Pool.policy -> ?chaos:chaos ->
+  ?policy:Pool.policy -> ?chaos:chaos -> ?watch:watch ->
   ?filter:Iocov_trace.Filter.t -> ?stage:stage -> Iocov_trace.Event.t list -> outcome
 (** Replay an in-memory event list.  [pool] defaults to a fresh
     {!Pool.create}[ ()]; [batch] must be positive; [counters] defaults
@@ -109,7 +132,7 @@ val analyze_events :
 
 val analyze_channel :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
-  ?policy:Pool.policy -> ?chaos:chaos -> ?limit:int ->
+  ?policy:Pool.policy -> ?chaos:chaos -> ?watch:watch -> ?limit:int ->
   ?filter:Iocov_trace.Filter.t -> ?stage:stage -> in_channel -> (outcome, string) result
 (** Replay a trace from a channel, auto-detecting binary
     ({!Iocov_trace.Binary_io}) versus text ({!Iocov_trace.Format_io}).
@@ -129,7 +152,7 @@ type checkpoint_spec = {
 
 val analyze_file :
   ?pool:Pool.t -> ?batch:int -> ?counters:counters -> ?ingest:ingest ->
-  ?policy:Pool.policy -> ?chaos:chaos ->
+  ?policy:Pool.policy -> ?chaos:chaos -> ?watch:watch ->
   ?checkpoint:checkpoint_spec -> ?resume:string * Checkpoint.t -> ?limit:int ->
   ?filter:Iocov_trace.Filter.t -> ?stage:stage -> string -> (outcome, string) result
 (** {!analyze_channel} on a file path, plus checkpointed replay.
@@ -166,6 +189,11 @@ val progress : session -> (Iocov_core.Coverage.t * int) option
     Inline sessions (jobs = 1) only; [None] for sharded sessions, whose
     accumulators are private to their worker domains.  The pipe
     driver's live-checkpointing hook. *)
+
+val progress_view : session -> view option
+(** Flush pending events and {!view} the inline accumulator in place —
+    the cheap variant for progress snapshots, which only read cell
+    counts.  [None] for sharded sessions. *)
 
 val complete : session -> (outcome, string) result
 (** Flush any partial batch, close the channel, join the workers, and

@@ -21,6 +21,7 @@ type config = {
   policy : Pool.policy;
   limit : int option;
   resume : (string * Checkpoint.t) option;
+  progress : Progress.conf option;
 }
 
 let default =
@@ -32,12 +33,13 @@ let default =
     policy = Pool.default_policy;
     limit = None;
     resume = None;
+    progress = None;
   }
 
 let config ?(jobs = default.jobs) ?(batch = default.batch)
     ?(counters = default.counters) ?(ingest = default.ingest)
-    ?(policy = default.policy) ?limit ?resume () =
-  { jobs; batch; counters; ingest; policy; limit; resume }
+    ?(policy = default.policy) ?limit ?resume ?progress () =
+  { jobs; batch; counters; ingest; policy; limit; resume; progress }
 
 type run = { product : Sink.product; sections : (string * string) list }
 
@@ -123,7 +125,13 @@ let run_syz ~counters ~label text =
         notes;
       }
 
-let run_live ~pool ~cfg ~filter ~stage ~ckpt ~label feed =
+(* How often (in pushed events) the live feed consults its watch hook.
+   A power of two, so the hot-path check is one [land].  Snapshot
+   thresholds are therefore honoured at this granularity — invisible at
+   the default [Progress.default_every] of 10,000. *)
+let watch_stride = 64
+
+let run_live ~pool ~cfg ~filter ~stage ~ckpt ~watch ~label feed =
   match ckpt with
   | Some _ when cfg.jobs <> 1 ->
     Error "live checkpointing requires --jobs 1 (sharded accumulators are private)"
@@ -145,6 +153,24 @@ let run_live ~pool ~cfg ~filter ~stage ~ckpt ~label feed =
             | Some (cov, _) -> atomic_snapshot path cov
             | None -> ()
     in
+    let emit =
+      match watch with
+      | None -> emit
+      | Some w ->
+        let pushed = ref 0 in
+        (* [peek] flushes the session's partial batch, which is safe
+           (and only happens) when a snapshot actually fires; one shared
+           closure keeps the per-event path allocation-free.  The watch
+           itself is only consulted every [watch_stride] events — its
+           threshold check is cheap but not free, and at millions of
+           events per second even two closure calls per event register
+           on the replay bench. *)
+        let peek () = Replay.progress_view s in
+        fun ev ->
+          emit ev;
+          incr pushed;
+          if !pushed land (watch_stride - 1) = 0 then w ~pushed:!pushed ~peek
+    in
     let fed = try Ok (feed emit) with exn -> Error (Printexc.to_string exn) in
     (* Always complete: the shards must be joined even if the feed died. *)
     let completed = Replay.complete s in
@@ -156,7 +182,16 @@ let run_live ~pool ~cfg ~filter ~stage ~ckpt ~label feed =
          ckpt;
        Ok (product_of ~label outcome))
 
-let execute ~cfg ~stages ~ckpt source =
+(* Bounded-source event count, for the progress tracker's ETA. *)
+let source_total cfg source =
+  match source with
+  | Source.Events { events; _ } ->
+    let n = List.length events in
+    Some (match cfg.limit with Some l -> min l n | None -> n)
+  | Source.Syz _ -> None
+  | Source.File _ | Source.Channel _ | Source.Live _ -> cfg.limit
+
+let execute ~cfg ~stages ~ckpt ~watch source =
   let filter, stage = Stage.compile stages in
   let reject_resume k =
     match cfg.resume with
@@ -185,7 +220,7 @@ let execute ~cfg ~stages ~ckpt source =
        Ok
          (product_of ~label
             (Replay.analyze_events ~pool ~batch:cfg.batch ~counters:cfg.counters
-               ~ingest:cfg.ingest ~policy:cfg.policy ?filter ?stage events))
+               ~ingest:cfg.ingest ~policy:cfg.policy ?watch ?filter ?stage events))
      with Failure msg -> Error msg)
   | Source.Channel { label; ic } ->
     let* () = reject_resume "channels" in
@@ -193,7 +228,8 @@ let execute ~cfg ~stages ~ckpt source =
     let pool = Pool.create ~jobs:cfg.jobs () in
     Result.map (product_of ~label)
       (Replay.analyze_channel ~pool ~batch:cfg.batch ~counters:cfg.counters
-         ~ingest:cfg.ingest ~policy:cfg.policy ?limit:cfg.limit ?filter ?stage ic)
+         ~ingest:cfg.ingest ~policy:cfg.policy ?watch ?limit:cfg.limit ?filter ?stage
+         ic)
   | Source.File { path } ->
     let pool = Pool.create ~jobs:cfg.jobs () in
     let checkpoint =
@@ -203,12 +239,12 @@ let execute ~cfg ~stages ~ckpt source =
     in
     Result.map (product_of ~label:path)
       (Replay.analyze_file ~pool ~batch:cfg.batch ~counters:cfg.counters
-         ~ingest:cfg.ingest ~policy:cfg.policy ?checkpoint ?resume:cfg.resume
+         ~ingest:cfg.ingest ~policy:cfg.policy ?watch ?checkpoint ?resume:cfg.resume
          ?limit:cfg.limit ?filter ?stage path)
   | Source.Live { label; feed } ->
     let* () = reject_resume "live sources" in
     let pool = Pool.create ~jobs:cfg.jobs () in
-    run_live ~pool ~cfg ~filter ~stage ~ckpt ~label feed
+    run_live ~pool ~cfg ~filter ~stage ~ckpt ~watch ~label feed
 
 let run ?(config = default) ?(stages = []) ?(sinks = []) source =
   let kind = Source.kind source in
@@ -217,9 +253,29 @@ let run ?(config = default) ?(stages = []) ?(sinks = []) source =
   match split_sinks sinks with
   | Error _ as e -> e
   | Ok (ckpt, renders) ->
-    (match execute ~cfg:config ~stages ~ckpt source with
+    let tracker =
+      Option.map
+        (fun conf -> Progress.tracker ?total:(source_total config source) conf)
+        config.progress
+    in
+    let watch =
+      Option.map
+        (fun tr -> fun ~pushed ~peek -> Progress.tick tr ~events:pushed ~peek)
+        tracker
+    in
+    (match execute ~cfg:config ~stages ~ckpt ~watch source with
      | Error _ as e -> e
      | Ok product ->
+       (* the closing snapshot always carries coverage figures: the
+          merged outcome is in hand at any job count *)
+       Option.iter
+         (fun tr ->
+           Progress.finish tr ~events:product.Sink.events
+             ~peek:(fun () ->
+               Some
+                 (Replay.view_of_coverage product.Sink.coverage
+                    ~events:product.Sink.events)))
+         tracker;
        let sections =
          List.filter_map
            (function

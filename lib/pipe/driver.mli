@@ -23,17 +23,22 @@ type config = {
   limit : int option;  (** stop after this many records *)
   resume : (string * Iocov_par.Checkpoint.t) option;
       (** continue a checkpointed file replay *)
+  progress : Progress.conf option;
+      (** live progress snapshots ([--progress]); a tracker is created
+          per run and fed from the engine's watch hook, with a final
+          coverage-bearing snapshot after the merge at any job count *)
 }
 
 val default : config
 (** jobs 1, batch {!Iocov_par.Replay.default_batch}, dense counters,
     strict ingest, {!Iocov_par.Pool.default_policy}, no limit, no
-    resume. *)
+    resume, no progress. *)
 
 val config :
   ?jobs:int -> ?batch:int -> ?counters:Iocov_par.Replay.counters ->
   ?ingest:Iocov_par.Replay.ingest -> ?policy:Iocov_par.Pool.policy ->
-  ?limit:int -> ?resume:string * Iocov_par.Checkpoint.t -> unit -> config
+  ?limit:int -> ?resume:string * Iocov_par.Checkpoint.t ->
+  ?progress:Progress.conf -> unit -> config
 (** {!default} with overrides. *)
 
 type run = {

@@ -1,0 +1,359 @@
+module Coverage = Iocov_core.Coverage
+module Plan = Iocov_core.Plan
+module Snapshot = Iocov_core.Snapshot
+module Partition = Iocov_core.Partition
+module Arg_class = Iocov_core.Arg_class
+module Model = Iocov_syscall.Model
+module Crc32 = Iocov_util.Crc32
+module Json = Iocov_util.Json
+
+let default_dir = ".iocov"
+let file_name = "runs.jsonl"
+let path ~dir = Filename.concat dir file_name
+
+type record = {
+  r_id : string;
+  r_time : float option;          (* unix seconds; None in determinism mode *)
+  r_subcommand : string;
+  r_label : string;               (* source label: trace path, suite name… *)
+  r_flags : (string * string) list;
+  r_seed : int option;
+  r_jobs : int;
+  r_counters : string;
+  r_events : int;
+  r_kept : int;
+  r_lost : int;                   (* skipped + abandoned records *)
+  r_wall_s : float;
+  r_stages : (string * float) list;  (* root span name -> seconds *)
+  r_digest : string;              (* crc32 of the coverage snapshot, hex *)
+  r_cells : int * int * int;      (* lit variant, input, output cells *)
+  r_bitmap : string;              (* hex, one bit per plan cell *)
+}
+
+(* --- coverage fingerprints --- *)
+
+let hex_of_bytes b =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let bytes_of_hex s =
+  if String.length s mod 2 <> 0 then Error "odd-length hex string"
+  else
+    try
+      Ok
+        (Bytes.init (String.length s / 2) (fun i ->
+             Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2))))
+    with _ -> Error "invalid hex string"
+
+let digest cov = Printf.sprintf "%08x" (Crc32.string (Snapshot.to_string cov))
+
+let bitmap cov = hex_of_bytes (Coverage.cell_bitmap cov)
+
+(* --- construction --- *)
+
+let make ?time ?seed ~subcommand ~label ~flags ~jobs ~counters ~events ~kept ~lost
+    ~wall_s ~stages cov =
+  {
+    r_id = "";  (* assigned by append *)
+    r_time = time;
+    r_subcommand = subcommand;
+    r_label = label;
+    r_flags = flags;
+    r_seed = seed;
+    r_jobs = jobs;
+    r_counters = counters;
+    r_events = events;
+    r_kept = kept;
+    r_lost = lost;
+    r_wall_s = wall_s;
+    r_stages = stages;
+    r_digest = digest cov;
+    r_cells = Coverage.lit_cells cov;
+    r_bitmap = bitmap cov;
+  }
+
+(* --- JSON (one object per line; schema "iocov-run/1") --- *)
+
+let to_json r =
+  let v, i, o = r.r_cells in
+  Json.Obj
+    [ ("schema", Json.String "iocov-run/1");
+      ("id", Json.String r.r_id);
+      ("time", match r.r_time with Some t -> Json.Float t | None -> Json.Null);
+      ("subcommand", Json.String r.r_subcommand);
+      ("label", Json.String r.r_label);
+      ("flags", Json.Obj (List.map (fun (k, x) -> (k, Json.String x)) r.r_flags));
+      ("seed", match r.r_seed with Some s -> Json.Int s | None -> Json.Null);
+      ("jobs", Json.Int r.r_jobs);
+      ("counters", Json.String r.r_counters);
+      ("events", Json.Int r.r_events);
+      ("kept", Json.Int r.r_kept);
+      ("lost", Json.Int r.r_lost);
+      ("wall_s", Json.Float r.r_wall_s);
+      ( "stages",
+        Json.Obj (List.map (fun (name, s) -> (name, Json.Float s)) r.r_stages) );
+      ("digest", Json.String r.r_digest);
+      ( "cells",
+        Json.Obj
+          [ ("variant", Json.Int v); ("input", Json.Int i); ("output", Json.Int o);
+            ("total", Json.Int Plan.total) ] );
+      ("bitmap", Json.String r.r_bitmap) ]
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let int k = Option.bind (Json.member k j) Json.to_int in
+  let flt k = Option.bind (Json.member k j) Json.to_float in
+  match
+    let* id = str "id" in
+    let* subcommand = str "subcommand" in
+    let* label = str "label" in
+    let* jobs = int "jobs" in
+    let* counters = str "counters" in
+    let* events = int "events" in
+    let* kept = int "kept" in
+    let* lost = int "lost" in
+    let* wall_s = flt "wall_s" in
+    let* digest = str "digest" in
+    let* bitmap = str "bitmap" in
+    let flags =
+      match Json.member "flags" j with
+      | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, x) -> Option.map (fun s -> (k, s)) (Json.to_str x)) kvs
+      | _ -> []
+    in
+    let stages =
+      match Json.member "stages" j with
+      | Some (Json.Obj kvs) ->
+        List.filter_map (fun (k, x) -> Option.map (fun s -> (k, s)) (Json.to_float x)) kvs
+      | _ -> []
+    in
+    let cells =
+      match Json.member "cells" j with
+      | Some c -> (
+        match
+          ( Option.bind (Json.member "variant" c) Json.to_int,
+            Option.bind (Json.member "input" c) Json.to_int,
+            Option.bind (Json.member "output" c) Json.to_int )
+        with
+        | Some v, Some i, Some o -> (v, i, o)
+        | _ -> (0, 0, 0))
+      | None -> (0, 0, 0)
+    in
+    Some
+      {
+        r_id = id;
+        r_time = flt "time";
+        r_subcommand = subcommand;
+        r_label = label;
+        r_flags = flags;
+        r_seed = int "seed";
+        r_jobs = jobs;
+        r_counters = counters;
+        r_events = events;
+        r_kept = kept;
+        r_lost = lost;
+        r_wall_s = wall_s;
+        r_stages = stages;
+        r_digest = digest;
+        r_cells = cells;
+        r_bitmap = bitmap;
+      }
+  with
+  | Some r -> Ok r
+  | None -> Error "missing or ill-typed run-record field"
+
+(* --- the file --- *)
+
+type loaded = { records : record list; bad_lines : int }
+
+let parse_line line =
+  match Json.of_string line with
+  | Error msg -> Error msg
+  | Ok j -> of_json j
+
+let load ~dir =
+  let p = path ~dir in
+  if not (Sys.file_exists p) then { records = []; bad_lines = 0 }
+  else
+    In_channel.with_open_text p (fun ic ->
+        let records = ref [] and bad = ref 0 in
+        let rec loop () =
+          match In_channel.input_line ic with
+          | None -> ()
+          | Some line ->
+            if String.trim line <> "" then begin
+              match parse_line line with
+              | Ok r -> records := r :: !records
+              | Error _ -> incr bad
+              (* a truncated or corrupt line — typically the last one
+                 after a crash mid-append — is counted, not fatal *)
+            end;
+            loop ()
+        in
+        loop ();
+        { records = List.rev !records; bad_lines = !bad })
+
+(* Appends are a single [output_string] of one line on a channel opened
+   in append mode — atomic for any realistic record size on POSIX, and
+   a crash can at worst truncate the final line, which [load] absorbs. *)
+let append ~dir r =
+  (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  let existing = load ~dir in
+  let r = { r with r_id = Printf.sprintf "r%d" (List.length existing.records + 1) } in
+  match
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_text ]
+      0o644 (path ~dir)
+      (fun oc -> Out_channel.output_string oc (Json.to_string (to_json r) ^ "\n"))
+  with
+  | () -> Ok r
+  | exception Sys_error msg -> Error msg
+
+let find records key =
+  match List.find_opt (fun r -> r.r_id = key) records with
+  | Some r -> Some r
+  | None -> (
+    (* a bare integer is a 1-based index into the ledger *)
+    match int_of_string_opt key with
+    | Some n when n >= 1 && n <= List.length records -> Some (List.nth records (n - 1))
+    | _ -> None)
+
+(* --- diffing --- *)
+
+let cell_label = function
+  | Plan.Cell_variant v -> "variant " ^ Model.variant_name v
+  | Plan.Cell_input (arg, part) ->
+    Printf.sprintf "input %s=%s" (Arg_class.name arg) (Partition.label part)
+  | Plan.Cell_output (base, out) ->
+    Printf.sprintf "output %s→%s" (Model.base_name base) (Partition.output_label out)
+
+let bitmap_cells hex =
+  match bytes_of_hex hex with
+  | Error _ -> []
+  | Ok b ->
+    let ids = ref [] in
+    for id = min (Plan.total - 1) ((8 * Bytes.length b) - 1) downto 0 do
+      if Char.code (Bytes.get b (id / 8)) land (1 lsl (id mod 8)) <> 0 then
+        ids := id :: !ids
+    done;
+    !ids
+
+type diff = {
+  d_gained : int list;  (* cell ids lit in B but not A *)
+  d_lost : int list;    (* cell ids lit in A but not B *)
+  d_rate_a : float;     (* events/s *)
+  d_rate_b : float;
+  d_identical : bool;   (* same digest — byte-identical coverage *)
+}
+
+let diff a b =
+  let set_of r =
+    let arr = Array.make Plan.total false in
+    List.iter (fun id -> if id < Plan.total then arr.(id) <- true) (bitmap_cells r.r_bitmap);
+    arr
+  in
+  let sa = set_of a and sb = set_of b in
+  let gained = ref [] and lost = ref [] in
+  for id = Plan.total - 1 downto 0 do
+    if sb.(id) && not sa.(id) then gained := id :: !gained;
+    if sa.(id) && not sb.(id) then lost := id :: !lost
+  done;
+  let rate r = if r.r_wall_s > 0.0 then float_of_int r.r_events /. r.r_wall_s else 0.0 in
+  {
+    d_gained = !gained;
+    d_lost = !lost;
+    d_rate_a = rate a;
+    d_rate_b = rate b;
+    d_identical = a.r_digest = b.r_digest;
+  }
+
+(* --- rendering --- *)
+
+let lit_total r =
+  let v, i, o = r.r_cells in
+  v + i + o
+
+let render_list { records; bad_lines } =
+  let buf = Buffer.create 256 in
+  if records = [] then Buffer.add_string buf "ledger is empty\n"
+  else begin
+    Buffer.add_string buf
+      (Printf.sprintf "%-6s %-10s %-24s %10s %9s %9s  %s\n" "id" "command" "source"
+         "events" "cells" "wall" "digest");
+    List.iter
+      (fun r ->
+        let label =
+          if String.length r.r_label <= 24 then r.r_label
+          else "…" ^ String.sub r.r_label (String.length r.r_label - 23) 23
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-6s %-10s %-24s %10d %4d/%-4d %8.2fs  %s\n" r.r_id
+             r.r_subcommand label r.r_events (lit_total r) Plan.total r.r_wall_s
+             r.r_digest))
+      records
+  end;
+  if bad_lines > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "(%d unreadable line%s skipped)\n" bad_lines
+         (if bad_lines = 1 then "" else "s"));
+  Buffer.contents buf
+
+let render_show r =
+  let v, i, o = r.r_cells in
+  let buf = Buffer.create 512 in
+  let line k fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (Printf.sprintf "%-12s %s\n" k s)) fmt in
+  line "id" "%s" r.r_id;
+  (match r.r_time with Some t -> line "time" "%.3f" t | None -> ());
+  line "command" "%s" r.r_subcommand;
+  line "source" "%s" r.r_label;
+  if r.r_flags <> [] then
+    line "flags" "%s"
+      (String.concat " " (List.map (fun (k, x) -> k ^ "=" ^ x) r.r_flags));
+  (match r.r_seed with Some s -> line "seed" "%d" s | None -> ());
+  line "jobs" "%d" r.r_jobs;
+  line "counters" "%s" r.r_counters;
+  line "events" "%d (%d kept, %d lost)" r.r_events r.r_kept r.r_lost;
+  line "wall" "%.3fs" r.r_wall_s;
+  List.iter (fun (name, s) -> line "  stage" "%s %.3fs" name s) r.r_stages;
+  line "cells" "%d/%d lit (input %d, output %d, variant %d)" (v + i + o) Plan.total i o v;
+  line "digest" "%s" r.r_digest;
+  Buffer.contents buf
+
+let render_diff ~a ~b d =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s (%d events) vs %s (%d events)\n" a.r_id a.r_events b.r_id
+       b.r_events);
+  if d.d_identical then Buffer.add_string buf "coverage: identical (same digest)\n"
+  else if d.d_gained = [] && d.d_lost = [] then
+    Buffer.add_string buf
+      "coverage: same cells lit (frequencies differ — digests disagree)\n"
+  else begin
+    let show verb ids =
+      Buffer.add_string buf
+        (Printf.sprintf "cells %s: %d\n" verb (List.length ids));
+      let shown = ref 0 in
+      List.iter
+        (fun id ->
+          if !shown < 20 then begin
+            incr shown;
+            Buffer.add_string buf
+              (Printf.sprintf "  %s %s\n" verb (cell_label Plan.cells.(id)))
+          end)
+        ids;
+      if List.length ids > 20 then
+        Buffer.add_string buf (Printf.sprintf "  … %d more\n" (List.length ids - 20))
+    in
+    if d.d_gained <> [] then show "gained" d.d_gained;
+    if d.d_lost <> [] then show "lost" d.d_lost
+  end;
+  if d.d_rate_a > 0.0 && d.d_rate_b > 0.0 then begin
+    let delta = 100.0 *. (d.d_rate_b -. d.d_rate_a) /. d.d_rate_a in
+    Buffer.add_string buf
+      (Printf.sprintf "throughput: %.0f ev/s -> %.0f ev/s (%+.1f%%)\n" d.d_rate_a
+         d.d_rate_b delta);
+    if delta < -10.0 then Buffer.add_string buf "throughput: REGRESSION (>10% slower)\n"
+  end;
+  Buffer.contents buf

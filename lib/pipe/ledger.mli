@@ -1,0 +1,86 @@
+(** The persistent run ledger ([.iocov/runs.jsonl], DESIGN.md §14).
+
+    Every pipeline run appends one JSON-lines manifest record —
+    subcommand, flags, seed, jobs, counter backend, event and loss
+    counts, wall and per-stage durations, and a coverage fingerprint
+    (CRC-32 digest of the canonical snapshot plus a dense one-bit-per-
+    cell bitmap over the {!Iocov_core.Plan} universe).  [iocov runs]
+    lists, shows, and diffs the records, turning coverage-regression
+    detection into a one-command check.
+
+    The file is append-only; each append is a single [write] of one
+    line, so concurrent runs interleave whole records.  A crash can at
+    worst truncate the final line, which {!load} counts and skips
+    rather than failing — the lenient-ingestion philosophy applied to
+    our own telemetry. *)
+
+type record = {
+  r_id : string;              (** assigned by {!append}: ["r<n>"] *)
+  r_time : float option;      (** unix seconds; [None] in determinism mode *)
+  r_subcommand : string;
+  r_label : string;           (** source label: trace path, suite name… *)
+  r_flags : (string * string) list;
+  r_seed : int option;
+  r_jobs : int;
+  r_counters : string;
+  r_events : int;
+  r_kept : int;
+  r_lost : int;               (** skipped + abandoned records *)
+  r_wall_s : float;
+  r_stages : (string * float) list;  (** root span name → seconds *)
+  r_digest : string;          (** CRC-32 of {!Iocov_core.Snapshot.to_string}, hex *)
+  r_cells : int * int * int;  (** lit (variant, input, output) cells *)
+  r_bitmap : string;          (** hex bitmap, one bit per plan cell *)
+}
+
+val default_dir : string
+(** [".iocov"]. *)
+
+val path : dir:string -> string
+
+val digest : Iocov_core.Coverage.t -> string
+val bitmap : Iocov_core.Coverage.t -> string
+
+val make :
+  ?time:float -> ?seed:int -> subcommand:string -> label:string ->
+  flags:(string * string) list -> jobs:int -> counters:string -> events:int ->
+  kept:int -> lost:int -> wall_s:float -> stages:(string * float) list ->
+  Iocov_core.Coverage.t -> record
+(** Build a record (id empty until {!append} assigns one). *)
+
+val to_json : record -> Iocov_util.Json.t
+val of_json : Iocov_util.Json.t -> (record, string) result
+val parse_line : string -> (record, string) result
+
+type loaded = { records : record list; bad_lines : int }
+
+val load : dir:string -> loaded
+(** All readable records in file order; unreadable lines (truncated
+    tail after a crash, foreign garbage) are counted in [bad_lines]. *)
+
+val append : dir:string -> record -> (record, string) result
+(** Create [dir] if needed, assign the next id, append one line.
+    Returns the record with its id. *)
+
+val find : record list -> string -> record option
+(** By id ([r7]) or 1-based position ([7]). *)
+
+type diff = {
+  d_gained : int list;  (** plan cell ids lit in B but not in A *)
+  d_lost : int list;    (** lit in A but not in B *)
+  d_rate_a : float;     (** events/s of A *)
+  d_rate_b : float;
+  d_identical : bool;   (** digests equal — byte-identical coverage *)
+}
+
+val diff : record -> record -> diff
+(** Compare two runs' coverage bitmaps (XOR semantics) and throughput.
+    Two byte-identical runs yield empty gained/lost and
+    [d_identical = true]. *)
+
+val bitmap_cells : string -> int list
+(** Lit cell ids of a hex bitmap, ascending. *)
+
+val render_list : loaded -> string
+val render_show : record -> string
+val render_diff : a:record -> b:record -> diff -> string

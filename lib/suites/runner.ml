@@ -64,7 +64,7 @@ let counters_name = function
   | Replay.Reference -> "reference"
 
 let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
-    ?(counters = Replay.Dense) suite =
+    ?(counters = Replay.Dense) ?progress suite =
   Log.info "suite run starting"
     ~fields:
       [ ("suite", Log.str (suite_name suite));
@@ -100,7 +100,7 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
         let config =
           Iocov_pipe.Driver.config
             ~jobs:(match jobs with Some j -> j | None -> 1)
-            ~counters ()
+            ~counters ?progress ()
         in
         match
           Iocov_pipe.Driver.run ~config

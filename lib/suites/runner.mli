@@ -21,7 +21,8 @@ type result = {
 
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->
-  ?counters:Iocov_par.Replay.counters -> suite -> result
+  ?counters:Iocov_par.Replay.counters -> ?progress:Iocov_pipe.Progress.conf ->
+  suite -> result
 (** Run one suite from scratch.  Deterministic for a fixed seed, scale,
     and fault set.
 
@@ -31,8 +32,9 @@ val run :
     shard count (0 = [Domain.recommended_domain_count]); omitted means
     one inline shard — no domain, no channel.  [counters] picks the
     accumulator backend (default [Dense]; [Reference] is the hashed
-    differential oracle).  The resulting coverage is byte-identical
-    across all combinations — only wall-clock changes. *)
+    differential oracle).  [progress] attaches a live progress sink to
+    the pipeline ({!Iocov_pipe.Progress}).  The resulting coverage is
+    byte-identical across all combinations — only wall-clock changes. *)
 
 val run_both :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->

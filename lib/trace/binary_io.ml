@@ -644,6 +644,9 @@ let decode_frame st payload =
    scan always terminates at EOF. *)
 let resync st ~from =
   Metrics.Counter.incr m_resyncs;
+  Iocov_obs.Trace_event.instant ~cat:"ingest"
+    ~args:[ ("offset", string_of_int from) ]
+    "resync";
   st.regions <- st.regions + 1;
   seek_in st.ic from;
   let rec scan () =

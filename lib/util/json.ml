@@ -1,0 +1,262 @@
+(* Minimal JSON: just enough for the run ledger and the trace-event
+   exporter's tests.  Values parse into a plain variant; printing is
+   single-line (the ledger is a JSON-lines file). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---------------------------------------------------- *)
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  escape_to buf s;
+  Buffer.contents buf
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec print buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      escape_to buf s;
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          print buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape_to buf k;
+          Buffer.add_string buf "\":";
+          print buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print buf v;
+  Buffer.contents buf
+
+(* ---- parsing ----------------------------------------------------- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_literal st word v =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then (
+    st.pos <- st.pos + n;
+    v)
+  else fail st (Printf.sprintf "expected %s" word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' ->
+        advance st;
+        Buffer.contents buf
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char buf '"'; loop ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; loop ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; loop ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; loop ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; loop ()
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; loop ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; loop ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; loop ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then fail st "short \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            (* Encode the code point as UTF-8; surrogates are kept as the
+               replacement character — the ledger never emits them. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then (
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+            else (
+              Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))));
+            loop ()
+        | _ -> fail st "bad escape")
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance st;
+        loop ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st;
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  let s = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail st "bad number")
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' ->
+      advance st;
+      String (parse_string_body st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then (
+        advance st;
+        List [])
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        items []
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then (
+        advance st;
+        Obj [])
+      else
+        let member () =
+          skip_ws st;
+          expect st '"';
+          let k = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec members acc =
+          let kv = member () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              members (kv :: acc)
+          | Some '}' ->
+              advance st;
+              Obj (List.rev (kv :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character '%c'" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ---- accessors --------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function Int i -> Some i | Float f when Float.is_integer f -> Some (int_of_float f) | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None

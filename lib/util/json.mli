@@ -1,0 +1,36 @@
+(** Minimal JSON reader/printer — just enough for the run ledger
+    ([.iocov/runs.jsonl]) and the trace-event exporter's
+    well-formedness tests, with no external dependency.
+
+    Printing is single-line, suitable for JSON-lines files; parsing
+    accepts any RFC 8259 document (escapes decoded, [\u] as UTF-8).
+    Not a streaming parser: documents are read whole, which is fine for
+    one-line manifest records. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering.  Integral floats print with a trailing
+    [.0] so they survive a round-trip as floats. *)
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete document; [Error] carries a message with the
+    byte offset.  Trailing non-whitespace is an error. *)
+
+(** {2 Accessors} — shallow, [None] on type mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -1,0 +1,29 @@
+#!/bin/sh
+# The one-command gate: build everything, run the full alcotest suite
+# (which includes the example smoke rules via the runtest alias), and
+# exercise the flight-recorder CLI surface end to end on a tiny trace.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== flight-recorder CLI smoke =="
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+dune exec bin/iocov.exe -- trace xfstests --binary -o "$tmp/t.bin" --seed 7 \
+  --scale 0.05 > /dev/null
+dune exec bin/iocov.exe -- analyze "$tmp/t.bin" --jobs 2 \
+  --trace-out "$tmp/timeline.json" --progress=100 --ledger "$tmp/ledger" \
+  > /dev/null 2> /dev/null
+dune exec bin/iocov.exe -- analyze "$tmp/t.bin" --jobs 2 \
+  --ledger "$tmp/ledger" > /dev/null 2> /dev/null
+grep -q traceEvents "$tmp/timeline.json"
+dune exec bin/iocov.exe -- runs list --ledger "$tmp/ledger" > /dev/null
+dune exec bin/iocov.exe -- runs diff 1 2 --ledger "$tmp/ledger" \
+  | grep -q "identical"
+
+echo "all checks passed"

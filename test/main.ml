@@ -6,4 +6,5 @@ let () =
      @ Test_crash.suites @ Test_trace.suites @ Test_core.suites @ Test_suites.suites
      @ Test_bugstudy.suites @ Test_integration.suites @ Test_extensions.suites
      @ Test_model_based.suites @ Test_obs.suites @ Test_par.suites
-     @ Test_dense.suites @ Test_robust.suites @ Test_pipe.suites)
+     @ Test_dense.suites @ Test_robust.suites @ Test_pipe.suites
+     @ Test_flight.suites)

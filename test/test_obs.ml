@@ -195,6 +195,22 @@ let test_span_flatten_paths () =
     [ [ "a" ]; [ "a"; "b" ]; [ "a"; "c" ] ]
     (List.map fst (Span.flatten root))
 
+(* Parallel shards complete their root spans in scheduler order; the
+   exported tree must not depend on it.  [roots] sorts by (name,
+   duration), so any completion order renders identically. *)
+let test_span_roots_sorted () =
+  let reg = Metrics.create () in
+  Span.reset ();
+  (* completion order: b(2.0), a(5.0), a(1.0) — deliberately unsorted *)
+  with_fake_clock [ 0.0; 2.0; 0.0; 5.0; 0.0; 1.0 ] (fun () ->
+      Span.with_ ~registry:reg ~name:"b" (fun () -> ());
+      Span.with_ ~registry:reg ~name:"a" (fun () -> ());
+      Span.with_ ~registry:reg ~name:"a" (fun () -> ()));
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "roots sorted by (name, duration)"
+    [ ("a", 1.0); ("a", 5.0); ("b", 2.0) ]
+    (List.map (fun n -> (n.Span.name, n.Span.duration_s)) (Span.roots ()))
+
 (* --- logging --- *)
 
 let capture_lines f =
@@ -299,6 +315,42 @@ let test_json_parse_stable () =
   has "\"labels\":{\"k\":\"v\"}";
   has "\"value\":3";
   has "\"spans\":[]"
+
+(* Prometheus exposition-format escaping (the spec is exact): label
+   values escape only backslash, double-quote, and newline; HELP text
+   escapes only backslash and newline.  Tabs and non-ASCII pass through
+   raw — JSON-style escapes would be a format violation. *)
+let test_prometheus_label_escaping () =
+  let reg = Metrics.create () in
+  Metrics.Counter.incr
+    (Metrics.counter reg "iocov_test_total" ~labels:[ ("path", "a\\b\"c\nd\te") ]);
+  let text = Export.to_prometheus reg in
+  let has fragment =
+    let fl = String.length fragment and tl = String.length text in
+    let rec go i = i + fl <= tl && (String.sub text i fl = fragment || go (i + 1)) in
+    check_bool (String.escaped fragment) true (go 0)
+  in
+  (* backslash and double-quote gain a backslash, newline becomes a
+     two-character escape, the tab passes through raw *)
+  has "path=\"a\\\\b\\\"c\\nd\te\"";
+  check_bool "no JSON tab escape" true
+    (not
+       (let frag = "\\t" and tl = String.length text in
+        let fl = String.length frag in
+        let rec go i = i + fl <= tl && (String.sub text i fl = frag || go (i + 1)) in
+        go 0))
+
+let test_prometheus_help_escaping () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "iocov_test_total" ~help:"line one\nline two \\ \"quoted\"");
+  let text = Export.to_prometheus reg in
+  let has fragment =
+    let fl = String.length fragment and tl = String.length text in
+    let rec go i = i + fl <= tl && (String.sub text i fl = fragment || go (i + 1)) in
+    check_bool (String.escaped fragment) true (go 0)
+  in
+  (* newline -> \n, backslash -> \\, quotes raw in HELP *)
+  has "# HELP iocov_test_total line one\\nline two \\\\ \"quoted\"\n"
 
 let test_span_json () =
   let node =
@@ -424,7 +476,8 @@ let suites =
       [ Alcotest.test_case "nesting under a fake clock" `Quick test_span_nesting_fake_clock;
         Alcotest.test_case "closes on exception" `Quick test_span_closes_on_exception;
         Alcotest.test_case "timed agrees with roots" `Quick test_span_timed_duration_agrees;
-        Alcotest.test_case "flatten paths" `Quick test_span_flatten_paths ] );
+        Alcotest.test_case "flatten paths" `Quick test_span_flatten_paths;
+        Alcotest.test_case "roots sorted" `Quick test_span_roots_sorted ] );
     ( "obs.log",
       [ Alcotest.test_case "level filter" `Quick test_log_levels_filter;
         Alcotest.test_case "text format" `Quick test_log_text_format;
@@ -433,6 +486,8 @@ let suites =
       [ Alcotest.test_case "prometheus deterministic" `Quick test_prometheus_deterministic;
         Alcotest.test_case "prometheus shape" `Quick test_prometheus_shape;
         Alcotest.test_case "json parse-stable" `Quick test_json_parse_stable;
+        Alcotest.test_case "label escaping" `Quick test_prometheus_label_escaping;
+        Alcotest.test_case "help escaping" `Quick test_prometheus_help_escaping;
         Alcotest.test_case "span json" `Quick test_span_json ] );
     ( "obs.pipeline",
       [ Alcotest.test_case "non-timing metrics deterministic" `Quick
