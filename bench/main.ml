@@ -50,7 +50,10 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
-        perf|parallel|coverage|robustness|obs)");
+        perf|parallel|coverage|robustness|obs|format)");
+      ("--format-bench", Arg.Unit (fun () -> only := "format" :: !only),
+       "shorthand for --only format (the v3-compactness and scanner-equivalence gate; \
+        exits non-zero on failure)");
       ("--coverage-bench", Arg.Unit (fun () -> only := "coverage" :: !only),
        "shorthand for --only coverage (E12, counter backend microbench)");
       ("--events", Arg.Set_int coverage_events,
@@ -511,6 +514,45 @@ let synth_events n =
   in
   List.init n mk
 
+(* The replay-side counterpart: a trace with the string locality of a
+   real suite run, where a few thousand files under the mount are
+   reopened and rewritten all run long.  Nearly every path is a
+   string-table reference, so this measures the decoder's sustained
+   rate rather than its interning throughput — the shape the ROADMAP's
+   events/s target is stated against. *)
+let synth_hot_events n =
+  let rng = Prng.create ~seed:(!seed + 103) in
+  let rdonly = Open_flags.of_flags Open_flags.[ O_RDONLY ] in
+  let mk seq =
+    let path = Printf.sprintf "/mnt/test/d%d/f%d" (Prng.int rng 8) (Prng.int rng 500) in
+    let fd = 3 + Prng.int rng 60 in
+    let call, outcome =
+      match Prng.int rng 8 with
+      | 0 -> (Model.open_ ~flags:rdonly ~mode:0o644 path, Model.Ret fd)
+      | 1 -> (Model.open_ ~flags:rdonly ~mode:0 path, Model.Err Errno.ENOENT)
+      | 2 -> (Model.read ~fd ~count:(Prng.pow2_size rng ~max_log2:20) (), Model.Ret 4096)
+      | 3 | 4 ->
+        ( Model.write ~variant:Model.Sys_write ~fd ~count:(Prng.pow2_size rng ~max_log2:22) (),
+          Model.Ret 100 )
+      | 5 ->
+        (Model.lseek ~fd ~offset:(Prng.int rng 1_000_000) ~whence:Whence.SEEK_SET, Model.Ret 0)
+      | 6 ->
+        ( Model.truncate ~target:(Model.Path path) ~length:(Prng.pow2_size rng ~max_log2:24) (),
+          Model.Ret 0 )
+      | _ -> (Model.chmod ~target:(Model.Path path) ~mode:(Prng.int rng 0o7777) (), Model.Ret 0)
+    in
+    {
+      Event.seq;
+      timestamp_ns = seq * 173;
+      pid = 1000 + Prng.int rng 8;
+      comm = "bench";
+      payload = Event.Tracked call;
+      outcome;
+      path_hint = Some path;
+    }
+  in
+  List.init n mk
+
 let timed_wall f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -581,6 +623,8 @@ let perf_benches () =
           Coverage.observe coverage write_call (Model.Ret 4096)));
       Test.make ~name:"trace: parse one record (text)" (Staged.stage (fun () ->
           ignore (Iocov_trace.Format_io.of_line sample_line)));
+      Test.make ~name:"trace: parse one record (text, reference)" (Staged.stage (fun () ->
+          ignore (Iocov_trace.Format_io.of_line_reference sample_line)));
       Test.make ~name:"filter: regex search on a hint" (Staged.stage (fun () ->
           ignore (Iocov_regex.Engine.search regex "/mnt/test/dir/file")));
       Test.make ~name:"metric: TCD over 21 partitions" (Staged.stage (fun () ->
@@ -673,7 +717,7 @@ let perf_benches () =
     stage_rows;
   let body =
     Printf.sprintf
-      "{\n  \"schema\": \"iocov-bench-pipeline/2\",\n  \"seed\": %d,\n  \"benches\": [\n%s\n  \
+      "{\n  \"schema\": \"iocov-bench-pipeline/3\",\n  \"seed\": %d,\n  \"benches\": [\n%s\n  \
        ],\n  \"sequential_replay\": { \"events\": %d, \"elapsed_s\": %.4f, \"events_per_s\": \
        %.0f },\n  \"pipeline_stages\": [\n%s\n  ]\n}\n"
       !seed
@@ -898,7 +942,7 @@ let e13_robustness () =
   Printf.printf "generating a %s-event synthetic trace...\n%!" (Ascii.si_count n);
   let events = synth_events n in
   let filter = Filter.mount_point "/mnt/test" in
-  let with_trace version f =
+  let with_trace ?(events = events) version f =
     let path = Filename.temp_file "iocov_bench" ".trace" in
     Fun.protect
       ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
@@ -906,6 +950,7 @@ let e13_robustness () =
         let oc = open_out_bin path in
         let w = Iocov_trace.Binary_io.writer ~version oc in
         List.iter (Iocov_trace.Binary_io.sink w) events;
+        Iocov_trace.Binary_io.flush w;
         close_out oc;
         f path)
   in
@@ -923,18 +968,75 @@ let e13_robustness () =
   let rate dt = float_of_int n /. dt in
   with_trace 1 @@ fun v1_path ->
   with_trace 2 @@ fun v2_path ->
+  with_trace 3 @@ fun v3_path ->
+  with_trace ~events:(synth_hot_events n) 3 @@ fun hot_path ->
   let v1_size = (Unix.stat v1_path).Unix.st_size in
   let v2_size = (Unix.stat v2_path).Unix.st_size in
+  let v3_size = (Unix.stat v3_path).Unix.st_size in
   ignore (run v2_path) (* warm-up *);
   let _, v1_dt = run v1_path in
   let _, strict_dt = run v2_path in
   let _, lenient_dt = run ~ingest:(Replay.Lenient Iocov_util.Anomaly.Unlimited) v2_path in
+  (* v3 on the fused single-core path (jobs=1, dense counters) *)
+  ignore (run v3_path) (* warm-up *);
+  let _, v3_dt = run v3_path in
+  let _, v3_lenient_dt =
+    run ~ingest:(Replay.Lenient Iocov_util.Anomaly.Unlimited) v3_path
+  in
+  (* raw batch decode, no replay machinery: the format's own ceiling.
+     Best of three, so one scheduler hiccup doesn't misreport the
+     sustained rate of a sub-100ms measurement. *)
+  let drain_wall path =
+    let once () =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match Iocov_trace.Binary_io.open_stream ic with
+          | Error msg -> failwith ("v3 drain: " ^ msg)
+          | Ok st ->
+            let (), dt =
+              timed_wall (fun () ->
+                  let continue = ref true in
+                  while !continue do
+                    match
+                      Iocov_trace.Binary_io.drain_batch st
+                        ~on_call:(fun _ _ -> ())
+                        ~max:8192 ()
+                    with
+                    | Ok d ->
+                      if d.Iocov_trace.Binary_io.dr_produced = 0 then continue := false
+                    | Error msg -> failwith ("v3 drain: " ^ msg)
+                  done)
+            in
+            dt)
+    in
+    let best = ref (once ()) in
+    for _ = 1 to 2 do
+      let dt = once () in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let v3_drain_dt = drain_wall v3_path in
+  (* the hot-locality trace: zero-copy decode and full fused replay at
+     suite-run string locality — the ROADMAP ≥10M events/s shape *)
+  let hot_drain_dt = drain_wall hot_path in
+  ignore (run hot_path) (* warm-up *);
+  let _, hot_fused_dt = run hot_path in
   let ckpt_path = Filename.temp_file "iocov_bench" ".ckpt" in
   let (_, ckpt_dt) =
     Fun.protect
       ~finally:(fun () -> try Sys.remove ckpt_path with Sys_error _ -> ())
       (fun () ->
         run ~checkpoint:(ckpt_path, max 1 (n / 10)) v2_path)
+  in
+  let v3_ckpt_path = Filename.temp_file "iocov_bench" ".ckpt" in
+  let (_, v3_ckpt_dt) =
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove v3_ckpt_path with Sys_error _ -> ())
+      (fun () ->
+        run ~checkpoint:(v3_ckpt_path, max 1 (n / 10)) v3_path)
   in
   (* flip one byte per ~1000 frames and measure degraded-mode replay *)
   let corrupt, corrupt_dt, skipped =
@@ -962,9 +1064,11 @@ let e13_robustness () =
         let o, dt = run ~ingest:(Replay.Lenient Iocov_util.Anomaly.Unlimited) path in
         (flips, dt, o.Sink.completeness.Iocov_util.Anomaly.records_skipped))
   in
-  Printf.printf "  trace size:     v1 %s B, v2 %s B (%.1f%% framing overhead)\n"
-    (Ascii.si_count v1_size) (Ascii.si_count v2_size)
-    (100.0 *. (float_of_int (v2_size - v1_size) /. float_of_int v1_size));
+  let pct v = 100.0 *. (float_of_int (v - v1_size) /. float_of_int v1_size) in
+  Printf.printf
+    "  trace size:     v1 %s B, v2 %s B (%+.1f%%), v3 %s B (%+.1f%% vs v1)\n"
+    (Ascii.si_count v1_size) (Ascii.si_count v2_size) (pct v2_size)
+    (Ascii.si_count v3_size) (pct v3_size);
   Printf.printf "  v1 strict:      %.3fs (%s events/s)\n" v1_dt
     (Ascii.si_count (int_of_float (rate v1_dt)));
   Printf.printf "  v2 strict:      %.3fs (%s events/s)\n" strict_dt
@@ -973,25 +1077,159 @@ let e13_robustness () =
     (Ascii.si_count (int_of_float (rate lenient_dt)));
   Printf.printf "  v2 checkpointed:%.3fs (%s events/s, 10 checkpoints)\n" ckpt_dt
     (Ascii.si_count (int_of_float (rate ckpt_dt)));
-  Printf.printf "  v2 degraded:    %.3fs (%d flips, %d records skipped)\n%!" corrupt_dt
+  Printf.printf "  v2 degraded:    %.3fs (%d flips, %d records skipped)\n" corrupt_dt
     corrupt skipped;
+  Printf.printf "  v3 fused:       %.3fs (%s events/s, strict, jobs=1)\n" v3_dt
+    (Ascii.si_count (int_of_float (rate v3_dt)));
+  Printf.printf "  v3 lenient:     %.3fs (%s events/s, clean trace)\n" v3_lenient_dt
+    (Ascii.si_count (int_of_float (rate v3_lenient_dt)));
+  Printf.printf "  v3 checkpointed:%.3fs (%s events/s, 10 checkpoints)\n" v3_ckpt_dt
+    (Ascii.si_count (int_of_float (rate v3_ckpt_dt)));
+  Printf.printf "  v3 drain:       %.3fs (%s events/s, batch decode only)\n"
+    v3_drain_dt
+    (Ascii.si_count (int_of_float (rate v3_drain_dt)));
+  Printf.printf "  v3 drain hot:   %.3fs (%s events/s, batch decode, hot-locality trace)\n"
+    hot_drain_dt
+    (Ascii.si_count (int_of_float (rate hot_drain_dt)));
+  Printf.printf "  v3 fused hot:   %.3fs (%s events/s, full replay, hot-locality trace)\n%!"
+    hot_fused_dt
+    (Ascii.si_count (int_of_float (rate hot_fused_dt)));
   let body =
     Printf.sprintf
-      "{\n  \"schema\": \"iocov-bench-robustness/1\",\n  \"seed\": %d,\n  \
+      "{\n  \"schema\": \"iocov-bench-robustness/3\",\n  \"seed\": %d,\n  \
        \"trace_events\": %d,\n  \"bytes_v1\": %d,\n  \"bytes_v2\": %d,\n  \
+       \"bytes_v3\": %d,\n  \
        \"framing_overhead_pct\": %.2f,\n  \
+       \"framing_overhead_v3_pct\": %.2f,\n  \
        \"v1_strict\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v2_strict\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v2_lenient_clean\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v2_checkpointed\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v2_lenient_corrupt\": { \"elapsed_s\": %.4f, \"flips\": %d, \
-       \"records_skipped\": %d }\n}\n"
-      !seed n v1_size v2_size
-      (100.0 *. (float_of_int (v2_size - v1_size) /. float_of_int v1_size))
+       \"records_skipped\": %d },\n  \
+       \"v3_fused\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v3_lenient_clean\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v3_checkpointed\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v3_drain\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v3_drain_hot\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v3_fused_hot\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f }\n}\n"
+      !seed n v1_size v2_size v3_size (pct v2_size) (pct v3_size)
       v1_dt (rate v1_dt) strict_dt (rate strict_dt) lenient_dt (rate lenient_dt)
       ckpt_dt (rate ckpt_dt) corrupt_dt corrupt skipped
+      v3_dt (rate v3_dt) v3_lenient_dt (rate v3_lenient_dt)
+      v3_ckpt_dt (rate v3_ckpt_dt) v3_drain_dt (rate v3_drain_dt)
+      hot_drain_dt (rate hot_drain_dt) hot_fused_dt (rate hot_fused_dt)
   in
   write_json "BENCH_robustness.json" body
+
+(* --- the format gate: quick pass/fail smoke for CI --- *)
+
+let format_bench () =
+  heading "FMT" "Format gate: v3 compactness, cross-format and scanner equivalence";
+  let n = 20_000 in
+  let events = synth_events n in
+  let filter = Filter.mount_point "/mnt/test" in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr failures;
+        Printf.printf "  FAIL: %s\n" m)
+      fmt
+  in
+  let with_file write f =
+    let path = Filename.temp_file "iocov_fmt" ".trace" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      (fun () ->
+        write path;
+        f path)
+  in
+  let write_binary version path =
+    let oc = open_out_bin path in
+    let w = Iocov_trace.Binary_io.writer ~version oc in
+    List.iter (Iocov_trace.Binary_io.sink w) events;
+    Iocov_trace.Binary_io.flush w;
+    close_out oc
+  in
+  let write_text path =
+    Out_channel.with_open_text path (fun oc ->
+        List.iter (Iocov_trace.Format_io.sink_channel oc) events)
+  in
+  with_file (write_binary 1) @@ fun v1 ->
+  with_file (write_binary 2) @@ fun v2 ->
+  with_file (write_binary 3) @@ fun v3 ->
+  with_file write_text @@ fun txt ->
+  let size p = (Unix.stat p).Unix.st_size in
+  let s1 = size v1 and s2 = size v2 and s3 = size v3 and st = size txt in
+  Printf.printf "  bytes: text %d, v1 %d, v2 %d, v3 %d (v3 = %.1f%% of v1)\n" st s1 s2
+    s3
+    (100.0 *. float_of_int s3 /. float_of_int s1);
+  if s3 >= s1 then fail "v3 (%d B) is not smaller than v1 (%d B)" s3 s1;
+  (* cross-format differential: every carrier yields the same snapshot *)
+  let snap path =
+    Snapshot.to_string
+      (pipe_run ~stages:[ Stage.filter filter ] (Source.file path)).Sink.coverage
+  in
+  let ref_snap = snap txt in
+  List.iter
+    (fun (name, path) ->
+      if snap path <> ref_snap then fail "%s snapshot diverges from text" name)
+    [ ("v1", v1); ("v2", v2); ("v3", v3) ];
+  (* scanner differential: fast and reference agree on every line *)
+  let diverged = ref 0 in
+  List.iter
+    (fun e ->
+      let line = Iocov_trace.Format_io.to_line e in
+      match
+        (Iocov_trace.Format_io.of_line line, Iocov_trace.Format_io.of_line_reference line)
+      with
+      | Ok x, Ok y
+        when Iocov_trace.Format_io.to_line x = Iocov_trace.Format_io.to_line y ->
+        ()
+      | Error _, Error _ -> ()
+      | _ -> incr diverged)
+    events;
+  if !diverged > 0 then fail "scanner diverges from reference on %d/%d lines" !diverged n;
+  (* informational rates *)
+  let lines = List.map Iocov_trace.Format_io.to_line events in
+  let parse_ns f =
+    let (), dt = timed_wall (fun () -> List.iter (fun l -> ignore (f l)) lines) in
+    1e9 *. dt /. float_of_int n
+  in
+  Printf.printf "  text parse: fast %.0f ns/rec, reference %.0f ns/rec\n"
+    (parse_ns (fun l -> Iocov_trace.Format_io.of_line l))
+    (parse_ns (fun l -> Iocov_trace.Format_io.of_line_reference l));
+  let ic = open_in_bin v3 in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match Iocov_trace.Binary_io.open_stream ic with
+      | Error msg -> fail "v3 open_stream: %s" msg
+      | Ok st ->
+        let (), dt =
+          timed_wall (fun () ->
+              let continue = ref true in
+              while !continue do
+                match
+                  Iocov_trace.Binary_io.drain_batch st
+                    ~on_call:(fun _ _ -> ())
+                    ~max:8192 ()
+                with
+                | Ok d ->
+                  if d.Iocov_trace.Binary_io.dr_produced = 0 then continue := false
+                | Error msg ->
+                  fail "v3 drain: %s" msg;
+                  continue := false
+              done)
+        in
+        Printf.printf "  v3 drain: %s events/s\n"
+          (Ascii.si_count (int_of_float (float_of_int n /. dt))));
+  if !failures = 0 then Printf.printf "format gate: PASS\n%!"
+  else begin
+    Printf.printf "format gate: %d failure(s)\n%!" !failures;
+    exit 1
+  end
 
 (* --- E14: the flight recorder — what watching a run costs --- *)
 
@@ -1107,6 +1345,7 @@ let () =
   if wanted "parallel" then e11_parallel ();
   if wanted "coverage" then e12_coverage ();
   if wanted "robustness" then e13_robustness ();
+  if wanted "format" then format_bench ();
   if wanted "obs" then e14_obs ();
   if !metrics_json <> "" then begin
     let report =

@@ -118,9 +118,11 @@ let trace_cmd =
        (unfiltered), as a kernel tracer would deliver it. *)
     let oc = if binary then open_out_bin file else open_out file in
     let coverage = Coverage.create () in
+    let writer = if binary then Some (Iocov_trace.Binary_io.writer oc) else None in
     let sink =
-      if binary then Iocov_trace.Binary_io.sink (Iocov_trace.Binary_io.writer oc)
-      else Iocov_trace.Format_io.sink_channel oc
+      match writer with
+      | Some w -> Iocov_trace.Binary_io.sink w
+      | None -> Iocov_trace.Format_io.sink_channel oc
     in
     (match suite with
      | Runner.Crashmonkey ->
@@ -128,6 +130,7 @@ let trace_cmd =
      | Runner.Xfstests ->
        ignore (Iocov_suites.Xfstests.run ~seed ~scale ~sink ~coverage ())
      | Runner.Ltp -> ignore (Iocov_suites.Ltp.run ~seed ~scale ~sink ~coverage ()));
+    Option.iter Iocov_trace.Binary_io.flush writer;
     close_out oc;
     Printf.printf "wrote %s\n" file
   in

@@ -262,15 +262,21 @@ module Dense = struct
     let bump id = counts.(id) <- counts.(id) + 1 in
     { counts; bump; flag_sets = Hashtbl.create 64; calls = 0 }
 
+  let bumper t = t.bump
+  let counts t = t.counts
+  let count_call t = t.calls <- t.calls + 1
+
+  let observe_open_mask t flags =
+    match Hashtbl.find t.flag_sets flags with
+    | r -> incr r
+    | exception Not_found -> Hashtbl.add t.flag_sets flags (ref 1)
+
   let observe_input_only t call =
-    t.calls <- t.calls + 1;
+    count_call t;
     t.bump (Plan.variant_cell (Model.variant_of_call call));
     Plan.iter_input_slots call t.bump;
     match call with
-    | Model.Open_call { flags; _ } -> (
-      match Hashtbl.find t.flag_sets flags with
-      | r -> incr r
-      | exception Not_found -> Hashtbl.add t.flag_sets flags (ref 1))
+    | Model.Open_call { flags; _ } -> observe_open_mask t flags
     | _ -> ()
 
   let observe t call outcome =

@@ -145,6 +145,31 @@ module Dense : sig
   (** Count of one plan cell by dense id — an array read, cheap enough
       for a live progress peek on the hot path. *)
 
+  (** {3 Direct cell access}
+
+      The pieces {!observe} is made of, for a fused trace decoder that
+      computes cell IDs straight from wire fields ({!Plan}'s raw-field
+      slots) without building a [Model.call].  A complete observation
+      is one {!count_call}, the variant cell plus every input slot and
+      the output cell through {!bumper}'s closure, and — for opens —
+      one {!observe_open_mask}. *)
+
+  val bumper : t -> int -> unit
+  (** The accumulator's pre-bound cell incrementer (partial application
+      [bumper t] allocates nothing per call). *)
+
+  val counts : t -> int array
+  (** The live counter array itself, indexed by plan cell ID — the
+      no-indirection variant of {!bumper} for a fused decoder's scalar
+      bumps.  Callers must only increment entries at valid cell IDs. *)
+
+  val count_call : t -> unit
+  (** Count one observed call ({!calls_observed}). *)
+
+  val observe_open_mask : t -> int -> unit
+  (** Record an exact open flag mask (the unbounded-key-space side
+      channel next to the dense array). *)
+
   val to_reference : ?metered:bool -> t -> reference
   (** Rebuild a reference accumulator with exactly the same counts.
       [metered] (default [false]) sets the metering flag of the {e

@@ -153,46 +153,71 @@ let bucket_slot n =
 
 let variant_cell v = variants_off + Model.variant_index v
 
+(* --- raw-field observation ---
+
+   Slot mappings keyed on wire-level field values (bitmask ints,
+   categorical codes, errno indices) rather than a built [Model.call]:
+   what a fused decoder bumps straight out of the byte stream.
+   [iter_input_slots] and [output_cell] below are defined on top of
+   these, so the two observation paths cannot drift. *)
+
+let iter_open_slots ~flags ~mode f =
+  iter_open_flag_slots flags f;
+  (* mode is an input only when the call can create — O_CREAT set, or
+     the full O_TMPFILE pattern (matching [Open_flags.has]) *)
+  if flags land b_creat <> 0 || flags land b_tmpfile = b_tmpfile then
+    iter_mode_slots open_mode_off mode f
+
+let read_count_slot count = read_count_off + bucket_slot count
+let read_offset_slot off = read_offset_off + bucket_slot off
+let write_count_slot count = write_count_off + bucket_slot count
+let write_offset_slot off = write_offset_off + bucket_slot off
+let lseek_offset_slot off = lseek_offset_off + bucket_slot off
+let lseek_whence_slot code = lseek_whence_off + code
+let truncate_length_slot len = truncate_length_off + bucket_slot len
+let iter_mkdir_mode_slots mode f = iter_mode_slots mkdir_mode_off mode f
+let iter_chmod_mode_slots mode f = iter_mode_slots chmod_mode_off mode f
+let setxattr_size_slot size = setxattr_size_off + bucket_slot size
+let setxattr_flag_slot code = setxattr_flags_off + code
+let getxattr_size_slot size = getxattr_size_off + bucket_slot size
+
 let iter_input_slots call f =
   match (call : Model.call) with
-  | Model.Open_call { flags; mode; _ } ->
-    iter_open_flag_slots flags f;
-    (* mode is an input only when the call can create — O_CREAT set, or
-       the full O_TMPFILE pattern (matching [Open_flags.has]) *)
-    if flags land b_creat <> 0 || flags land b_tmpfile = b_tmpfile then
-      iter_mode_slots open_mode_off mode f
+  | Model.Open_call { flags; mode; _ } -> iter_open_slots ~flags ~mode f
   | Model.Read_call { count; offset; _ } ->
-    f (read_count_off + bucket_slot count);
-    (match offset with
-     | Some off -> f (read_offset_off + bucket_slot off)
-     | None -> ())
+    f (read_count_slot count);
+    (match offset with Some off -> f (read_offset_slot off) | None -> ())
   | Model.Write_call { count; offset; _ } ->
-    f (write_count_off + bucket_slot count);
-    (match offset with
-     | Some off -> f (write_offset_off + bucket_slot off)
-     | None -> ())
+    f (write_count_slot count);
+    (match offset with Some off -> f (write_offset_slot off) | None -> ())
   | Model.Lseek_call { offset; whence; _ } ->
-    f (lseek_offset_off + bucket_slot offset);
-    f (lseek_whence_off + Whence.to_code whence)
-  | Model.Truncate_call { length; _ } -> f (truncate_length_off + bucket_slot length)
-  | Model.Mkdir_call { mode; _ } -> iter_mode_slots mkdir_mode_off mode f
-  | Model.Chmod_call { mode; _ } -> iter_mode_slots chmod_mode_off mode f
+    f (lseek_offset_slot offset);
+    f (lseek_whence_slot (Whence.to_code whence))
+  | Model.Truncate_call { length; _ } -> f (truncate_length_slot length)
+  | Model.Mkdir_call { mode; _ } -> iter_mkdir_mode_slots mode f
+  | Model.Chmod_call { mode; _ } -> iter_chmod_mode_slots mode f
   | Model.Close_call _ | Model.Chdir_call _ -> ()
   | Model.Setxattr_call { size; flags; _ } ->
-    f (setxattr_size_off + bucket_slot size);
-    f (setxattr_flags_off + Xattr_flag.to_code flags)
-  | Model.Getxattr_call { size; _ } -> f (getxattr_size_off + bucket_slot size)
+    f (setxattr_size_slot size);
+    f (setxattr_flag_slot (Xattr_flag.to_code flags))
+  | Model.Getxattr_call { size; _ } -> f (getxattr_size_slot size)
 
 (* --- output-side compilation --- *)
 
-let output_cell base outcome =
+let ret_output_cell base n =
   let off = base_offset base in
+  if not (Model.returns_byte_count base) then off + ok_slot
+  else if n = 0 then off + ok_zero_slot
+  else off + bucket0_slot + Log2.floor_log2 (max 1 n)
+
+(* [errno_index] is {!Errno.index} — also the errno's wire index in the
+   binary trace format. *)
+let err_output_cell base errno_index = base_offset base + err0_slot + errno_index
+
+let output_cell base outcome =
   match (outcome : Model.outcome) with
-  | Model.Err e -> off + err0_slot + Errno.index e
-  | Model.Ret n ->
-    if not (Model.returns_byte_count base) then off + ok_slot
-    else if n = 0 then off + ok_zero_slot
-    else off + bucket0_slot + Log2.floor_log2 (max 1 n)
+  | Model.Err e -> err_output_cell base (Errno.index e)
+  | Model.Ret n -> ret_output_cell base n
 
 (* --- the inverse mapping --- *)
 

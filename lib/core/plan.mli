@@ -41,6 +41,46 @@ val output_cell :
 (** Cell ID of the outcome's output partition, as classified by
     {!Partition.output_of}. *)
 
+(** {2 Raw-field observation}
+
+    The same slot mappings keyed on wire-level field values — flag
+    bitmasks, categorical codes, errno indices — instead of a built
+    {!Iocov_syscall.Model.call}.  A fused trace decoder bumps these
+    straight out of the byte stream without materializing the call;
+    {!iter_input_slots} and {!output_cell} are defined on top of them,
+    so the two observation paths cannot drift. *)
+
+val iter_open_slots : flags:int -> mode:int -> (int -> unit) -> unit
+(** Open-call input slots for a raw flag/mode pair (mode slots only
+    when the flags can create, matching [Open_flags.has]). *)
+
+val read_count_slot : int -> int
+val read_offset_slot : int -> int
+val write_count_slot : int -> int
+val write_offset_slot : int -> int
+val lseek_offset_slot : int -> int
+
+val lseek_whence_slot : int -> int
+(** Takes a whence {e code} ([Whence.to_code], also the wire byte). *)
+
+val truncate_length_slot : int -> int
+val iter_mkdir_mode_slots : int -> (int -> unit) -> unit
+val iter_chmod_mode_slots : int -> (int -> unit) -> unit
+val setxattr_size_slot : int -> int
+
+val setxattr_flag_slot : int -> int
+(** Takes an xattr-flag {e code} ([Xattr_flag.to_code], also the wire
+    byte). *)
+
+val getxattr_size_slot : int -> int
+
+val ret_output_cell : Iocov_syscall.Model.base -> int -> int
+(** Output cell of a successful return value [Ret n]. *)
+
+val err_output_cell : Iocov_syscall.Model.base -> int -> int
+(** Output cell of an errno by {e index} ({!Iocov_syscall.Errno.index},
+    also the errno's wire index in the binary trace format). *)
+
 (**/**)
 
 (* Exposed for white-box tests of the layout. *)

@@ -610,26 +610,104 @@ let write_checkpoint ~spec ~trace_path ~base ~stream st =
     ~args:[ ("events", string_of_int events) ]
     "checkpoint-write"
 
+(* The fused single-shard engine: v3 records map to dense plan cells
+   inside the decoder ({!Binary_io.drain_batch_dense}) — no [Event.t]
+   list is ever built, no [Model.call] is ever materialized, no channel
+   is crossed.  Metering, watch ticks, and checkpoints are
+   batch-for-batch identical to the classic inline path, so snapshots
+   and ledgers cannot tell the two apart. *)
+let run_fused ~ingest ~batch ?watch ~checkpoint ~resume ~limit ~filter ~trace_path stream =
+  let st = make_shard ~counters:Dense ~metered:true () in
+  let d = match st.acc with A_dense d -> d | A_ref _ -> assert false in
+  let keep_hint = Option.map (fun f hint -> Filter.matches_hint f hint) filter in
+  let remaining = ref (match limit with Some n -> n | None -> max_int) in
+  let next_due = ref (match checkpoint with Some c -> c.ckpt_every | None -> max_int) in
+  let maybe_checkpoint ~force =
+    match checkpoint with
+    | Some spec when force || st.s_events >= !next_due ->
+      write_checkpoint ~spec ~trace_path ~base:(Option.map snd resume) ~stream st;
+      next_due := st.s_events + spec.ckpt_every
+    | _ -> ()
+  in
+  let tracing = Trace_event.enabled () in
+  let fed =
+    Span.with_ ~name:"par/shard-0" (fun () ->
+        let rec loop () =
+          if !remaining <= 0 then Ok ()
+          else begin
+            let t_start = if tracing then Clock.now () else 0.0 in
+            match
+              Binary_io.drain_batch_dense stream ?keep_hint ~dense:d
+                ~max:(min batch !remaining) ()
+            with
+            | Error _ as e -> e
+            | Ok dr when dr.Binary_io.dr_produced = 0 -> Ok ()
+            | Ok dr ->
+              remaining := !remaining - dr.Binary_io.dr_produced;
+              st.s_events <- st.s_events + dr.Binary_io.dr_produced;
+              st.s_kept <- st.s_kept + dr.Binary_io.dr_kept;
+              st.s_batches <- st.s_batches + 1;
+              Metrics.Counter.incr m_batches;
+              Metrics.Counter.add m_events dr.Binary_io.dr_produced;
+              Metrics.Counter.add m_observed_dense dr.Binary_io.dr_kept;
+              if keep_hint <> None then
+                Filter.meter ~kept:dr.Binary_io.dr_kept ~no_hint:dr.Binary_io.dr_no_hint
+                  ~no_match:dr.Binary_io.dr_no_match;
+              if tracing then
+                Trace_event.complete ~cat:"stage" ~name:"batch"
+                  ~args:
+                    [ ("shard", "0");
+                      ("batch", string_of_int (st.s_batches - 1));
+                      ("events", string_of_int dr.Binary_io.dr_produced);
+                      ("kept", string_of_int dr.Binary_io.dr_kept) ]
+                  ~ts:t_start
+                  ~dur:(Clock.now () -. t_start)
+                  ();
+              (match watch with
+               | Some w -> w ~pushed:st.s_events ~peek:(view_shard st)
+               | None -> ());
+              maybe_checkpoint ~force:false;
+              loop ()
+          end
+        in
+        let r = loop () in
+        (match r with Ok () -> maybe_checkpoint ~force:(checkpoint <> None) | Error _ -> ());
+        r)
+  in
+  match fed with
+  | Error _ as e -> e
+  | Ok () ->
+    finalize ~ingest ~pushed:st.s_events
+      ~producer:(Binary_io.completeness stream)
+      [| st |]
+
 let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch ~checkpoint ~resume
-    ~limit ~keep ~trace_path ic =
+    ~limit ?filter ?stage ~trace_path ic =
   if batch <= 0 then invalid_arg "Replay.analyze_channel: batch must be positive";
   (match limit with
    | Some n when n < 0 -> invalid_arg "Replay.analyze_channel: limit must be non-negative"
    | _ -> ());
+  let keep = compile_keep ?filter ?stage () in
   let inline_shard = ref None in
   let expose_shard st = inline_shard := Some st in
   let remaining = ref (match limit with Some n -> n | None -> max_int) in
-  let feed ~push ~set_comp =
-    if Binary_io.is_binary_trace ic then begin
-      let stream =
-        match resume with
-        | Some (_, (ck : Checkpoint.t)) -> Binary_io.resume_stream ~mode:ingest ic ck.cursor
-        | None -> Binary_io.open_stream ~mode:ingest ic
-      in
-      match stream with
-      | Error msg -> raise (Feed_error msg)
-      | Ok st ->
-        let next_due = ref (match checkpoint with Some c -> c.ckpt_every | None -> max_int) in
+  if Binary_io.is_binary_trace ic then begin
+    let stream =
+      match resume with
+      | Some (_, (ck : Checkpoint.t)) -> Binary_io.resume_stream ~mode:ingest ic ck.cursor
+      | None -> Binary_io.open_stream ~mode:ingest ic
+    in
+    match stream with
+    | Error _ as e -> e
+    | Ok st
+      when Binary_io.stream_version st = 3
+           && Pool.jobs pool = 1 && counters = Dense && chaos = None && stage = None ->
+      run_fused ~ingest ~batch ?watch ~checkpoint ~resume ~limit ~filter ~trace_path st
+    | Ok st -> (
+      let feed ~push ~set_comp =
+        let next_due =
+          ref (match checkpoint with Some c -> c.ckpt_every | None -> max_int)
+        in
         let maybe_checkpoint ~force =
           match (checkpoint, !inline_shard) with
           | Some spec, Some shard when force || shard.s_events >= !next_due ->
@@ -655,8 +733,16 @@ let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch ~checkpoint 
             in
             loop ();
             maybe_checkpoint ~force:(checkpoint <> None))
-    end
-    else begin
+      in
+      match
+        run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ?watch ~feed
+          ~keep ()
+      with
+      | outcome -> outcome
+      | exception Feed_error msg -> Error msg)
+  end
+  else begin
+    let feed ~push ~set_comp:_ =
       let st = Format_io.open_stream ic in
       let rec loop () =
         if !remaining > 0 then begin
@@ -669,13 +755,14 @@ let analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch ~checkpoint 
         end
       in
       loop ()
-    end
-  in
-  match
-    run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ?watch ~feed ~keep ()
-  with
-  | outcome -> outcome
-  | exception Feed_error msg -> Error msg
+    in
+    match
+      run_pipeline ~pool ~counters ~ingest ~policy ~chaos ~expose_shard ?watch ~feed
+        ~keep ()
+    with
+    | outcome -> outcome
+    | exception Feed_error msg -> Error msg
+  end
 
 (* Fold a resumed prefix into a suffix outcome.  Coverage merging is
    commutative and associative, so prefix + suffix is byte-identical to
@@ -705,15 +792,13 @@ let analyze_channel ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest 
     ?policy ?chaos ?watch ?limit ?filter ?stage ic =
   let pool = or_default pool in
   let policy = or_policy policy in
-  let keep = compile_keep ?filter ?stage () in
   analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch ~checkpoint:None
-    ~resume:None ~limit ~keep ~trace_path:"<channel>" ic
+    ~resume:None ~limit ?filter ?stage ~trace_path:"<channel>" ic
 
 let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = Strict)
     ?policy ?chaos ?watch ?checkpoint ?resume ?limit ?filter ?stage path =
   let pool = or_default pool in
   let policy = or_policy policy in
-  let keep = compile_keep ?filter ?stage () in
   match checkpoint with
   | Some spec when spec.ckpt_every <= 0 ->
     Error "checkpoint interval must be positive"
@@ -734,7 +819,7 @@ let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = S
            | _ ->
              match
                analyze_ic ~pool ~batch ~counters ~ingest ~policy ~chaos ?watch
-                 ~checkpoint ~resume ~limit ~keep ~trace_path:path ic
+                 ~checkpoint ~resume ~limit ?filter ?stage ~trace_path:path ic
              with
              | Error _ as e -> e
              | Ok o -> (

@@ -2,6 +2,8 @@ open Iocov_syscall
 module Anomaly = Iocov_util.Anomaly
 module Crc32 = Iocov_util.Crc32
 module Metrics = Iocov_obs.Metrics
+module Plan = Iocov_core.Plan
+module Dense = Iocov_core.Coverage.Dense
 
 (* --- corruption metering, process-wide --- *)
 
@@ -21,46 +23,102 @@ let m_bytes_skipped =
 
 let magic_v1 = "IOCT\001"
 let magic_v2 = "IOCT\002"
+let magic_v3 = "IOCT\003"
 let magic_len = String.length magic_v2
 
-(* v2 frame: sync marker, payload length, CRC-32 of the payload, then
-   the payload (chapter id, string-table base count, record bytes).
-   The marker is what lenient ingestion scans for when resyncing; a
-   false positive in record bytes is harmless because a candidate frame
-   is only accepted when its CRC checks out. *)
+(* v2/v3 frame: sync marker, payload length, CRC-32 of the payload, then
+   the payload.  The marker is what lenient ingestion scans for when
+   resyncing; a false positive in record bytes is harmless because a
+   candidate frame is only accepted when its CRC checks out.
+
+   v2 carries one record per frame; v3 amortizes the framing over many
+   records per frame (the payload header adds a record count) and
+   encodes its records more compactly — see the .mli for the layouts. *)
 let sync0 = 0xF5
 let sync1 = 0x9E
 let max_frame = 1 lsl 24
 
 let default_chapter = 1024
 
+(* v3 frames are multi-record, so a corrupt frame already bounds its own
+   loss; the chapter only bounds lost-reference blast radius.  The
+   default is the maximum chapter size (2^20 records), so a typical
+   trace interns each string once, like v1's global table — dictionary
+   re-introduction on every 1024-record chapter is what made v2 73%
+   fatter than v1. *)
+let default_chapter_v3 = 1 lsl 20
+
+(* Records per v3 frame.  Large enough to amortize the ~16-byte frame
+   overhead to noise, small enough that a torn frame loses little and a
+   resumed decode re-skips at most this many records. *)
+let default_frame_records = 256
+
 exception Corrupt of string
 exception Lost_ref of string
 
-(* --- varints --- *)
+(* --- scratch encoder ---
+
+   A growable [Bytes.t] the writer encodes into.  Unlike [Buffer.t] it
+   exposes its backing store, so a frame's CRC is computed in place
+   ([Crc32.update] over [Bytes.unsafe_to_string]) and the frame goes
+   out in one [output] call — no [Buffer.contents] copy per record. *)
+
+type enc = { mutable eb : Bytes.t; mutable elen : int }
+
+let enc_create n = { eb = Bytes.create n; elen = 0 }
+
+let enc_reserve e n =
+  let need = e.elen + n in
+  if need > Bytes.length e.eb then begin
+    let cap = ref (2 * Bytes.length e.eb) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit e.eb 0 bigger 0 e.elen;
+    e.eb <- bigger
+  end
+
+let enc_byte e b =
+  enc_reserve e 1;
+  Bytes.unsafe_set e.eb e.elen (Char.unsafe_chr (b land 0xFF));
+  e.elen <- e.elen + 1
 
 (* [lsr] makes the loop total even when [n]'s sign bit is set, so the
    full 63-bit pattern a zigzagged extreme offset produces round-trips *)
-let buf_varbits b n =
+let enc_varbits e n =
+  enc_reserve e 10;
   let rec go n =
-    if n >= 0 && n < 0x80 then Buffer.add_char b (Char.unsafe_chr n)
+    if n >= 0 && n < 0x80 then begin
+      Bytes.unsafe_set e.eb e.elen (Char.unsafe_chr n);
+      e.elen <- e.elen + 1
+    end
     else begin
-      Buffer.add_char b (Char.unsafe_chr (0x80 lor (n land 0x7F)));
+      Bytes.unsafe_set e.eb e.elen (Char.unsafe_chr (0x80 lor (n land 0x7F)));
+      e.elen <- e.elen + 1;
       go (n lsr 7)
     end
   in
   go n
 
-let buf_uvarint b n =
+let enc_uvarint e n =
   if n < 0 then invalid_arg "Binary_io.write_uvarint: negative";
-  buf_varbits b n
+  enc_varbits e n
 
 (* branch-free zigzag: correct for the whole int range, including
    magnitudes ≥ 2^61 where [n lsl 1] alone would overflow the guard *)
 let zigzag n = (n lsl 1) lxor (n asr 62)
 let unzigzag n = (n lsr 1) lxor (- (n land 1))
 
-let buf_svarint b n = buf_varbits b (zigzag n)
+let enc_svarint e n = enc_varbits e (zigzag n)
+
+let enc_string e s =
+  let len = String.length s in
+  enc_reserve e len;
+  Bytes.blit_string s 0 e.eb e.elen len;
+  e.elen <- e.elen + len
+
+let enc_output oc e = output oc e.eb 0 e.elen
 
 let chan_varbits oc n =
   let rec go n =
@@ -74,54 +132,73 @@ let chan_varbits oc n =
 
 (* --- byte sources ---
 
-   v1 records are decoded straight off the channel; v2 records are
-   decoded out of the CRC-checked frame payload, an in-memory string.
-   One reader serves both through a two-way source dispatch. *)
+   v1 records are decoded straight off the channel; v2/v3 records are
+   decoded out of the CRC-checked frame payload, held in a reusable
+   [Bytes.t] arena that is refilled frame after frame — the stream
+   performs one [really_input] per frame and no per-frame allocation.
+   One reader serves all versions through a two-way source dispatch. *)
 
-type src = { mutable s : string; mutable pos : int }
-
+(* The arena fields live flat in the reader (not behind an option):
+   [read_byte] runs once per encoded byte, and the flat layout makes its
+   framed fast path a bounds check and an [unsafe_get] with no pointer
+   chase or option match — together with the raised [-inline] threshold
+   this is what keeps the fused drain in the nanoseconds-per-record
+   range. *)
 type reader = {
   ic : in_channel;
-  src : src option;  (* [Some] for v2 frame-payload decoding *)
+  framed : bool;  (* v2/v3: decode from the frame-payload arena *)
+  mutable sb : Bytes.t;  (* the arena (unused for v1) *)
+  mutable slen : int;
+  mutable spos : int;
   mutable strings : string option array;  (* [None] = lost in a corrupt frame *)
   mutable count : int;
 }
 
 let read_byte r =
-  match r.src with
-  | None -> (
+  if r.framed then begin
+    let p = r.spos in
+    if p >= r.slen then raise (Corrupt "unexpected end of record");
+    r.spos <- p + 1;
+    Char.code (Bytes.unsafe_get r.sb p)
+  end
+  else
     match In_channel.input_byte r.ic with
     | Some b -> b
-    | None -> raise (Corrupt "unexpected end of trace"))
-  | Some s ->
-    if s.pos >= String.length s.s then raise (Corrupt "unexpected end of record")
-    else begin
-      let b = Char.code (String.unsafe_get s.s s.pos) in
-      s.pos <- s.pos + 1;
-      b
-    end
+    | None -> raise (Corrupt "unexpected end of trace")
 
 let read_exact r len =
-  match r.src with
-  | None -> (
+  if r.framed then begin
+    let p = r.spos in
+    if p + len > r.slen then raise (Corrupt "unexpected end of record");
+    r.spos <- p + len;
+    Bytes.sub_string r.sb p len
+  end
+  else
     try really_input_string r.ic len
-    with End_of_file -> raise (Corrupt "unexpected end of trace"))
-  | Some s ->
-    if s.pos + len > String.length s.s then raise (Corrupt "unexpected end of record")
-    else begin
-      let x = String.sub s.s s.pos len in
-      s.pos <- s.pos + len;
-      x
-    end
+    with End_of_file -> raise (Corrupt "unexpected end of trace")
+
+(* Advance past [len] bytes without materializing them. *)
+let skip_exact r len =
+  if r.framed then begin
+    if r.spos + len > r.slen then raise (Corrupt "unexpected end of record");
+    r.spos <- r.spos + len
+  end
+  else ignore (read_exact r len)
+
+(* A top-level loop, not a nested closure: without flambda a nested
+   [let rec] capturing [r] allocates on every call, and a record decode
+   makes ~10 varint reads — this is the hottest function in the fused
+   drain.  The one-byte case (the overwhelming majority: table refs,
+   small deltas, field tags) never enters the loop. *)
+let rec uvarint_loop r shift acc =
+  if shift > 62 then raise (Corrupt "varint overflow");
+  let b = read_byte r in
+  let acc = acc lor ((b land 0x7F) lsl shift) in
+  if b land 0x80 = 0 then acc else uvarint_loop r (shift + 7) acc
 
 let read_uvarint r =
-  let rec go shift acc =
-    if shift > 62 then raise (Corrupt "varint overflow");
-    let b = read_byte r in
-    let acc = acc lor ((b land 0x7F) lsl shift) in
-    if b land 0x80 = 0 then acc else go (shift + 7) acc
-  in
-  go 0 0
+  let b = read_byte r in
+  if b < 0x80 then b else uvarint_loop r 7 (b land 0x7F)
 
 let read_svarint r = unzigzag (read_uvarint r)
 
@@ -131,23 +208,29 @@ type writer = {
   oc : out_channel;
   version : int;
   chapter_size : int;
-  buf : Buffer.t;  (* current record's encoding *)
+  frame_records : int;  (* v3: records per frame *)
+  enc : enc;  (* record bytes of the pending frame (v2/v3) / record (v1) *)
+  head : enc;  (* scratch for the frame's payload header *)
   table : (string, int) Hashtbl.t;
   mutable next_index : int;
   mutable last_ts : int;
+  mutable last_pid : int;  (* v3 delta base *)
   mutable chapter : int;
   mutable in_chapter : int;
+  mutable pending : int;  (* records encoded in [enc], awaiting a frame *)
+  mutable frame_first : int;  (* in-chapter index of the first pending record *)
+  mutable frame_base : int;  (* string-table size when the pending frame began *)
 }
 
 let write_string w s =
   match Hashtbl.find_opt w.table s with
-  | Some index -> buf_uvarint w.buf (index + 1)
+  | Some index -> enc_uvarint w.enc (index + 1)
   | None ->
     Hashtbl.add w.table s w.next_index;
     w.next_index <- w.next_index + 1;
-    buf_uvarint w.buf 0;
-    buf_uvarint w.buf (String.length s);
-    Buffer.add_string w.buf s
+    enc_uvarint w.enc 0;
+    enc_uvarint w.enc (String.length s);
+    enc_string w.enc s
 
 let intern_string r s =
   if r.count = Array.length r.strings then begin
@@ -158,11 +241,13 @@ let intern_string r s =
   r.strings.(r.count) <- s;
   r.count <- r.count + 1
 
+let max_string = 1 lsl 20
+
 let read_string r =
   let tag = read_uvarint r in
   if tag = 0 then begin
     let len = read_uvarint r in
-    if len > 1 lsl 20 then raise (Corrupt "string too long");
+    if len > max_string then raise (Corrupt "string too long");
     let s = read_exact r len in
     intern_string r (Some s);
     s
@@ -175,6 +260,19 @@ let read_string r =
     | None ->
       raise (Lost_ref (Printf.sprintf "string %d was introduced in a corrupt frame" index))
   end
+
+(* Like {!read_string}, but never resolves: introductions are interned
+   (their bytes skipped in place), references only bounds-checked.  The
+   resume skip path and the fused drain's dropped records use it to
+   keep the table in lockstep without touching string contents. *)
+let pass_string ~intern r =
+  let tag = read_uvarint r in
+  if tag = 0 then begin
+    let len = read_uvarint r in
+    if len > max_string then raise (Corrupt "string too long");
+    if intern then intern_string r (Some (read_exact r len)) else skip_exact r len
+  end
+  else if tag - 1 >= r.count then raise (Corrupt "string reference out of range")
 
 (* --- enums --- *)
 
@@ -198,7 +296,7 @@ let errno_of_index =
 
 (* --- calls --- *)
 
-let write_byte w b = Buffer.add_char w.buf (Char.unsafe_chr (b land 0xFF))
+let write_byte w b = enc_byte w.enc b
 
 let write_target w = function
   | Model.Path p ->
@@ -206,7 +304,7 @@ let write_target w = function
     write_string w p
   | Model.Fd fd ->
     write_byte w 1;
-    buf_svarint w.buf fd
+    enc_svarint w.enc fd
 
 let read_target r =
   match read_byte r with
@@ -215,40 +313,40 @@ let read_target r =
   | _ -> raise (Corrupt "bad target tag")
 
 let write_call w call =
-  buf_uvarint w.buf (variant_index (Model.variant_of_call call));
+  enc_uvarint w.enc (variant_index (Model.variant_of_call call));
   match call with
   | Model.Open_call { path; flags; mode; _ } ->
     write_string w path;
-    buf_uvarint w.buf flags;
-    buf_uvarint w.buf mode
+    enc_uvarint w.enc flags;
+    enc_uvarint w.enc mode
   | Model.Read_call { fd; count; offset; _ } | Model.Write_call { fd; count; offset; _ } ->
-    buf_svarint w.buf fd;
-    buf_uvarint w.buf count;
-    (match offset with Some off -> buf_svarint w.buf off | None -> ())
+    enc_svarint w.enc fd;
+    enc_uvarint w.enc count;
+    (match offset with Some off -> enc_svarint w.enc off | None -> ())
   | Model.Lseek_call { fd; offset; whence } ->
-    buf_svarint w.buf fd;
-    buf_svarint w.buf offset;
+    enc_svarint w.enc fd;
+    enc_svarint w.enc offset;
     write_byte w (Whence.to_code whence)
   | Model.Truncate_call { target; length; _ } ->
     write_target w target;
-    buf_svarint w.buf length
+    enc_svarint w.enc length
   | Model.Mkdir_call { path; mode; _ } ->
     write_string w path;
-    buf_uvarint w.buf mode
+    enc_uvarint w.enc mode
   | Model.Chmod_call { target; mode; _ } ->
     write_target w target;
-    buf_uvarint w.buf mode
-  | Model.Close_call { fd } -> buf_svarint w.buf fd
+    enc_uvarint w.enc mode
+  | Model.Close_call { fd } -> enc_svarint w.enc fd
   | Model.Chdir_call { target } -> write_target w target
   | Model.Setxattr_call { target; name; size; flags; _ } ->
     write_target w target;
     write_string w name;
-    buf_uvarint w.buf size;
+    enc_uvarint w.enc size;
     write_byte w (Xattr_flag.to_code flags)
   | Model.Getxattr_call { target; name; size; _ } ->
     write_target w target;
     write_string w name;
-    buf_uvarint w.buf size
+    enc_uvarint w.enc size
 
 let read_call r =
   let variant = variant_of_index (read_uvarint r) in
@@ -304,17 +402,70 @@ let read_call r =
     let size = read_uvarint r in
     Model.getxattr ~variant ~target ~name ~size ()
 
+(* Parse a call's fields without building it: every string keeps the
+   table in lockstep via {!pass_string}, every number is consumed and
+   dropped.  Must mirror {!read_call} shape for shape. *)
+let pass_target ~intern r =
+  match read_byte r with
+  | 0 -> pass_string ~intern r
+  | 1 -> ignore (read_svarint r)
+  | _ -> raise (Corrupt "bad target tag")
+
+let pass_call ~intern r =
+  let variant = variant_of_index (read_uvarint r) in
+  match Model.base_of_variant variant with
+  | Model.Open ->
+    pass_string ~intern r;
+    ignore (read_uvarint r);
+    ignore (read_uvarint r)
+  | Model.Read | Model.Write ->
+    ignore (read_svarint r);
+    ignore (read_uvarint r);
+    (match variant with
+     | Model.Sys_pread64 | Model.Sys_pwrite64 -> ignore (read_svarint r)
+     | _ -> ())
+  | Model.Lseek ->
+    ignore (read_svarint r);
+    ignore (read_svarint r);
+    if Whence.of_code (read_byte r) = None then raise (Corrupt "bad whence")
+  | Model.Truncate ->
+    pass_target ~intern r;
+    ignore (read_svarint r)
+  | Model.Mkdir ->
+    pass_string ~intern r;
+    ignore (read_uvarint r)
+  | Model.Chmod ->
+    pass_target ~intern r;
+    ignore (read_uvarint r)
+  | Model.Close -> ignore (read_svarint r)
+  | Model.Chdir -> pass_target ~intern r
+  | Model.Setxattr ->
+    pass_target ~intern r;
+    pass_string ~intern r;
+    ignore (read_uvarint r);
+    if Xattr_flag.of_code (read_byte r) = None then raise (Corrupt "bad xattr flag")
+  | Model.Getxattr ->
+    pass_target ~intern r;
+    pass_string ~intern r;
+    ignore (read_uvarint r)
+
 (* --- events, writer side --- *)
 
 let max_chapter_size = 1 lsl 20
 
-let writer ?(version = 2) ?(chapter = default_chapter) oc =
+let writer ?(version = 3) ?chapter ?(frame = default_frame_records) oc =
+  let chapter =
+    match chapter with
+    | Some c -> c
+    | None -> if version >= 3 then default_chapter_v3 else default_chapter
+  in
   if chapter <= 0 || chapter > max_chapter_size then
     invalid_arg "Binary_io.writer: chapter out of range";
+  if frame <= 0 then invalid_arg "Binary_io.writer: frame must be positive";
   (match version with
    | 1 -> output_string oc magic_v1
-   | 2 ->
-     output_string oc magic_v2;
+   | 2 | 3 ->
+     output_string oc (if version = 2 then magic_v2 else magic_v3);
      (* the chapter size is part of the header so a reader can map a
         frame's (chapter, in-chapter) pair to an absolute record
         number — the basis for exact loss accounting *)
@@ -324,18 +475,25 @@ let writer ?(version = 2) ?(chapter = default_chapter) oc =
     oc;
     version;
     chapter_size = chapter;
-    buf = Buffer.create 256;
+    frame_records = (if version = 3 then min frame chapter else 1);
+    enc = enc_create 4096;
+    head = enc_create 64;
     table = Hashtbl.create 256;
     next_index = 0;
     last_ts = 0;
+    last_pid = 0;
     chapter = 0;
     in_chapter = 0;
+    pending = 0;
+    frame_first = 0;
+    frame_base = 0;
   }
 
+(* v1/v2 record bytes: clamped uvarint timestamp delta, absolute pid. *)
 let encode_record w (e : Event.t) =
-  buf_uvarint w.buf (max 0 (e.timestamp_ns - w.last_ts));
+  enc_uvarint w.enc (max 0 (e.timestamp_ns - w.last_ts));
   w.last_ts <- e.timestamp_ns;
-  buf_uvarint w.buf e.pid;
+  enc_uvarint w.enc e.pid;
   write_string w e.comm;
   (match e.payload with
    | Event.Tracked call ->
@@ -348,7 +506,7 @@ let encode_record w (e : Event.t) =
   (match e.outcome with
    | Model.Ret n ->
      write_byte w 0;
-     buf_svarint w.buf n
+     enc_svarint w.enc n
    | Model.Err errno ->
      write_byte w 1;
      write_byte w (errno_index errno));
@@ -358,46 +516,107 @@ let encode_record w (e : Event.t) =
     write_string w hint
   | None -> write_byte w 0
 
-let write_event w (e : Event.t) =
-  Buffer.clear w.buf;
-  if w.version = 1 then begin
-    encode_record w e;
-    Buffer.output_buffer w.oc w.buf
-  end
-  else begin
-    (* chapter rollover: restart the string table so a corrupt frame can
-       only orphan references until the next chapter, not to the end of
-       the trace *)
-    if w.in_chapter >= w.chapter_size then begin
-      Hashtbl.reset w.table;
-      w.next_index <- 0;
-      w.chapter <- w.chapter + 1;
-      w.in_chapter <- 0
-    end;
-    buf_uvarint w.buf w.chapter;
-    buf_uvarint w.buf w.in_chapter;
-    buf_uvarint w.buf w.next_index;
-    encode_record w e;
-    w.in_chapter <- w.in_chapter + 1;
-    let payload = Buffer.contents w.buf in
-    let crc = Crc32.string payload in
+(* v3 record flags byte: the three per-record shape choices packed into
+   one byte instead of three tag bytes. *)
+let v3_flag_aux = 0x01     (* payload is Aux, not a tracked call *)
+let v3_flag_err = 0x02     (* outcome is Err errno, not Ret n *)
+let v3_flag_hint = 0x04    (* a path hint follows the flags byte *)
+
+(* v3 record bytes: exact zigzag deltas for both monotone-ish fields,
+   one flags byte replacing the per-field tags, and the hint hoisted
+   ahead of the payload so a filtering decoder can drop a record before
+   building its call. *)
+let encode_record_v3 w (e : Event.t) =
+  enc_svarint w.enc (e.timestamp_ns - w.last_ts);
+  w.last_ts <- e.timestamp_ns;
+  enc_svarint w.enc (e.pid - w.last_pid);
+  w.last_pid <- e.pid;
+  write_string w e.comm;
+  let flags =
+    (match e.payload with Event.Tracked _ -> 0 | Event.Aux _ -> v3_flag_aux)
+    lor (match e.outcome with Model.Ret _ -> 0 | Model.Err _ -> v3_flag_err)
+    lor (match e.path_hint with None -> 0 | Some _ -> v3_flag_hint)
+  in
+  write_byte w flags;
+  (match e.path_hint with Some hint -> write_string w hint | None -> ());
+  (match e.payload with
+   | Event.Tracked call -> write_call w call
+   | Event.Aux { name; detail } ->
+     write_string w name;
+     write_string w detail);
+  match e.outcome with
+  | Model.Ret n -> enc_svarint w.enc n
+  | Model.Err errno -> write_byte w (errno_index errno)
+
+(* Emit the pending records as one frame: header and record bytes are
+   CRC'd in place and written with two [output] calls — the per-frame
+   cost the v3 layout amortizes over [frame_records] records. *)
+let emit_frame w =
+  if w.pending > 0 then begin
+    let head = w.head in
+    head.elen <- 0;
+    enc_uvarint head w.chapter;
+    enc_uvarint head w.frame_first;
+    enc_uvarint head w.frame_base;
+    if w.version = 3 then enc_uvarint head w.pending;
+    let crc =
+      Crc32.update
+        (Crc32.update 0 (Bytes.unsafe_to_string head.eb) ~pos:0 ~len:head.elen)
+        (Bytes.unsafe_to_string w.enc.eb) ~pos:0 ~len:w.enc.elen
+    in
     output_byte w.oc sync0;
     output_byte w.oc sync1;
-    chan_varbits w.oc (String.length payload);
+    chan_varbits w.oc (head.elen + w.enc.elen);
     output_byte w.oc (crc land 0xFF);
     output_byte w.oc ((crc lsr 8) land 0xFF);
     output_byte w.oc ((crc lsr 16) land 0xFF);
-    output_byte w.oc ((crc lsr 24) land 0xFF)
-    ;
-    output_string w.oc payload
+    output_byte w.oc ((crc lsr 24) land 0xFF);
+    enc_output w.oc head;
+    enc_output w.oc w.enc;
+    w.enc.elen <- 0;
+    w.pending <- 0
+  end
+
+(* chapter rollover: restart the string table so a corrupt frame can
+   only orphan references until the next chapter, not to the end of
+   the trace.  v3 frames never span a chapter — the pending frame is
+   flushed first, so every frame decodes against one table. *)
+let rollover w =
+  if w.in_chapter >= w.chapter_size then begin
+    emit_frame w;
+    Hashtbl.reset w.table;
+    w.next_index <- 0;
+    w.chapter <- w.chapter + 1;
+    w.in_chapter <- 0
+  end
+
+let write_event w (e : Event.t) =
+  if w.version = 1 then begin
+    encode_record w e;
+    enc_output w.oc w.enc;
+    w.enc.elen <- 0
+  end
+  else begin
+    rollover w;
+    if w.pending = 0 then begin
+      w.frame_first <- w.in_chapter;
+      w.frame_base <- w.next_index
+    end;
+    if w.version = 3 then encode_record_v3 w e else encode_record w e;
+    w.in_chapter <- w.in_chapter + 1;
+    w.pending <- w.pending + 1;
+    if w.pending >= w.frame_records then emit_frame w
   end
 
 let sink = write_event
-let flush w = Stdlib.flush w.oc
+
+let flush w =
+  emit_frame w;
+  Stdlib.flush w.oc
 
 (* --- events, reader side --- *)
 
-(* Shared decode of everything after the timestamp. *)
+(* Shared decode of everything after the timestamp (v1/v2 layout). *)
 let read_event_rest r ~seq ~ts =
   let pid = read_uvarint r in
   let comm = read_string r in
@@ -455,13 +674,17 @@ type stream = {
   ic : in_channel;
   version : int;
   mode : mode;
-  chapter_size : int;  (* from the v2 header; 0 for v1 *)
+  chapter_size : int;  (* from the v2/v3 header; 0 for v1 *)
   sr : reader;
-  frame : src;  (* the v2 frame-payload window [sr.src] points at *)
   mutable seq : int;
-  mutable next_record : int;  (* 0-based absolute index expected next (v2) *)
+  mutable next_record : int;  (* 0-based absolute index expected next (v2/v3) *)
   mutable last_ts : int;
+  mutable last_pid : int;  (* v3 delta base *)
   mutable chapter : int;
+  mutable frame_start : int;  (* byte offset of the current v3 frame *)
+  mutable frame_count : int;  (* records in the current v3 frame *)
+  mutable frame_left : int;  (* records of it not yet delivered *)
+  mutable memo : Bytes.t;  (* fused drain: per-string-index hint verdicts *)
   mutable failed : bool;
   mutable eof : bool;
   (* the completeness ledger *)
@@ -475,19 +698,30 @@ type stream = {
 }
 
 let make_stream ?(mode = Strict) ic ~version ~chapter_size =
-  let frame = { s = ""; pos = 0 } in
-  let src = if version = 2 then Some frame else None in
   {
     ic;
     version;
     mode;
     chapter_size;
-    sr = { ic; src; strings = Array.make 256 None; count = 0 };
-    frame;
+    sr =
+      {
+        ic;
+        framed = version >= 2;
+        sb = Bytes.create 4096;
+        slen = 0;
+        spos = 0;
+        strings = Array.make 256 None;
+        count = 0;
+      };
     seq = 1;
     next_record = 0;
     last_ts = 0;
+    last_pid = 0;
     chapter = 0;
+    frame_start = 0;
+    frame_count = 0;
+    frame_left = 0;
+    memo = Bytes.empty;
     failed = false;
     eof = false;
     produced = 0;
@@ -513,10 +747,11 @@ let read_header_uvarint ic =
 
 let open_stream ?(mode = Strict) ic =
   match really_input_string ic magic_len with
-  | header when header = magic_v2 -> (
+  | header when header = magic_v2 || header = magic_v3 -> (
+    let version = if header = magic_v2 then 2 else 3 in
     match read_header_uvarint ic with
     | Some cs when cs > 0 && cs <= max_chapter_size ->
-      Ok (make_stream ~mode ic ~version:2 ~chapter_size:cs)
+      Ok (make_stream ~mode ic ~version ~chapter_size:cs)
     | _ -> Error "corrupt trace header (bad chapter size)")
   | header when header = magic_v1 -> Ok (make_stream ~mode ic ~version:1 ~chapter_size:0)
   | _ -> Error "not a binary iocov trace (bad magic)"
@@ -545,11 +780,11 @@ let completeness st =
     anomalies = List.rev st.anomalies;
   }
 
-(* --- v2 framing --- *)
+(* --- v2/v3 framing --- *)
 
 type frame_read =
   | Frame_eof
-  | Frame of string
+  | Frame_ok  (* the arena holds the CRC-valid payload *)
   | Frame_bad of string  (* structural damage: resync candidates move on *)
 
 let read_u32_le ic =
@@ -559,10 +794,11 @@ let read_u32_le ic =
   let b3 = input_byte ic in
   b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
 
-(* Read one frame at the current position.  Structural failures (bad
-   sync, insane length, short read, CRC mismatch) are data, not
-   exceptions: lenient mode treats them as resync triggers. *)
-let read_frame ic =
+(* Read one frame at the current position into the arena.  Structural
+   failures (bad sync, insane length, short read, CRC mismatch) are
+   data, not exceptions: lenient mode treats them as resync triggers. *)
+let read_frame st =
+  let ic = st.ic in
   match In_channel.input_byte ic with
   | None -> Frame_eof
   | Some b0 -> (
@@ -582,9 +818,14 @@ let read_frame ic =
         if len < 0 || len > max_frame then Frame_bad "bad frame length"
         else begin
           let crc = read_u32_le ic in
-          let payload = really_input_string ic len in
-          if Crc32.string payload <> crc then Frame_bad "crc mismatch"
-          else Frame payload
+          let f = st.sr in
+          if Bytes.length f.sb < len then f.sb <- Bytes.create (max len (2 * Bytes.length f.sb));
+          really_input ic f.sb 0 len;
+          f.slen <- len;
+          f.spos <- 0;
+          if Crc32.update 0 (Bytes.unsafe_to_string f.sb) ~pos:0 ~len <> crc then
+            Frame_bad "crc mismatch"
+          else Frame_ok
         end
       end
     with End_of_file -> Frame_bad "truncated frame")
@@ -593,14 +834,12 @@ type decoded =
   | Decoded of Event.t
   | Skipped of Anomaly.kind * string  (* frame consumed but record unusable *)
 
-(* Decode a CRC-valid frame payload: chapter id, string-table base
+(* Decode a CRC-valid v2 frame payload: chapter id, string-table base
    count, record.  The base count is the self-healing hook — if frames
    were lost, it tells us how many string introductions went with them,
    and the placeholders make later references to them fail loudly
    (Lost_reference) instead of resolving to the wrong string. *)
-let decode_frame st payload =
-  st.frame.s <- payload;
-  st.frame.pos <- 0;
+let decode_frame st =
   let r = st.sr in
   try
     let chapter = read_uvarint r in
@@ -656,8 +895,8 @@ let resync st ~from =
     | Some _ ->
       let cand = pos_in st.ic - 1 in
       seek_in st.ic cand;
-      (match read_frame st.ic with
-       | Frame payload -> Some (cand, payload)
+      (match read_frame st with
+       | Frame_ok -> Some cand
        | Frame_eof -> None
        | Frame_bad _ ->
          seek_in st.ic (cand + 1);
@@ -697,11 +936,11 @@ let rec next_v2 st =
   if st.eof then None
   else begin
     let start = pos_in st.ic in
-    match read_frame st.ic with
+    match read_frame st with
     | Frame_eof ->
       st.eof <- true;
       None
-    | Frame payload -> consume_payload st ~start payload
+    | Frame_ok -> consume_payload st ~start
     | Frame_bad reason -> (
       match st.mode with
       | Strict ->
@@ -716,14 +955,14 @@ let rec next_v2 st =
           note st ~offset:start Anomaly.Truncated "no further intact frame";
           skip_tail st ~from:start;
           None
-        | Some (cand, payload) ->
+        | Some cand ->
           st.bytes_skipped <- st.bytes_skipped + (cand - start);
           Metrics.Counter.add m_bytes_skipped (cand - start);
-          consume_payload st ~start:cand payload))
+          consume_payload st ~start:cand))
   end
 
-and consume_payload st ~start payload =
-  match decode_frame st payload with
+and consume_payload st ~start =
+  match decode_frame st with
   | Decoded e ->
     (* an index gap discovered on this frame may have pushed the ledger
        over the budget even though the frame itself is fine *)
@@ -739,6 +978,153 @@ and consume_payload st ~start payload =
       bump_skipped st 1;
       check_budget st ~final:false;
       next_v2 st)
+
+(* --- v3 framing: many records per frame --- *)
+
+(* Parse the header of the CRC-valid v3 frame in the arena and settle
+   the loss ledger against its first record index.  On return the frame
+   is current: [frame_left] records await decoding at [frame.spos]. *)
+let begin_frame_v3 st =
+  let r = st.sr in
+  let chapter = read_uvarint r in
+  let first = read_uvarint r in
+  let base = read_uvarint r in
+  let count = read_uvarint r in
+  if count <= 0 then raise (Corrupt "empty frame");
+  if first + count > st.chapter_size then raise (Corrupt "in-chapter index out of range");
+  let idx = (chapter * st.chapter_size) + first in
+  if idx < st.next_record then raise (Corrupt "record index regression");
+  let gap = idx - st.next_record in
+  if gap > 0 then begin
+    (match st.mode with
+     | Strict -> raise (Corrupt (Printf.sprintf "%d records missing before this frame" gap))
+     | Lenient _ -> bump_skipped st gap)
+  end;
+  st.next_record <- idx;
+  if chapter <> st.chapter then begin
+    st.chapter <- chapter;
+    r.count <- 0;
+    if st.memo <> Bytes.empty then Bytes.fill st.memo 0 (Bytes.length st.memo) '\000'
+  end;
+  if base > r.count then
+    for _ = r.count + 1 to base do
+      intern_string r None
+    done
+  else if base < r.count then raise (Corrupt "string table regression");
+  st.frame_count <- count;
+  st.frame_left <- count
+
+(* A record failed to decode inside a CRC-valid frame (a dangling
+   string reference after lost frames, or writer-side damage).  The
+   record boundary is unknown from here on, so the rest of the frame is
+   lost with it — an exactly-counted loss, since the header said how
+   many records it held. *)
+let record_failure st kind reason =
+  match st.mode with
+  | Strict ->
+    st.failed <- true;
+    raise (Stream_error (Printf.sprintf "offset %d: %s" st.frame_start reason))
+  | Lenient _ ->
+    note st ~offset:st.frame_start kind reason;
+    let lost = st.frame_left in
+    bump_skipped st lost;
+    st.next_record <- st.next_record + lost;
+    st.frame_left <- 0;
+    st.seq <- st.next_record + 1;
+    check_budget st ~final:false
+
+(* Make a frame current: resolve EOF, structural damage (resync), and
+   header defects until [frame_left > 0] or the stream ends. *)
+let rec ensure_frame_v3 st =
+  if st.eof then false
+  else if st.frame_left > 0 then true
+  else begin
+    let start = pos_in st.ic in
+    match read_frame st with
+    | Frame_eof ->
+      st.eof <- true;
+      false
+    | Frame_ok -> header_v3 st ~start
+    | Frame_bad reason -> (
+      match st.mode with
+      | Strict ->
+        st.failed <- true;
+        raise (Stream_error (Printf.sprintf "offset %d: %s" start reason))
+      | Lenient _ -> (
+        note st ~offset:start Anomaly.Corrupt_record reason;
+        match resync st ~from:(start + 1) with
+        | None ->
+          note st ~offset:start Anomaly.Truncated "no further intact frame";
+          skip_tail st ~from:start;
+          false
+        | Some cand ->
+          st.bytes_skipped <- st.bytes_skipped + (cand - start);
+          Metrics.Counter.add m_bytes_skipped (cand - start);
+          header_v3 st ~start:cand))
+  end
+
+and header_v3 st ~start =
+  st.frame_start <- start;
+  match begin_frame_v3 st with
+  | () ->
+    check_budget st ~final:false;
+    true
+  | exception (Corrupt reason | Lost_ref reason) -> (
+    match st.mode with
+    | Strict ->
+      st.failed <- true;
+      raise (Stream_error (Printf.sprintf "offset %d: %s" start reason))
+    | Lenient _ ->
+      (* header defect: the record count is unreadable, so the loss is
+         unknowable here — the next intact frame's index gap counts it *)
+      note st ~offset:start Anomaly.Corrupt_record reason;
+      check_budget st ~final:false;
+      ensure_frame_v3 st)
+
+(* Decode the next record of the current v3 frame into an event. *)
+let decode_record_v3 st =
+  let r = st.sr in
+  let idx = st.next_record in
+  let ts = st.last_ts + read_svarint r in
+  let pid = st.last_pid + read_svarint r in
+  let comm = read_string r in
+  let flags = read_byte r in
+  if flags > 7 then raise (Corrupt "bad record flags");
+  let path_hint =
+    if flags land v3_flag_hint <> 0 then Some (read_string r) else None
+  in
+  let payload =
+    if flags land v3_flag_aux = 0 then Event.Tracked (read_call r)
+    else begin
+      let name = read_string r in
+      let detail = read_string r in
+      Event.Aux { name; detail }
+    end
+  in
+  let outcome =
+    if flags land v3_flag_err = 0 then Model.Ret (read_svarint r)
+    else Model.Err (errno_of_index (read_byte r))
+  in
+  st.last_ts <- ts;
+  st.last_pid <- pid;
+  st.next_record <- idx + 1;
+  st.seq <- idx + 2;
+  st.frame_left <- st.frame_left - 1;
+  st.produced <- st.produced + 1;
+  { Event.seq = idx + 1; timestamp_ns = ts; pid; comm; payload; outcome; path_hint }
+
+let rec next_v3 st =
+  if ensure_frame_v3 st then begin
+    match decode_record_v3 st with
+    | e -> Some e
+    | exception Corrupt msg ->
+      record_failure st Anomaly.Corrupt_record msg;
+      next_v3 st
+    | exception Lost_ref msg ->
+      record_failure st Anomaly.Lost_reference msg;
+      next_v3 st
+  end
+  else None
 
 (* The v1 pump: no frames, no checksums — corruption is detected only
    when a field fails to decode, and with no sync markers there is
@@ -782,35 +1168,392 @@ let next_v1 st =
           None))
   end
 
+let next_event st =
+  match st.version with 1 -> next_v1 st | 2 -> next_v2 st | _ -> next_v3 st
+
+let wrap_stream_errors st f =
+  try f () with
+  | Stream_error msg -> Error msg
+  | Corrupt msg ->
+    st.failed <- true;
+    Error msg
+  | End_of_file ->
+    st.failed <- true;
+    Error "truncated binary trace"
+  | Invalid_argument msg ->
+    st.failed <- true;
+    Error ("corrupt record: " ^ msg)
+
 let read_batch st ~max =
   if max <= 0 then invalid_arg "Binary_io.read_batch: max must be positive";
   if st.failed then Error "reading past a decode error"
+  else
+    wrap_stream_errors st (fun () ->
+        let batch = ref [] in
+        let n = ref 0 in
+        let continue = ref true in
+        while !continue && !n < max do
+          match next_event st with
+          | None -> continue := false
+          | Some e ->
+            batch := e :: !batch;
+            incr n
+        done;
+        if st.eof then check_budget st ~final:true;
+        Ok (Array.of_list (List.rev !batch)))
+
+(* --- the fused drain: records to calls without events --- *)
+
+(* Hint verdict memo, one byte per string-table index of the current
+   chapter: 0 unknown, 1 keep, 2 drop.  A verdict can only be cached
+   for a string that resolved, so a dangling reference still fails
+   loudly on its first use — identical loss accounting to the event
+   path. *)
+let memo_unknown = '\000'
+let memo_keep = '\001'
+let memo_drop = '\002'
+
+let memo_slot st i =
+  if i >= Bytes.length st.memo then begin
+    let bigger = Bytes.make (max 256 (2 * (i + 1))) memo_unknown in
+    Bytes.blit st.memo 0 bigger 0 (Bytes.length st.memo);
+    st.memo <- bigger
+  end;
+  Bytes.unsafe_get st.memo i
+
+let memo_set st i v =
+  ignore (memo_slot st i);
+  Bytes.set st.memo i v
+
+type drained = {
+  dr_produced : int;
+  dr_kept : int;
+  dr_no_hint : int;
+  dr_no_match : int;
+}
+
+(* Hint verdict of one record, consuming its optional hint field:
+   1 keep, 2 drop (hint rejected), 3 drop (no hint under a filter). *)
+let classify_v3 st ~keep_hint ~flags =
+  let r = st.sr in
+  if flags land v3_flag_hint = 0 then
+    (* no hint: a filter drops the record, no filter keeps it *)
+    match keep_hint with None -> 1 | Some _ -> 3
+  else
+    match keep_hint with
+    | None ->
+      pass_string ~intern:true r;
+      1
+    | Some f -> (
+      let tag = read_uvarint r in
+      if tag = 0 then begin
+        let len = read_uvarint r in
+        if len > max_string then raise (Corrupt "string too long");
+        let s = read_exact r len in
+        intern_string r (Some s);
+        let keep = f s in
+        memo_set st (r.count - 1) (if keep then memo_keep else memo_drop);
+        if keep then 1 else 2
+      end
+      else begin
+        let i = tag - 1 in
+        if i >= r.count then raise (Corrupt "string reference out of range");
+        match memo_slot st i with
+        | c when c = memo_keep -> 1
+        | c when c = memo_drop -> 2
+        | _ -> (
+          match r.strings.(i) with
+          | None ->
+            raise
+              (Lost_ref (Printf.sprintf "string %d was introduced in a corrupt frame" i))
+          | Some s ->
+            let keep = f s in
+            memo_set st i (if keep then memo_keep else memo_drop);
+            if keep then 1 else 2)
+      end)
+
+(* Pass over a dropped (or aux) record's payload and outcome, keeping
+   only the string table in step. *)
+let pass_rest_v3 r ~flags =
+  (if flags land v3_flag_aux = 0 then pass_call ~intern:true r
+   else begin
+     pass_string ~intern:true r;
+     pass_string ~intern:true r
+   end);
+  if flags land v3_flag_err = 0 then ignore (read_svarint r) else ignore (read_byte r)
+
+let finish_record_v3 st ~idx ~ts ~pid =
+  st.last_ts <- ts;
+  st.last_pid <- pid;
+  st.next_record <- idx + 1;
+  st.seq <- idx + 2;
+  st.frame_left <- st.frame_left - 1;
+  st.produced <- st.produced + 1
+
+(* One v3 record, fused: classify by hint first, then either decode the
+   call straight into [on_call] or pass over the record keeping only
+   the string table in step.  Aux records are classified (they count as
+   kept/dropped like any record) but never reach [on_call]. *)
+let drain_record_v3 st ~keep_hint ~on_call =
+  let r = st.sr in
+  let idx = st.next_record in
+  let ts = st.last_ts + read_svarint r in
+  let pid = st.last_pid + read_svarint r in
+  pass_string ~intern:true r;  (* comm *)
+  let flags = read_byte r in
+  if flags > 7 then raise (Corrupt "bad record flags");
+  let verdict = classify_v3 st ~keep_hint ~flags in
+  (if verdict = 1 && flags land v3_flag_aux = 0 then begin
+     let call = read_call r in
+     let outcome =
+       if flags land v3_flag_err = 0 then Model.Ret (read_svarint r)
+       else Model.Err (errno_of_index (read_byte r))
+     in
+     on_call call outcome
+   end
+   else pass_rest_v3 r ~flags);
+  finish_record_v3 st ~idx ~ts ~pid;
+  verdict
+
+(* --- the plan-direct drain: wire fields to dense cells, no calls --- *)
+
+(* wire variant index → plan cell / base / has-an-offset-field,
+   precomputed so the plan-direct dispatch is three array reads *)
+let dense_variant_cell = Array.of_list (List.map Plan.variant_cell Model.all_variants)
+let dense_variant_base = Array.of_list (List.map Model.base_of_variant Model.all_variants)
+
+let dense_variant_offset =
+  Array.of_list
+    (List.map
+       (function Model.Sys_pread64 | Model.Sys_pwrite64 -> true | _ -> false)
+       Model.all_variants)
+
+let dense_errnos = List.length Errno.all
+
+let read_outcome_cell r ~flags base =
+  if flags land v3_flag_err = 0 then Plan.ret_output_cell base (read_svarint r)
   else begin
-    try
-      let batch = ref [] in
-      let n = ref 0 in
-      let continue = ref true in
-      while !continue && !n < max do
-        match (if st.version = 2 then next_v2 st else next_v1 st) with
-        | None -> continue := false
-        | Some e ->
-          batch := e :: !batch;
-          incr n
-      done;
-      if st.eof then check_budget st ~final:true;
-      Ok (Array.of_list (List.rev !batch))
-    with
-    | Stream_error msg -> Error msg
-    | Corrupt msg ->
-      st.failed <- true;
-      Error msg
-    | End_of_file ->
-      st.failed <- true;
-      Error "truncated binary trace"
-    | Invalid_argument msg ->
-      st.failed <- true;
-      Error ("corrupt record: " ^ msg)
+    let i = read_byte r in
+    (* the wire errno index is {!Errno.index}, which is also the plan's
+       err-cell offset — validated, then used as-is *)
+    if i >= dense_errnos then raise (Corrupt "bad errno index");
+    Plan.err_output_cell base i
   end
+
+(* A kept tracked record, plan-direct: raw wire fields map straight to
+   dense cell IDs through {!Plan}'s raw-field slots — no [Model.call]
+   is ever built.  Field order and every validation mirrors
+   {!read_call}, and all bumps happen only after the whole record
+   decoded, so a record that fails mid-decode contributes nothing —
+   the same per-record atomicity as the event path. *)
+let drain_tracked_dense st d ~flags =
+  let r = st.sr in
+  let vi = read_uvarint r in
+  if vi >= Array.length dense_variant_cell then raise (Corrupt "bad variant index");
+  let vcell = Array.unsafe_get dense_variant_cell vi in
+  let base = Array.unsafe_get dense_variant_base vi in
+  (* every bump goes through the accumulator's pre-bound closure — one
+     existing closure, nothing allocated per record (a local helper
+     capturing the counter array would be) *)
+  let inc = Dense.bumper d in
+  match base with
+  | Model.Open ->
+    pass_string ~intern:true r;
+    let oflags = read_uvarint r in
+    let mode = read_uvarint r in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    Plan.iter_open_slots ~flags:oflags ~mode inc;
+    Dense.observe_open_mask d oflags;
+    inc ocell
+  | Model.Read ->
+    ignore (read_svarint r);
+    let count = read_uvarint r in
+    let off_slot =
+      if Array.unsafe_get dense_variant_offset vi then Plan.read_offset_slot (read_svarint r)
+      else -1
+    in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc (Plan.read_count_slot count);
+    if off_slot >= 0 then inc off_slot;
+    inc ocell
+  | Model.Write ->
+    ignore (read_svarint r);
+    let count = read_uvarint r in
+    let off_slot =
+      if Array.unsafe_get dense_variant_offset vi then Plan.write_offset_slot (read_svarint r)
+      else -1
+    in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc (Plan.write_count_slot count);
+    if off_slot >= 0 then inc off_slot;
+    inc ocell
+  | Model.Lseek ->
+    ignore (read_svarint r);
+    let offset = read_svarint r in
+    let code = read_byte r in
+    if Whence.of_code code = None then raise (Corrupt "bad whence");
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc (Plan.lseek_offset_slot offset);
+    inc (Plan.lseek_whence_slot code);
+    inc ocell
+  | Model.Truncate ->
+    pass_target ~intern:true r;
+    let length = read_svarint r in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc (Plan.truncate_length_slot length);
+    inc ocell
+  | Model.Mkdir ->
+    pass_string ~intern:true r;
+    let mode = read_uvarint r in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    Plan.iter_mkdir_mode_slots mode inc;
+    inc ocell
+  | Model.Chmod ->
+    pass_target ~intern:true r;
+    let mode = read_uvarint r in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    Plan.iter_chmod_mode_slots mode inc;
+    inc ocell
+  | Model.Close ->
+    ignore (read_svarint r);
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc ocell
+  | Model.Chdir ->
+    pass_target ~intern:true r;
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc ocell
+  | Model.Setxattr ->
+    pass_target ~intern:true r;
+    pass_string ~intern:true r;
+    let size = read_uvarint r in
+    let code = read_byte r in
+    if Xattr_flag.of_code code = None then raise (Corrupt "bad xattr flag");
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc (Plan.setxattr_size_slot size);
+    inc (Plan.setxattr_flag_slot code);
+    inc ocell
+  | Model.Getxattr ->
+    pass_target ~intern:true r;
+    pass_string ~intern:true r;
+    let size = read_uvarint r in
+    let ocell = read_outcome_cell r ~flags base in
+    Dense.count_call d;
+    inc vcell;
+    inc (Plan.getxattr_size_slot size);
+    inc ocell
+
+(* {!drain_record_v3} with the call layer fused away: a kept tracked
+   record goes straight to dense plan-cell bumps. *)
+let drain_record_dense st ~keep_hint d =
+  let r = st.sr in
+  let idx = st.next_record in
+  let ts = st.last_ts + read_svarint r in
+  let pid = st.last_pid + read_svarint r in
+  pass_string ~intern:true r;  (* comm *)
+  let flags = read_byte r in
+  if flags > 7 then raise (Corrupt "bad record flags");
+  let verdict = classify_v3 st ~keep_hint ~flags in
+  (if verdict = 1 && flags land v3_flag_aux = 0 then drain_tracked_dense st d ~flags
+   else pass_rest_v3 r ~flags);
+  finish_record_v3 st ~idx ~ts ~pid;
+  verdict
+
+let check_drain st ~name ~keep_hint ~max =
+  if max <= 0 then invalid_arg (name ^ ": max must be positive");
+  if st.version <> 3 then invalid_arg (name ^ ": v3 streams only");
+  if keep_hint <> None && st.memo = Bytes.empty then st.memo <- Bytes.make 256 memo_unknown
+
+let drain_batch st ?keep_hint ~on_call ~max () =
+  check_drain st ~name:"Binary_io.drain_batch" ~keep_hint ~max;
+  if st.failed then Error "reading past a decode error"
+  else
+    wrap_stream_errors st (fun () ->
+        let produced = ref 0 and kept = ref 0 and no_hint = ref 0 and no_match = ref 0 in
+        let continue = ref true in
+        while !continue && !produced < max do
+          if ensure_frame_v3 st then begin
+            (* one exception handler per frame run, not per record — a
+               mid-frame failure voids the rest of the frame anyway
+               (see {!record_failure}), so nothing after the failing
+               record would have decoded either way *)
+            let budget = min st.frame_left (max - !produced) in
+            match
+              for _ = 1 to budget do
+                let verdict = drain_record_v3 st ~keep_hint ~on_call in
+                incr produced;
+                if verdict = 1 then incr kept
+                else if verdict = 2 then incr no_match
+                else incr no_hint
+              done
+            with
+            | () -> ()
+            | exception Corrupt msg -> record_failure st Anomaly.Corrupt_record msg
+            | exception Lost_ref msg -> record_failure st Anomaly.Lost_reference msg
+          end
+          else continue := false
+        done;
+        if st.eof then check_budget st ~final:true;
+        Ok
+          {
+            dr_produced = !produced;
+            dr_kept = !kept;
+            dr_no_hint = !no_hint;
+            dr_no_match = !no_match;
+          })
+
+let drain_batch_dense st ?keep_hint ~dense ~max () =
+  check_drain st ~name:"Binary_io.drain_batch_dense" ~keep_hint ~max;
+  if st.failed then Error "reading past a decode error"
+  else
+    wrap_stream_errors st (fun () ->
+        let produced = ref 0 and kept = ref 0 and no_hint = ref 0 and no_match = ref 0 in
+        let continue = ref true in
+        while !continue && !produced < max do
+          if ensure_frame_v3 st then begin
+            let budget = min st.frame_left (max - !produced) in
+            match
+              for _ = 1 to budget do
+                let verdict = drain_record_dense st ~keep_hint dense in
+                incr produced;
+                if verdict = 1 then incr kept
+                else if verdict = 2 then incr no_match
+                else incr no_hint
+              done
+            with
+            | () -> ()
+            | exception Corrupt msg -> record_failure st Anomaly.Corrupt_record msg
+            | exception Lost_ref msg -> record_failure st Anomaly.Lost_reference msg
+          end
+          else continue := false
+        done;
+        if st.eof then check_budget st ~final:true;
+        Ok
+          {
+            dr_produced = !produced;
+            dr_kept = !kept;
+            dr_no_hint = !no_hint;
+            dr_no_match = !no_match;
+          })
 
 let fold_channel ic ~init ~f =
   match open_stream ic with
@@ -832,7 +1575,7 @@ let is_binary_trace ic =
   let result =
     try
       let header = really_input_string ic magic_len in
-      header = magic_v1 || header = magic_v2
+      header = magic_v1 || header = magic_v2 || header = magic_v3
     with End_of_file -> false
   in
   In_channel.seek ic pos;
@@ -845,19 +1588,76 @@ type cursor = {
   c_offset : int;
   c_seq : int;
   c_last_ts : int;
+  c_last_pid : int;
   c_chapter : int;
+  c_skip : int;
   c_strings : string option array;
 }
 
 let cursor st =
+  let mid_frame = st.version = 3 && st.frame_left > 0 in
   {
     c_version = st.version;
-    c_offset = pos_in st.ic;
+    c_offset = (if mid_frame then st.frame_start else pos_in st.ic);
     c_seq = st.seq;
     c_last_ts = st.last_ts;
+    c_last_pid = st.last_pid;
     c_chapter = st.chapter;
+    c_skip = (if mid_frame then st.frame_count - st.frame_left else 0);
     c_strings = Array.sub st.sr.strings 0 st.sr.count;
   }
+
+(* Skip one already-delivered record of a re-read frame.  The cursor's
+   string table already holds every string the skipped records
+   introduced, so introductions pass by without interning and the
+   deltas are discarded — the cursor carries the authoritative
+   [last_ts]/[last_pid]. *)
+let skip_record_v3 r =
+  ignore (read_uvarint r);  (* ts delta *)
+  ignore (read_uvarint r);  (* pid delta *)
+  pass_string ~intern:false r;  (* comm *)
+  let flags = read_byte r in
+  if flags > 7 then raise (Corrupt "bad record flags");
+  if flags land v3_flag_hint <> 0 then pass_string ~intern:false r;
+  (if flags land v3_flag_aux = 0 then pass_call ~intern:false r
+   else begin
+     pass_string ~intern:false r;
+     pass_string ~intern:false r
+   end);
+  if flags land v3_flag_err = 0 then ignore (read_svarint r)
+  else ignore (read_byte r)
+
+(* Re-enter the frame a mid-frame cursor points at: re-read it, verify
+   it still matches the cursor, and pass over the records the
+   checkpointed run already delivered. *)
+let reenter_frame st cur =
+  seek_in st.ic cur.c_offset;
+  match read_frame st with
+  | Frame_eof | Frame_bad _ -> Error "checkpoint points at a damaged frame"
+  | Frame_ok -> (
+    let r = st.sr in
+    try
+      let chapter = read_uvarint r in
+      let first = read_uvarint r in
+      let base = read_uvarint r in
+      let count = read_uvarint r in
+      let idx = (chapter * st.chapter_size) + first in
+      if
+        chapter <> cur.c_chapter || cur.c_skip >= count
+        || idx + cur.c_skip <> cur.c_seq - 1
+        || base > r.count
+      then Error "checkpoint does not match the trace frame"
+      else begin
+        for _ = 1 to cur.c_skip do
+          skip_record_v3 r
+        done;
+        st.frame_start <- cur.c_offset;
+        st.frame_count <- count;
+        st.frame_left <- count - cur.c_skip;
+        Ok ()
+      end
+    with Corrupt msg | Lost_ref msg ->
+      Error ("checkpoint frame re-read failed: " ^ msg))
 
 let resume_stream ?(mode = Strict) ic cur =
   match open_stream ~mode ic with
@@ -870,15 +1670,20 @@ let resume_stream ?(mode = Strict) ic cur =
            st.version)
     else if cur.c_offset < header_end || cur.c_offset > Int64.to_int (In_channel.length ic) then
       Error (Printf.sprintf "checkpoint offset %d is outside the trace" cur.c_offset)
+    else if cur.c_skip > 0 && st.version <> 3 then
+      Error "checkpoint skips into a frame of a single-record format"
     else begin
       seek_in ic cur.c_offset;
       st.seq <- cur.c_seq;
       st.next_record <- max 0 (cur.c_seq - 1);
       st.last_ts <- cur.c_last_ts;
+      st.last_pid <- cur.c_last_pid;
       st.chapter <- cur.c_chapter;
       let n = Array.length cur.c_strings in
       st.sr.strings <- Array.make (max 256 n) None;
       Array.blit cur.c_strings 0 st.sr.strings 0 n;
       st.sr.count <- n;
-      Ok st
+      if cur.c_skip > 0 then
+        match reenter_frame st cur with Error _ as e -> e | Ok () -> Ok st
+      else Ok st
     end

@@ -119,3 +119,11 @@ let keep_all t events =
   out
 
 let sink t k e = if decide t e then k e
+
+(* The fused decoder classifies hints itself (it never builds events),
+   so it borrows the classification and reports the batched counts
+   here — same counters, same totals as [keep_all]. *)
+let meter ~kept ~no_hint ~no_match =
+  if kept > 0 then Metrics.Counter.add m_kept kept;
+  if no_hint > 0 then Metrics.Counter.add m_dropped_no_hint no_hint;
+  if no_match > 0 then Metrics.Counter.add m_dropped_no_match no_match

@@ -45,3 +45,14 @@ val keep_all : t -> Event.t list -> Event.t list
 val sink : t -> (Event.t -> unit) -> Event.t -> unit
 (** [sink t k] is a tracer sink that forwards kept records to [k],
     metering each decision like {!fold}. *)
+
+val matches_hint : t -> string -> bool
+(** The bare pattern test on a hint string — what {!keeps} applies to a
+    record's [path_hint].  A pure query, for decoders that classify
+    records before materializing them. *)
+
+val meter : kept:int -> no_hint:int -> no_match:int -> unit
+(** Credit a batch of externally-classified decisions to the filter
+    counters, exactly as {!keep_all} would have.  For the fused binary
+    decode path, which classifies hints via {!matches_hint} without
+    building events. *)

@@ -14,7 +14,17 @@
 val to_line : Event.t -> string
 
 val of_line : ?seq:int -> string -> (Event.t, string) result
-(** [seq] defaults to 0; readers pass the line number. *)
+(** [seq] defaults to 0; readers pass the line number.
+
+    Parses with a single-pass scanner over the canonical [to_line]
+    shape and falls back to {!of_line_reference} on any deviation, so
+    accepted inputs, results, and error messages are those of the
+    reference parser. *)
+
+val of_line_reference : ?seq:int -> string -> (Event.t, string) result
+(** The original [Scanf]-based parser, kept as the differential oracle
+    for the fast scanner ([of_line] must agree with it on every
+    input) and as the fallback for non-canonical lines. *)
 
 val write_channel : out_channel -> Event.t list -> unit
 (** One line per event, flushed. *)

@@ -1,26 +1,73 @@
 (* Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over the
-   native int: the low 32 bits hold the checksum, the table is built
-   once on first use.  ~1 table lookup + 2 xors per byte — cheap enough
-   to checksum every record of a multi-million-event trace. *)
+   native int: the low 32 bits hold the checksum.
+
+   Slicing-by-8: eight 256-entry tables let the loop fold 8 input bytes
+   per iteration instead of one — the tables are derived from the
+   byte-at-a-time table by [T{k+1}[n] = T0[T{k}[n] & 0xFF] ^ (T{k}[n] >> 8)].
+   Bytes are combined with plain [Char.code]/[lsl] so no boxed int32/64
+   is ever allocated, and table reads are [unsafe_get] behind a [land
+   0xFF] mask.  This sits under every frame read and write of the
+   binary trace format, where the byte-at-a-time loop was a measurable
+   slice of the fused-drain record budget. *)
 
 let polynomial = 0xEDB88320
 
-let table =
+(* tables.(k * 256 + n) is T{k}[n] *)
+let tables =
   lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+    (let t = Array.make (8 * 256) 0 in
+     for n = 0 to 255 do
+       let c = ref n in
+       for _ = 0 to 7 do
+         c := if !c land 1 = 1 then polynomial lxor (!c lsr 1) else !c lsr 1
+       done;
+       t.(n) <- !c
+     done;
+     for k = 1 to 7 do
+       for n = 0 to 255 do
+         let prev = t.(((k - 1) * 256) + n) in
+         t.((k * 256) + n) <- t.(prev land 0xFF) lxor (prev lsr 8)
+       done
+     done;
+     t)
 
 let update crc s ~pos ~len =
   if pos < 0 || len < 0 || pos + len > String.length s then
     invalid_arg "Crc32.update: substring out of bounds";
-  let table = Lazy.force table in
+  let t = Lazy.force tables in
   let c = ref (crc lxor 0xFFFFFFFF) in
-  for i = pos to pos + len - 1 do
-    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  let i = ref pos in
+  let stop = pos + len in
+  (* no local helper closures in the loop: without flambda they would
+     allocate every iteration *)
+  while !i + 8 <= stop do
+    let p = !i in
+    let b0 = Char.code (String.unsafe_get s p)
+    and b1 = Char.code (String.unsafe_get s (p + 1))
+    and b2 = Char.code (String.unsafe_get s (p + 2))
+    and b3 = Char.code (String.unsafe_get s (p + 3))
+    and b4 = Char.code (String.unsafe_get s (p + 4))
+    and b5 = Char.code (String.unsafe_get s (p + 5))
+    and b6 = Char.code (String.unsafe_get s (p + 6))
+    and b7 = Char.code (String.unsafe_get s (p + 7)) in
+    (* low word of the state folds with the first 4 input bytes *)
+    let x = !c lxor (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)) in
+    c :=
+      Array.unsafe_get t ((7 * 256) + (x land 0xFF))
+      lxor Array.unsafe_get t ((6 * 256) + ((x lsr 8) land 0xFF))
+      lxor Array.unsafe_get t ((5 * 256) + ((x lsr 16) land 0xFF))
+      lxor Array.unsafe_get t ((4 * 256) + ((x lsr 24) land 0xFF))
+      lxor Array.unsafe_get t ((3 * 256) + b4)
+      lxor Array.unsafe_get t ((2 * 256) + b5)
+      lxor Array.unsafe_get t (256 + b6)
+      lxor Array.unsafe_get t b7;
+    i := p + 8
+  done;
+  while !i < stop do
+    c :=
+      Array.unsafe_get t ((!c lxor Char.code (String.unsafe_get s !i)) land 0xFF)
+      lxor (!c lsr 8);
+    incr i
   done;
   !c lxor 0xFFFFFFFF
 

@@ -11,6 +11,11 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
+echo "== trace format gate =="
+# fails if v3 is not smaller than v1, or any cross-format/scanner
+# differential diverges
+dune exec bench/main.exe -- --format-bench > /dev/null
+
 echo "== flight-recorder CLI smoke =="
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT

@@ -250,6 +250,7 @@ let test_replay_binary_channel () =
       let oc = open_out_bin path in
       let w = Binary_io.writer oc in
       List.iter (Binary_io.sink w) events;
+      Binary_io.flush w;
       close_out oc;
       List.iter
         (fun jobs ->

@@ -89,6 +89,7 @@ let write_binary ?version path events =
   let oc = open_out_bin path in
   let w = Binary_io.writer ?version oc in
   List.iter (Binary_io.sink w) events;
+  Binary_io.flush w;
   close_out oc
 
 let write_text path events =
@@ -132,7 +133,8 @@ let test_file_differential () =
             jobs_sweep))
     [ ("text", write_text);
       ("binary-v1", write_binary ~version:1);
-      ("binary-v2", write_binary ~version:2) ]
+      ("binary-v2", write_binary ~version:2);
+      ("binary-v3", write_binary ~version:3) ]
 
 (* --- lenient ingestion: completeness ledgers must agree --- *)
 

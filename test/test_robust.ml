@@ -25,10 +25,11 @@ let with_temp_file = Test_par.with_temp_file
 
 let filter = Filter.mount_point "/mnt/test"
 
-let write_binary ?version ?chapter path events =
+let write_binary ?version ?chapter ?frame path events =
   let oc = open_out_bin path in
-  let w = Binary_io.writer ?version ?chapter oc in
+  let w = Binary_io.writer ?version ?chapter ?frame oc in
   List.iter (Binary_io.sink w) events;
+  Binary_io.flush w;
   close_out oc
 
 (* byte offset of every frame, recovered with a clean strict read *)
@@ -148,7 +149,7 @@ let test_completeness_algebra () =
 let test_v2_round_trip_chapters () =
   let events = synth_events ~seed:40 500 in
   with_temp_file (fun path ->
-      write_binary ~chapter:16 path events;
+      write_binary ~version:2 ~chapter:16 path events;
       match read_all path with
       | Error msg -> Alcotest.failf "clean v2 read failed: %s" msg
       | Ok (got, c) ->
@@ -174,7 +175,7 @@ let test_v1_still_readable () =
 let test_strict_reports_first_offset () =
   let events = synth_events ~seed:42 200 in
   with_temp_file (fun path ->
-      write_binary ~chapter:16 path events;
+      write_binary ~version:2 ~chapter:16 path events;
       let offs = frame_offsets path in
       let target = offs.(100) + 7 in
       flip_bytes path [ target ];
@@ -188,7 +189,7 @@ let test_strict_reports_first_offset () =
 let test_lenient_exact_single_flip () =
   let events = synth_events ~seed:43 300 in
   with_temp_file (fun path ->
-      write_binary ~chapter:16 path events;
+      write_binary ~version:2 ~chapter:16 path events;
       let offs = frame_offsets path in
       (* CRC byte of a mid-trace frame: exactly one record damaged *)
       flip_bytes path [ offs.(150) + 4 ];
@@ -208,7 +209,7 @@ let test_lenient_exact_adjacent_frames () =
      introductions for later records are lost with them. *)
   let events = synth_events ~seed:44 300 in
   with_temp_file (fun path ->
-      write_binary ~chapter:16 path events;
+      write_binary ~version:2 ~chapter:16 path events;
       let offs = frame_offsets path in
       flip_bytes path [ offs.(85) + 4; offs.(86) + 4 ];
       match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
@@ -223,7 +224,7 @@ let test_lenient_lost_reference_cascade () =
      the rest of its chapter; the next chapter restarts the table *)
   let events = synth_events ~seed:45 64 in
   with_temp_file (fun path ->
-      write_binary ~chapter:8 path events;
+      write_binary ~version:2 ~chapter:8 path events;
       let offs = frame_offsets path in
       flip_bytes path [ offs.(8) + 7 ];
       match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
@@ -240,7 +241,7 @@ let test_lenient_lost_reference_cascade () =
 let test_lenient_truncated_tail () =
   let events = synth_events ~seed:46 200 in
   with_temp_file (fun path ->
-      write_binary ~chapter:16 path events;
+      write_binary ~version:2 ~chapter:16 path events;
       let size = Bytes.length (read_file path) in
       truncate_file path (size - 5);
       (match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
@@ -257,7 +258,7 @@ let test_fuzz_bit_flips_never_raise () =
   let chapter = 16 in
   let events = synth_events ~seed:47 n in
   with_temp_file (fun clean_path ->
-      write_binary ~chapter clean_path events;
+      write_binary ~version:2 ~chapter clean_path events;
       let clean = read_file clean_path in
       let size = Bytes.length clean in
       (* past the magic and the chapter-size varint *)
@@ -294,7 +295,7 @@ let test_fuzz_bit_flips_never_raise () =
 let test_budget_enforced () =
   let events = synth_events ~seed:48 300 in
   with_temp_file (fun path ->
-      write_binary ~chapter:16 path events;
+      write_binary ~version:2 ~chapter:16 path events;
       let offs = frame_offsets path in
       flip_bytes path [ offs.(50) + 4; offs.(150) + 4 ];
       (* zero tolerance: fails on the first skip, online *)
@@ -314,6 +315,190 @@ let test_budget_enforced () =
       match read_all ~mode:(Binary_io.Lenient (Anomaly.Max_fraction 0.05)) path with
       | Error msg -> Alcotest.failf "5%% budget rejected 0.67%% corruption: %s" msg
       | Ok _ -> ())
+
+(* --- v3 format: multi-record frames --- *)
+
+module Model = Iocov_syscall.Model
+
+(* Every string introduced in each chapter's first frame, so damaging
+   any later frame loses exactly that frame's records — no reference
+   cascade to muddy the ledger. *)
+let uniform_events n =
+  List.init n (fun seq ->
+      {
+        Event.seq;
+        timestamp_ns = seq * 17;
+        pid = 42;
+        comm = "bench";
+        payload = Event.Tracked (Model.close (seq mod 512));
+        outcome = Model.Ret 0;
+        path_hint = Some "/mnt/test/f";
+      })
+
+let test_v3_round_trip_frames () =
+  List.iter
+    (fun (n, chapter, frame) ->
+      let events = synth_events ~seed:60 n in
+      with_temp_file (fun path ->
+          write_binary ~version:3 ~chapter ~frame path events;
+          match read_all path with
+          | Error msg ->
+            Alcotest.failf "clean v3 read failed (chapter=%d frame=%d): %s" chapter frame msg
+          | Ok (got, c) ->
+            let label = Printf.sprintf "chapter=%d frame=%d" chapter frame in
+            check_int (label ^ " count") n (List.length got);
+            check_bool (label ^ " records identical") true
+              (List.for_all2 (fun a b -> ignore_seq a = ignore_seq b) events got);
+            check_bool (label ^ " ledger clean") true (Anomaly.is_clean c)))
+    [ (500, 16, 4);
+      (500, 64, 64);
+      (* frame larger than the chapter: clamped, frames never span chapters *)
+      (100, 1, 8);
+      (300, 512, 256);
+      (* empty trace: header only, zero frames *)
+      (0, 16, 4) ]
+
+let test_v3_frame_flip_exact_ledger () =
+  let events = uniform_events 400 in
+  with_temp_file (fun path ->
+      write_binary ~version:3 ~chapter:64 ~frame:8 path events;
+      let offs = frame_offsets path in
+      (* offs.(8k) is the k-th frame's start; frame 20 holds records
+         160..167, mid-chapter, so its loss is exactly its 8 records *)
+      flip_bytes path [ offs.(160) + 4 ];
+      (match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+       | Error msg -> Alcotest.failf "lenient read failed: %s" msg
+       | Ok (got, c) ->
+         check_int "whole frame lost, nothing else" 8 c.Anomaly.records_skipped;
+         check_int "read + skipped = written" 400
+           (List.length got + c.Anomaly.records_skipped);
+         check_int "one corrupt region" 1 c.Anomaly.corrupt_regions;
+         check_bool "not truncated" false c.Anomaly.truncated);
+      match read_all path with
+      | Ok _ -> Alcotest.fail "strict read of a corrupt v3 trace succeeded"
+      | Error _ -> ())
+
+let test_v3_truncated_tail () =
+  (* 100 records, chapter 64, frame 8: the tail frame holds 4 records
+     (36 mod 8); tearing its last bytes loses exactly that frame *)
+  let events = uniform_events 100 in
+  with_temp_file (fun path ->
+      write_binary ~version:3 ~chapter:64 ~frame:8 path events;
+      let size = Bytes.length (read_file path) in
+      truncate_file path (size - 5);
+      (match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+       | Error msg -> Alcotest.failf "lenient read failed: %s" msg
+       | Ok (got, c) ->
+         check_int "all but the torn tail frame" 96 (List.length got);
+         check_bool "flagged truncated" true c.Anomaly.truncated);
+      match read_all path with
+      | Ok _ -> Alcotest.fail "strict read of a truncated v3 trace succeeded"
+      | Error _ -> ())
+
+let test_v3_oversized_strings () =
+  (* strings far beyond the writer scratch and reader arena defaults:
+     growth paths on both sides, and the dictionary still shares them *)
+  let big = String.make 70_000 'p' in
+  let events =
+    List.init 20 (fun seq ->
+        {
+          Event.seq;
+          timestamp_ns = seq;
+          pid = 1;
+          comm = "big";
+          payload = Event.Tracked (Model.chdir (Model.Path big));
+          outcome = Model.Ret 0;
+          path_hint = Some big;
+        })
+  in
+  with_temp_file (fun path ->
+      write_binary ~version:3 ~chapter:16 ~frame:4 path events;
+      match read_all path with
+      | Error msg -> Alcotest.failf "oversized-string read failed: %s" msg
+      | Ok (got, c) ->
+        check_int "count" 20 (List.length got);
+        check_bool "records identical" true
+          (List.for_all2 (fun a b -> ignore_seq a = ignore_seq b) events got);
+        check_bool "ledger clean" true (Anomaly.is_clean c))
+
+let test_v3_fuzz_bit_flips_never_raise () =
+  let n = 400 in
+  let chapter = 16 in
+  let frame = 4 in
+  let events = synth_events ~seed:63 n in
+  with_temp_file (fun clean_path ->
+      write_binary ~version:3 ~chapter ~frame clean_path events;
+      let clean = read_file clean_path in
+      let size = Bytes.length clean in
+      let header_end = 7 in
+      for seed = 0 to 19 do
+        let rng = Iocov_util.Prng.create ~seed:(2000 + seed) in
+        let flips = 1 + Iocov_util.Prng.int rng 4 in
+        let offsets =
+          List.init flips (fun _ ->
+              header_end + Iocov_util.Prng.int rng (size - header_end))
+        in
+        with_temp_file (fun path ->
+            write_file path clean;
+            flip_bytes path offsets;
+            match read_all ~mode:(Binary_io.Lenient Anomaly.Unlimited) path with
+            | Error msg -> Alcotest.failf "seed %d: lenient errored: %s" seed msg
+            | exception e ->
+              Alcotest.failf "seed %d: lenient raised %s" seed (Printexc.to_string e)
+            | Ok (got, c) ->
+              let read = List.length got in
+              if not c.Anomaly.truncated then
+                check_int
+                  (Printf.sprintf "seed %d: read + skipped = written" seed)
+                  n
+                  (read + c.Anomaly.records_skipped);
+              (* a flip loses at most its frame plus the rest of its
+                 chapter (orphaned references) *)
+              check_bool
+                (Printf.sprintf "seed %d: bounded blast radius" seed)
+                true
+                (read >= n - (flips * (chapter + frame + 2))))
+      done)
+
+let test_v3_drain_matches_read_batch () =
+  (* the fused decode path (drain_batch) against the materializing one:
+     same records, same keep/drop taxonomy, same coverage *)
+  let events = synth_events ~seed:64 2_000 in
+  let ref_cov, ref_kept = sequential_coverage filter events in
+  with_temp_file (fun path ->
+      write_binary path events;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+          match Binary_io.open_stream ic with
+          | Error msg -> Alcotest.failf "open_stream: %s" msg
+          | Ok st ->
+            let cov = Coverage.create () in
+            let keep_hint h = Filter.matches_hint filter h in
+            let produced = ref 0 and kept = ref 0 in
+            let no_hint = ref 0 and no_match = ref 0 in
+            let continue = ref true in
+            while !continue do
+              match
+                Binary_io.drain_batch st ~keep_hint ~on_call:(Coverage.observe cov)
+                  ~max:256 ()
+              with
+              | Error msg -> Alcotest.failf "drain_batch: %s" msg
+              | Ok d ->
+                if d.Binary_io.dr_produced = 0 then continue := false
+                else begin
+                  produced := !produced + d.Binary_io.dr_produced;
+                  kept := !kept + d.Binary_io.dr_kept;
+                  no_hint := !no_hint + d.Binary_io.dr_no_hint;
+                  no_match := !no_match + d.Binary_io.dr_no_match
+                end
+            done;
+            check_int "produced = written" 2_000 !produced;
+            check_int "kept = sequential kept" ref_kept !kept;
+            check_int "taxonomy accounts for every record" 2_000
+              (!kept + !no_hint + !no_match);
+            check_string "coverage identical" (Snapshot.to_string ref_cov)
+              (Snapshot.to_string cov);
+            check_bool "ledger clean" true (Anomaly.is_clean (Binary_io.completeness st))))
 
 (* --- differential: lenient == strict on clean traces --- *)
 
@@ -590,7 +775,7 @@ let test_lenient_file_run_with_corruption () =
      trace, a percent budget, a run that completes and accounts *)
   let events = synth_events ~seed:59 2_000 in
   with_temp_file (fun trace ->
-      write_binary ~chapter:32 trace events;
+      write_binary ~version:2 ~chapter:32 trace events;
       let offs = frame_offsets trace in
       flip_bytes trace [ offs.(400) + 4; offs.(1200) + 4 ];
       match
@@ -626,6 +811,16 @@ let suites =
         Alcotest.test_case "bit-flip fuzz never raises" `Quick
           test_fuzz_bit_flips_never_raise;
         Alcotest.test_case "error budgets enforced" `Quick test_budget_enforced ] );
+    ( "robust.v3",
+      [ Alcotest.test_case "frame round-trips" `Quick test_v3_round_trip_frames;
+        Alcotest.test_case "frame flip, exact ledger" `Quick
+          test_v3_frame_flip_exact_ledger;
+        Alcotest.test_case "truncated tail" `Quick test_v3_truncated_tail;
+        Alcotest.test_case "oversized strings" `Quick test_v3_oversized_strings;
+        Alcotest.test_case "bit-flip fuzz never raises" `Quick
+          test_v3_fuzz_bit_flips_never_raise;
+        Alcotest.test_case "drain = read_batch" `Quick
+          test_v3_drain_matches_read_batch ] );
     ( "robust.pipeline",
       [ Alcotest.test_case "lenient == strict on clean traces" `Quick
           test_lenient_strict_identical_on_clean;

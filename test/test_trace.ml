@@ -230,11 +230,102 @@ let record_workload () =
           ~name:"user.k" ~size:0 ()));
   List.rev !events
 
+(* --- fast scanner vs reference parser --- *)
+
+(* [of_line] is the single-pass scanner with a fallback to the
+   reference pipeline; it must be extensionally equal to
+   [of_line_reference] — same accepted lines, same events, and failures
+   on the same inputs. *)
+let check_scanner_agrees line =
+  match (Format_io.of_line line, Format_io.of_line_reference line) with
+  | Ok a, Ok b ->
+    check_string
+      (Printf.sprintf "agree on %S" line)
+      (Format_io.to_line b) (Format_io.to_line a)
+  | Error _, Error _ -> ()
+  | Ok _, Error msg -> Alcotest.failf "fast accepted, reference rejected %S: %s" line msg
+  | Error msg, Ok _ -> Alcotest.failf "fast rejected, reference accepted %S: %s" line msg
+
+let test_scanner_canonical_shapes () =
+  (* every call shape the tracer can emit, plus aux and hint variants *)
+  let events = record_workload () in
+  check_bool "workload covers shapes" true (List.length events >= 10);
+  List.iter (fun e -> check_scanner_agrees (Format_io.to_line e)) events;
+  (* round-trip sanity: the scanner reproduces the canonical line *)
+  List.iter
+    (fun e ->
+      match Format_io.of_line (Format_io.to_line e) with
+      | Ok e' -> check_string "scanner round-trip" (Format_io.to_line e) (Format_io.to_line e')
+      | Error msg -> Alcotest.failf "scanner rejected canonical line: %s" msg)
+    events
+
+let test_scanner_noncanonical_agrees () =
+  List.iter check_scanner_agrees
+    [ (* reordered fields: reference accepts, scanner must defer *)
+      "[1] pid=1 comm=\"t\" read(count=4, fd=3) -> ok:4";
+      (* liberal whitespace the reference's Scanf tolerates *)
+      "[1]  pid=1 comm=\"t\" close(fd=1) -> ok:0";
+      "[1] pid=1 comm=\"t\" close(fd=1) -> ok:0 ";
+      (* underscored integers: int_of_string accepts them *)
+      "[1] pid=1 comm=\"t\" close(fd=1_0) -> ok:0";
+      "[1] pid=1 comm=\"t\" chmod(path=\"/a\", mode=0o6_44) -> ok:0";
+      (* duplicate field: the reference keeps the first *)
+      "[1] pid=1 comm=\"t\" close(fd=1, fd=2) -> ok:0";
+      (* a hint containing the arrow breaks the reference's last-arrow
+         split; the scanner must agree, not silently succeed *)
+      "[1] pid=1 comm=\"t\" close(fd=1) -> ok:0 hint=\"x -> y\"";
+      (* aux payloads with hostile details *)
+      "[1] pid=1 comm=\"t\" !fsync(fd=3 (dup)) -> ok:0";
+      "[1] pid=1 comm=\"t\" !note(a -> b) -> ok:0";
+      "[1] pid=1 comm=\"t\" !note(a) -> b) -> ok:0";
+      (* escapes in strings *)
+      "[1] pid=1 comm=\"a\\\"b\\n\\t\\\\\" close(fd=1) -> ok:0";
+      "[1] pid=1 comm=\"t\" chdir(path=\"/m\\001nt\") -> ok:0 hint=\"/m\\001nt\"";
+      (* malformed tails *)
+      "[1] pid=1 comm=\"t\" close(fd=1) -> ok:x";
+      "[1] pid=1 comm=\"t\" close(fd=1) -> err:EWHAT";
+      "[1] pid=1 comm=\"t\" close(fd=1) -> ok:0 junk";
+      "[1] pid=1 comm=\"t\" open(path=\"/a\", flags=O_RDONLY) -> ok:3";
+      "[1] pid=1 comm=\"t\" frobnicate(fd=1) -> ok:0";
+      "[1] pid=1 comm=\"t\" close(fd=1)";
+      "[-5] pid=-3 comm=\"t\" lseek(fd=3, offset=-2, whence=SEEK_HOLE) -> err:EINVAL" ]
+
+let scanner_agreement_prop =
+  (* arbitrary bytes in every string position: escape decoding, bail
+     heuristics, and the fallback must stay aligned with the oracle *)
+  let gen =
+    QCheck.Gen.(
+      let any_string = string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12) in
+      let* comm = any_string in
+      let* path = any_string in
+      let* hint = opt any_string in
+      let* err = bool in
+      return
+        {
+          Event.seq = 0;
+          timestamp_ns = 7;
+          pid = 9;
+          comm;
+          payload = Event.Tracked (Model.chdir (Model.Path path));
+          outcome = (if err then Model.Err Errno.ENOENT else Model.Ret 0);
+          path_hint = hint;
+        })
+  in
+  QCheck.Test.make ~name:"scanner agrees with reference" ~count:500 (QCheck.make gen)
+    (fun e ->
+      let line = Format_io.to_line e in
+      match (Format_io.of_line line, Format_io.of_line_reference line) with
+      | Ok a, Ok b -> Format_io.to_line a = Format_io.to_line b
+      | Error _, Error _ -> true
+      | _ -> false)
+
+
 let binary_roundtrip events =
   let path = Filename.temp_file "iocov_bin" ".trace" in
   let oc = open_out_bin path in
   let w = Binary_io.writer oc in
   List.iter (Binary_io.write_event w) events;
+  Binary_io.flush w;
   close_out oc;
   let ic = open_in_bin path in
   let back = Binary_io.read_channel ic in
@@ -261,6 +352,7 @@ let test_binary_smaller_than_text () =
   let oc = open_out_bin bin in
   let w = Binary_io.writer oc in
   List.iter (Binary_io.write_event w) events;
+  Binary_io.flush w;
   close_out oc;
   let oc = open_out txt in
   Format_io.write_channel oc events;
@@ -277,6 +369,7 @@ let test_binary_detects_magic () =
   let oc = open_out_bin bin in
   let w = Binary_io.writer oc in
   List.iter (Binary_io.write_event w) events;
+  Binary_io.flush w;
   close_out oc;
   let ic = open_in_bin bin in
   check_bool "binary detected" true (Binary_io.is_binary_trace ic);
@@ -299,6 +392,7 @@ let test_binary_rejects_corruption () =
   let oc = open_out_bin bin in
   let w = Binary_io.writer oc in
   List.iter (Binary_io.write_event w) events;
+  Binary_io.flush w;
   close_out oc;
   let data = In_channel.with_open_bin bin In_channel.input_all in
   Sys.remove bin;
@@ -409,6 +503,11 @@ let suites =
         Alcotest.test_case "channel roundtrip" `Quick test_channel_roundtrip;
         Alcotest.test_case "fold skips comments" `Quick test_fold_skips_comments;
         QCheck_alcotest.to_alcotest event_roundtrip_prop ] );
+    ( "trace.scanner",
+      [ Alcotest.test_case "canonical shapes" `Quick test_scanner_canonical_shapes;
+        Alcotest.test_case "non-canonical lines agree" `Quick
+          test_scanner_noncanonical_agrees;
+        QCheck_alcotest.to_alcotest scanner_agreement_prop ] );
     ( "trace.binary",
       [ Alcotest.test_case "roundtrip equals text form" `Quick test_binary_roundtrip;
         Alcotest.test_case "compactness" `Quick test_binary_smaller_than_text;
