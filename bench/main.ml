@@ -50,12 +50,15 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
-        perf|parallel|coverage|robustness|obs|format)");
+        perf|parallel|coverage|robustness|obs|format|serve)");
       ("--format-bench", Arg.Unit (fun () -> only := "format" :: !only),
        "shorthand for --only format (the v3-compactness and scanner-equivalence gate; \
         exits non-zero on failure)");
       ("--coverage-bench", Arg.Unit (fun () -> only := "coverage" :: !only),
        "shorthand for --only coverage (E12, counter backend microbench)");
+      ("--serve-bench", Arg.Unit (fun () -> only := "serve" :: !only),
+       "shorthand for --only serve (E16, multi-tenant mixed ingest/query workload; \
+        exits non-zero if a tenant digest diverges from offline analyze)");
       ("--events", Arg.Set_int coverage_events,
        "synthetic trace size for --only coverage (default 1000000)");
       ("--no-perf", Arg.Clear perf, "skip the Bechamel performance benches");
@@ -1019,6 +1022,34 @@ let e13_robustness () =
     !best
   in
   let v3_drain_dt = drain_wall v3_path in
+  (* writer throughput: encode + frame + emit the same events to disk,
+     best of three — the buffered single-envelope emit path *)
+  let writer_wall version =
+    let once () =
+      let path = Filename.temp_file "iocov_bench" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          let oc = open_out_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () ->
+              let w = Iocov_trace.Binary_io.writer ~version oc in
+              let (), dt =
+                timed_wall (fun () ->
+                    List.iter (Iocov_trace.Binary_io.sink w) events;
+                    Iocov_trace.Binary_io.flush w)
+              in
+              dt))
+    in
+    let best = ref (once ()) in
+    for _ = 1 to 2 do
+      let dt = once () in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let v3_writer_dt = writer_wall 3 in
   (* the hot-locality trace: zero-copy decode and full fused replay at
      suite-run string locality — the ROADMAP ≥10M events/s shape *)
   let hot_drain_dt = drain_wall hot_path in
@@ -1088,6 +1119,9 @@ let e13_robustness () =
   Printf.printf "  v3 drain:       %.3fs (%s events/s, batch decode only)\n"
     v3_drain_dt
     (Ascii.si_count (int_of_float (rate v3_drain_dt)));
+  Printf.printf "  v3 writer:      %.3fs (%s events/s, encode + frame + emit)\n"
+    v3_writer_dt
+    (Ascii.si_count (int_of_float (rate v3_writer_dt)));
   Printf.printf "  v3 drain hot:   %.3fs (%s events/s, batch decode, hot-locality trace)\n"
     hot_drain_dt
     (Ascii.si_count (int_of_float (rate hot_drain_dt)));
@@ -1096,7 +1130,7 @@ let e13_robustness () =
     (Ascii.si_count (int_of_float (rate hot_fused_dt)));
   let body =
     Printf.sprintf
-      "{\n  \"schema\": \"iocov-bench-robustness/3\",\n  \"seed\": %d,\n  \
+      "{\n  \"schema\": \"iocov-bench-robustness/4\",\n  \"seed\": %d,\n  \
        \"trace_events\": %d,\n  \"bytes_v1\": %d,\n  \"bytes_v2\": %d,\n  \
        \"bytes_v3\": %d,\n  \
        \"framing_overhead_pct\": %.2f,\n  \
@@ -1111,6 +1145,7 @@ let e13_robustness () =
        \"v3_lenient_clean\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v3_checkpointed\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v3_drain\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"v3_writer\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v3_drain_hot\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
        \"v3_fused_hot\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f }\n}\n"
       !seed n v1_size v2_size v3_size (pct v2_size) (pct v3_size)
@@ -1118,6 +1153,7 @@ let e13_robustness () =
       ckpt_dt (rate ckpt_dt) corrupt_dt corrupt skipped
       v3_dt (rate v3_dt) v3_lenient_dt (rate v3_lenient_dt)
       v3_ckpt_dt (rate v3_ckpt_dt) v3_drain_dt (rate v3_drain_dt)
+      v3_writer_dt (rate v3_writer_dt)
       hot_drain_dt (rate hot_drain_dt) hot_fused_dt (rate hot_fused_dt)
   in
   write_json "BENCH_robustness.json" body
@@ -1325,6 +1361,260 @@ let e14_obs () =
   in
   write_json "BENCH_obs.json" body
 
+(* --- E16: the multi-tenant coverage service under a mixed workload --- *)
+
+(* A YCSB-style mixed workload for `iocov serve`'s hub: N tenants
+   ingesting distinct v3 traces concurrently while a query client
+   interleaves digest/coverage/TCD reads against their epoch
+   snapshots.  Three things are measured, two of them gated:
+
+   - aggregate ingest throughput, gated within 2x of a single-stream
+     fused replay of one trace (the epoch discipline's whole budget);
+   - per-tenant digests, gated byte-identical to an offline
+     [iocov analyze] of the same trace (the differential oracle);
+   - query latency under ingest load (p50/p99) and the cost of one
+     epoch publish (an O(cells) dense snapshot), reported. *)
+let serve_bench () =
+  heading "E16" "Serve: multi-tenant mixed ingest/query workload";
+  let module Hub = Iocov_serve.Hub in
+  let tenants = 8 in
+  let per_tenant = max 20_000 (min 250_000 (!coverage_events / tenants)) in
+  let total = tenants * per_tenant in
+  let tenant_id i = Printf.sprintf "tenant%02d" i in
+  Printf.printf "generating %d tenant traces x %s events...\n%!" tenants
+    (Ascii.si_count per_tenant);
+  (* distinct deterministic trace per tenant: rotate the harness seed *)
+  let tenant_events =
+    let base = !seed in
+    let evs =
+      Array.init tenants (fun i ->
+          seed := base + (7 * i);
+          synth_events per_tenant)
+    in
+    seed := base;
+    evs
+  in
+  let write_trace events =
+    let path = Filename.temp_file "iocov_bench" ".trace" in
+    let oc = open_out_bin path in
+    let w = Iocov_trace.Binary_io.writer ~version:3 oc in
+    List.iter (Iocov_trace.Binary_io.sink w) events;
+    Iocov_trace.Binary_io.flush w;
+    close_out oc;
+    path
+  in
+  let paths = Array.map write_trace tenant_events in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+  @@ fun () ->
+  let filter = Filter.mount_point "/mnt/test" in
+  (* offline truth: what `iocov analyze` would print for each trace *)
+  let offline_digest path =
+    Iocov_pipe.Ledger.digest
+      (pipe_run ~stages:[ Stage.filter filter ] (Source.file path)).Sink.coverage
+  in
+  let offline = Array.map offline_digest paths in
+  (* baseline: one fused single-stream replay, warm *)
+  let replay path =
+    timed_wall (fun () ->
+        ignore (pipe_run ~stages:[ Stage.filter filter ] (Source.file path)))
+  in
+  ignore (replay paths.(0));
+  let (), single_dt = replay paths.(0) in
+  let single_rate = float_of_int per_tenant /. single_dt in
+  Printf.printf "  single stream:  %.3fs (%s events/s, fused replay)\n%!" single_dt
+    (Ascii.si_count (int_of_float single_rate));
+  (* the mixed run: one ingest thread per tenant, one query client *)
+  let hub = Hub.create ~mount:"/mnt/test" () in
+  let remaining = Atomic.make tenants in
+  let ingest_errors = ref [] in
+  let err_lock = Mutex.create () in
+  let ingest i () =
+    (try
+       let ic = open_in_bin paths.(i) in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () ->
+           match Iocov_trace.Binary_io.open_stream ic with
+           | Error msg -> failwith msg
+           | Ok st ->
+             let s = Hub.open_session hub ~tenant:(tenant_id i) () in
+             Fun.protect
+               ~finally:(fun () -> Hub.close_session s)
+               (fun () ->
+                 match Hub.ingest_stream s st with
+                 | Ok () -> ()
+                 | Error msg -> failwith msg))
+     with e ->
+       Mutex.lock err_lock;
+       ingest_errors := Printf.sprintf "%s: %s" (tenant_id i) (Printexc.to_string e) :: !ingest_errors;
+       Mutex.unlock err_lock);
+    Atomic.decr remaining
+  in
+  let latencies = Hashtbl.create 4 in
+  let lat_lock = Mutex.create () in
+  let record kind dt =
+    Mutex.lock lat_lock;
+    (match Hashtbl.find_opt latencies kind with
+     | Some r -> r := dt :: !r
+     | None -> Hashtbl.add latencies kind (ref [ dt ]));
+    Mutex.unlock lat_lock
+  in
+  let query_errs = ref 0 in
+  let query_client () =
+    let k = ref 0 in
+    while Atomic.get remaining > 0 do
+      let tenant = tenant_id (!k mod tenants) in
+      let kind, q =
+        match !k mod 3 with
+        | 0 -> ("digest", Hub.Digest)
+        | 1 -> ("coverage", Hub.Coverage)
+        | _ -> ("tcd", Hub.Tcd "open.flags")
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Hub.query hub ~tenant q with
+       | Ok _ -> record kind (Unix.gettimeofday () -. t0)
+       | Error _ -> incr query_errs (* tenant not opened yet: not a latency *));
+      incr k;
+      Thread.delay 0.002
+    done
+  in
+  let (), mixed_dt =
+    timed_wall (fun () ->
+        let workers = List.init tenants (fun i -> Thread.create (ingest i) ()) in
+        let client = Thread.create query_client () in
+        List.iter Thread.join workers;
+        Thread.join client)
+  in
+  if !ingest_errors <> [] then begin
+    List.iter (Printf.printf "  ingest FAILED: %s\n") !ingest_errors;
+    exit 1
+  end;
+  let mixed_rate = float_of_int total /. mixed_dt in
+  let slowdown = single_rate /. mixed_rate in
+  Printf.printf "  mixed (%d tenants): %.3fs (%s events/s aggregate, %.2fx single)\n%!"
+    tenants mixed_dt
+    (Ascii.si_count (int_of_float mixed_rate))
+    slowdown;
+  (* the differential gate: every tenant's epoch digest must be byte-
+     identical to the offline analyze of the same trace *)
+  let per_tenant_rows =
+    Array.to_list
+      (Array.mapi
+         (fun i off ->
+           let served =
+             match Hub.digest hub ~tenant:(tenant_id i) with
+             | Some d -> d
+             | None -> "<missing>"
+           in
+           (tenant_id i, served, off, served = off))
+         offline)
+  in
+  let all_match = List.for_all (fun (_, _, _, m) -> m) per_tenant_rows in
+  List.iter
+    (fun (t, served, off, m) ->
+      if not m then
+        Printf.printf "  DIGEST MISMATCH %s: serve %s vs offline %s\n" t served off)
+    per_tenant_rows;
+  Printf.printf "  digests: %s (%d tenants vs offline analyze)\n"
+    (if all_match then "identical" else "MISMATCH") tenants;
+  (* query latency percentiles, in microseconds *)
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    if Array.length a = 0 then 0.0
+    else a.(min (Array.length a - 1)
+              (int_of_float ((p *. float_of_int (Array.length a - 1)) +. 0.5)))
+  in
+  let kinds =
+    List.filter_map
+      (fun kind ->
+        match Hashtbl.find_opt latencies kind with
+        | None -> None
+        | Some r ->
+          let xs = !r in
+          Some
+            ( kind,
+              List.length xs,
+              1e6 *. percentile 0.5 xs,
+              1e6 *. percentile 0.99 xs ))
+      [ "digest"; "coverage"; "tcd" ]
+  in
+  List.iter
+    (fun (kind, count, p50, p99) ->
+      Printf.printf "  query %-8s  %5d ok   p50 %8.1f us   p99 %8.1f us\n" kind
+        count p50 p99)
+    kinds;
+  (* publish overhead: one epoch is an O(cells) dense snapshot *)
+  let snapshot_us =
+    let dense = Coverage.Dense.create () in
+    List.iter
+      (fun e ->
+        match e.Event.payload with
+        | Event.Tracked call -> Coverage.Dense.observe dense call e.Event.outcome
+        | _ -> ())
+      tenant_events.(0);
+    let reps = 1000 in
+    let (), dt =
+      timed_wall (fun () ->
+          for _ = 1 to reps do
+            ignore (Coverage.Dense.snapshot dense)
+          done)
+    in
+    1e6 *. dt /. float_of_int reps
+  in
+  let publishes, generation =
+    List.fold_left
+      (fun (p, g) i ->
+        match Hub.stats hub ~tenant:(tenant_id i) with
+        | Some st -> (p + st.Hub.st_publishes, g + st.Hub.st_generation)
+        | None -> (p, g))
+      (0, 0)
+      (List.init tenants Fun.id)
+  in
+  Printf.printf "  publish: %.1f us/snapshot, %d epochs published for %d commits\n%!"
+    snapshot_us publishes generation;
+  let within_budget = slowdown <= 2.0 in
+  if not within_budget then
+    Printf.printf "  THROUGHPUT GATE: aggregate is %.2fx slower than single-stream (budget 2x)\n"
+      slowdown;
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-serve/1\",\n  \"seed\": %d,\n  \
+       \"tenants\": %d,\n  \"events_per_tenant\": %d,\n  \"total_events\": %d,\n  \
+       \"single_stream\": { \"elapsed_s\": %.4f, \"events_per_s\": %.0f },\n  \
+       \"mixed\": { \"elapsed_s\": %.4f, \"aggregate_events_per_s\": %.0f, \
+       \"slowdown_vs_single\": %.3f, \"within_2x\": %b },\n  \
+       \"publish\": { \"snapshot_us\": %.2f, \"publishes\": %d, \"commits\": %d },\n  \
+       \"queries\": { \"errors\": %d, \"kinds\": {\n%s\n  } },\n  \
+       \"digest_match\": %b,\n  \"per_tenant\": [\n%s\n  ]\n}\n"
+      !seed tenants per_tenant total single_dt single_rate mixed_dt mixed_rate
+      slowdown within_budget snapshot_us publishes generation !query_errs
+      (String.concat ",\n"
+         (List.map
+            (fun (kind, count, p50, p99) ->
+              Printf.sprintf
+                "    \"%s\": { \"count\": %d, \"p50_us\": %.1f, \"p99_us\": %.1f }"
+                kind count p50 p99)
+            kinds))
+      all_match
+      (String.concat ",\n"
+         (List.map
+            (fun (t, served, off, m) ->
+              Printf.sprintf
+                "    { \"tenant\": \"%s\", \"digest\": \"%s\", \
+                 \"offline_digest\": \"%s\", \"match\": %b }"
+                (json_escape t) (json_escape served) (json_escape off) m)
+            per_tenant_rows))
+  in
+  write_json "BENCH_serve.json" body;
+  if not (all_match && within_budget) then begin
+    Printf.printf "serve gate: FAIL\n%!";
+    exit 1
+  end;
+  Printf.printf "serve gate: PASS\n%!"
+
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
   if wanted "fig2" then e2_figure2 ();
@@ -1347,6 +1637,7 @@ let () =
   if wanted "robustness" then e13_robustness ();
   if wanted "format" then format_bench ();
   if wanted "obs" then e14_obs ();
+  if wanted "serve" then serve_bench ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

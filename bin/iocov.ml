@@ -44,8 +44,8 @@ let counters_name = function
 
 (* Root spans completed so far become the record's per-stage durations;
    a failed append is a warning, never a failed run. *)
-let ledger_append ~ledger ?seed ~subcommand ~label ~flags ~jobs ~counters ~events
-    ~kept ~lost ~wall_s coverage =
+let ledger_append ~ledger ?seed ?tenant ~subcommand ~label ~flags ~jobs ~counters
+    ~events ~kept ~lost ~wall_s coverage =
   match ledger with
   | None -> ()
   | Some dir ->
@@ -53,8 +53,8 @@ let ledger_append ~ledger ?seed ~subcommand ~label ~flags ~jobs ~counters ~event
       List.map (fun n -> (n.Obs.Span.name, n.Obs.Span.duration_s)) (Obs.Span.roots ())
     in
     let r =
-      Ledger.make ~time:(Obs.Clock.now ()) ?seed ~subcommand ~label ~flags ~jobs
-        ~counters:(counters_name counters) ~events ~kept ~lost ~wall_s ~stages
+      Ledger.make ~time:(Obs.Clock.now ()) ?seed ?tenant ~subcommand ~label ~flags
+        ~jobs ~counters:(counters_name counters) ~events ~kept ~lost ~wall_s ~stages
         coverage
     in
     (match Ledger.append ~dir r with
@@ -534,11 +534,26 @@ let runs_cmd =
     | Some r -> r
     | None -> die "no run %S in %s (try: iocov runs list)" key (Ledger.path ~dir)
   in
-  let list_run dir = print_string (Ledger.render_list (Ledger.load ~dir)) in
+  let last_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N" ~doc:"Show only the newest $(docv) runs.")
+  in
+  let list_run dir last =
+    let loaded = Ledger.load ~dir in
+    let loaded =
+      match last with
+      | None -> loaded
+      | Some n when n >= 0 -> Ledger.last n loaded
+      | Some n -> die "--last %d: N must be non-negative" n
+    in
+    print_string (Ledger.render_list loaded)
+  in
   let list_cmd =
     Cmd.v
       (Cmd.info "list" ~doc:"List every recorded run, newest last.")
-      Term.(const list_run $ dir_arg)
+      Term.(const list_run $ dir_arg $ last_arg)
   in
   let show_cmd =
     let run dir key =
@@ -570,7 +585,7 @@ let runs_cmd =
        ~doc:"Inspect the persistent run ledger ($(b,.iocov/runs.jsonl)): every \
              coverage-producing run appends one manifest record; list, show, and \
              diff them.")
-    ~default:Term.(const list_run $ dir_arg)
+    ~default:Term.(const list_run $ dir_arg $ last_arg)
     [ list_cmd; show_cmd; diff_cmd ]
 
 (* --- fuzz: feedback-comparison fuzzer --- *)
@@ -615,12 +630,178 @@ let fuzz_cmd =
              $(b,--compare) pits it against path-style outcome-novelty feedback.")
     Term.(const run $ Opts.obs_term $ budget_arg $ Opts.seed $ Opts.faults $ compare_arg)
 
+(* --- serve: the multi-tenant coverage daemon, and its clients --- *)
+
+module Serve_hub = Iocov_serve.Hub
+module Serve_server = Iocov_serve.Server
+
+let socket_required =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon.")
+
+let serve_cmd =
+  let run obs socket ingests follow mount batch ledger =
+    Opts.with_obs obs @@ fun () ->
+    let parse_ingest spec =
+      match String.index_opt spec '=' with
+      | Some i when i > 0 && i < String.length spec - 1 ->
+        (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+      | _ -> die "--ingest %S: expected TENANT=FILE" spec
+    in
+    let ingests = List.map parse_ingest ingests in
+    if socket = None && ingests = [] then
+      die "serve needs --socket PATH and/or --ingest TENANT=FILE";
+    if batch <= 0 then die "--batch must be positive";
+    let config =
+      { Serve_server.socket; ingests; follow; mount = Some mount; batch }
+    in
+    let t0 = Obs.Clock.now () in
+    match Serve_server.run config with
+    | Error msg -> die "%s" msg
+    | Ok outcome ->
+      List.iter
+        (fun (o : Serve_server.tenant_outcome) ->
+          let st = o.Serve_server.o_stats in
+          Printf.printf
+            "tenant %-12s %d events (%d kept), %d epochs published, digest %s\n"
+            o.Serve_server.o_tenant st.Serve_hub.st_events st.Serve_hub.st_kept
+            st.Serve_hub.st_publishes
+            (Ledger.digest o.Serve_server.o_coverage);
+          ledger_append ~ledger ~tenant:o.Serve_server.o_tenant ~subcommand:"serve"
+            ~label:(match socket with Some s -> s | None -> "files")
+            ~flags:[ ("mount", mount) ]
+            ~jobs:1 ~counters:Replay.Dense ~events:st.Serve_hub.st_events
+            ~kept:st.Serve_hub.st_kept ~lost:st.Serve_hub.st_lost
+            ~wall_s:(Obs.Clock.now () -. t0)
+            o.Serve_server.o_coverage)
+        outcome.Serve_server.o_tenants;
+      Printf.printf "served %d tenant%s in %.2fs\n"
+        (List.length outcome.Serve_server.o_tenants)
+        (if List.length outcome.Serve_server.o_tenants = 1 then "" else "s")
+        outcome.Serve_server.o_wall_s
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen for ingest and query connections on this Unix-domain socket.")
+  in
+  let ingest_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "ingest" ] ~docv:"TENANT=FILE"
+          ~doc:"Tail a local trace file into this tenant (repeatable).")
+  in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow" ]
+          ~doc:"Keep tailing $(b,--ingest) files after EOF (frame-aligned appends) \
+                until a shutdown request arrives.")
+  in
+  let mount_arg =
+    Arg.(
+      value & opt string "/mnt/test"
+      & info [ "mount" ] ~docv:"PATH"
+          ~doc:"Keep records under this mount point (default /mnt/test, matching \
+                $(b,analyze)).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8192
+      & info [ "batch" ] ~docv:"N" ~doc:"Per-session decode batch size.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the multi-tenant coverage daemon: concurrent trace streams fold \
+             into per-tenant dense counters while queries read epoch snapshots.  \
+             On shutdown, one ledger record is appended per tenant.")
+    Term.(
+      const run $ Opts.obs_term $ socket_arg $ ingest_arg $ follow_arg $ mount_arg
+      $ batch_arg $ Opts.ledger_term)
+
+let ingest_cmd =
+  let run obs socket tenant mount file =
+    Opts.with_obs obs @@ fun () ->
+    match Serve_server.client_ingest ~socket ~tenant ?mount file with
+    | Ok summary -> print_string summary
+    | Error msg -> die "%s" msg
+  in
+  let tenant_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"ID" ~doc:"Tenant to credit the stream to.")
+  in
+  let mount_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mount" ] ~docv:"PATH"
+          ~doc:"Per-stream mount filter override (default: the daemon's).")
+  in
+  let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Stream a local trace file into a running $(b,iocov serve) daemon.")
+    Term.(const run $ Opts.obs_term $ socket_required $ tenant_arg $ mount_arg $ file_pos)
+
+(* Group the positional words into request lines: a new request starts
+   at each request keyword, so `query adequacy open.flags 500 digest`
+   is two requests without shell quoting. *)
+let group_requests words =
+  let keyword w =
+    Result.is_ok (Iocov_serve.Protocol.parse_request w)
+    || w = "tcd" || w = "adequacy"
+  in
+  let flush acc cur = if cur = [] then acc else String.concat " " (List.rev cur) :: acc in
+  let acc, cur =
+    List.fold_left
+      (fun (acc, cur) w ->
+        if keyword w then (flush acc cur, [ w ]) else (acc, w :: cur))
+      ([], []) words
+  in
+  List.rev (flush acc cur)
+
+let query_cmd =
+  let run obs socket tenant requests =
+    Opts.with_obs obs @@ fun () ->
+    let requests =
+      match group_requests requests with [] -> [ "coverage" ] | rs -> rs
+    in
+    match Serve_server.client_query ~socket ?tenant requests with
+    | Ok payloads -> List.iter print_string payloads
+    | Error msg -> die "%s" msg
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"ID" ~doc:"Default tenant for per-tenant requests.")
+  in
+  let requests_pos =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:"Requests: coverage, tcd [ARG], adequacy [ARG [T [THETA]]], \
+                completeness, digest, stats, tenants, metrics, ping, shutdown.  \
+                Default: coverage.")
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Query a running $(b,iocov serve) daemon; answers come from epoch \
+             snapshots and never pause ingestion.")
+    Term.(const run $ Opts.obs_term $ socket_required $ tenant_arg $ requests_pos)
+
 let main =
   Cmd.group
     (Cmd.info "iocov" ~version:"1.0.0"
        ~doc:"Input/output coverage for file system testing (HotStorage '23 reproduction).")
     [ suite_cmd; trace_cmd; analyze_cmd; report_cmd; compare_cmd; tcd_cmd;
       adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd;
-      metrics_cmd; runs_cmd ]
+      metrics_cmd; runs_cmd; serve_cmd; ingest_cmd; query_cmd ]
 
 let () = exit (Cmd.eval main)

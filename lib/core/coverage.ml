@@ -302,6 +302,18 @@ module Dense = struct
      a mid-run snapshot costs an array index, not a conversion. *)
   let cell_count t id = t.counts.(id)
 
+  let reset t =
+    Array.fill t.counts 0 Plan.total 0;
+    Hashtbl.reset t.flag_sets;
+    t.calls <- 0
+
+  let snapshot t =
+    let counts = Array.copy t.counts in
+    let bump id = counts.(id) <- counts.(id) + 1 in
+    let flag_sets = Hashtbl.create (max 16 (Hashtbl.length t.flag_sets)) in
+    Hashtbl.iter (fun mask r -> Hashtbl.add flag_sets mask (ref !r)) t.flag_sets;
+    { counts; bump; flag_sets; calls = t.calls }
+
   let to_reference ?(metered = false) t =
     let cov = coverage_create ~metered () in
     Array.iteri

@@ -139,6 +139,18 @@ module Dense : sig
   (** Pointwise array sum — commutative and associative, like
       {!merge_into} on the reference type. *)
 
+  val reset : t -> unit
+  (** Zero every counter, clear the flag-set table, and reset the call
+      count, keeping the allocation.  Lets a streaming session reuse one
+      private shard per batch: drain into it, {!merge_into} a shared
+      accumulator, reset, repeat — no per-batch allocation. *)
+
+  val snapshot : t -> t
+  (** A frozen deep copy (counter array, flag sets, call count).  The
+      serve layer's epoch publisher: O(cells) to take under a lock, then
+      immutable by convention — readers render from it without further
+      synchronization while ingestion keeps mutating the original. *)
+
   val calls_observed : t -> int
 
   val cell_count : t -> int -> int

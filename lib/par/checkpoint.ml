@@ -26,13 +26,34 @@ type t = {
 
 (* Atomic write: the checkpoint a crashed run leaves behind must always
    be a complete one, so build it under a temporary name and rename
-   into place. *)
+   into place.  The temp name is deterministic ([path ^ ".tmp"]) so a
+   later run can sweep droppings from a killed predecessor; within a
+   run, any failure between [open_out] and the rename removes the temp
+   file before the exception escapes. *)
+let tmp_of path = path ^ ".tmp"
+
+let remove_quiet path = try Sys.remove path with Sys_error _ -> ()
+
+let clean_stale ~path =
+  let tmp = tmp_of path in
+  if Sys.file_exists tmp then begin
+    remove_quiet tmp;
+    true
+  end
+  else false
+
 let save ~path t =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+  let tmp = tmp_of path in
+  let oc =
+    try open_out tmp
+    with e ->
+      remove_quiet tmp;
+      raise e
+  in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
       let p fmt = Printf.fprintf oc fmt in
       p "%s\n" magic;
       p "trace %S\n" t.trace;
@@ -54,8 +75,14 @@ let save ~path t =
       output_string oc (Snapshot.to_string t.coverage);
       (* terminator: lets [load] tell a complete file from a torn one
          even though the embedded snapshot is line-based free text *)
-      p "end iocov-checkpoint\n");
-  Sys.rename tmp path;
+      p "end iocov-checkpoint\n")
+   with e ->
+     remove_quiet tmp;
+     raise e);
+  (try Sys.rename tmp path
+   with e ->
+     remove_quiet tmp;
+     raise e);
   Metrics.Counter.incr m_written
 
 let ( let* ) = Result.bind

@@ -26,7 +26,17 @@ type t = {
 }
 
 val save : path:string -> t -> unit
-(** Write atomically.  Increments [iocov_ckpt_written_total]. *)
+(** Write atomically.  Increments [iocov_ckpt_written_total].  Any
+    failure — disk full mid-write, a rename refused by the OS — removes
+    the temporary file before the exception escapes, so the only
+    [*.tmp] a save can leave behind is from a process killed outright
+    (swept by {!clean_stale} on the next run). *)
+
+val clean_stale : path:string -> bool
+(** Remove a leftover [path ^ ".tmp"] dropping from an earlier run
+    killed mid-save.  Returns [true] if one was found and removed.
+    Called by the replay engine whenever a run starts writing
+    checkpoints at [path]; safe to call unconditionally. *)
 
 val load : string -> (t, string) result
 (** Parse and validate a checkpoint file; every malformation is an

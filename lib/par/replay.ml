@@ -807,6 +807,11 @@ let analyze_file ?pool ?(batch = default_batch) ?(counters = Dense) ?(ingest = S
        resuming, by contrast, works at any job count *)
     Error "checkpointing requires --jobs 1 (resume works at any job count)"
   | _ -> (
+    (* sweep any *.tmp dropping a killed predecessor left next to the
+       checkpoint before this run starts writing its own *)
+    (match checkpoint with
+     | Some spec -> ignore (Checkpoint.clean_stale ~path:spec.ckpt_path)
+     | None -> ());
     match open_in_bin path with
     | exception Sys_error msg -> Error msg
     | ic ->

@@ -79,11 +79,17 @@ let truncate limit events =
     in
     take n [] events
 
-(* A crash mid-write must leave the previous snapshot intact. *)
+(* A crash mid-write must leave the previous snapshot intact — and a
+   failed write must not leave a [*.tmp] dropping next to it (same
+   hygiene as [Checkpoint.save]). *)
 let atomic_snapshot path cov =
   let tmp = path ^ ".tmp" in
-  Snapshot.save_file tmp cov;
-  Sys.rename tmp path
+  try
+    Snapshot.save_file tmp cov;
+    Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 (* Syzlang programs carry no return values and are tiny: feed input-only
    coverage directly, on the configured counter backend, matching the

@@ -16,6 +16,7 @@ type record = {
   r_time : float option;          (* unix seconds; None in determinism mode *)
   r_subcommand : string;
   r_label : string;               (* source label: trace path, suite name… *)
+  r_tenant : string option;       (* serve tenant id; None for offline runs *)
   r_flags : (string * string) list;
   r_seed : int option;
   r_jobs : int;
@@ -52,13 +53,14 @@ let bitmap cov = hex_of_bytes (Coverage.cell_bitmap cov)
 
 (* --- construction --- *)
 
-let make ?time ?seed ~subcommand ~label ~flags ~jobs ~counters ~events ~kept ~lost
-    ~wall_s ~stages cov =
+let make ?time ?seed ?tenant ~subcommand ~label ~flags ~jobs ~counters ~events ~kept
+    ~lost ~wall_s ~stages cov =
   {
     r_id = "";  (* assigned by append *)
     r_time = time;
     r_subcommand = subcommand;
     r_label = label;
+    r_tenant = tenant;
     r_flags = flags;
     r_seed = seed;
     r_jobs = jobs;
@@ -83,6 +85,7 @@ let to_json r =
       ("time", match r.r_time with Some t -> Json.Float t | None -> Json.Null);
       ("subcommand", Json.String r.r_subcommand);
       ("label", Json.String r.r_label);
+      ("tenant", match r.r_tenant with Some t -> Json.String t | None -> Json.Null);
       ("flags", Json.Obj (List.map (fun (k, x) -> (k, Json.String x)) r.r_flags));
       ("seed", match r.r_seed with Some s -> Json.Int s | None -> Json.Null);
       ("jobs", Json.Int r.r_jobs);
@@ -147,6 +150,9 @@ let of_json j =
         r_time = flt "time";
         r_subcommand = subcommand;
         r_label = label;
+        (* optional: records written before the serve layer carry no
+           tenant key, and a JSON null means the same thing *)
+        r_tenant = str "tenant";
         r_flags = flags;
         r_seed = int "seed";
         r_jobs = jobs;
@@ -210,6 +216,16 @@ let append ~dir r =
   with
   | () -> Ok r
   | exception Sys_error msg -> Error msg
+
+(* Keep only the newest [n] records (file order is oldest-first), so
+   [runs list --last N] shows the tail without renumbering ids. *)
+let last n { records; bad_lines } =
+  let len = List.length records in
+  let records =
+    if n >= len then records
+    else List.filteri (fun i _ -> i >= len - n) records
+  in
+  { records; bad_lines }
 
 let find records key =
   match List.find_opt (fun r -> r.r_id = key) records with
@@ -280,18 +296,24 @@ let render_list { records; bad_lines } =
   if records = [] then Buffer.add_string buf "ledger is empty\n"
   else begin
     Buffer.add_string buf
-      (Printf.sprintf "%-6s %-10s %-24s %10s %9s %9s  %s\n" "id" "command" "source"
-         "events" "cells" "wall" "digest");
+      (Printf.sprintf "%-6s %-10s %-10s %-24s %10s %9s %9s  %s\n" "id" "command"
+         "tenant" "source" "events" "cells" "wall" "digest");
     List.iter
       (fun r ->
         let label =
           if String.length r.r_label <= 24 then r.r_label
           else "…" ^ String.sub r.r_label (String.length r.r_label - 23) 23
         in
+        let tenant =
+          match r.r_tenant with
+          | None -> "-"
+          | Some t when String.length t <= 10 -> t
+          | Some t -> String.sub t 0 9 ^ "…"
+        in
         Buffer.add_string buf
-          (Printf.sprintf "%-6s %-10s %-24s %10d %4d/%-4d %8.2fs  %s\n" r.r_id
-             r.r_subcommand label r.r_events (lit_total r) Plan.total r.r_wall_s
-             r.r_digest))
+          (Printf.sprintf "%-6s %-10s %-10s %-24s %10d %4d/%-4d %8.2fs  %s\n" r.r_id
+             r.r_subcommand tenant label r.r_events (lit_total r) Plan.total
+             r.r_wall_s r.r_digest))
       records
   end;
   if bad_lines > 0 then
@@ -308,6 +330,7 @@ let render_show r =
   (match r.r_time with Some t -> line "time" "%.3f" t | None -> ());
   line "command" "%s" r.r_subcommand;
   line "source" "%s" r.r_label;
+  (match r.r_tenant with Some t -> line "tenant" "%s" t | None -> ());
   if r.r_flags <> [] then
     line "flags" "%s"
       (String.concat " " (List.map (fun (k, x) -> k ^ "=" ^ x) r.r_flags));

@@ -19,6 +19,7 @@ type record = {
   r_time : float option;      (** unix seconds; [None] in determinism mode *)
   r_subcommand : string;
   r_label : string;           (** source label: trace path, suite name… *)
+  r_tenant : string option;   (** serve tenant id; [None] for offline runs *)
   r_flags : (string * string) list;
   r_seed : int option;
   r_jobs : int;
@@ -42,11 +43,13 @@ val digest : Iocov_core.Coverage.t -> string
 val bitmap : Iocov_core.Coverage.t -> string
 
 val make :
-  ?time:float -> ?seed:int -> subcommand:string -> label:string ->
+  ?time:float -> ?seed:int -> ?tenant:string -> subcommand:string -> label:string ->
   flags:(string * string) list -> jobs:int -> counters:string -> events:int ->
   kept:int -> lost:int -> wall_s:float -> stages:(string * float) list ->
   Iocov_core.Coverage.t -> record
-(** Build a record (id empty until {!append} assigns one). *)
+(** Build a record (id empty until {!append} assigns one).  [tenant]
+    marks records appended by serve sessions; the list view shows it as
+    a column, so per-tenant runs are diffable like any others. *)
 
 val to_json : record -> Iocov_util.Json.t
 val of_json : Iocov_util.Json.t -> (record, string) result
@@ -61,6 +64,10 @@ val load : dir:string -> loaded
 val append : dir:string -> record -> (record, string) result
 (** Create [dir] if needed, assign the next id, append one line.
     Returns the record with its id. *)
+
+val last : int -> loaded -> loaded
+(** Keep only the newest [n] records — [runs list --last N].  Ids are
+    untouched (they name positions in the full file). *)
 
 val find : record list -> string -> record option
 (** By id ([r7]) or 1-based position ([7]). *)

@@ -1,0 +1,197 @@
+type role = Ingest | Query
+type format = Binary | Text
+
+type handshake = {
+  hs_role : role;
+  hs_tenant : string option;
+  hs_mount : string option;
+  hs_format : format;
+}
+
+let hello = "iocov-serve/1"
+
+let format_name = function Binary -> "binary" | Text -> "text"
+
+let handshake_line hs =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf hello;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (match hs.hs_role with Ingest -> "ingest" | Query -> "query");
+  (match hs.hs_tenant with
+   | Some t -> Buffer.add_string buf (" tenant=" ^ t)
+   | None -> ());
+  (match hs.hs_mount with
+   | Some m -> Buffer.add_string buf (" mount=" ^ m)
+   | None -> ());
+  if hs.hs_format <> Binary then
+    Buffer.add_string buf (" format=" ^ format_name hs.hs_format);
+  Buffer.contents buf
+
+let split_words line =
+  String.split_on_char ' ' (String.trim line)
+  |> List.filter (fun w -> w <> "")
+
+(* [key=value] tokens; keys never contain '='; values may (a mount path
+   with an '=' in it survives). *)
+let key_value token =
+  match String.index_opt token '=' with
+  | Some i ->
+    Some (String.sub token 0 i, String.sub token (i + 1) (String.length token - i - 1))
+  | None -> None
+
+let parse_handshake line =
+  match split_words line with
+  | magic :: role :: rest when magic = hello ->
+    let ( let* ) = Result.bind in
+    let* role =
+      match role with
+      | "ingest" -> Ok Ingest
+      | "query" -> Ok Query
+      | r -> Error (Printf.sprintf "unknown role %S (expected ingest or query)" r)
+    in
+    let tenant = ref None and mount = ref None and format = ref Binary in
+    let* () =
+      List.fold_left
+        (fun acc token ->
+          let* () = acc in
+          match key_value token with
+          | Some ("tenant", v) when v <> "" ->
+            tenant := Some v;
+            Ok ()
+          | Some ("mount", v) when v <> "" ->
+            mount := Some v;
+            Ok ()
+          | Some ("format", "binary") ->
+            format := Binary;
+            Ok ()
+          | Some ("format", "text") ->
+            format := Text;
+            Ok ()
+          | Some ("format", v) ->
+            Error (Printf.sprintf "unknown format %S (expected binary or text)" v)
+          | _ -> Error (Printf.sprintf "unknown handshake token %S" token))
+        (Ok ()) rest
+    in
+    let* () =
+      match (role, !tenant) with
+      | Ingest, None -> Error "ingest handshake requires tenant=<id>"
+      | _ -> Ok ()
+    in
+    Ok { hs_role = role; hs_tenant = !tenant; hs_mount = !mount; hs_format = !format }
+  | _ ->
+    Error
+      (Printf.sprintf "bad handshake (expected %S, got %S)" (hello ^ " <role> ...") line)
+
+(* --- requests --- *)
+
+type request =
+  | Q_coverage
+  | Q_tcd of string
+  | Q_adequacy of string * float * float
+  | Q_completeness
+  | Q_digest
+  | Q_stats
+  | Q_tenants
+  | Q_metrics
+  | Q_ping
+  | Q_shutdown
+
+type parsed = { pr_request : request; pr_tenant : string option }
+
+let default_arg = "open.flags"
+let default_target = 1000.0
+let default_theta = 10.0
+
+let parse_request line =
+  let words = split_words line in
+  (* the [tenant=] token may appear anywhere; strip it first *)
+  let tenant = ref None in
+  let words =
+    List.filter
+      (fun w ->
+        match key_value w with
+        | Some ("tenant", v) when v <> "" ->
+          tenant := Some v;
+          false
+        | _ -> true)
+      words
+  in
+  let float_arg what s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | _ -> Error (Printf.sprintf "bad %s %S (expected a positive number)" what s)
+  in
+  let ( let* ) = Result.bind in
+  let* request =
+    match words with
+    | [ "coverage" ] -> Ok Q_coverage
+    | [ "tcd" ] -> Ok (Q_tcd default_arg)
+    | [ "tcd"; arg ] -> Ok (Q_tcd arg)
+    | [ "adequacy" ] -> Ok (Q_adequacy (default_arg, default_target, default_theta))
+    | [ "adequacy"; arg ] -> Ok (Q_adequacy (arg, default_target, default_theta))
+    | [ "adequacy"; arg; target ] ->
+      let* target = float_arg "target" target in
+      Ok (Q_adequacy (arg, target, default_theta))
+    | [ "adequacy"; arg; target; theta ] ->
+      let* target = float_arg "target" target in
+      let* theta = float_arg "theta" theta in
+      Ok (Q_adequacy (arg, target, theta))
+    | [ "completeness" ] -> Ok Q_completeness
+    | [ "digest" ] -> Ok Q_digest
+    | [ "stats" ] -> Ok Q_stats
+    | [ "tenants" ] -> Ok Q_tenants
+    | [ "metrics" ] -> Ok Q_metrics
+    | [ "ping" ] -> Ok Q_ping
+    | [ "shutdown" ] -> Ok Q_shutdown
+    | [] -> Error "empty request"
+    | w :: _ -> Error (Printf.sprintf "unknown request %S" w)
+  in
+  Ok { pr_request = request; pr_tenant = !tenant }
+
+let request_line ?tenant request =
+  let base =
+    match request with
+    | Q_coverage -> "coverage"
+    | Q_tcd arg -> "tcd " ^ arg
+    | Q_adequacy (arg, target, theta) ->
+      Printf.sprintf "adequacy %s %g %g" arg target theta
+    | Q_completeness -> "completeness"
+    | Q_digest -> "digest"
+    | Q_stats -> "stats"
+    | Q_tenants -> "tenants"
+    | Q_metrics -> "metrics"
+    | Q_ping -> "ping"
+    | Q_shutdown -> "shutdown"
+  in
+  match tenant with Some t -> base ^ " tenant=" ^ t | None -> base
+
+(* --- framing --- *)
+
+let ok_frame payload = Printf.sprintf "ok %d\n%s" (String.length payload) payload
+let err_frame msg = Printf.sprintf "err %d\n%s" (String.length msg) msg
+
+let max_frame = 1 lsl 26
+
+let read_frame ic =
+  match In_channel.input_line ic with
+  | None -> Error "connection closed before reply"
+  | Some header -> (
+    let read_body n =
+      if n < 0 || n > max_frame then
+        Error (Printf.sprintf "implausible frame length %d" n)
+      else
+        match really_input_string ic n with
+        | body -> Ok body
+        | exception End_of_file -> Error "truncated reply frame"
+    in
+    match split_words header with
+    | [ "ok"; len ] -> (
+      match int_of_string_opt len with
+      | Some n -> read_body n
+      | None -> Error (Printf.sprintf "bad frame header %S" header))
+    | [ "err"; len ] -> (
+      match int_of_string_opt len with
+      | Some n -> (
+        match read_body n with Ok msg -> Error msg | Error _ as e -> e)
+      | None -> Error (Printf.sprintf "bad frame header %S" header))
+    | _ -> Error (Printf.sprintf "bad frame header %S" header))

@@ -1,0 +1,72 @@
+(** The serve wire protocol (DESIGN.md §16).
+
+    Everything here is pure string parsing and formatting, shared by
+    the daemon ({!Server}), the CLI client ([iocov ingest] / [iocov
+    query]), and the protocol unit tests.  A connection opens with one
+    handshake line declaring its role; ingest connections then stream
+    raw trace bytes (or text lines) to EOF, query connections send one
+    request line at a time.  Every server reply is a length-framed
+    [ok]/[err] header line followed by exactly that many payload bytes,
+    so clients never need to guess where a multi-line report ends.
+
+    The trace format is {e declared} in the handshake rather than
+    sniffed: auto-detection ({!Iocov_trace.Binary_io.is_binary_trace})
+    rewinds the channel, which a socket cannot do. *)
+
+type role =
+  | Ingest  (** the connection body is one trace stream *)
+  | Query   (** the connection body is request lines *)
+
+type format = Binary | Text
+
+type handshake = {
+  hs_role : role;
+  hs_tenant : string option;  (** required for [Ingest] *)
+  hs_mount : string option;   (** per-stream mount filter override *)
+  hs_format : format;         (** [Binary] unless [format=text] *)
+}
+
+val hello : string
+(** ["iocov-serve/1"] — the handshake line's leading token. *)
+
+val handshake_line : handshake -> string
+val parse_handshake : string -> (handshake, string) result
+
+(** {2 Query requests} *)
+
+type request =
+  | Q_coverage                          (** suite + untested summaries *)
+  | Q_tcd of string                     (** TCD sweep for one argument *)
+  | Q_adequacy of string * float * float  (** arg, target, theta *)
+  | Q_completeness
+  | Q_digest                            (** CRC-32 snapshot digest, ledger-identical *)
+  | Q_stats                             (** tenant counters: epochs, cache, events *)
+  | Q_tenants                           (** global: known tenant ids *)
+  | Q_metrics                           (** global: Prometheus exposition *)
+  | Q_ping
+  | Q_shutdown
+
+type parsed = {
+  pr_request : request;
+  pr_tenant : string option;  (** [tenant=<id>] token, overriding the handshake *)
+}
+
+val parse_request : string -> (parsed, string) result
+(** One request line, e.g. ["tcd open.flags tenant=alice"].  Defaults:
+    [tcd] argument [open.flags]; [adequacy] argument [open.flags],
+    target 1000, theta 10. *)
+
+val request_line : ?tenant:string -> request -> string
+
+(** {2 Response framing} *)
+
+val ok_frame : string -> string
+(** ["ok <len>\n<payload>"]. *)
+
+val err_frame : string -> string
+(** ["err <len>\n<message>"]. *)
+
+val read_frame : in_channel -> (string, string) result
+(** Client side: read one framed reply; [Ok payload] or the server's
+    [Error message].  A malformed or truncated frame is an [Error]
+    too. *)

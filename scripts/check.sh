@@ -31,4 +31,35 @@ dune exec bin/iocov.exe -- runs list --ledger "$tmp/ledger" > /dev/null
 dune exec bin/iocov.exe -- runs diff 1 2 --ledger "$tmp/ledger" \
   | grep -q "identical"
 
+echo "== serve smoke =="
+# daemon up, two tenants stream the same trace, queries answer from
+# epoch snapshots, and the per-tenant ledger records are byte-identical
+# to the offline analyze of that trace
+sock="$tmp/iocov.sock"
+dune exec bin/iocov.exe -- serve --socket "$sock" --ledger "$tmp/ledger" \
+  > "$tmp/serve.out" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ]
+dune exec bin/iocov.exe -- ingest --socket "$sock" --tenant alice "$tmp/t.bin" \
+  > /dev/null
+dune exec bin/iocov.exe -- ingest --socket "$sock" --tenant bob "$tmp/t.bin" \
+  > /dev/null
+dune exec bin/iocov.exe -- query --socket "$sock" ping | grep -q pong
+dune exec bin/iocov.exe -- query --socket "$sock" --tenant alice digest stats \
+  > /dev/null
+dune exec bin/iocov.exe -- query --socket "$sock" shutdown > /dev/null
+wait "$serve_pid"
+# serve appended r3 (alice) and r4 (bob); both must cover the exact
+# cells the offline analyze (r1) covered
+dune exec bin/iocov.exe -- runs diff 1 3 --ledger "$tmp/ledger" \
+  | grep -q "identical"
+dune exec bin/iocov.exe -- runs diff 1 4 --ledger "$tmp/ledger" \
+  | grep -q "identical"
+dune exec bin/iocov.exe -- runs list --last 2 --ledger "$tmp/ledger" \
+  | grep -q "alice"
+
 echo "all checks passed"
