@@ -50,7 +50,7 @@ let () =
       ("--only", Arg.String (fun s -> only := s :: !only),
        "run one experiment (bugstudy|fig2|table1|fig3|fig4|fig5|syscalls|differential|\
         tcd-ablation|partition-ablation|variant-ablation|remaining|ltp|reduction|fuzzer|\
-        perf|parallel|coverage|robustness|obs|format|serve)");
+        perf|parallel|coverage|robustness|obs|format|serve|crash)");
       ("--format-bench", Arg.Unit (fun () -> only := "format" :: !only),
        "shorthand for --only format (the v3-compactness and scanner-equivalence gate; \
         exits non-zero on failure)");
@@ -59,6 +59,10 @@ let () =
       ("--serve-bench", Arg.Unit (fun () -> only := "serve" :: !only),
        "shorthand for --only serve (E16, multi-tenant mixed ingest/query workload; \
         exits non-zero if a tenant digest diverges from offline analyze)");
+      ("--crash-bench", Arg.Unit (fun () -> only := "crash" :: !only),
+       "shorthand for --only crash (E17, crash-state enumeration throughput and \
+        outcome-cell coverage vs bound; exits non-zero on an oracle violation or \
+        coverage that shrinks as the bound grows)");
       ("--events", Arg.Set_int coverage_events,
        "synthetic trace size for --only coverage (default 1000000)");
       ("--no-perf", Arg.Clear perf, "skip the Bechamel performance benches");
@@ -1615,6 +1619,109 @@ let serve_bench () =
   end;
   Printf.printf "serve gate: PASS\n%!"
 
+(* --- E17: crash-state enumeration --- *)
+
+let crash_bench () =
+  heading "E17" "Crash-state enumeration: throughput, dedup, coverage vs bound";
+  let module Engine = Iocov_crash.Engine in
+  let module Vc = Iocov_vfs.Config in
+  let bounds = [ 0; 2; 4 ] in
+  let modes = Vc.all_journal_modes in
+  let workloads = Engine.scenarios @ Iocov_suites.Crashmonkey.crash_scenarios in
+  let rows = ref [] in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun bound ->
+          let config = Vc.with_journal_mode mode Vc.default in
+          let (reports, outcomes), dt =
+            timed_wall (fun () ->
+                let outcomes = Hashtbl.create 8 in
+                let reports =
+                  List.map
+                    (fun sc ->
+                      let r = Engine.run_scenario ~window:bound ~config sc in
+                      List.iter
+                        (fun (o, n) ->
+                          if n > 0 then Hashtbl.replace outcomes o ())
+                        r.Engine.rp_tally;
+                      r)
+                    workloads
+                in
+                (reports, Hashtbl.length outcomes))
+          in
+          let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+          let raw = sum (fun r -> r.Engine.rp_raw_states) in
+          let images = sum (fun r -> r.Engine.rp_states) in
+          let classified = sum (fun r -> r.Engine.rp_classified) in
+          let violations = sum (fun r -> List.length r.Engine.rp_violations) in
+          rows :=
+            (Vc.journal_mode_to_string mode, bound, raw, images,
+             float_of_int raw /. float_of_int (max 1 images),
+             float_of_int raw /. dt, classified, outcomes, violations, dt)
+            :: !rows)
+        bounds)
+    modes;
+  let rows = List.rev !rows in
+  print_endline
+    (Ascii.table ~title:"crash-state enumeration sweep"
+       ~headers:
+         [ "mode"; "bound"; "states"; "images"; "dedup"; "states/s"; "cells";
+           "outcomes"; "violations" ]
+       (List.map
+          (fun (m, b, raw, img, dd, rate, cls, oc, viol, _) ->
+            [ m; string_of_int b; string_of_int raw; string_of_int img;
+              Printf.sprintf "%.2f" dd; Printf.sprintf "%.0f" rate;
+              string_of_int cls; Printf.sprintf "%d/5" oc; string_of_int viol ])
+          rows));
+  (* the gate: no oracle violations without faults, and raising the bound
+     never loses states or outcome cells *)
+  let clean = List.for_all (fun (_, _, _, _, _, _, _, _, v, _) -> v = 0) rows in
+  let monotone =
+    List.for_all
+      (fun mode ->
+        let m = Vc.journal_mode_to_string mode in
+        let seq =
+          List.filter_map
+            (fun (m', b, raw, _, _, _, _, oc, _, _) ->
+              if m' = m then Some (b, raw, oc) else None)
+            rows
+        in
+        let sorted = List.sort compare seq in
+        let rec ok = function
+          | (_, r1, o1) :: ((_, r2, o2) :: _ as rest) ->
+            r1 <= r2 && o1 <= o2 && ok rest
+          | _ -> true
+        in
+        ok sorted)
+      modes
+  in
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-crash/1\",\n  \"workloads\": %d,\n  \
+       \"bounds\": [%s],\n  \"rows\": [\n%s\n  ],\n  \"clean\": %b,\n  \
+       \"monotone\": %b\n}\n"
+      (List.length workloads)
+      (String.concat ", " (List.map string_of_int bounds))
+      (String.concat ",\n"
+         (List.map
+            (fun (m, b, raw, img, dd, rate, cls, oc, viol, dt) ->
+              Printf.sprintf
+                "    { \"mode\": \"%s\", \"bound\": %d, \"states\": %d, \
+                 \"images\": %d, \"dedup\": %.2f, \"states_per_s\": %.0f, \
+                 \"classified_cells\": %d, \"outcome_cells\": %d, \
+                 \"violations\": %d, \"elapsed_s\": %.4f }"
+                m b raw img dd rate cls oc viol dt)
+            rows))
+      clean monotone
+  in
+  write_json "BENCH_crash.json" body;
+  if not (clean && monotone) then begin
+    Printf.printf "crash gate: FAIL (clean=%b monotone=%b)\n%!" clean monotone;
+    exit 1
+  end;
+  Printf.printf "crash gate: PASS\n%!"
+
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
   if wanted "fig2" then e2_figure2 ();
@@ -1638,6 +1745,7 @@ let () =
   if wanted "format" then format_bench ();
   if wanted "obs" then e14_obs ();
   if wanted "serve" then serve_bench ();
+  if wanted "crash" then crash_bench ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

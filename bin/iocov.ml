@@ -655,7 +655,8 @@ let serve_cmd =
       die "serve needs --socket PATH and/or --ingest TENANT=FILE";
     if batch <= 0 then die "--batch must be positive";
     let config =
-      { Serve_server.socket; ingests; follow; mount = Some mount; batch }
+      { Serve_server.default_config with
+        Serve_server.socket; ingests; follow; mount = Some mount; batch }
     in
     let t0 = Obs.Clock.now () in
     match Serve_server.run config with
@@ -796,12 +797,235 @@ let query_cmd =
              snapshots and never pause ingestion.")
     Term.(const run $ Opts.obs_term $ socket_required $ tenant_arg $ requests_pos)
 
+(* --- crash: the crash-consistency scenario engine (DESIGN.md §17) --- *)
+
+let crash_cmd =
+  let module Engine = Iocov_crash.Engine in
+  let module Vc = Iocov_vfs.Config in
+  let module Partition = Iocov_core.Partition in
+  let run obs workloads bound modes torn faults target theta save jobs counters
+      ledger =
+    Opts.with_obs obs @@ fun () ->
+    let all_scenarios = Engine.scenarios @ Iocov_suites.Crashmonkey.crash_scenarios in
+    let scenarios =
+      match workloads with
+      | [] -> all_scenarios
+      | names ->
+        List.map
+          (fun name ->
+            match
+              List.find_opt (fun s -> s.Engine.sc_name = name) all_scenarios
+            with
+            | Some s -> s
+            | None ->
+              die "unknown workload %S (known: %s)" name
+                (String.concat ", "
+                   (List.map (fun s -> s.Engine.sc_name) all_scenarios)))
+          names
+    in
+    let modes = match modes with [] -> Vc.all_journal_modes | ms -> ms in
+    let reports = ref [] in
+    (* The engine's workloads run as the pipeline's live source: every
+       traced record flows through the same filter/sink machinery as a
+       suite run, and the crash outcomes are folded into the product's
+       coverage afterwards as their own output dimension. *)
+    let feed emit =
+      List.iter
+        (fun mode ->
+          List.iter
+            (fun scenario ->
+              let config =
+                Vc.with_journal_mode mode (Vc.with_faults faults Vc.default)
+              in
+              let make_ops fs =
+                let tracer = Iocov_trace.Tracer.create ~comm:"crash" fs in
+                Iocov_trace.Tracer.on_event tracer emit;
+                { Engine.op_exec = Iocov_trace.Tracer.exec tracer;
+                  op_exec_aux = Iocov_trace.Tracer.exec_aux tracer }
+              in
+              let report =
+                Engine.run_scenario ~make_ops ~window:bound ~torn ~config scenario
+              in
+              reports := report :: !reports)
+            scenarios)
+        modes
+    in
+    let header =
+      Sink.custom ~name:"header" (fun p ->
+          Some
+            (Printf.sprintf "%s: %d workload records kept, %d outside the mount"
+               p.Sink.label p.Sink.kept p.Sink.dropped))
+    in
+    let config = Pipe.Driver.config ~jobs ~counters () in
+    let t0 = Obs.Clock.now () in
+    match
+      Pipe.Driver.run ~config
+        ~stages:[ Pipe.Stage.filter (Iocov_trace.Filter.mount_point Engine.mount) ]
+        ~sinks:[ header ]
+        (Pipe.Source.live ~label:"crash" feed)
+    with
+    | Error msg -> die "%s" msg
+    | Ok { product; sections } ->
+      let reports = List.rev !reports in
+      let coverage = product.Sink.coverage in
+      List.iter
+        (fun r ->
+          let mode = Engine.crash_mode_of_journal r.Engine.rp_mode in
+          List.iter
+            (fun (o, n) -> if n > 0 then Coverage.add_crash coverage mode o n)
+            r.Engine.rp_tally)
+        reports;
+      print_sections sections;
+      let rows =
+        List.map
+          (fun r ->
+            [ r.Engine.rp_name; Vc.journal_mode_to_string r.Engine.rp_mode;
+              string_of_int r.Engine.rp_records;
+              string_of_int r.Engine.rp_raw_states;
+              string_of_int r.Engine.rp_states;
+              (if r.Engine.rp_raw_states = 0 then "-"
+               else
+                 Printf.sprintf "%.2f"
+                   (float_of_int r.Engine.rp_raw_states
+                    /. float_of_int (max 1 r.Engine.rp_states)));
+              string_of_int r.Engine.rp_classified ])
+          reports
+      in
+      print_endline
+        (Iocov_util.Ascii.table
+           ~title:(Printf.sprintf "crash-state enumeration (bound %d)" bound)
+           ~headers:
+             [ "workload"; "mode"; "records"; "states"; "images"; "dedup"; "cells" ]
+           rows);
+      let outcome_rows =
+        List.map
+          (fun mode ->
+            let cm = Engine.crash_mode_of_journal mode in
+            Vc.journal_mode_to_string mode
+            :: List.map
+                 (fun o -> string_of_int (Coverage.crash_count coverage cm o))
+                 Partition.all_crash_outcomes)
+          modes
+      in
+      print_endline
+        (Iocov_util.Ascii.table ~title:"post-crash outcome cells"
+           ~headers:
+             ("mode" :: List.map Partition.crash_outcome_label Partition.all_crash_outcomes)
+           outcome_rows);
+      let series = Coverage.crash_series coverage in
+      let frequencies = Array.of_list (List.map snd series) in
+      let lit = List.length (List.filter (fun (_, n) -> n > 0) series) in
+      let summary =
+        Iocov_core.Adequacy.summarize
+          (List.map
+             (fun ((_, o), n) ->
+               (o, n, Iocov_core.Adequacy.classify ~frequency:n ~target ~theta))
+             series)
+      in
+      Printf.printf
+        "crash cells: %d/%d lit   TCD(T=%.0f) %.3f   adequacy: %d untested, %d \
+         under, %d adequate, %d over\n"
+        lit (List.length series) target
+        (Tcd.tcd_uniform ~frequencies ~target)
+        summary.Iocov_core.Adequacy.untested summary.Iocov_core.Adequacy.under
+        summary.Iocov_core.Adequacy.adequate summary.Iocov_core.Adequacy.over;
+      let violations = List.concat_map (fun r -> r.Engine.rp_violations) reports in
+      let expected = List.mem Fault.Fsync_skips_data faults in
+      (match violations with
+       | [] ->
+         if expected then
+           print_endline
+             "oracle: no violations — fsync_skips_data armed but nothing caught"
+         else print_endline "oracle: fsync-durability holds in every enumerated state"
+       | vs ->
+         Printf.printf "oracle: %d fsync-durability violation(s)%s:\n" (List.length vs)
+           (if expected then " (bugs found, as injected)" else "");
+         List.iteri (fun i v -> if i < 10 then Printf.printf "  %s\n" v) vs;
+         if List.length vs > 10 then
+           Printf.printf "  ... and %d more\n" (List.length vs - 10));
+      (match save with
+       | Some path ->
+         Iocov_core.Snapshot.save_file path coverage;
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      let flags =
+        [ ("bound", string_of_int bound);
+          ("modes",
+           String.concat "," (List.map Vc.journal_mode_to_string modes)) ]
+        @ (if torn then [] else [ ("torn", "off") ])
+        @ (match faults with
+           | [] -> []
+           | fs -> [ ("faults", String.concat "," (List.map Fault.to_string fs)) ])
+      in
+      ledger_append ~ledger ~subcommand:"crash" ~label:"crash-engine" ~flags ~jobs
+        ~counters ~events:product.Sink.events ~kept:product.Sink.kept ~lost:0
+        ~wall_s:(Obs.Clock.now () -. t0) coverage;
+      (* unexpected violations are an engine bug; injected ones are the
+         differential's success and exit clean *)
+      if violations <> [] && not expected then exit 1;
+      if expected && violations = [] then exit 1
+  in
+  let mode_conv =
+    Arg.conv
+      ( (fun s ->
+          match Iocov_vfs.Config.journal_mode_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg (Printf.sprintf "unknown journal mode %S" s))),
+        fun ppf m ->
+          Format.pp_print_string ppf (Iocov_vfs.Config.journal_mode_to_string m) )
+  in
+  let workloads_arg =
+    Arg.(value & opt_all string []
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Scenario to run (repeatable; default: all built-in scenarios).")
+  in
+  let bound_arg =
+    Arg.(value & opt int 2
+         & info [ "bound" ] ~docv:"N"
+             ~doc:"Reordering bound: journal records still volatile at the crash \
+                   point.  0 enumerates pure log prefixes.")
+  in
+  let modes_arg =
+    Arg.(value & opt_all mode_conv []
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Journal mode: writeback, ordered, or journaled (repeatable; \
+                   default: all three).")
+  in
+  let no_torn_arg =
+    Arg.(value & flag & info [ "no-torn" ] ~doc:"Disable torn-tail write states.")
+  in
+  let target_arg =
+    Arg.(value & opt float 100.0
+         & info [ "target" ] ~docv:"T" ~doc:"Adequacy target per crash cell.")
+  in
+  let theta_arg =
+    Arg.(value & opt float 10.0 & info [ "theta" ] ~docv:"THETA" ~doc:"Adequacy tolerance.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Write the coverage (crash cells included) as a snapshot file.")
+  in
+  let run obs workloads bound modes no_torn faults target theta save jobs counters
+      ledger =
+    run obs workloads bound modes (not no_torn) faults target theta save jobs
+      counters ledger
+  in
+  Cmd.v
+    (Cmd.info "crash"
+       ~doc:"Enumerate bounded crash states of scripted workloads, replay recovery, \
+             and report post-crash outcome coverage.")
+    Term.(
+      const run $ Opts.obs_term $ workloads_arg $ bound_arg $ modes_arg $ no_torn_arg
+      $ Opts.faults $ target_arg $ theta_arg $ save_arg $ Opts.jobs $ Opts.counters
+      $ Opts.ledger_term)
+
 let main =
   Cmd.group
     (Cmd.info "iocov" ~version:"1.0.0"
        ~doc:"Input/output coverage for file system testing (HotStorage '23 reproduction).")
     [ suite_cmd; trace_cmd; analyze_cmd; report_cmd; compare_cmd; tcd_cmd;
       adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd;
-      metrics_cmd; runs_cmd; serve_cmd; ingest_cmd; query_cmd ]
+      crash_cmd; metrics_cmd; runs_cmd; serve_cmd; ingest_cmd; query_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -21,9 +21,15 @@ type t = {
   outputs : (Model.base, Partition.output Histogram.t) Hashtbl.t;
   variants : Model.variant Histogram.t;
   flag_sets : Open_flags.t Histogram.t;
+  crash : (Partition.crash_mode * Partition.crash_outcome) Histogram.t;
   mutable calls : int;
   metered : bool;
 }
+
+let compare_crash_key (m1, o1) (m2, o2) =
+  match Partition.compare_crash_mode m1 m2 with
+  | 0 -> Partition.compare_crash_outcome o1 o2
+  | c -> c
 
 let create ?(metered = true) () =
   {
@@ -35,6 +41,7 @@ let create ?(metered = true) () =
        matches declaration order). *)
     variants = Histogram.create ~compare:Model.compare_variant;
     flag_sets = Histogram.create ~compare:Int.compare;
+    crash = Histogram.create ~compare:compare_crash_key;
     calls = 0;
     metered;
   }
@@ -129,6 +136,7 @@ let merge_into ~dst src =
   dst.calls <- dst.calls + src.calls;
   Histogram.merge_into ~dst:dst.variants src.variants;
   Histogram.merge_into ~dst:dst.flag_sets src.flag_sets;
+  Histogram.merge_into ~dst:dst.crash src.crash;
   Hashtbl.iter
     (fun arg h -> Histogram.merge_into ~dst:(input_hist dst arg) h)
     src.inputs;
@@ -237,6 +245,20 @@ let add_output t base out count = Histogram.add (output_hist t base) ~count out
 let add_variant t v count = Histogram.add t.variants ~count v
 let add_flag_set t mask count = Histogram.add t.flag_sets ~count mask
 
+(* --- post-crash outcomes (DESIGN.md §17) --- *)
+
+let add_crash t mode outcome count = Histogram.add t.crash ~count (mode, outcome)
+let crash_count t mode outcome = Histogram.count t.crash (mode, outcome)
+let crash_observed t = Histogram.total t.crash
+
+let crash_series t =
+  List.concat_map
+    (fun mode ->
+      List.map
+        (fun outcome -> ((mode, outcome), Histogram.count t.crash (mode, outcome)))
+        Partition.all_crash_outcomes)
+    Partition.all_crash_modes
+
 let add_calls t n =
   if n < 0 then invalid_arg "Coverage.add_calls: negative";
   t.calls <- t.calls + n
@@ -322,7 +344,8 @@ module Dense = struct
           match Plan.cells.(id) with
           | Plan.Cell_variant v -> add_variant cov v n
           | Plan.Cell_input (arg, part) -> add_input cov arg part n
-          | Plan.Cell_output (base, out) -> add_output cov base out n)
+          | Plan.Cell_output (base, out) -> add_output cov base out n
+          | Plan.Cell_crash (mode, outcome) -> add_crash cov mode outcome n)
       t.counts;
     Hashtbl.iter (fun mask r -> add_flag_set cov mask !r) t.flag_sets;
     add_calls cov t.calls;
@@ -335,6 +358,7 @@ let cell_count t = function
   | Plan.Cell_variant v -> variant_calls t v
   | Plan.Cell_input (arg, part) -> input_count t arg part
   | Plan.Cell_output (base, out) -> output_count t base out
+  | Plan.Cell_crash (mode, outcome) -> crash_count t mode outcome
 
 let lit_cells t =
   let variants = ref 0 and inputs = ref 0 and outputs = ref 0 in
@@ -344,7 +368,9 @@ let lit_cells t =
         match cell with
         | Plan.Cell_variant _ -> incr variants
         | Plan.Cell_input _ -> incr inputs
-        | Plan.Cell_output _ -> incr outputs)
+        (* Crash cells live on the output side of the universe; the
+           three-bucket ledger shape stays stable. *)
+        | Plan.Cell_output _ | Plan.Cell_crash _ -> incr outputs)
     Plan.cells;
   (!variants, !inputs, !outputs)
 

@@ -110,6 +110,23 @@ val add_variant : t -> Model.variant -> int -> unit
 val add_flag_set : t -> Open_flags.t -> int -> unit
 val add_calls : t -> int -> unit
 
+(** {2 Post-crash outcomes}
+
+    The crash engine's output dimension (DESIGN.md §17): per (journal
+    mode, outcome) tallies of how files fared across a simulated power
+    cut.  Fed by {!add_crash} — crash observations come from the crash
+    engine's classifier, not from the syscall observe path. *)
+
+val add_crash : t -> Partition.crash_mode -> Partition.crash_outcome -> int -> unit
+val crash_count : t -> Partition.crash_mode -> Partition.crash_outcome -> int
+
+val crash_observed : t -> int
+(** Total (state, file) classifications recorded, all modes. *)
+
+val crash_series :
+  t -> ((Partition.crash_mode * Partition.crash_outcome) * int) list
+(** The full 15-cell domain in (mode, outcome) order, zeros included. *)
+
 (** {2 Dense counters}
 
     The replay hot-path accumulator: a flat [int array] indexed by

@@ -200,3 +200,61 @@ let output_is_error = function O_err _ -> true | O_ok | O_ok_zero | O_ok_bucket 
 let output_success_group = function
   | O_ok | O_ok_zero | O_ok_bucket _ -> `Ok
   | O_err e -> `Err e
+
+(* --- post-crash outcomes (DESIGN.md §17) ---
+
+   A genuinely new output dimension beyond the paper: each (journal
+   mode, per-file outcome) pair is one partition cell, and the crash
+   engine's enumerated states light them up the way syscall outcomes
+   light up the error cells. *)
+
+type crash_mode = CM_writeback | CM_ordered | CM_journaled
+
+let all_crash_modes = [ CM_writeback; CM_ordered; CM_journaled ]
+
+let crash_mode_label = function
+  | CM_writeback -> "writeback"
+  | CM_ordered -> "ordered"
+  | CM_journaled -> "journaled"
+
+let crash_mode_of_label = function
+  | "writeback" -> Some CM_writeback
+  | "ordered" -> Some CM_ordered
+  | "journaled" -> Some CM_journaled
+  | _ -> None
+
+let crash_mode_index = function
+  | CM_writeback -> 0
+  | CM_ordered -> 1
+  | CM_journaled -> 2
+
+let compare_crash_mode a b = Stdlib.compare (crash_mode_index a) (crash_mode_index b)
+
+type crash_outcome = C_recovered | C_torn | C_lost | C_stale | C_errno
+
+let all_crash_outcomes = [ C_recovered; C_torn; C_lost; C_stale; C_errno ]
+
+let crash_outcome_label = function
+  | C_recovered -> "recovered"
+  | C_torn -> "torn"
+  | C_lost -> "lost"
+  | C_stale -> "stale"
+  | C_errno -> "errno-on-reopen"
+
+let crash_outcome_of_label = function
+  | "recovered" -> Some C_recovered
+  | "torn" -> Some C_torn
+  | "lost" -> Some C_lost
+  | "stale" -> Some C_stale
+  | "errno-on-reopen" -> Some C_errno
+  | _ -> None
+
+let crash_outcome_index = function
+  | C_recovered -> 0
+  | C_torn -> 1
+  | C_lost -> 2
+  | C_stale -> 3
+  | C_errno -> 4
+
+let compare_crash_outcome a b =
+  Stdlib.compare (crash_outcome_index a) (crash_outcome_index b)

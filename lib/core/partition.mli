@@ -80,3 +80,40 @@ val output_is_error : output -> bool
 val output_success_group : output -> [ `Ok | `Err of Errno.t ]
 (** Collapse byte-count success buckets into one ["OK (>= 0)"] column —
     exactly Figure 4's x-axis. *)
+
+(** {2 Post-crash outcomes}
+
+    The crash engine (DESIGN.md §17) adds an output dimension beyond
+    the paper's: after a simulated power cut and recovery, every file a
+    workload touched lands in exactly one outcome partition, per
+    journal mode.  Each (mode, outcome) pair is one plan cell. *)
+
+(** Mirrors {!Iocov_vfs.Config.journal_mode}; duplicated here so the
+    core layer stays independent of the VFS. *)
+type crash_mode = CM_writeback | CM_ordered | CM_journaled
+
+val all_crash_modes : crash_mode list
+
+val crash_mode_label : crash_mode -> string
+(** ["writeback"], ["ordered"], ["journaled"] — whitespace-free, doubles
+    as the snapshot token. *)
+
+val crash_mode_of_label : string -> crash_mode option
+val crash_mode_index : crash_mode -> int
+val compare_crash_mode : crash_mode -> crash_mode -> int
+
+type crash_outcome =
+  | C_recovered  (** identical to the last version the workload wrote *)
+  | C_torn       (** a state no single workload step ever exposed *)
+  | C_lost       (** existed before the crash, gone after recovery *)
+  | C_stale      (** matches an earlier (superseded) workload version *)
+  | C_errno      (** reopen after recovery fails with an unexpected errno *)
+
+val all_crash_outcomes : crash_outcome list
+
+val crash_outcome_label : crash_outcome -> string
+(** ["recovered"], ["torn"], ["lost"], ["stale"], ["errno-on-reopen"]. *)
+
+val crash_outcome_of_label : string -> crash_outcome option
+val crash_outcome_index : crash_outcome -> int
+val compare_crash_outcome : crash_outcome -> crash_outcome -> int

@@ -14,7 +14,8 @@
 
      [0, inputs_off)             one cell per syscall variant
      [inputs_off, outputs_off)   input cells, grouped by argument
-     [outputs_off, total)        output cells, [per_base_outputs] per base
+     [outputs_off, crash_off)    output cells, [per_base_outputs] per base
+     [crash_off, total)          post-crash cells, one per (mode, outcome)
 
    Numeric arguments get the full 65-bucket strip (negative, zero,
    2^0..2^62) rather than their report-domain width: an observed
@@ -29,6 +30,7 @@ type cell =
   | Cell_variant of Model.variant
   | Cell_input of Arg_class.arg * Partition.t
   | Cell_output of Model.base * Partition.output
+  | Cell_crash of Partition.crash_mode * Partition.crash_outcome
 
 (* --- layout --- *)
 
@@ -68,10 +70,18 @@ let bucket0_slot = 2
 let err0_slot = bucket0_slot + 63
 let per_base_outputs = err0_slot + Errno.count
 
-let total = outputs_off + (Model.base_count * per_base_outputs)
+let crash_off = outputs_off + (Model.base_count * per_base_outputs)
+let crash_mode_count = List.length Partition.all_crash_modes
+let crash_outcome_count = List.length Partition.all_crash_outcomes
+let total = crash_off + (crash_mode_count * crash_outcome_count)
 
 let arg_offset arg = input_off.(Arg_class.index arg)
 let base_offset base = outputs_off + (Model.base_index base * per_base_outputs)
+
+let crash_cell mode outcome =
+  crash_off
+  + (Partition.crash_mode_index mode * crash_outcome_count)
+  + Partition.crash_outcome_index outcome
 
 (* --- input-side compilation --- *)
 
@@ -271,4 +281,10 @@ let cells =
         (fun e -> a.(off + err0_slot + Errno.index e) <- Cell_output (base, Partition.O_err e))
         Errno.all)
     Model.all_bases;
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun outcome -> a.(crash_cell mode outcome) <- Cell_crash (mode, outcome))
+        Partition.all_crash_outcomes)
+    Partition.all_crash_modes;
   a

@@ -20,6 +20,7 @@ type cell =
   | Cell_variant of Iocov_syscall.Model.variant
   | Cell_input of Arg_class.arg * Partition.t
   | Cell_output of Iocov_syscall.Model.base * Partition.output
+  | Cell_crash of Partition.crash_mode * Partition.crash_outcome
 
 val total : int
 (** Number of cells; valid IDs are [[0, total)]. *)
@@ -40,6 +41,11 @@ val output_cell :
   Iocov_syscall.Model.base -> Iocov_syscall.Model.outcome -> int
 (** Cell ID of the outcome's output partition, as classified by
     {!Partition.output_of}. *)
+
+val crash_cell : Partition.crash_mode -> Partition.crash_outcome -> int
+(** Cell ID of a post-crash outcome (DESIGN.md §17): one cell per
+    (journal mode, per-file outcome) pair, in a dense block after the
+    syscall output cells. *)
 
 (** {2 Raw-field observation}
 
@@ -88,6 +94,9 @@ val err_output_cell : Iocov_syscall.Model.base -> int -> int
 val inputs_off : int
 val outputs_off : int
 val per_base_outputs : int
+val crash_off : int
+val crash_mode_count : int
+val crash_outcome_count : int
 val arg_offset : Arg_class.arg -> int
 val base_offset : Iocov_syscall.Model.base -> int
 val bucket_slot : int -> int

@@ -27,6 +27,17 @@ let emit put cov =
                  (Partition.output_token out) n))
         (Coverage.output_histogram cov base))
     Model.all_bases;
+  (* Crash lines only when non-zero, so snapshots of runs that never
+     touched the crash engine stay byte-identical to the v1 format. *)
+  List.iter
+    (fun ((mode, outcome), n) ->
+      if n > 0 then
+        put
+          (Printf.sprintf "crash %s %s %d\n"
+             (Partition.crash_mode_label mode)
+             (Partition.crash_outcome_label outcome)
+             n))
+    (Coverage.crash_series cov);
   List.iter
     (fun (mask, n) -> put (Printf.sprintf "flagset %s %d\n" (Open_flags.to_string mask) n))
     (Coverage.open_flag_sets cov)
@@ -73,6 +84,12 @@ let parse_line cov line =
      | Some base, Some out -> Ok (Coverage.add_output cov base out n)
      | None, _ -> Error (Printf.sprintf "unknown syscall %S" base_name)
      | _, None -> Error (Printf.sprintf "unknown output %S" token))
+  | [ "crash"; mode_s; outcome_s; n ] ->
+    let* n = parse_count n in
+    (match (Partition.crash_mode_of_label mode_s, Partition.crash_outcome_of_label outcome_s) with
+     | Some mode, Some outcome -> Ok (Coverage.add_crash cov mode outcome n)
+     | None, _ -> Error (Printf.sprintf "unknown journal mode %S" mode_s)
+     | _, None -> Error (Printf.sprintf "unknown crash outcome %S" outcome_s))
   | [ "flagset"; mask_s; n ] ->
     let* n = parse_count n in
     (match Open_flags.of_string mask_s with
@@ -127,3 +144,4 @@ let equal a b =
   && List.for_all
        (fun base -> Coverage.output_histogram a base = Coverage.output_histogram b base)
        Model.all_bases
+  && Coverage.crash_series a = Coverage.crash_series b

@@ -1,0 +1,737 @@
+(* The crash-consistency scenario engine (DESIGN.md §17).
+
+   A scenario runs against a journal-attached VFS; the ordered
+   persistence log it leaves behind is the whole input to crash
+   simulation.  Bounded enumeration (à la B3's reordering bound)
+   produces every crash state reachable under the configured journal
+   mode: a crash point in the log, a prefix of the metadata sequence,
+   barrier- and window-forced data, free choice over the in-window
+   data, and torn tails of the last unpersisted write.  Each state is
+   materialized by replaying its surviving records onto a fresh file
+   system — journal recovery — and every file the workload touched is
+   classified into one post-crash outcome cell.
+
+   Two independent walkers keep the enumerator honest: [valid] is a
+   from-the-definition predicate over (crash point, persisted set)
+   pairs, and [brute_force_states] filters the full power set with it —
+   on small logs the bounded enumerator must produce exactly the same
+   state sets (property-tested). *)
+
+open Iocov_syscall
+open Iocov_vfs
+module Crc32 = Iocov_util.Crc32
+module Partition = Iocov_core.Partition
+
+let crash_mode_of_journal = function
+  | Config.Writeback -> Partition.CM_writeback
+  | Config.Ordered -> Partition.CM_ordered
+  | Config.Journaled -> Partition.CM_journaled
+
+(* --- scenarios --- *)
+
+type step =
+  | Mkdir of string
+  | Creat of string
+  | Write of string * int * int  (* path, offset, length *)
+  | Append of string * int
+  | Truncate of string * int
+  | Chmod of string * int
+  | Setxattr of string * string * int
+  | Rename of string * string
+  | Link of string * string      (* existing, new path *)
+  | Symlink of string * string   (* target, link path *)
+  | Unlink of string
+  | Rmdir of string
+  | Fsync of string
+  | Fdatasync of string
+  | Sync
+
+type scenario = {
+  sc_name : string;
+  sc_mount : string;
+  sc_uid : (int * int) option;
+      (* run the workload under these credentials (the mount point is
+         still prepared as root, mode 0o777) *)
+  sc_setup : step list;  (* fully durable before the crash window opens *)
+  sc_body : step list;   (* the steps crash states are drawn from *)
+}
+
+type ops = {
+  op_exec : Model.call -> Model.outcome;
+  op_exec_aux : Fs.aux -> (int, Errno.t) result;
+}
+
+let fs_ops fs = { op_exec = Fs.exec fs; op_exec_aux = Fs.exec_aux fs }
+
+let with_fd ops ~flags ?(mode = 0o644) path f =
+  match ops.op_exec (Model.open_ ~mode ~flags:(Open_flags.of_flags flags) path) with
+  | Model.Ret fd ->
+    f fd;
+    ignore (ops.op_exec (Model.close fd))
+  | Model.Err _ -> ()
+
+let run_step ops step =
+  let open Open_flags in
+  match step with
+  | Mkdir path -> ignore (ops.op_exec (Model.mkdir ~mode:0o755 path))
+  | Creat path -> with_fd ops ~flags:[ O_WRONLY; O_CREAT; O_TRUNC ] path (fun _ -> ())
+  | Write (path, offset, count) ->
+    with_fd ops ~flags:[ O_WRONLY; O_CREAT ] path (fun fd ->
+        ignore
+          (ops.op_exec (Model.write ~variant:Model.Sys_pwrite64 ~offset ~fd ~count ())))
+  | Append (path, count) ->
+    with_fd ops ~flags:[ O_WRONLY; O_CREAT; O_APPEND ] path (fun fd ->
+        ignore (ops.op_exec (Model.write ~fd ~count ())))
+  | Truncate (path, length) ->
+    ignore (ops.op_exec (Model.truncate ~target:(Model.Path path) ~length ()))
+  | Chmod (path, mode) ->
+    ignore (ops.op_exec (Model.chmod ~target:(Model.Path path) ~mode ()))
+  | Setxattr (path, name, size) ->
+    ignore
+      (ops.op_exec
+         (Model.setxattr ~target:(Model.Path path) ~name ~size
+            ~flags:Xattr_flag.XATTR_ANY ()))
+  | Rename (old_path, new_path) -> ignore (ops.op_exec_aux (Fs.Rename (old_path, new_path)))
+  | Link (existing, new_path) -> ignore (ops.op_exec_aux (Fs.Link (existing, new_path)))
+  | Symlink (target, link_path) -> ignore (ops.op_exec_aux (Fs.Symlink (target, link_path)))
+  | Unlink path -> ignore (ops.op_exec_aux (Fs.Unlink path))
+  | Rmdir path -> ignore (ops.op_exec_aux (Fs.Rmdir path))
+  | Fsync path ->
+    with_fd ops ~flags:[ O_RDONLY ] path (fun fd -> ignore (ops.op_exec_aux (Fs.Fsync fd)))
+  | Fdatasync path ->
+    with_fd ops ~flags:[ O_RDONLY ] path (fun fd ->
+        ignore (ops.op_exec_aux (Fs.Fdatasync fd)))
+  | Sync -> ignore (ops.op_exec_aux Fs.Sync)
+
+let step_paths = function
+  | Mkdir p | Creat p | Write (p, _, _) | Append (p, _) | Truncate (p, _)
+  | Chmod (p, _) | Setxattr (p, _, _) | Unlink p | Rmdir p | Fsync p | Fdatasync p ->
+    [ p ]
+  | Rename (a, b) | Link (a, b) | Symlink (a, b) -> [ a; b ]
+  | Sync -> []
+
+(* --- workload-visible file versions --- *)
+
+type observation =
+  | Absent
+  | Reg of { size : int; checksum : int }
+  | Dir
+  | Other
+
+let equal_observation a b =
+  match (a, b) with
+  | Absent, Absent | Dir, Dir | Other, Other -> true
+  | Reg a, Reg b -> a.size = b.size && a.checksum = b.checksum
+  | _ -> false
+
+let observe fs path =
+  match Fs.lstat fs path with
+  | Error _ -> Absent
+  | Ok st ->
+    (match st.Fs.st_kind with
+     | `Reg ->
+       let checksum = match Fs.checksum fs path with Ok c -> c | Error _ -> 0 in
+       Reg { size = st.Fs.st_size; checksum }
+     | `Dir -> Dir
+     | `Symlink | `Fifo | `Device -> Other)
+
+(* --- executing a scenario --- *)
+
+type run = {
+  run_scenario : scenario;
+  run_config : Config.t;
+  run_records : Journal.record array;
+  run_b0 : int;  (* records [0, b0) are the durable pre-crash baseline *)
+  run_history : (string * observation list) list;
+      (* per touched path, oldest first; the last entry is the final
+         (pre-crash) version *)
+}
+
+let execute ?make_ops ~config scenario =
+  let fs = Fs.create ~config () in
+  let journal = Journal.create () in
+  Fs.set_journal fs (Some journal);
+  let ops = match make_ops with Some f -> f fs | None -> fs_ops fs in
+  (* mount preparation and setup are the durable baseline: a real crash
+     test formats and mounts before the workload of interest runs *)
+  let components =
+    List.filter (fun c -> c <> "") (String.split_on_char '/' scenario.sc_mount)
+  in
+  ignore
+    (List.fold_left
+       (fun prefix comp ->
+         let dir = prefix ^ "/" ^ comp in
+         ignore (ops.op_exec (Model.mkdir ~mode:0o777 dir));
+         dir)
+       "" components);
+  (match scenario.sc_uid with
+   | Some (uid, gid) -> Fs.set_credentials fs ~uid ~gid
+   | None -> ());
+  List.iter (run_step ops) scenario.sc_setup;
+  ignore (ops.op_exec_aux Fs.Sync);
+  let b0 = Journal.length journal in
+  let touched =
+    List.sort_uniq String.compare
+      (List.concat_map step_paths (scenario.sc_setup @ scenario.sc_body))
+  in
+  let history = Hashtbl.create 16 in
+  let snap () =
+    List.iter
+      (fun path ->
+        let prev = try Hashtbl.find history path with Not_found -> [] in
+        Hashtbl.replace history path (observe fs path :: prev))
+      touched
+  in
+  snap ();
+  List.iter
+    (fun step ->
+      run_step ops step;
+      snap ())
+    scenario.sc_body;
+  {
+    run_scenario = scenario;
+    run_config = config;
+    run_records = Journal.records journal;
+    run_b0 = b0;
+    run_history = List.map (fun p -> (p, List.rev (Hashtbl.find history p))) touched;
+  }
+
+(* --- crash-state enumeration --- *)
+
+(* A persisted record: its journal position, and for torn tails the
+   shortened length the partial block writeback exposed. *)
+type state = {
+  st_crash_point : int;
+  st_persisted : (int * int option) list;  (* ascending positions *)
+}
+
+let state_positions st = List.map fst st.st_persisted
+
+let is_meta records p = Journal.classify records.(p) = Journal.Metadata
+let is_barrier records p = Journal.classify records.(p) = Journal.Barrier_record
+
+let data_ino records p =
+  match records.(p) with Journal.Data { ino; _ } -> Some ino | _ -> None
+
+(* Number of metadata records in [b0, p). *)
+let meta_prefix_counts records ~b0 =
+  let n = Array.length records in
+  let m = Array.make (n + 1) 0 in
+  for p = b0 to n - 1 do
+    m.(p + 1) <- m.(p) + (if is_meta records p then 1 else 0)
+  done;
+  m
+
+(* Does barrier [b] force data record [p] (p < b) to be durable under
+   [mode]?  fsync covers its inode (and, in ordered mode, every prior
+   data block — the commit that makes the metadata durable drags the
+   data it references along); fdatasync covers only its inode's data;
+   sync covers everything.  The [Fsync_skips_data] fault disables all
+   of it — that is the bug the durability oracle exists to catch. *)
+let barrier_forces_data ~mode ~fsync_skips_data records ~p ~b =
+  (not fsync_skips_data)
+  &&
+  match records.(b) with
+  | Journal.Barrier { scope; data_only } ->
+    let same_ino =
+      match (scope, data_ino records p) with
+      | Journal.All, _ -> true
+      | Journal.Ino x, Some y -> x = y
+      | Journal.Ino _, None -> false
+    in
+    if data_only then same_ino
+    else (match (mode : Config.journal_mode) with
+          | Config.Ordered -> true
+          | Config.Writeback | Config.Journaled -> same_ino)
+  | _ -> false
+
+let covered_by_barrier ~mode ~fsync_skips_data records ~p ~upto =
+  let rec go b =
+    b < upto
+    && (barrier_forces_data ~mode ~fsync_skips_data records ~p ~b || go (b + 1))
+  in
+  go (p + 1)
+
+(* Torn-tail cut lengths of a [len]-byte write: the first, middle, and
+   last block boundaries strictly inside it (<= 3 variants; dedup
+   absorbs collisions on small writes). *)
+let torn_cuts ~block_size len =
+  if len <= block_size then []
+  else
+    let nblocks = (len + block_size - 1) / block_size in
+    let cuts =
+      [ block_size; nblocks / 2 * block_size; (len - 1) / block_size * block_size ]
+    in
+    List.sort_uniq compare (List.filter (fun c -> c > 0 && c < len) cuts)
+
+let enumerate_states ~mode ~records ~b0 ~window ~torn ~fsync_skips_data
+    ~block_size () =
+  let n = Array.length records in
+  let m = meta_prefix_counts records ~b0 in
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  let add st =
+    if not (Hashtbl.mem seen st.st_persisted) then begin
+      Hashtbl.add seen st.st_persisted ();
+      out := st :: !out
+    end
+  in
+  let data_len p = match records.(p) with Journal.Data { len; _ } -> len | _ -> 0 in
+  let add_with_torn i persisted ~tail =
+    add { st_crash_point = i; st_persisted = persisted };
+    if torn then
+      match tail with
+      | Some q ->
+        List.iter
+          (fun cut ->
+            let with_cut =
+              List.sort compare ((q, Some cut) :: persisted)
+            in
+            add { st_crash_point = i; st_persisted = with_cut })
+          (torn_cuts ~block_size (data_len q))
+      | None -> ()
+  in
+  for i = b0 to n do
+    match (mode : Config.journal_mode) with
+    | Config.Journaled ->
+      (* strict log order: the journal replays a downward-closed prefix *)
+      let persisted = ref [] in
+      for p = i - 1 downto b0 do
+        if not (is_barrier records p) then persisted := (p, None) :: !persisted
+      done;
+      (* the torn tail is the commit the crash interrupted *)
+      let tail =
+        if i < n && data_len i > block_size then Some i else None
+      in
+      add_with_torn i !persisted ~tail
+    | Config.Writeback | Config.Ordered ->
+      let horizon = max b0 (i - window) in
+      let metas = ref [] in
+      for p = i - 1 downto b0 do
+        if is_meta records p then metas := p :: !metas
+      done;
+      let metas = Array.of_list !metas in
+      let m_i = Array.length metas in
+      (* every full barrier commits the metadata journal up to itself;
+         the reorder window bounds how old an uncommitted update can be *)
+      let m_lo = ref m.(horizon) in
+      for b = b0 to i - 1 do
+        match records.(b) with
+        | Journal.Barrier { data_only = false; _ } -> m_lo := max !m_lo m.(b)
+        | _ -> ()
+      done;
+      let datas = ref [] in
+      for p = i - 1 downto b0 do
+        if data_ino records p <> None then datas := p :: !datas
+      done;
+      let datas = !datas in
+      for mm = !m_lo to m_i do
+        let persisted_meta =
+          List.filteri (fun k _ -> k < mm) (Array.to_list metas)
+          |> List.map (fun p -> (p, None))
+        in
+        let forced, free =
+          List.partition
+            (fun p ->
+              p < horizon
+              || covered_by_barrier ~mode ~fsync_skips_data records ~p ~upto:i
+              || (mode = Config.Ordered && m.(p) < mm))
+            datas
+        in
+        let forced = List.map (fun p -> (p, None)) forced in
+        let free = Array.of_list free in
+        let nf = Array.length free in
+        for mask = 0 to (1 lsl nf) - 1 do
+          let chosen = ref [] and dropped_tail = ref None in
+          for k = nf - 1 downto 0 do
+            if mask land (1 lsl k) <> 0 then chosen := (free.(k), None) :: !chosen
+            else if !dropped_tail = None then dropped_tail := Some free.(k)
+          done;
+          let persisted =
+            List.sort compare (persisted_meta @ forced @ !chosen)
+          in
+          add_with_torn i persisted ~tail:!dropped_tail
+        done
+      done
+  done;
+  List.rev !out
+
+(* The independent validity predicate: is (crash point [i], persisted
+   set [s]) reachable?  Written from the §17 definition, not shared
+   with the generator above — their agreement is the property the
+   QCheck equivalence test checks. *)
+let valid ~mode ~records ~b0 ~window ~fsync_skips_data ~i s =
+  let in_s p = List.mem p s in
+  let n = i in
+  let ok = ref true in
+  (* barriers are ordering constraints, never content *)
+  List.iter (fun p -> if is_barrier records p then ok := false) s;
+  for p = b0 to n - 1 do
+    (* the reorder window: nothing older than [window] records is still
+       volatile *)
+    if p < i - window && (not (is_barrier records p)) && not (in_s p) then
+      ok := false;
+    if is_meta records p then begin
+      (* the metadata journal persists in order *)
+      (if in_s p then
+         for q = b0 to p - 1 do
+           if is_meta records q && not (in_s q) then ok := false
+         done);
+      (* a full barrier commits the whole metadata journal before it *)
+      if not (in_s p) then
+        for b = p + 1 to n - 1 do
+          match records.(b) with
+          | Journal.Barrier { data_only = false; _ } -> ok := false
+          | _ -> ()
+        done
+    end;
+    if data_ino records p <> None && not (in_s p) then begin
+      (* barrier-covered data must be durable *)
+      if covered_by_barrier ~mode ~fsync_skips_data records ~p ~upto:i then
+        ok := false;
+      (* ordered: metadata never commits ahead of the data it follows *)
+      if mode = Config.Ordered then
+        for q = p + 1 to n - 1 do
+          if is_meta records q && in_s q then ok := false
+        done
+    end;
+    (* journaled: strict prefix of the log *)
+    if
+      mode = Config.Journaled && in_s p
+    then
+      for q = b0 to p - 1 do
+        if (not (is_barrier records q)) && not (in_s q) then ok := false
+      done
+  done;
+  !ok
+
+let brute_force_states ~mode ~records ~b0 ~window ~fsync_skips_data () =
+  let n = Array.length records in
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  for i = b0 to n do
+    let candidates = ref [] in
+    for p = i - 1 downto b0 do
+      if not (is_barrier records p) then candidates := p :: !candidates
+    done;
+    let candidates = Array.of_list !candidates in
+    let nc = Array.length candidates in
+    for mask = 0 to (1 lsl nc) - 1 do
+      let s = ref [] in
+      for k = nc - 1 downto 0 do
+        if mask land (1 lsl k) <> 0 then s := candidates.(k) :: !s
+      done;
+      let s = !s in
+      if valid ~mode ~records ~b0 ~window ~fsync_skips_data ~i s then begin
+        let key = List.map (fun p -> (p, None)) s in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := { st_crash_point = i; st_persisted = key } :: !out
+        end
+      end
+    done
+  done;
+  List.rev !out
+
+(* --- materialization: journal recovery onto a fresh image --- *)
+
+let truncate_record record cut =
+  match record with
+  | Journal.Data d -> Journal.Data { d with len = cut }
+  | r -> r
+
+let materialize ~config ~records ~b0 state =
+  let fs = Fs.create ~config () in
+  for p = 0 to b0 - 1 do
+    Fs.apply_record fs records.(p)
+  done;
+  List.iter
+    (fun (p, cut) ->
+      match cut with
+      | None -> Fs.apply_record fs records.(p)
+      | Some c -> Fs.apply_record fs (truncate_record records.(p) c))
+    state.st_persisted;
+  ignore (Fs.exec_aux fs Fs.Sync);
+  fs
+
+(* Canonical recursive tree dump → CRC-32: the state digest the
+   deduplicator keys on. *)
+let digest fs =
+  let buf = Buffer.create 512 in
+  let rec walk dir =
+    match Fs.list_dir fs dir with
+    | Error _ -> ()
+    | Ok entries ->
+      List.iter
+        (fun name ->
+          let path = if dir = "/" then "/" ^ name else dir ^ "/" ^ name in
+          match Fs.lstat fs path with
+          | Error _ -> Buffer.add_string buf (path ^ " ?\n")
+          | Ok st ->
+            let kind, content =
+              match st.Fs.st_kind with
+              | `Reg ->
+                ("reg", match Fs.checksum fs path with Ok c -> c | Error _ -> 0)
+              | `Dir -> ("dir", 0)
+              | `Symlink -> ("sym", 0)
+              | `Fifo -> ("fifo", 0)
+              | `Device -> ("dev", 0)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s %o %d:%d %d %d\n" path kind st.Fs.st_mode
+                 st.Fs.st_uid st.Fs.st_gid st.Fs.st_size content);
+            (match Fs.xattr_names fs path with
+             | Ok names ->
+               List.iter
+                 (fun xn ->
+                   let xs =
+                     match Fs.xattr_size fs path xn with Ok s -> s | Error _ -> -1
+                   in
+                   Buffer.add_string buf (Printf.sprintf "  x %s %d\n" xn xs))
+                 names
+             | Error _ -> ());
+            if st.Fs.st_kind = `Dir then walk path)
+        entries
+  in
+  walk "/";
+  Crc32.string (Buffer.contents buf)
+
+(* --- post-crash classification --- *)
+
+let classify_path fs ~uid_gid ~history ~post path =
+  (match uid_gid with
+   | Some (uid, gid) -> Fs.set_credentials fs ~uid ~gid
+   | None -> ());
+  let reopen =
+    Fs.exec fs (Model.open_ ~flags:(Open_flags.of_flags [ Open_flags.O_RDONLY ]) path)
+  in
+  (match reopen with Model.Ret fd -> ignore (Fs.exec fs (Model.close fd)) | _ -> ());
+  let final = match history with [] -> Absent | h -> List.nth h (List.length h - 1) in
+  match reopen with
+  | Model.Err e when not (Errno.equal e Errno.ENOENT) -> Partition.C_errno
+  | _ ->
+    (match (final, post) with
+     | Absent, Absent -> Partition.C_recovered
+     | Absent, _ -> Partition.C_stale  (* deleted, yet resurfaced *)
+     | _, Absent -> Partition.C_lost
+     | f, p when equal_observation f p -> Partition.C_recovered
+     | _, p when List.exists (equal_observation p) history -> Partition.C_stale
+     | _ -> Partition.C_torn)
+
+(* --- the fsync-durability oracle --- *)
+
+(* The mode-independent POSIX contract: a [sync] makes every prior data
+   block durable; an [fsync]/[fdatasync] makes its inode's prior data
+   durable.  Any enumerated state that drops such a block is a
+   reportable bug (the generator only produces one under the
+   [Fsync_skips_data] fault — which is exactly the bug class the
+   differential exists to catch). *)
+let oracle_covers records ~p ~b =
+  match records.(b) with
+  | Journal.Barrier { scope; _ } ->
+    (match (scope, data_ino records p) with
+     | Journal.All, _ -> true
+     | Journal.Ino x, Some y -> x = y
+     | Journal.Ino _, None -> false)
+  | _ -> false
+
+let durability_violations ~records ~b0 state =
+  let i = state.st_crash_point in
+  let persisted = state_positions state in
+  let violations = ref [] in
+  for b = b0 to i - 1 do
+    if is_barrier records b then
+      for p = b0 to b - 1 do
+        if
+          data_ino records p <> None
+          && oracle_covers records ~p ~b
+          && not (List.mem p persisted)
+        then
+          violations :=
+            Printf.sprintf
+              "crash point %d: data record %d (%s) covered by barrier %d yet lost"
+              i p
+              (Journal.record_to_string records.(p))
+              b
+            :: !violations
+      done
+  done;
+  List.rev !violations
+
+(* Byte-level spot check of materialization: the last fully-persisted
+   data record of an inode — with no later persisted write or size
+   change to supersede it — must be readable back verbatim. *)
+let byte_sample_violations ~records fs state =
+  let persisted = state.st_persisted in
+  let supersedes ~ino ~after =
+    List.exists
+      (fun (q, _) ->
+        q > after
+        &&
+        match records.(q) with
+        | Journal.Data { ino = i2; _ } | Journal.Size { ino = i2; _ } -> i2 = ino
+        | _ -> false)
+      persisted
+  in
+  let rec path_of_ino dir ino =
+    match Fs.list_dir fs dir with
+    | Error _ -> None
+    | Ok entries ->
+      List.fold_left
+        (fun acc name ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+            let path = if dir = "/" then "/" ^ name else dir ^ "/" ^ name in
+            (match Fs.lstat fs path with
+             | Ok st when st.Fs.st_ino = ino && st.Fs.st_kind = `Reg -> Some path
+             | Ok st when st.Fs.st_kind = `Dir -> path_of_ino path ino
+             | _ -> None))
+        None entries
+  in
+  List.filter_map
+    (fun (p, cut) ->
+      match (records.(p), cut) with
+      | Journal.Data { ino; off; len; fill }, None
+        when len > 0 && not (supersedes ~ino ~after:p) ->
+        (match path_of_ino "/" ino with
+         | None -> None  (* orphaned by an unpersisted name — legal *)
+         | Some path ->
+           (match Fs.read_byte fs path (off + len - 1) with
+            | Ok c when c = fill -> None
+            | Ok c ->
+              Some
+                (Printf.sprintf
+                   "materialized %s byte %d: expected %C, found %C (record %d)" path
+                   (off + len - 1) fill c p)
+            | Error _ -> None (* shrunk by a persisted size update *)))
+      | _ -> None)
+    state.st_persisted
+
+(* --- the full analysis --- *)
+
+type report = {
+  rp_name : string;
+  rp_mode : Config.journal_mode;
+  rp_records : int;       (* journal records in the crash window [b0, n) *)
+  rp_crash_points : int;
+  rp_raw_states : int;    (* distinct persisted sets before digest dedup *)
+  rp_states : int;        (* distinct materialized images *)
+  rp_files : int;
+  rp_classified : int;    (* (state, file) classifications recorded *)
+  rp_tally : (Partition.crash_outcome * int) list;  (* all five, in order *)
+  rp_violations : string list;
+}
+
+let analyze ?(window = 2) ?(torn = true) run =
+  let config = run.run_config in
+  let mode = config.Config.journal_mode in
+  let fsync_skips_data = List.mem Fault.Fsync_skips_data config.Config.faults in
+  let records = run.run_records and b0 = run.run_b0 in
+  let states =
+    enumerate_states ~mode ~records ~b0 ~window ~torn ~fsync_skips_data
+      ~block_size:config.Config.block_size ()
+  in
+  let tally = Hashtbl.create 8 in
+  let bump outcome =
+    Hashtbl.replace tally outcome (1 + try Hashtbl.find tally outcome with Not_found -> 0)
+  in
+  let digests = Hashtbl.create 256 in
+  let violations = ref [] in
+  let classified = ref 0 in
+  List.iter
+    (fun state ->
+      violations := !violations @ durability_violations ~records ~b0 state;
+      let fs = materialize ~config ~records ~b0 state in
+      let d = digest fs in
+      if not (Hashtbl.mem digests d) then begin
+        Hashtbl.add digests d ();
+        violations := !violations @ byte_sample_violations ~records fs state;
+        List.iter
+          (fun (path, history) ->
+            let post = observe fs path in
+            incr classified;
+            bump
+              (classify_path fs ~uid_gid:run.run_scenario.sc_uid ~history ~post path))
+          run.run_history
+      end)
+    states;
+  {
+    rp_name = run.run_scenario.sc_name;
+    rp_mode = mode;
+    rp_records = Array.length records - b0;
+    rp_crash_points = Array.length records - b0 + 1;
+    rp_raw_states = List.length states;
+    rp_states = Hashtbl.length digests;
+    rp_files = List.length run.run_history;
+    rp_classified = !classified;
+    rp_tally =
+      List.map
+        (fun o -> (o, try Hashtbl.find tally o with Not_found -> 0))
+        Partition.all_crash_outcomes;
+    rp_violations = !violations;
+  }
+
+let run_scenario ?make_ops ?window ?torn ~config scenario =
+  analyze ?window ?torn (execute ?make_ops ~config scenario)
+
+(* --- built-in scenarios --- *)
+
+let mount = "/mnt/crash"
+
+let scenarios =
+  let p name = mount ^ "/" ^ name in
+  [
+    {
+      sc_name = "append-fsync";
+      sc_mount = mount;
+      sc_uid = None;
+      sc_setup = [ Creat (p "log"); Write (p "log", 0, 6000) ];
+      sc_body =
+        [ Write (p "log", 6000, 9000); Fsync (p "log"); Append (p "log", 5000) ];
+    };
+    {
+      sc_name = "rename-replace";
+      sc_mount = mount;
+      sc_uid = None;
+      sc_setup = [ Creat (p "cfg"); Write (p "cfg", 0, 4096) ];
+      sc_body =
+        [ Creat (p "cfg.tmp"); Write (p "cfg.tmp", 0, 8192); Fsync (p "cfg.tmp");
+          Rename (p "cfg.tmp", p "cfg") ];
+    };
+    {
+      sc_name = "mkdir-tree";
+      sc_mount = mount;
+      sc_uid = None;
+      sc_setup = [];
+      sc_body =
+        [ Mkdir (p "d"); Creat (p "d/a"); Write (p "d/a", 0, 5000); Mkdir (p "d/e");
+          Symlink (p "d/a", p "d/ln"); Setxattr (p "d/a", "user.tag", 64);
+          Fdatasync (p "d/a") ];
+    };
+    {
+      sc_name = "overwrite-prefix";
+      sc_mount = mount;
+      sc_uid = None;
+      sc_setup = [ Creat (p "data"); Write (p "data", 0, 12288) ];
+      sc_body =
+        [ Write (p "data", 0, 5000); Sync; Write (p "data", 4096, 8192);
+          Truncate (p "data", 6000) ];
+    };
+    {
+      sc_name = "chmod-lockout";
+      sc_mount = mount;
+      sc_uid = Some (1000, 1000);
+      sc_setup = [ Creat (p "secret"); Write (p "secret", 0, 2048) ];
+      sc_body = [ Write (p "secret", 0, 4096); Chmod (p "secret", 0); Fsync (p "secret") ];
+    };
+    {
+      sc_name = "unlink-recreate";
+      sc_mount = mount;
+      sc_uid = None;
+      sc_setup = [ Creat (p "a"); Write (p "a", 0, 4100) ];
+      sc_body = [ Link (p "a", p "b"); Unlink (p "a"); Creat (p "a"); Write (p "a", 0, 100) ];
+    };
+  ]
+
+let find_scenario name = List.find_opt (fun s -> s.sc_name = name) scenarios

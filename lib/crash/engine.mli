@@ -1,0 +1,205 @@
+(** The crash-consistency scenario engine (DESIGN.md §17).
+
+    Runs a scripted workload against a journal-attached VFS, enumerates
+    the bounded set of crash states its persistence log admits under the
+    configured {!Iocov_vfs.Config.journal_mode}, materializes each state
+    by journal replay, and classifies every touched file into one
+    post-crash outcome cell ({!Iocov_core.Partition.crash_outcome}) —
+    the output dimension {!Iocov_core.Plan.crash_cell} accounts for.
+
+    The enumerator is checked two ways: a from-the-definition validity
+    predicate drives {!brute_force_states} (equal state sets on small
+    logs, property-tested), and {!durability_violations} rejects any
+    state that drops fsync-covered data (which only the
+    [Fsync_skips_data] fault can produce). *)
+
+open Iocov_syscall
+open Iocov_vfs
+module Partition := Iocov_core.Partition
+
+val crash_mode_of_journal : Config.journal_mode -> Partition.crash_mode
+
+(** {2 Scenarios} *)
+
+type step =
+  | Mkdir of string
+  | Creat of string
+  | Write of string * int * int  (** path, offset, length *)
+  | Append of string * int
+  | Truncate of string * int
+  | Chmod of string * int
+  | Setxattr of string * string * int
+  | Rename of string * string
+  | Link of string * string      (** existing, new path *)
+  | Symlink of string * string   (** target, link path *)
+  | Unlink of string
+  | Rmdir of string
+  | Fsync of string
+  | Fdatasync of string
+  | Sync
+
+type scenario = {
+  sc_name : string;
+  sc_mount : string;
+  sc_uid : (int * int) option;
+      (** run the workload (and post-crash reopens) as [(uid, gid)] *)
+  sc_setup : step list;
+      (** durable baseline; the engine appends a [Sync] after it *)
+  sc_body : step list;  (** the steps crash states are drawn from *)
+}
+
+val mount : string
+(** Mount point of the built-in scenarios (["/mnt/crash"]). *)
+
+val scenarios : scenario list
+(** The built-in library, one per crash-bug family: [append-fsync],
+    [rename-replace], [mkdir-tree], [overwrite-prefix], [chmod-lockout],
+    [unlink-recreate]. *)
+
+val find_scenario : string -> scenario option
+val step_paths : step -> string list
+
+(** How the engine issues syscalls — defaults to the bare VFS; the CLI
+    substitutes a tracer so workload events reach the coverage
+    pipeline. *)
+type ops = {
+  op_exec : Model.call -> Model.outcome;
+  op_exec_aux : Fs.aux -> (int, Errno.t) result;
+}
+
+val fs_ops : Fs.t -> ops
+val run_step : ops -> step -> unit
+
+(** {2 Workload-visible file versions} *)
+
+type observation =
+  | Absent
+  | Reg of { size : int; checksum : int }
+  | Dir
+  | Other
+
+val equal_observation : observation -> observation -> bool
+val observe : Fs.t -> string -> observation
+
+(** {2 Executing a scenario} *)
+
+type run = {
+  run_scenario : scenario;
+  run_config : Config.t;
+  run_records : Journal.record array;
+  run_b0 : int;
+      (** records [\[0, b0)] are the durable pre-crash baseline (mount
+          preparation, setup, and its closing sync) *)
+  run_history : (string * observation list) list;
+      (** per touched path, oldest first; last entry = final version *)
+}
+
+val execute : ?make_ops:(Fs.t -> ops) -> config:Config.t -> scenario -> run
+
+(** {2 Crash-state enumeration} *)
+
+type state = {
+  st_crash_point : int;
+  st_persisted : (int * int option) list;
+      (** ascending journal positions; [Some cut] marks a torn tail
+          shortened to [cut] bytes *)
+}
+
+val state_positions : state -> int list
+
+val enumerate_states :
+  mode:Config.journal_mode ->
+  records:Journal.record array ->
+  b0:int ->
+  window:int ->
+  torn:bool ->
+  fsync_skips_data:bool ->
+  block_size:int ->
+  unit ->
+  state list
+(** Bounded enumeration, deduplicated by persisted set.  [window] is
+    the reordering bound: anything older than [window] records at the
+    crash point is durable.  [window = 0] degenerates to pure prefix
+    enumeration; [torn] adds block-boundary cuts of the last
+    unpersisted in-window write. *)
+
+val valid :
+  mode:Config.journal_mode ->
+  records:Journal.record array ->
+  b0:int ->
+  window:int ->
+  fsync_skips_data:bool ->
+  i:int ->
+  int list ->
+  bool
+(** The independent from-the-definition reachability predicate behind
+    {!brute_force_states}; deliberately not shared with
+    {!enumerate_states}. *)
+
+val brute_force_states :
+  mode:Config.journal_mode ->
+  records:Journal.record array ->
+  b0:int ->
+  window:int ->
+  fsync_skips_data:bool ->
+  unit ->
+  state list
+(** Power-set enumeration filtered by {!valid} — exponential, for
+    differential testing on logs of a handful of records. *)
+
+val materialize :
+  config:Config.t -> records:Journal.record array -> b0:int -> state -> Fs.t
+(** Journal recovery: a fresh image with the baseline plus the state's
+    surviving records applied in log order. *)
+
+val digest : Fs.t -> int
+(** CRC-32 of a canonical recursive tree dump (paths, kinds, modes,
+    owners, sizes, content checksums, xattrs) — the state-dedup key. *)
+
+(** {2 Classification and oracles} *)
+
+val classify_path :
+  Fs.t ->
+  uid_gid:(int * int) option ->
+  history:observation list ->
+  post:observation ->
+  string ->
+  Partition.crash_outcome
+
+val durability_violations :
+  records:Journal.record array -> b0:int -> state -> string list
+(** The fsync-durability oracle: barrier-covered data records missing
+    from the persisted set.  Empty unless the log was generated under
+    the [Fsync_skips_data] fault — each entry is a reportable bug. *)
+
+val byte_sample_violations :
+  records:Journal.record array -> Fs.t -> state -> string list
+(** Spot check of materialization: an inode's last persisted,
+    unsuperseded data record must read back verbatim. *)
+
+(** {2 The full analysis} *)
+
+type report = {
+  rp_name : string;
+  rp_mode : Config.journal_mode;
+  rp_records : int;    (** journal records in the crash window *)
+  rp_crash_points : int;
+  rp_raw_states : int; (** distinct persisted sets *)
+  rp_states : int;     (** distinct materialized images *)
+  rp_files : int;
+  rp_classified : int; (** (state, file) classifications *)
+  rp_tally : (Partition.crash_outcome * int) list;
+      (** all five outcomes, in declaration order *)
+  rp_violations : string list;
+}
+
+val analyze : ?window:int -> ?torn:bool -> run -> report
+(** [window] defaults to 2, [torn] to [true]. *)
+
+val run_scenario :
+  ?make_ops:(Fs.t -> ops) ->
+  ?window:int ->
+  ?torn:bool ->
+  config:Config.t ->
+  scenario ->
+  report

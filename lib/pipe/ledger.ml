@@ -244,6 +244,10 @@ let cell_label = function
     Printf.sprintf "input %s=%s" (Arg_class.name arg) (Partition.label part)
   | Plan.Cell_output (base, out) ->
     Printf.sprintf "output %s→%s" (Model.base_name base) (Partition.output_label out)
+  | Plan.Cell_crash (mode, outcome) ->
+    Printf.sprintf "crash %s→%s"
+      (Partition.crash_mode_label mode)
+      (Partition.crash_outcome_label outcome)
 
 let bitmap_cells hex =
   match bytes_of_hex hex with

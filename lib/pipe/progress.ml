@@ -50,7 +50,7 @@ let summarize (view : Replay.view) =
       let frequency = view.Replay.v_cells id in
       match cell with
       | Plan.Cell_variant _ -> if frequency > 0 then incr lv
-      | Plan.Cell_input _ | Plan.Cell_output _ ->
+      | Plan.Cell_input _ | Plan.Cell_output _ | Plan.Cell_crash _ ->
         (match cell with
          | Plan.Cell_input _ -> if frequency > 0 then incr li
          | _ -> if frequency > 0 then incr lo);

@@ -282,6 +282,23 @@ let close_session s =
 
 let session_events s = s.s_events
 
+(* Transport-level defects (partial frames, rotated tail files) land in
+   the tenant's closed-stream ledger — not [s_comp], which each commit
+   overwrites with the decoder's own cumulative account.  The
+   generation bump invalidates cached completeness renderings. *)
+let note_anomaly s (a : Anomaly.t) =
+  let add =
+    {
+      (Anomaly.clean ~events_read:0) with
+      Anomaly.truncated = a.Anomaly.kind = Anomaly.Truncated;
+      anomalies = [ a ];
+    }
+  in
+  let tn = s.s_tenant in
+  with_lock tn.t_lock (fun () ->
+      tn.t_comp_closed <- Anomaly.merge tn.t_comp_closed add;
+      Atomic.incr tn.t_generation)
+
 (* --- epochs --- *)
 
 (* The dirty watermark: when the published epoch's generation equals

@@ -75,6 +75,13 @@ val close_session : session -> unit
 val session_events : session -> int
 (** Records this session has produced so far (kept + dropped). *)
 
+val note_anomaly : session -> Anomaly.t -> unit
+(** Fold a transport-level defect (partial frame on a dropped
+    connection, tailed file truncated or rotated under the cursor) into
+    the session's completeness ledger — [Truncated] kinds also mark the
+    stream truncated.  Safe after {!close_session}: the entry lands in
+    the tenant's closed-stream ledger instead. *)
+
 (** {2 Queries} *)
 
 type query =

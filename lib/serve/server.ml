@@ -2,6 +2,7 @@ module Binary_io = Iocov_trace.Binary_io
 module Format_io = Iocov_trace.Format_io
 module Metrics = Iocov_obs.Metrics
 module Export = Iocov_obs.Export
+module Anomaly = Iocov_util.Anomaly
 
 type config = {
   socket : string option;
@@ -9,10 +10,12 @@ type config = {
   follow : bool;
   mount : string option;
   batch : int;
+  handshake_timeout : float;
 }
 
 let default_config =
-  { socket = None; ingests = []; follow = false; mount = None; batch = 8192 }
+  { socket = None; ingests = []; follow = false; mount = None; batch = 8192;
+    handshake_timeout = 5.0 }
 
 type tenant_outcome = {
   o_tenant : string;
@@ -52,9 +55,18 @@ let serve_ingest_binary hub ~tenant ~mount ic =
     (fun () ->
       match Binary_io.open_stream ic with
       | Error _ as e -> e
-      | Ok stream ->
-        Result.map (fun () -> ingest_summary session tenant)
-          (drain_to_eof session stream))
+      | Ok stream -> (
+        match drain_to_eof session stream with
+        | Ok () -> Ok (ingest_summary session tenant)
+        | Error msg ->
+          (* a connection dropped mid-frame: committed batches stand,
+             the partial frame is discarded, and the loss is on the
+             tenant's completeness ledger *)
+          Hub.note_anomaly session
+            (Anomaly.v Anomaly.Truncated
+               (Printf.sprintf "ingest connection (tenant %s): partial frame \
+                                discarded: %s" tenant msg));
+          Error msg))
 
 let serve_ingest_text hub ~tenant ~mount ~batch ic =
   let session = Hub.open_session hub ~tenant ?mount () in
@@ -149,15 +161,27 @@ let serve_query hub ~shutdown ~default_tenant ic oc =
   in
   loop ()
 
-let handle_connection hub ~shutdown ~batch fd =
+let handle_connection hub ~shutdown ~batch ~handshake_timeout fd =
+  let set_rcvtimeo seconds =
+    try Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds
+    with Unix.Unix_error _ | Invalid_argument _ -> ()
+  in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   Fun.protect
     ~finally:(fun () -> close_both ic oc)
     (fun () ->
+      (* a client that connects and never speaks must not pin this
+         thread forever: the handshake read is deadline-bounded (the
+         kernel's EAGAIN surfaces as [Sys_error]), then the deadline is
+         lifted for the possibly long-lived session itself *)
+      if handshake_timeout > 0.0 then set_rcvtimeo handshake_timeout;
       match In_channel.input_line ic with
       | None -> ()
-      | Some line -> (
+      | exception Sys_error _ -> ()
+      | Some line ->
+        if handshake_timeout > 0.0 then set_rcvtimeo 0.0;
+        (
         match Protocol.parse_handshake line with
         | Error msg -> send oc (Protocol.err_frame msg)
         | Ok hs -> (
@@ -193,6 +217,23 @@ let tail_file hub ~shutdown ~follow ~tenant path =
         | Some c -> Binary_io.resume_stream ic c
       in
       let rec pass cursor =
+        (* rotation/truncation: if the file shrank below the frozen
+           cursor it cannot be the byte stream the cursor came from —
+           drop the decode state, restart at the head of the (new)
+           file, and put the reset on the completeness ledger *)
+        let cursor =
+          match cursor with
+          | Some c
+            when (try (Unix.stat path).Unix.st_size < c.Binary_io.c_offset
+                  with Unix.Unix_error _ -> false) ->
+            Hub.note_anomaly session
+              (Anomaly.v ~offset:c.Binary_io.c_offset Anomaly.Truncated
+                 (Printf.sprintf
+                    "%s shrank below the resume cursor (truncated or rotated); \
+                     restarting from the beginning" path));
+            None
+          | c -> c
+        in
         match open_in_bin path with
         | exception Sys_error msg -> Error msg
         | ic ->
@@ -281,7 +322,9 @@ let run ?(on_ready = fun () -> ()) config =
                match Unix.accept fd with
                | conn, _ ->
                  spawn (fun () ->
-                     try handle_connection hub ~shutdown ~batch:config.batch conn
+                     try
+                       handle_connection hub ~shutdown ~batch:config.batch
+                         ~handshake_timeout:config.handshake_timeout conn
                      with _ -> ());
                  accept_loop ()
                | exception Unix.Unix_error (_, _, _) -> accept_loop ())

@@ -17,10 +17,14 @@ type config = {
                       appends), until shutdown *)
   mount : string option;  (** hub-wide mount filter (like [analyze --mount]) *)
   batch : int;  (** per-session drain size *)
+  handshake_timeout : float;
+      (** seconds a fresh connection may sit silent before its thread
+          gives up on the handshake ([SO_RCVTIMEO]); [0.] = forever *)
 }
 
 val default_config : config
-(** No socket, no ingests, no follow, no filter, batch 8192. *)
+(** No socket, no ingests, no follow, no filter, batch 8192, 5 s
+    handshake timeout. *)
 
 type tenant_outcome = {
   o_tenant : string;

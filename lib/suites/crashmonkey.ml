@@ -314,6 +314,34 @@ let seq2_workload ctx ~crashes rng =
   incr crashes;
   ignore (aux ctx Fs.Sync)
 
+(* --- scenarios for the crash engine (DESIGN.md §17) ---
+
+   The seq-1 shape expressed as ordered engine steps: a durable setup
+   tree, one grid operation, one persistence point.  The engine then
+   enumerates every bounded crash state of that log — the systematic
+   version of the single [Crash] the harness above injects. *)
+
+let crash_scenarios =
+  let open Iocov_crash.Engine in
+  let p name = mount ^ "/" ^ name in
+  let setup =
+    [ Mkdir (p "A"); Creat (p "foo"); Write (p "foo", 0, 8192);
+      Creat (p "A/bar"); Write (p "A/bar", 0, 4096) ]
+  in
+  List.map
+    (fun (name, body) ->
+      { sc_name = name; sc_mount = mount; sc_uid = None; sc_setup = setup;
+        sc_body = body })
+    [ ("cm-creat-fsync", [ Creat (p "foo.new"); Fsync (p "foo.new") ]);
+      ("cm-append-sync", [ Append (p "foo", 6000); Sync ]);
+      ("cm-trunc-fsync", [ Truncate (p "foo", 7); Fsync (p "foo") ]);
+      ("cm-rename-fsync",
+       [ Write (p "foo.tmp", 0, 8192); Fsync (p "foo.tmp");
+         Rename (p "foo.tmp", p "foo") ]);
+      ("cm-unlink-sync", [ Unlink (p "A/bar"); Sync; Creat (p "A/bar") ]);
+      ("cm-setxattr-fdatasync",
+       [ Setxattr (p "foo", "user.cm", 64); Fdatasync (p "foo") ]) ]
+
 let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ?(seq2 = 0)
     ~coverage () =
   let config = Config.with_faults faults Config.default in

@@ -19,6 +19,14 @@ val comm : string
 val seq1_workloads : int
 (** 300: the paper runs "all of seq-1's 300 workloads". *)
 
+val crash_scenarios : Iocov_crash.Engine.scenario list
+(** CrashMonkey's seq-1 shape re-expressed as scenarios for the
+    crash-state enumerator ({!Iocov_crash.Engine}): a shared pre-made
+    hierarchy plus one persisted operation family per scenario
+    ([cm-creat-fsync], [cm-append-sync], [cm-trunc-fsync],
+    [cm-rename-fsync], [cm-unlink-sync], [cm-setxattr-fdatasync]).
+    These run under {!Iocov_crash.Engine.mount}, not {!mount}. *)
+
 type stats = {
   workloads_run : int;
   crashes_simulated : int;

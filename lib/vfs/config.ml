@@ -1,3 +1,18 @@
+type journal_mode = Writeback | Ordered | Journaled
+
+let journal_mode_to_string = function
+  | Writeback -> "writeback"
+  | Ordered -> "ordered"
+  | Journaled -> "journaled"
+
+let journal_mode_of_string = function
+  | "writeback" -> Some Writeback
+  | "ordered" -> Some Ordered
+  | "journaled" -> Some Journaled
+  | _ -> None
+
+let all_journal_modes = [ Writeback; Ordered; Journaled ]
+
 type t = {
   block_size : int;
   total_blocks : int;
@@ -15,6 +30,7 @@ type t = {
   uid : int;
   gid : int;
   faults : Fault.t list;
+  journal_mode : journal_mode;
 }
 
 let gib n = n * 1024 * 1024 * 1024
@@ -36,6 +52,7 @@ let default = {
   uid = 0;
   gid = 0;
   faults = [];
+  journal_mode = Ordered;
 }
 
 let small = {
@@ -49,5 +66,6 @@ let small = {
 }
 
 let with_faults faults t = { t with faults }
+let with_journal_mode journal_mode t = { t with journal_mode }
 let with_uid ~uid ~gid t = { t with uid; gid }
 let read_only_of t = { t with read_only = true }

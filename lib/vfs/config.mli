@@ -6,6 +6,16 @@
     Ext4-like device so that exhaustion errors are reachable by test
     workloads in reasonable time. *)
 
+(** Journal semantics governing which persistence log records survive a
+    crash (DESIGN.md §17): [Writeback] persists data and metadata
+    independently; [Ordered] never commits metadata ahead of the data it
+    references; [Journaled] persists strictly in log order. *)
+type journal_mode = Writeback | Ordered | Journaled
+
+val journal_mode_to_string : journal_mode -> string
+val journal_mode_of_string : string -> journal_mode option
+val all_journal_modes : journal_mode list
+
 type t = {
   block_size : int;          (** bytes per block (default 4096) *)
   total_blocks : int;        (** device capacity; [ENOSPC] when exhausted *)
@@ -24,6 +34,7 @@ type t = {
   uid : int;                 (** initial process uid (0 = root) *)
   gid : int;
   faults : Fault.t list;     (** injected bugs active in this instance *)
+  journal_mode : journal_mode; (** crash-time persistence semantics (default [Ordered]) *)
 }
 
 val default : t
@@ -35,5 +46,6 @@ val small : t
     few writes. *)
 
 val with_faults : Fault.t list -> t -> t
+val with_journal_mode : journal_mode -> t -> t
 val with_uid : uid:int -> gid:int -> t -> t
 val read_only_of : t -> t

@@ -25,9 +25,17 @@ type t = {
   mutable read_only : bool;
   mutable injected : (Errno.t * Model.base option) list;
   mutable durable : durable;
+  mutable journal : Journal.t option;
 }
 
 let config t = t.cfg
+
+let set_journal t j = t.journal <- j
+let journal t = t.journal
+
+(* Journal hook: a no-op unless a log is attached, so the hot path pays
+   one option match. *)
+let jot t r = match t.journal with Some j -> Journal.append j r | None -> ()
 
 let has_fault t f = List.mem f t.cfg.Config.faults
 
@@ -208,6 +216,7 @@ let create ?(config = Config.default) () =
       read_only = config.Config.read_only;
       injected = [];
       durable = { d_nodes = Hashtbl.create 16 };
+      journal = None;
     }
   in
   List.iter
@@ -385,6 +394,10 @@ let do_open t ~path ~flags ~mode =
                in
                let node = alloc_node t ~body:(Node.Reg { extents = [] }) ~mode in
                add_entry t dir_ino name node;
+               jot t
+                 (Journal.Create
+                    { dir = dir_ino; name; ino = node.Node.ino; kind = Journal.K_reg;
+                      mode = node.Node.mode; uid = t.uid; gid = t.gid });
                let entry =
                  { fd_ino = node.Node.ino; fd_flags = flags; fd_offset = 0;
                    fd_pathname = Some path }
@@ -450,7 +463,8 @@ let do_open t ~path ~flags ~mode =
                     | _ -> ());
                    ignore (charge t ~owner:node.Node.uid (-(blocks_of_size t node.Node.size)));
                    node.Node.size <- 0;
-                   node.Node.mtime <- tick t
+                   node.Node.mtime <- tick t;
+                   jot t (Journal.Size { ino = node.Node.ino; size = 0 })
                  end;
                  let entry =
                    { fd_ino = ino; fd_flags = flags; fd_offset = 0; fd_pathname = Some path }
@@ -559,11 +573,20 @@ let do_write t ~fd ~count ~offset =
                  if e = Errno.ENOSPC && fault_fires t Fault.Enospc_swallowed then ret 0
                  else err e
                | Ok n ->
-                 r.extents <-
-                   Node.write_extents r.extents ~off:pos ~len:n ~fill:(fill_byte t);
+                 let fill = fill_byte t in
+                 let old_size = node.Node.size in
+                 r.extents <- Node.write_extents r.extents ~off:pos ~len:n ~fill;
                  node.Node.size <- max node.Node.size (pos + n);
                  node.Node.mtime <- tick t;
                  if offset = None then e.fd_offset <- pos + n;
+                 let grown =
+                   blocks_of_size t node.Node.size - blocks_of_size t old_size
+                 in
+                 if grown > 0 then
+                   jot t (Journal.Alloc { ino = node.Node.ino; blocks = grown });
+                 jot t (Journal.Data { ino = node.Node.ino; off = pos; len = n; fill });
+                 if node.Node.size > old_size then
+                   jot t (Journal.Size { ino = node.Node.ino; size = node.Node.size });
                  ret n
              end
            end)
@@ -633,6 +656,7 @@ let truncate_node t (node : Node.t) ~length =
          | _ -> ());
         node.Node.size <- length;
         node.Node.mtime <- tick t;
+        jot t (Journal.Size { ino = node.Node.ino; size = length });
         ret 0
     end
   end
@@ -686,6 +710,10 @@ let do_mkdir t ~path ~mode =
               in
               let node = alloc_node t ~body:(Node.Dir (Hashtbl.create 8)) ~mode in
               add_entry t dir_ino name node;
+              jot t
+                (Journal.Create
+                   { dir = dir_ino; name; ino = node.Node.ino; kind = Journal.K_dir;
+                     mode = node.Node.mode; uid = t.uid; gid = t.gid });
               ret 0
           end
       end
@@ -701,6 +729,7 @@ let do_chmod_node t (node : Node.t) ~mode =
       && fault_fires t Fault.Chmod_suid_kept
     then begin
       node.Node.mode <- mode;
+      jot t (Journal.Mode { ino = node.Node.ino; mode });
       ret 0
     end
     else err Errno.EPERM
@@ -708,6 +737,7 @@ let do_chmod_node t (node : Node.t) ~mode =
   else begin
     node.Node.mode <- mode;
     node.Node.ctime <- tick t;
+    jot t (Journal.Mode { ino = node.Node.ino; mode });
     ret 0
   end
 
@@ -804,8 +834,10 @@ let do_setxattr t ~variant ~target ~name ~size ~flags =
             let new_cost = String.length name + size + xattr_overhead in
             let fits = current - old_cost + new_cost <= t.cfg.Config.xattr_space in
             if fits then begin
-              Hashtbl.replace node.Node.xattrs name (size, fill_byte t);
+              let fill = fill_byte t in
+              Hashtbl.replace node.Node.xattrs name (size, fill);
               node.Node.ctime <- tick t;
+              jot t (Journal.Xattr { ino = node.Node.ino; name; size; fill });
               ret 0
             end
             else if
@@ -814,7 +846,10 @@ let do_setxattr t ~variant ~target ~name ~size ~flags =
                  recording a wrapped (corrupted) size. *)
               size = t.cfg.Config.max_xattr_value && fault_fires t Fault.Xattr_ibody_overflow
             then begin
-              Hashtbl.replace node.Node.xattrs name (size land 0xFFFF, fill_byte t);
+              let fill = fill_byte t in
+              Hashtbl.replace node.Node.xattrs name (size land 0xFFFF, fill);
+              jot t
+                (Journal.Xattr { ino = node.Node.ino; name; size = size land 0xFFFF; fill });
               ret 0
             end
             else err Errno.ENOSPC
@@ -910,6 +945,7 @@ let do_unlink t path =
       else begin
         remove_entry t dir_ino name node;
         node.Node.nlink <- node.Node.nlink - 1;
+        jot t (Journal.Unlink { dir = dir_ino; name; ino });
         maybe_free t node;
         Ok 0
       end
@@ -937,6 +973,7 @@ let do_rmdir t path =
         else begin
           remove_entry t dir_ino name node;
           node.Node.nlink <- 0;
+          jot t (Journal.Unlink { dir = dir_ino; name; ino });
           maybe_free t node;
           Ok 0
         end
@@ -953,6 +990,10 @@ let do_symlink t target linkpath =
         let* () = charge t ~owner:t.uid 1 in
         let node = alloc_node t ~body:(Node.Symlink target) ~mode:0o777 in
         add_entry t dir_ino name node;
+        jot t
+          (Journal.Create
+             { dir = dir_ino; name; ino = node.Node.ino;
+               kind = Journal.K_symlink target; mode = 0o777; uid = t.uid; gid = t.gid });
         Ok 0
     end
 
@@ -972,6 +1013,7 @@ let do_link t existing newpath =
         else begin
           Hashtbl.replace (Node.dir_entries dir) name src_ino;
           src.Node.nlink <- src.Node.nlink + 1;
+          jot t (Journal.Link { dir = dir_ino; name; ino = src_ino });
           Ok 0
         end
       end
@@ -1022,18 +1064,26 @@ let do_rename t oldpath newpath =
              maybe_free t dst;
              remove_entry t old_dir old_name src;
              add_entry t new_dir new_name src;
+             jot t
+               (Journal.Rename
+                  { old_dir; old_name; new_dir; new_name; ino = src_ino;
+                    replaced = Some dst_ino });
              Ok 0)
         | None ->
           remove_entry t old_dir old_name src;
           add_entry t new_dir new_name src;
+          jot t
+            (Journal.Rename
+               { old_dir; old_name; new_dir; new_name; ino = src_ino; replaced = None });
           Ok 0
       end
 
-let do_fsync t fd ~data_only:_ =
+let do_fsync t fd ~data_only =
   match find_fd t fd with
   | None -> Error Errno.EBADF
   | Some e ->
     persist_node t (get t e.fd_ino);
+    jot t (Journal.Barrier { scope = Journal.Ino e.fd_ino; data_only });
     Ok 0
 
 let exec_aux t aux =
@@ -1048,10 +1098,102 @@ let exec_aux t aux =
   | Fdatasync fd -> do_fsync t fd ~data_only:true
   | Sync ->
     sync_all t;
+    jot t (Journal.Barrier { scope = Journal.All; data_only = false });
     Ok 0
   | Crash ->
     crash_recover t;
     Ok 0
+
+(* --- journal replay: materializing a crash image --- *)
+
+(* Apply one persisted journal record to a (typically fresh) file
+   system.  Records referencing inodes or directory entries that never
+   became durable are dropped silently — that is precisely what a real
+   recovery does with orphaned blocks and dangling dirents.  Charging is
+   best-effort: a crash image reflects what reached the device, not what
+   an allocator would have admitted. *)
+let apply_record t (r : Journal.record) =
+  ignore (tick t);
+  match r with
+  | Journal.Create { dir; name; ino; kind; mode; uid; gid } ->
+    if not (Hashtbl.mem t.nodes ino) then begin
+      let body =
+        match kind with
+        | Journal.K_reg -> Node.Reg { extents = [] }
+        | Journal.K_dir -> Node.Dir (Hashtbl.create 8)
+        | Journal.K_symlink target -> Node.Symlink target
+      in
+      let node = Node.create ~ino ~body ~mode ~uid ~gid ~now:(tick t) in
+      Hashtbl.add t.nodes ino node;
+      if ino >= t.next_ino then t.next_ino <- ino + 1;
+      ignore (charge t ~owner:uid 1);
+      match Hashtbl.find_opt t.nodes dir with
+      | Some d when Node.is_dir d -> add_entry t dir name node
+      | _ -> ()
+    end
+  | Journal.Link { dir; name; ino } ->
+    (match (Hashtbl.find_opt t.nodes dir, Hashtbl.find_opt t.nodes ino) with
+     | Some d, Some node when Node.is_dir d ->
+       Hashtbl.replace (Node.dir_entries d) name ino;
+       node.Node.nlink <- node.Node.nlink + 1
+     | _ -> ())
+  | Journal.Unlink { dir; name; ino } ->
+    (match Hashtbl.find_opt t.nodes dir with
+     | Some d when Node.is_dir d ->
+       (match Hashtbl.find_opt (Node.dir_entries d) name with
+        | Some cur when cur = ino ->
+          let node = get t ino in
+          remove_entry t dir name node;
+          node.Node.nlink <- (if Node.is_dir node then 0 else node.Node.nlink - 1);
+          maybe_free t node
+        | _ -> ())
+     | _ -> ())
+  | Journal.Rename { old_dir; old_name; new_dir; new_name; ino; replaced } ->
+    (match (replaced, Hashtbl.find_opt t.nodes new_dir) with
+     | Some dst_ino, Some nd when Node.is_dir nd ->
+       (match Hashtbl.find_opt (Node.dir_entries nd) new_name with
+        | Some cur when cur = dst_ino ->
+          let dst = get t dst_ino in
+          remove_entry t new_dir new_name dst;
+          dst.Node.nlink <- (if Node.is_dir dst then 0 else dst.Node.nlink - 1);
+          maybe_free t dst
+        | _ -> ())
+     | _ -> ());
+    (match Hashtbl.find_opt t.nodes old_dir with
+     | Some od when Node.is_dir od ->
+       (match Hashtbl.find_opt (Node.dir_entries od) old_name with
+        | Some cur when cur = ino -> remove_entry t old_dir old_name (get t ino)
+        | _ -> ())
+     | _ -> ());
+    (match (Hashtbl.find_opt t.nodes new_dir, Hashtbl.find_opt t.nodes ino) with
+     | Some nd, Some node when Node.is_dir nd -> add_entry t new_dir new_name node
+     | _ -> ())
+  | Journal.Size { ino; size } ->
+    (match Hashtbl.find_opt t.nodes ino with
+     | Some node when Node.is_reg node ->
+       ignore
+         (charge t ~owner:node.Node.uid
+            (blocks_of_size t size - blocks_of_size t node.Node.size));
+       (match node.Node.body with
+        | Node.Reg r -> r.extents <- Node.truncate_extents r.extents ~size
+        | _ -> ());
+       node.Node.size <- size
+     | _ -> ())
+  | Journal.Mode { ino; mode } ->
+    (match Hashtbl.find_opt t.nodes ino with
+     | Some node -> node.Node.mode <- mode
+     | None -> ())
+  | Journal.Xattr { ino; name; size; fill } ->
+    (match Hashtbl.find_opt t.nodes ino with
+     | Some node -> Hashtbl.replace node.Node.xattrs name (size, fill)
+     | None -> ())
+  | Journal.Alloc _ -> ()  (* accounting travels with Size *)
+  | Journal.Data { ino; off; len; fill } ->
+    (match Hashtbl.find_opt t.nodes ino with
+     | Some { Node.body = Node.Reg r; _ } ->
+       r.extents <- Node.write_extents r.extents ~off ~len ~fill
+     | _ -> ())  (* orphaned blocks: the inode never became durable *)
+  | Journal.Barrier _ -> ()
 
 (* --- environment control --- *)
 

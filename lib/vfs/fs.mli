@@ -47,6 +47,27 @@ type aux =
 val aux_name : aux -> string
 val exec_aux : t -> aux -> (int, Iocov_syscall.Errno.t) result
 
+(** {2 The persistence journal (crash engine substrate)}
+
+    With a journal attached, every successful mutating operation appends
+    ordered {!Journal.record}s: directory-entry and inode metadata,
+    block allocations, data writebacks, and fsync/fdatasync/sync
+    barriers.  The crash engine enumerates which log subsets survive a
+    power cut and rebuilds each crash image by {!apply_record}-ing the
+    survivors onto a fresh instance (DESIGN.md §17). *)
+
+val set_journal : t -> Journal.t option -> unit
+(** Attach (or detach, with [None]) a persistence log.  Detached is the
+    default; attaching costs one append per mutation. *)
+
+val journal : t -> Journal.t option
+
+val apply_record : t -> Journal.record -> unit
+(** Replay one persisted record, in journal order, onto this instance —
+    the recovery step of crash-state materialization.  Records that
+    reference inodes or directory entries which never became durable are
+    dropped, as a real journal replay drops orphans.  Never raises. *)
+
 (** {2 Environment control} *)
 
 val set_credentials : t -> uid:int -> gid:int -> unit

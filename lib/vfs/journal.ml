@@ -1,0 +1,90 @@
+(* The ordered write/persistence log (DESIGN.md §17).
+
+   Every mutating VFS operation appends one or more records here, in
+   execution order.  The log is the single source of truth for crash
+   simulation: a crash state is "some prefix of this log, minus data
+   records still in the writeback window, plus torn tails", and recovery
+   is "apply the surviving records to a fresh file system".
+
+   Records are deliberately self-contained — they carry inode numbers,
+   names, sizes, and fill bytes rather than references into the live
+   tree — so that a crash image can be materialized long after the
+   workload file system is gone. *)
+
+type kind = K_reg | K_dir | K_symlink of string
+
+type scope = All | Ino of int
+
+type record =
+  | Create of { dir : int; name : string; ino : int; kind : kind;
+                mode : int; uid : int; gid : int }
+  | Link of { dir : int; name : string; ino : int }
+  | Unlink of { dir : int; name : string; ino : int }
+  | Rename of { old_dir : int; old_name : string;
+                new_dir : int; new_name : string; ino : int;
+                replaced : int option }
+  | Size of { ino : int; size : int }
+  | Mode of { ino : int; mode : int }
+  | Xattr of { ino : int; name : string; size : int; fill : char }
+  | Alloc of { ino : int; blocks : int }
+  | Data of { ino : int; off : int; len : int; fill : char }
+  | Barrier of { scope : scope; data_only : bool }
+
+type classification = Data_record | Metadata | Barrier_record
+
+let classify = function
+  | Data _ -> Data_record
+  | Barrier _ -> Barrier_record
+  | Create _ | Link _ | Unlink _ | Rename _ | Size _ | Mode _ | Xattr _
+  | Alloc _ -> Metadata
+
+type t = { mutable records : record list; mutable length : int }
+(* kept newest-first; [records] reverses on demand *)
+
+let create () = { records = []; length = 0 }
+
+let append t r =
+  t.records <- r :: t.records;
+  t.length <- t.length + 1
+
+let length t = t.length
+
+let records t = Array.of_list (List.rev t.records)
+
+let clear t =
+  t.records <- [];
+  t.length <- 0
+
+let scope_to_string = function
+  | All -> "all"
+  | Ino i -> Printf.sprintf "ino:%d" i
+
+let kind_to_string = function
+  | K_reg -> "reg"
+  | K_dir -> "dir"
+  | K_symlink target -> Printf.sprintf "symlink:%s" target
+
+let record_to_string = function
+  | Create { dir; name; ino; kind; mode; uid; gid } ->
+    Printf.sprintf "create dir=%d name=%s ino=%d kind=%s mode=%o uid=%d gid=%d"
+      dir name ino (kind_to_string kind) mode uid gid
+  | Link { dir; name; ino } -> Printf.sprintf "link dir=%d name=%s ino=%d" dir name ino
+  | Unlink { dir; name; ino } ->
+    Printf.sprintf "unlink dir=%d name=%s ino=%d" dir name ino
+  | Rename { old_dir; old_name; new_dir; new_name; ino; replaced } ->
+    Printf.sprintf "rename %d/%s -> %d/%s ino=%d%s" old_dir old_name new_dir
+      new_name ino
+      (match replaced with None -> "" | Some r -> Printf.sprintf " replaced=%d" r)
+  | Size { ino; size } -> Printf.sprintf "size ino=%d size=%d" ino size
+  | Mode { ino; mode } -> Printf.sprintf "mode ino=%d mode=%o" ino mode
+  | Xattr { ino; name; size; fill } ->
+    Printf.sprintf "xattr ino=%d name=%s size=%d fill=%c" ino name size fill
+  | Alloc { ino; blocks } -> Printf.sprintf "alloc ino=%d blocks=%d" ino blocks
+  | Data { ino; off; len; fill } ->
+    Printf.sprintf "data ino=%d off=%d len=%d fill=%c" ino off len fill
+  | Barrier { scope; data_only } ->
+    Printf.sprintf "barrier scope=%s%s" (scope_to_string scope)
+      (if data_only then " data-only" else "")
+
+let to_string t =
+  String.concat "\n" (Array.to_list (Array.map record_to_string (records t)))

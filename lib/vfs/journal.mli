@@ -1,0 +1,67 @@
+(** The ordered write/persistence log (DESIGN.md §17).
+
+    Mutating operations on a journal-attached {!Fs.t} append records
+    here in execution order.  The crash engine ({!Iocov_crash.Engine})
+    enumerates which subsets of the log may be persistent at a crash
+    point — governed by {!Config.journal_mode}, the reorder window, and
+    the barrier records — and replays the survivors onto a fresh file
+    system via {!Fs.apply_record}.
+
+    Records are self-contained (inode numbers, names, sizes, fill
+    bytes), so a crash image can be materialized without the original
+    file-system instance. *)
+
+(** What a [Create] record gives birth to. *)
+type kind = K_reg | K_dir | K_symlink of string
+
+(** What a barrier covers: the whole device ([sync]) or one inode
+    ([fsync]/[fdatasync]). *)
+type scope = All | Ino of int
+
+type record =
+  | Create of { dir : int; name : string; ino : int; kind : kind;
+                mode : int; uid : int; gid : int }
+      (** inode birth plus its directory entry, atomically — the VFS
+          never exposes an orphan-creation split state *)
+  | Link of { dir : int; name : string; ino : int }
+  | Unlink of { dir : int; name : string; ino : int }
+  | Rename of { old_dir : int; old_name : string;
+                new_dir : int; new_name : string; ino : int;
+                replaced : int option }
+      (** atomic: either the old entry exists or the new one does;
+          [replaced] is the inode the destination entry displaced *)
+  | Size of { ino : int; size : int }
+      (** i_size update; persisted without its [Data] this exposes
+          stale or zero bytes (the delayed-allocation hole) *)
+  | Mode of { ino : int; mode : int }
+  | Xattr of { ino : int; name : string; size : int; fill : char }
+  | Alloc of { ino : int; blocks : int }
+      (** block-allocation delta; accounting only, replay is a no-op *)
+  | Data of { ino : int; off : int; len : int; fill : char }
+      (** block writeback, subject to reordering and torn tails *)
+  | Barrier of { scope : scope; data_only : bool }
+      (** fsync / fdatasync / sync; orders everything before it within
+          [scope] ahead of everything after *)
+
+type classification = Data_record | Metadata | Barrier_record
+
+val classify : record -> classification
+
+(** {2 The append-only log} *)
+
+type t
+
+val create : unit -> t
+val append : t -> record -> unit
+val length : t -> int
+
+val records : t -> record array
+(** All records, oldest first. *)
+
+val clear : t -> unit
+
+val record_to_string : record -> string
+(** One-line debug rendering (the §17 wire shape). *)
+
+val to_string : t -> string
+(** Newline-joined {!record_to_string} of every record. *)

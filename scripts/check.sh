@@ -62,4 +62,19 @@ dune exec bin/iocov.exe -- runs diff 1 4 --ledger "$tmp/ledger" \
 dune exec bin/iocov.exe -- runs list --last 2 --ledger "$tmp/ledger" \
   | grep -q "alice"
 
+echo "== crash oracle gate =="
+# both differential directions: a clean run must report zero
+# fsync-durability violations (iocov crash exits non-zero otherwise),
+# and with the buggy fsync planted the oracle must catch the dropped
+# data (iocov crash exits non-zero if nothing is caught); the
+# bounded-vs-brute-force equivalence runs under dune runtest via
+# examples/crash_replay
+dune exec bin/iocov.exe -- crash --bound 2 --save "$tmp/crash.snap" \
+  --ledger "$tmp/ledger" > "$tmp/crash.out"
+grep -q "15/15 lit" "$tmp/crash.out"
+grep -q "^crash " "$tmp/crash.snap"
+dune exec bin/iocov.exe -- crash --bound 6 --workload append-fsync \
+  --fault fsync_skips_data --ledger "$tmp/ledger" \
+  | grep -q "bugs found, as injected"
+
 echo "all checks passed"

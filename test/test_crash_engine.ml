@@ -1,0 +1,369 @@
+(* Tests for the crash-consistency scenario engine (DESIGN.md §17):
+   journal emission, bounded crash-state enumeration (property-checked
+   against a brute-force enumerator), recovery replay with faults armed
+   across the crash boundary, outcome classification, the
+   fsync-durability oracle differential, and the crash block of the
+   dense plan / coverage / snapshot layers. *)
+
+module Engine = Iocov_crash.Engine
+module Journal = Iocov_vfs.Journal
+module Config = Iocov_vfs.Config
+module Fault = Iocov_vfs.Fault
+module Partition = Iocov_core.Partition
+module Plan = Iocov_core.Plan
+module Coverage = Iocov_core.Coverage
+module Snapshot = Iocov_core.Snapshot
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let config_of mode = Config.with_journal_mode mode Config.default
+
+let run_named ?faults name mode =
+  let scenario =
+    match Engine.find_scenario name with
+    | Some s -> s
+    | None -> Alcotest.failf "no built-in scenario %s" name
+  in
+  let config =
+    match faults with
+    | None -> config_of mode
+    | Some fs -> Config.with_faults fs (config_of mode)
+  in
+  Engine.execute ~config scenario
+
+(* --- journal emission --- *)
+
+let test_journal_emission () =
+  let run = run_named "append-fsync" Config.Ordered in
+  let records = run.Engine.run_records in
+  check_bool "baseline precedes the body" true (run.Engine.run_b0 > 0);
+  check_bool "body journaled" true (Array.length records > run.Engine.run_b0);
+  let body = Array.sub records run.Engine.run_b0 (Array.length records - run.Engine.run_b0) in
+  let has p = Array.exists p body in
+  check_bool "data record present" true
+    (has (function Journal.Data _ -> true | _ -> false));
+  check_bool "fsync barrier present" true
+    (has (function
+       | Journal.Barrier { scope = Journal.Ino _; _ } -> true
+       | _ -> false));
+  (* the setup's closing sync is the last baseline record *)
+  (match records.(run.Engine.run_b0 - 1) with
+   | Journal.Barrier { scope = Journal.All; _ } -> ()
+   | r -> Alcotest.failf "baseline ends with %s" (Journal.record_to_string r))
+
+(* --- enumeration shape --- *)
+
+let positions_of states = List.map Engine.state_positions states
+
+let test_window_zero_is_prefixes () =
+  let run = run_named "append-fsync" Config.Writeback in
+  let records = run.Engine.run_records and b0 = run.Engine.run_b0 in
+  let states =
+    Engine.enumerate_states ~mode:Config.Writeback ~records ~b0 ~window:0
+      ~torn:false ~fsync_skips_data:false ~block_size:4096 ()
+  in
+  (* with no reordering window every state is a pure log prefix (minus
+     barrier positions, which have no image of their own) *)
+  List.iter
+    (fun s ->
+      let ps = Engine.state_positions s in
+      let expect =
+        List.filter
+          (fun p ->
+            match records.(p) with Journal.Barrier _ -> false | _ -> true)
+          (List.init (s.Engine.st_crash_point - b0) (fun k -> b0 + k))
+      in
+      check_bool "prefix state" true (ps = expect))
+    states;
+  (* one state per distinct prefix: crash points on either side of a
+     barrier collapse, since the barrier has no image of its own *)
+  let barriers =
+    Array.fold_left
+      (fun (i, n) r ->
+        (i + 1, if i >= b0 && (match r with Journal.Barrier _ -> true | _ -> false)
+                then n + 1 else n))
+      (0, 0) records
+    |> snd
+  in
+  check_int "one state per distinct prefix"
+    (Array.length records - b0 + 1 - barriers)
+    (List.length states)
+
+let test_enumeration_dedups () =
+  List.iter
+    (fun mode ->
+      let run = run_named "rename-replace" mode in
+      let states =
+        Engine.enumerate_states ~mode:run.Engine.run_config.Config.journal_mode
+          ~records:run.Engine.run_records ~b0:run.Engine.run_b0 ~window:3
+          ~torn:true ~fsync_skips_data:false ~block_size:4096 ()
+      in
+      let keys =
+        List.map (fun s -> s.Engine.st_persisted) states
+      in
+      check_int "no duplicate persisted sets" (List.length keys)
+        (List.length (List.sort_uniq compare keys)))
+    Config.all_journal_modes
+
+let test_bound_monotone () =
+  let run = run_named "append-fsync" Config.Writeback in
+  let count w =
+    List.length
+      (Engine.enumerate_states ~mode:Config.Writeback
+         ~records:run.Engine.run_records ~b0:run.Engine.run_b0 ~window:w
+         ~torn:false ~fsync_skips_data:false ~block_size:4096 ())
+  in
+  let c0 = count 0 and c2 = count 2 and c6 = count 6 in
+  check_bool "wider bound, no fewer states" true (c0 <= c2 && c2 <= c6)
+
+(* --- brute-force differential (unit + property) --- *)
+
+let states_equal a b =
+  List.sort_uniq compare (positions_of a) = List.sort_uniq compare (positions_of b)
+
+let test_bounded_equals_brute_force_builtin () =
+  List.iter
+    (fun mode ->
+      let run = run_named "overwrite-prefix" mode in
+      let records = run.Engine.run_records in
+      (* keep the brute-force power set tractable *)
+      let b0 = max run.Engine.run_b0 (Array.length records - 6) in
+      List.iter
+        (fun window ->
+          let bounded =
+            Engine.enumerate_states ~mode ~records ~b0 ~window ~torn:false
+              ~fsync_skips_data:false ~block_size:4096 ()
+          in
+          let brute =
+            Engine.brute_force_states ~mode ~records ~b0 ~window
+              ~fsync_skips_data:false ()
+          in
+          check_bool
+            (Printf.sprintf "%s window %d"
+               (Config.journal_mode_to_string mode) window)
+            true
+            (states_equal bounded brute))
+        [ 0; 2; Array.length records ])
+    Config.all_journal_modes
+
+(* Random synthetic journals: the records need no semantic coherence —
+   only the enumerators' agreement on reachable persisted sets is under
+   test. *)
+let record_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4, map2 (fun ino len ->
+             Journal.Data { ino; off = 0; len; fill = 'x' })
+           (int_range 1 3) (int_range 1 9000));
+        (2, map2 (fun ino size -> Journal.Size { ino; size })
+           (int_range 1 3) (int_range 0 9000));
+        (1, map (fun ino -> Journal.Mode { ino; mode = 0o600 }) (int_range 1 3));
+        (1, return (Journal.Barrier { scope = Journal.All; data_only = false }));
+        (2, map2 (fun ino data_only ->
+             Journal.Barrier { scope = Journal.Ino ino; data_only })
+           (int_range 1 3) bool) ])
+
+let journal_gen =
+  QCheck.Gen.(int_range 0 6 >>= fun n -> array_size (return n) record_gen)
+
+let enumeration_matches_brute_force =
+  QCheck.Test.make ~count:300
+    ~name:"bounded enumeration = brute force on small logs"
+    (QCheck.make
+       ~print:(fun (records, _, _) ->
+         String.concat "; "
+           (Array.to_list (Array.map Journal.record_to_string records)))
+       QCheck.Gen.(
+         triple journal_gen (int_range 0 7) (oneofl Config.all_journal_modes)))
+    (fun (records, window, mode) ->
+      let bounded =
+        Engine.enumerate_states ~mode ~records ~b0:0 ~window ~torn:false
+          ~fsync_skips_data:false ~block_size:4096 ()
+      in
+      let brute =
+        Engine.brute_force_states ~mode ~records ~b0:0 ~window
+          ~fsync_skips_data:false ()
+      in
+      states_equal bounded brute)
+
+(* --- oracles --- *)
+
+let test_oracle_clean_without_faults () =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun sc ->
+          let report =
+            Engine.run_scenario ~window:3 ~config:(config_of mode) sc
+          in
+          check_int
+            (Printf.sprintf "%s/%s violation-free" sc.Engine.sc_name
+               (Config.journal_mode_to_string mode))
+            0
+            (List.length report.Engine.rp_violations))
+        Engine.scenarios)
+    Config.all_journal_modes
+
+let test_oracle_catches_fsync_skips_data () =
+  (* the differential's positive direction: with the buggy fsync armed
+     the enumerator admits states that drop barrier-covered data, and
+     the durability oracle must flag every one *)
+  let config =
+    Config.with_faults [ Fault.Fsync_skips_data ] (config_of Config.Writeback)
+  in
+  let scenario = Option.get (Engine.find_scenario "append-fsync") in
+  let report = Engine.run_scenario ~window:6 ~config scenario in
+  check_bool "durability violations reported" true
+    (report.Engine.rp_violations <> [])
+
+(* --- faults armed across the crash boundary --- *)
+
+let test_fault_survives_recovery () =
+  (* [Creat_mode_ignored] fires while the workload runs (the journal
+     records the buggy mode-0 inode), and the same faulted config is
+     live in every materialized recovery image — the post-crash reopen
+     as the unprivileged owner must hit the fault's consequence
+     ([EACCES]) in every state where the file recovered at all. *)
+  let scenario =
+    {
+      Engine.sc_name = "faulted-creat";
+      sc_mount = "/mnt/crash";
+      sc_uid = Some (1000, 1000);
+      sc_setup = [];
+      sc_body =
+        [ Engine.Creat "/mnt/crash/secret";
+          Engine.Write ("/mnt/crash/secret", 0, 4096);
+          Engine.Fsync "/mnt/crash/secret" ];
+    }
+  in
+  let config =
+    Config.with_faults [ Fault.Creat_mode_ignored ] (config_of Config.Ordered)
+  in
+  let report = Engine.run_scenario ~window:2 ~config scenario in
+  let count o = List.assoc o report.Engine.rp_tally in
+  check_bool "reopen fails in recovered states" true
+    (count Partition.C_errno > 0);
+  check_int "no state recovers a readable file" 0 (count Partition.C_recovered);
+  check_int "no state loses durability" 0 (List.length report.Engine.rp_violations)
+
+(* --- classification --- *)
+
+let test_outcome_taxonomy_reachable () =
+  let outcomes = Hashtbl.create 8 in
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun sc ->
+          let r = Engine.run_scenario ~window:2 ~config:(config_of mode) sc in
+          List.iter
+            (fun (o, n) -> if n > 0 then Hashtbl.replace outcomes o ())
+            r.Engine.rp_tally)
+        Engine.scenarios)
+    Config.all_journal_modes;
+  check_int "all five outcome cells reachable over the built-ins" 5
+    (Hashtbl.length outcomes)
+
+let test_tally_accounts_for_all_classifications () =
+  let r =
+    Engine.run_scenario ~window:2 ~config:(config_of Config.Writeback)
+      (Option.get (Engine.find_scenario "mkdir-tree"))
+  in
+  check_int "tally sums to classified"
+    r.Engine.rp_classified
+    (List.fold_left (fun a (_, n) -> a + n) 0 r.Engine.rp_tally)
+
+(* --- plan / coverage / snapshot plumbing --- *)
+
+let test_plan_crash_block () =
+  check_int "plan grew by the crash block"
+    (Plan.crash_off + (Plan.crash_mode_count * Plan.crash_outcome_count))
+    Plan.total;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun o ->
+          let id = Plan.crash_cell m o in
+          check_bool "cell id in the crash block" true
+            (id >= Plan.crash_off && id < Plan.total);
+          (match Plan.cells.(id) with
+           | Plan.Cell_crash (m', o') ->
+             check_bool "bijective" true (m = m' && o = o')
+           | _ -> Alcotest.fail "crash id maps to a non-crash cell");
+          Hashtbl.replace seen id ())
+        Partition.all_crash_outcomes)
+    Partition.all_crash_modes;
+  check_int "all crash cells distinct"
+    (Plan.crash_mode_count * Plan.crash_outcome_count)
+    (Hashtbl.length seen)
+
+let test_coverage_crash_counts () =
+  let cov = Coverage.create () in
+  Coverage.add_crash cov Partition.CM_ordered Partition.C_torn 3;
+  Coverage.add_crash cov Partition.CM_ordered Partition.C_torn 2;
+  Coverage.add_crash cov Partition.CM_journaled Partition.C_lost 1;
+  check_int "accumulated" 5
+    (Coverage.crash_count cov Partition.CM_ordered Partition.C_torn);
+  check_int "observed total" 6 (Coverage.crash_observed cov);
+  check_int "series spans the full block" 15
+    (List.length (Coverage.crash_series cov));
+  let merged = Coverage.create () in
+  Coverage.merge_into ~dst:merged cov;
+  check_int "merge carries crash cells" 5
+    (Coverage.crash_count merged Partition.CM_ordered Partition.C_torn)
+
+let test_snapshot_roundtrip_with_crash () =
+  let cov = Coverage.create () in
+  Coverage.add_crash cov Partition.CM_writeback Partition.C_stale 7;
+  Coverage.add_crash cov Partition.CM_journaled Partition.C_errno 2;
+  let text = Snapshot.to_string cov in
+  match Snapshot.of_string text with
+  | Error msg -> Alcotest.failf "reparse: %s" msg
+  | Ok cov' ->
+    check_bool "round-trips" true (Snapshot.equal cov cov');
+    check_int "counts preserved" 7
+      (Coverage.crash_count cov' Partition.CM_writeback Partition.C_stale)
+
+let test_snapshot_v1_compat () =
+  (* runs that never touch the crash engine must keep the v1 byte
+     format: no crash lines at all *)
+  let cov = Coverage.create () in
+  Coverage.observe cov
+    (Iocov_syscall.Model.read ~fd:3 ~count:512 ())
+    (Iocov_syscall.Model.Ret 512);
+  let text = Snapshot.to_string cov in
+  check_bool "no crash section" false
+    (let nn = String.length "crash " and nh = String.length text in
+     let rec go i =
+       i + nn <= nh && (String.sub text i nn = "crash " || go (i + 1))
+     in
+     go 0)
+
+let suites =
+  [ ( "crash-engine",
+      [ Alcotest.test_case "journal emission" `Quick test_journal_emission;
+        Alcotest.test_case "window 0 = prefixes" `Quick test_window_zero_is_prefixes;
+        Alcotest.test_case "enumeration dedups" `Quick test_enumeration_dedups;
+        Alcotest.test_case "bound monotone" `Quick test_bound_monotone;
+        Alcotest.test_case "bounded = brute force (built-ins)" `Quick
+          test_bounded_equals_brute_force_builtin;
+        QCheck_alcotest.to_alcotest enumeration_matches_brute_force;
+        Alcotest.test_case "oracle clean without faults" `Slow
+          test_oracle_clean_without_faults;
+        Alcotest.test_case "oracle catches Fsync_skips_data" `Quick
+          test_oracle_catches_fsync_skips_data;
+        Alcotest.test_case "fault armed across the crash boundary" `Quick
+          test_fault_survives_recovery;
+        Alcotest.test_case "all outcomes reachable" `Slow
+          test_outcome_taxonomy_reachable;
+        Alcotest.test_case "tally accounts for classifications" `Quick
+          test_tally_accounts_for_all_classifications ] );
+    ( "crash-plan",
+      [ Alcotest.test_case "plan crash block" `Quick test_plan_crash_block;
+        Alcotest.test_case "coverage crash counters" `Quick
+          test_coverage_crash_counts;
+        Alcotest.test_case "snapshot round-trip" `Quick
+          test_snapshot_roundtrip_with_crash;
+        Alcotest.test_case "snapshot v1 compatibility" `Quick
+          test_snapshot_v1_compat ] ) ]

@@ -462,6 +462,147 @@ let test_server_socket_end_to_end () =
       (digests
       = [ ("alice", offline_digest ev_a); ("bob", offline_digest ev_b) ])
 
+(* --- graceful degradation: silent clients, torn streams, rotated tails --- *)
+
+let start_server config =
+  let ready = Atomic.make false in
+  let result = ref (Error "server never ran") in
+  let th =
+    Thread.create
+      (fun () ->
+        result := Server.run ~on_ready:(fun () -> Atomic.set ready true) config)
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.yield ()
+  done;
+  (th, result)
+
+let shutdown_and_join ~socket (th, result) =
+  ignore (Server.client_query ~socket [ "shutdown" ]);
+  Thread.join th;
+  match !result with
+  | Error msg -> Alcotest.failf "server: %s" msg
+  | Ok outcome -> outcome
+
+let test_handshake_timeout_frees_slot () =
+  with_temp_dir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  let server =
+    start_server
+      { Server.default_config with socket = Some sock; handshake_timeout = 0.2 }
+  in
+  (* a client that connects and never speaks *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  let buf = Bytes.create 16 in
+  (match Unix.read fd buf 0 16 with
+  | 0 -> () (* the server gave up on the handshake and closed its side *)
+  | n -> Alcotest.failf "unexpected %d bytes from a silent handshake" n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Alcotest.fail "server still holding the silent connection after 5s");
+  Unix.close fd;
+  (* and the daemon still serves *)
+  (match Server.client_query ~socket:sock [ "ping" ] with
+  | Ok [ ping ] -> check_string "daemon alive" "pong" (String.trim ping)
+  | Ok _ -> Alcotest.fail "expected one reply"
+  | Error msg -> Alcotest.failf "query after timeout: %s" msg);
+  ignore (shutdown_and_join ~socket:sock server)
+
+let test_partial_frame_on_ledger () =
+  with_temp_dir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  let trace = Filename.concat dir "t.trace" in
+  write_binary trace (synth_events ~seed:73 2_000);
+  let bytes = In_channel.with_open_bin trace In_channel.input_all in
+  let server =
+    start_server
+      { Server.default_config with socket = Some sock; mount = Some "/mnt/test" }
+  in
+  (* an ingest connection that vanishes mid-frame *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  output_string oc
+    (Protocol.handshake_line
+       {
+         Protocol.hs_role = Protocol.Ingest;
+         hs_tenant = Some "torn";
+         hs_mount = None;
+         hs_format = Protocol.Binary;
+       }
+    ^ "\n");
+  output_string oc (String.sub bytes 0 (String.length bytes - 7));
+  flush oc;
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let reply = Protocol.read_frame ic in
+  check_bool "torn stream rejected" true (Result.is_error reply);
+  close_out_noerr oc;
+  close_in_noerr ic;
+  (* the slot is free and the loss is on the tenant's ledger *)
+  (match Server.client_query ~socket:sock ~tenant:"torn" [ "completeness" ] with
+  | Ok [ reply ] ->
+    check_bool "truncation recorded" true (contains reply "truncated");
+    check_bool "anomaly names the discard" true (contains reply "partial frame")
+  | Ok _ -> Alcotest.fail "expected one reply"
+  | Error msg -> Alcotest.failf "completeness: %s" msg);
+  ignore (shutdown_and_join ~socket:sock server)
+
+let test_tail_rotation_resets () =
+  with_temp_dir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  let trace = Filename.concat dir "roll.trace" in
+  let ev_old = synth_events ~seed:74 2_000 in
+  let ev_new = synth_events ~seed:75 400 in
+  write_binary trace ev_old;
+  let server =
+    start_server
+      { Server.default_config with
+        socket = Some sock;
+        ingests = [ ("roll", trace) ];
+        follow = true;
+        mount = Some "/mnt/test" }
+  in
+  let events () =
+    match Server.client_query ~socket:sock ~tenant:"roll" [ "stats" ] with
+    | Ok [ reply ] -> (try Scanf.sscanf reply "events %d" Fun.id with _ -> -1)
+    | _ -> -1
+  in
+  let wait_for n =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while
+      events () < n
+      &&
+      if Unix.gettimeofday () > deadline then
+        Alcotest.failf "timeout waiting for %d events" n
+      else true
+    do
+      Thread.delay 0.02
+    done
+  in
+  wait_for (List.length ev_old);
+  (* rotate: atomically swap in a much smaller trace, so the tailer's
+     next pass finds the file shrunk below its frozen cursor *)
+  let fresh = Filename.concat dir "fresh.trace" in
+  write_binary fresh ev_new;
+  Sys.rename fresh trace;
+  wait_for (List.length ev_old + List.length ev_new);
+  (match Server.client_query ~socket:sock ~tenant:"roll" [ "completeness" ] with
+  | Ok [ reply ] ->
+    check_bool "reset recorded" true (contains reply "truncated");
+    check_bool "anomaly explains the restart" true (contains reply "rotated")
+  | Ok _ -> Alcotest.fail "expected one reply"
+  | Error msg -> Alcotest.failf "completeness: %s" msg);
+  let outcome = shutdown_and_join ~socket:sock server in
+  match outcome.Server.o_tenants with
+  | [ o ] ->
+    check_int "both generations ingested"
+      (List.length ev_old + List.length ev_new)
+      o.Server.o_stats.Hub.st_events
+  | _ -> Alcotest.fail "expected exactly one tenant"
+
 (* --- ledger: the tenant column --- *)
 
 let ledger_record ?tenant label =
@@ -607,6 +748,12 @@ let suites =
       [
         Alcotest.test_case "file mode" `Quick test_server_file_mode;
         Alcotest.test_case "socket end to end" `Quick test_server_socket_end_to_end;
+        Alcotest.test_case "handshake timeout frees the slot" `Quick
+          test_handshake_timeout_frees_slot;
+        Alcotest.test_case "partial frame lands on the ledger" `Quick
+          test_partial_frame_on_ledger;
+        Alcotest.test_case "tail rotation resets the cursor" `Quick
+          test_tail_rotation_resets;
       ] );
     ( "serve.ledger",
       [
