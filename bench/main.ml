@@ -59,6 +59,9 @@ let () =
       ("--serve-bench", Arg.Unit (fun () -> only := "serve" :: !only),
        "shorthand for --only serve (E16, multi-tenant mixed ingest/query workload; \
         exits non-zero if a tenant digest diverges from offline analyze)");
+      ("--config-bench", Arg.Unit (fun () -> only := "config" :: !only),
+       "shorthand for --only config (E18, config-lattice matrix: observe throughput, \
+        lazy shard memory, and the off-default errno surface gate)");
       ("--crash-bench", Arg.Unit (fun () -> only := "crash" :: !only),
        "shorthand for --only crash (E17, crash-state enumeration throughput and \
         outcome-cell coverage vs bound; exits non-zero on an oracle violation or \
@@ -1722,6 +1725,155 @@ let crash_bench () =
   end;
   Printf.printf "crash gate: PASS\n%!"
 
+(* --- E18: the config lattice — matrix observe cost, lazy shards, and
+   the off-default errno surface --- *)
+
+let config_bench () =
+  heading "E18"
+    "Config lattice: matrix observe throughput, lazy shard memory, off-default errno \
+     cells";
+  let module Vc = Iocov_vfs.Config in
+  let module Plan = Iocov_core.Plan in
+  (* 1. observe throughput: one config's stream through a Matrix shard
+     vs a plain Dense accumulator — the lift must not tax the hot path *)
+  let n = 200_000 in
+  let events = synth_events n in
+  let rev_pairs = ref [] in
+  Event.iter_tracked events (fun c o -> rev_pairs := (c, o) :: !rev_pairs);
+  let pairs = Array.of_list (List.rev !rev_pairs) in
+  let m = Array.length pairs in
+  Printf.printf "lattice: %d points (digest %s); %s tracked observations per pass\n%!"
+    Vc.lattice_count Vc.lattice_digest (Ascii.si_count m);
+  let run_single () =
+    let d = Coverage.Dense.create () in
+    let (), dt =
+      timed_wall (fun () ->
+          Array.iter (fun (c, o) -> Coverage.Dense.observe d c o) pairs)
+    in
+    (d, dt)
+  in
+  let run_matrix () =
+    let mx = Coverage.Matrix.create ~configs:Vc.lattice_count in
+    let (), dt =
+      timed_wall (fun () ->
+          Array.iter
+            (fun (c, o) -> Coverage.Matrix.observe mx ~config_id:0 c o)
+            pairs)
+    in
+    (mx, dt)
+  in
+  ignore (run_single ());
+  ignore (run_matrix ());
+  let d, single_dt = run_single () in
+  let mx, matrix_dt = run_matrix () in
+  let single_rate = float_of_int m /. single_dt in
+  let matrix_rate = float_of_int m /. matrix_dt in
+  let ratio = matrix_rate /. single_rate in
+  let identical =
+    match Coverage.Matrix.to_reference mx with
+    | [ (0, shard0) ] -> Snapshot.equal (Coverage.Dense.to_reference d) shard0
+    | _ -> false
+  in
+  Printf.printf "  dense single-config: %.3fs (%s observes/s)\n" single_dt
+    (Ascii.si_count (int_of_float single_rate));
+  Printf.printf "  matrix shard 0:      %.3fs (%s observes/s), %.2fx of single\n"
+    matrix_dt (Ascii.si_count (int_of_float matrix_rate)) ratio;
+  Printf.printf "  shard-0 snapshot vs single-config: %s\n%!"
+    (if identical then "identical" else "DIFFERS");
+  (* 2. lazy shard memory: touch 3 of the 18 configs, the other 15 must
+     cost zero words *)
+  let sparse = Coverage.Matrix.create ~configs:Vc.lattice_count in
+  let touched = [ 0; 5; 9 ] in
+  List.iter
+    (fun config_id ->
+      Array.iteri
+        (fun i (c, o) ->
+          if i < 1000 then Coverage.Matrix.observe sparse ~config_id c o)
+        pairs)
+    touched;
+  let st = Coverage.Matrix.stats sparse in
+  let lazy_ok = st.Coverage.Matrix.m_allocated = List.length touched in
+  Printf.printf
+    "  lazy shards: %d/%d allocated after touching %d configs (%s counter words)\n%!"
+    st.Coverage.Matrix.m_allocated st.Coverage.Matrix.m_configs
+    (List.length touched)
+    (Ascii.si_count st.Coverage.Matrix.m_words);
+  (* 3. the off-default errno surface: sweep every suite across the full
+     lattice and collect errno output cells dark under the default point
+     but lit under some other — the config-dependent error surface a
+     single-config campaign cannot reach *)
+  let points = Array.to_list Vc.lattice in
+  let sweep_scale = 0.3 in
+  let per_suite =
+    List.map
+      (fun suite ->
+        let rows, dt =
+          timed_wall (fun () ->
+              Runner.run_lattice ~seed:!seed ~scale:sweep_scale ~points suite)
+        in
+        let named =
+          List.map
+            (fun ((pt : Vc.point), (r : Runner.result)) ->
+              (pt.Vc.pt_name, r.Runner.coverage))
+            rows
+        in
+        let cells = Report.off_baseline_errno_cells named in
+        Printf.printf "  %-12s %2d off-default errno cells (%d-point sweep, %.2fs)\n%!"
+          (Runner.suite_name suite) (List.length cells) (List.length points) dt;
+        (suite, cells, dt))
+      [ Runner.Crashmonkey; Runner.Xfstests; Runner.Ltp ]
+  in
+  let union =
+    List.sort_uniq compare (List.concat_map (fun (_, cells, _) -> cells) per_suite)
+  in
+  List.iter
+    (fun id -> Printf.printf "    %s\n" (Report.cell_label Iocov_core.Plan.cells.(id)))
+    union;
+  let offdef = List.length union in
+  Printf.printf "  union: %d distinct errno cells reachable only off-default\n%!" offdef;
+  let throughput_ok = ratio >= 0.2 in
+  let surface_ok = offdef >= 5 in
+  let body =
+    Printf.sprintf
+      "{\n  \"schema\": \"iocov-bench-config/1\",\n  \"seed\": %d,\n  \
+       \"lattice_points\": %d,\n  \"lattice_digest\": \"%s\",\n  \
+       \"tracked_observations\": %d,\n  \"single_thread\": {\n    \
+       \"dense\": { \"elapsed_s\": %.4f, \"observes_per_s\": %.0f },\n    \
+       \"matrix_shard\": { \"elapsed_s\": %.4f, \"observes_per_s\": %.0f },\n    \
+       \"matrix_vs_dense\": %.3f,\n    \"snapshot_identical\": %b\n  },\n  \
+       \"lazy_shards\": { \"touched\": %d, \"allocated\": %d, \"configs\": %d, \
+       \"counter_words\": %d },\n  \"sweep_scale\": %.2f,\n  \"suites\": [\n%s\n  ],\n  \
+       \"off_default_errno_cells\": [%s],\n  \
+       \"off_default_errno_count\": %d,\n  \"throughput_ok\": %b,\n  \
+       \"lazy_ok\": %b,\n  \"surface_ok\": %b\n}\n"
+      !seed Vc.lattice_count Vc.lattice_digest m single_dt single_rate matrix_dt
+      matrix_rate ratio identical (List.length touched)
+      st.Coverage.Matrix.m_allocated st.Coverage.Matrix.m_configs
+      st.Coverage.Matrix.m_words sweep_scale
+      (String.concat ",\n"
+         (List.map
+            (fun (suite, cells, dt) ->
+              Printf.sprintf
+                "    { \"suite\": \"%s\", \"off_default_cells\": %d, \
+                 \"elapsed_s\": %.2f }"
+                (Runner.suite_name suite) (List.length cells) dt)
+            per_suite))
+      (String.concat ", "
+         (List.map
+            (fun id ->
+              Printf.sprintf "\"%s\"" (Report.cell_label Iocov_core.Plan.cells.(id)))
+            union))
+      offdef throughput_ok lazy_ok surface_ok
+  in
+  write_json "BENCH_config.json" body;
+  if not (identical && throughput_ok && lazy_ok && surface_ok) then begin
+    Printf.printf
+      "config gate: FAIL (identical=%b throughput_ok=%b lazy_ok=%b surface_ok=%b)\n%!"
+      identical throughput_ok lazy_ok surface_ok;
+    exit 1
+  end;
+  Printf.printf "config gate: PASS\n%!"
+
 let () =
   if wanted "bugstudy" then e1_bugstudy ();
   if wanted "fig2" then e2_figure2 ();
@@ -1746,6 +1898,7 @@ let () =
   if wanted "obs" then e14_obs ();
   if wanted "serve" then serve_bench ();
   if wanted "crash" then crash_bench ();
+  if wanted "config" then config_bench ();
   if !metrics_json <> "" then begin
     let report =
       Iocov_obs.Export.registry_report

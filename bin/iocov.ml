@@ -44,8 +44,8 @@ let counters_name = function
 
 (* Root spans completed so far become the record's per-stage durations;
    a failed append is a warning, never a failed run. *)
-let ledger_append ~ledger ?seed ?tenant ~subcommand ~label ~flags ~jobs ~counters
-    ~events ~kept ~lost ~wall_s coverage =
+let ledger_append ~ledger ?seed ?tenant ?config ~subcommand ~label ~flags ~jobs
+    ~counters ~events ~kept ~lost ~wall_s coverage =
   match ledger with
   | None -> ()
   | Some dir ->
@@ -53,15 +53,32 @@ let ledger_append ~ledger ?seed ?tenant ~subcommand ~label ~flags ~jobs ~counter
       List.map (fun n -> (n.Obs.Span.name, n.Obs.Span.duration_s)) (Obs.Span.roots ())
     in
     let r =
-      Ledger.make ~time:(Obs.Clock.now ()) ?seed ?tenant ~subcommand ~label ~flags
-        ~jobs ~counters:(counters_name counters) ~events ~kept ~lost ~wall_s ~stages
-        coverage
+      Ledger.make ~time:(Obs.Clock.now ()) ?seed ?tenant ?config ~subcommand ~label
+        ~flags ~jobs ~counters:(counters_name counters) ~events ~kept ~lost ~wall_s
+        ~stages coverage
     in
     (match Ledger.append ~dir r with
      | Ok _ -> ()
      | Error msg -> Printf.eprintf "warning: ledger: %s\n" msg)
 
 (* --- suite --- *)
+
+module Vconfig = Iocov_vfs.Config
+
+(* The ledger names the lattice point the run was pinned to, and its
+   config digest — `runs diff` refuses to compare across digests. *)
+let ledger_config (point : Vconfig.point) =
+  (point.Vconfig.pt_name, Vconfig.digest point.Vconfig.pt_config)
+
+(* Differential sections for a multi-point sweep: the per-config matrix
+   always, the gained/lost cell diff on request. *)
+let print_config_sections ~config_diff rows =
+  print_endline (Report.config_matrix ~target:1000.0 ~theta:10.0 rows);
+  if config_diff then print_endline (Report.config_diff rows)
+
+let check_config_diff ~config_diff points =
+  if config_diff && List.length points < 2 then
+    die "--config-diff needs at least two --configs points"
 
 let print_result (r : Runner.result) =
   Printf.printf "%s: %d workloads, %s traced records (%s within the mount), %.2fs\n"
@@ -82,23 +99,44 @@ let print_result (r : Runner.result) =
   print_endline (Report.untested_summary ~name:(Runner.suite_name r.Runner.suite) r.Runner.coverage)
 
 let suite_cmd =
-  let run obs suite seed scale faults jobs counters progress ledger =
+  let run obs suite seed scale faults jobs counters progress ledger points
+      config_diff =
     Opts.with_obs obs (fun () ->
-        let r =
-          Runner.run ~seed ~scale ~faults ?jobs:(jobs_opt jobs) ~counters
-            ?progress:(Opts.progress_conf progress) suite
+        check_config_diff ~config_diff points;
+        let rows =
+          Runner.run_lattice ~seed ~scale ~faults ?jobs:(jobs_opt jobs) ~counters
+            ?progress:(Opts.progress_conf progress) ~points suite
         in
-        print_result r;
         let flags =
           ("scale", string_of_float scale)
           :: (match faults with
               | [] -> []
               | fs -> [ ("faults", String.concat "," (List.map Fault.to_string fs)) ])
         in
-        ledger_append ~ledger ~seed ~subcommand:"suite"
-          ~label:(Runner.suite_name suite) ~flags ~jobs ~counters
-          ~events:r.Runner.events_total ~kept:r.Runner.events_kept ~lost:0
-          ~wall_s:r.Runner.elapsed_s r.Runner.coverage)
+        (match rows with
+         | [ (_, r) ] -> print_result r
+         | rows ->
+           List.iter
+             (fun ((point : Vconfig.point), (r : Runner.result)) ->
+               Printf.printf "config %-22s %d workloads, %s records kept, %d oracle \
+                              violations, %.2fs\n"
+                 point.Vconfig.pt_name r.Runner.workloads
+                 (Iocov_util.Ascii.si_count r.Runner.events_kept)
+                 (List.length r.Runner.failures) r.Runner.elapsed_s)
+             rows;
+           print_newline ();
+           print_config_sections ~config_diff
+             (List.map
+                (fun ((point : Vconfig.point), (r : Runner.result)) ->
+                  (point.Vconfig.pt_name, r.Runner.coverage))
+                rows));
+        List.iter
+          (fun (point, (r : Runner.result)) ->
+            ledger_append ~ledger ~seed ~config:(ledger_config point)
+              ~subcommand:"suite" ~label:(Runner.suite_name suite) ~flags ~jobs
+              ~counters ~events:r.Runner.events_total ~kept:r.Runner.events_kept
+              ~lost:0 ~wall_s:r.Runner.elapsed_s r.Runner.coverage)
+          rows)
   in
   let suite_pos =
     Arg.(required & pos 0 (some Opts.suite_conv) None & info [] ~docv:"SUITE")
@@ -107,7 +145,8 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"Run one simulated tester under the tracer and report coverage.")
     Term.(
       const run $ Opts.obs_term $ suite_pos $ Opts.seed $ Opts.scale $ Opts.faults
-      $ Opts.jobs $ Opts.counters $ Opts.progress_term $ Opts.ledger_term)
+      $ Opts.jobs $ Opts.counters $ Opts.progress_term $ Opts.ledger_term
+      $ Opts.configs_term $ Opts.config_diff)
 
 (* --- trace: run a suite and store the raw trace --- *)
 
@@ -395,6 +434,18 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc:"List injectable file-system faults.") Term.(const run $ const ())
 
+let configs_cmd =
+  let run () =
+    print_string (Vconfig.print_lattice ());
+    Printf.printf "# %d points, lattice digest %s\n" Vconfig.lattice_count
+      Vconfig.lattice_digest
+  in
+  Cmd.v
+    (Cmd.info "configs"
+       ~doc:"List the built-in config lattice in $(b,--configs) file form: one \
+             $(b,NAME CONFIG) line per point, usable as a custom-lattice template.")
+    Term.(const run $ const ())
+
 (* --- report: load and merge coverage snapshots --- *)
 
 let report_cmd =
@@ -566,19 +617,35 @@ let runs_cmd =
       Term.(const run $ dir_arg $ key_pos)
   in
   let diff_cmd =
-    let run dir key_a key_b =
+    let run dir key_a key_b cross_config =
       let { Ledger.records; _ } = Ledger.load ~dir in
       let a = get records dir key_a and b = get records dir key_b in
+      (* Cells gained under a different config are a config difference,
+         not a coverage regression — comparing them silently would read
+         as one.  Cross-lattice diffs must be asked for. *)
+      if Ledger.config_clash a b && not cross_config then
+        die
+          "runs %s and %s were recorded under different configs (%s vs %s); pass \
+           --cross-config to compare them anyway"
+          key_a key_b (Ledger.config_name a) (Ledger.config_name b);
       print_string (Ledger.render_diff ~a ~b (Ledger.diff a b))
     in
     let a_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"A") in
     let b_pos = Arg.(required & pos 1 (some string) None & info [] ~docv:"B") in
+    let cross_config_arg =
+      Arg.(
+        value & flag
+        & info [ "cross-config" ]
+            ~doc:"Allow diffing two runs recorded under different config-lattice \
+                  points; by default such a diff is refused since cell deltas would \
+                  mix config effects with coverage changes.")
+    in
     Cmd.v
       (Cmd.info "diff"
          ~doc:"Compare two recorded runs: coverage cells gained and lost, and \
                throughput regressions.  Runs are named by id ($(b,r3)) or 1-based \
                position.")
-      Term.(const run $ dir_arg $ a_pos $ b_pos)
+      Term.(const run $ dir_arg $ a_pos $ b_pos $ cross_config_arg)
   in
   Cmd.group
     (Cmd.info "runs"
@@ -591,9 +658,10 @@ let runs_cmd =
 (* --- fuzz: feedback-comparison fuzzer --- *)
 
 let fuzz_cmd =
-  let run obs budget seed faults compare =
+  let run obs budget seed faults compare points config_diff =
     Opts.with_obs obs @@ fun () ->
     let module Fuzzer = Iocov_suites.Fuzzer in
+    check_config_diff ~config_diff points;
     let show (r : Fuzzer.result) =
       Printf.printf "%s: %d executions, corpus %d, %d partitions covered%s\n"
         (Fuzzer.feedback_name r.Fuzzer.feedback)
@@ -603,6 +671,8 @@ let fuzz_cmd =
          else Printf.sprintf ", %d deviations from the reference" r.Fuzzer.crashes)
     in
     if compare then begin
+      if List.length points > 1 then
+        die "--compare runs a single config; drop --configs or pick one point";
       let outcome, partition = Fuzzer.compare_feedbacks ~seed ~budget () in
       show outcome;
       show partition;
@@ -612,9 +682,27 @@ let fuzz_cmd =
         outcome.Fuzzer.growth partition.Fuzzer.growth
     end
     else begin
-      let r = Fuzzer.run ~seed ~budget ~faults ~feedback:Fuzzer.Partition_novelty () in
-      show r;
-      print_endline (Report.untested_summary ~name:"fuzzer" r.Fuzzer.coverage)
+      match points with
+      | [ _ ] ->
+        let r = Fuzzer.run ~seed ~budget ~faults ~feedback:Fuzzer.Partition_novelty () in
+        show r;
+        print_endline (Report.untested_summary ~name:"fuzzer" r.Fuzzer.coverage)
+      | points ->
+        let rows =
+          List.map
+            (fun (point : Vconfig.point) ->
+              let r =
+                Fuzzer.run ~seed ~budget ~faults
+                  ?config:(Runner.config_of_point point)
+                  ~feedback:Fuzzer.Partition_novelty ()
+              in
+              Printf.printf "config %-22s " point.Vconfig.pt_name;
+              show r;
+              (point.Vconfig.pt_name, r.Fuzzer.coverage))
+            points
+        in
+        print_newline ();
+        print_config_sections ~config_diff rows
     end
   in
   let budget_arg =
@@ -628,7 +716,9 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:"Fuzz the modeled file system with partition-novelty (IOCov-guided) feedback; \
              $(b,--compare) pits it against path-style outcome-novelty feedback.")
-    Term.(const run $ Opts.obs_term $ budget_arg $ Opts.seed $ Opts.faults $ compare_arg)
+    Term.(
+      const run $ Opts.obs_term $ budget_arg $ Opts.seed $ Opts.faults $ compare_arg
+      $ Opts.configs_term $ Opts.config_diff)
 
 (* --- serve: the multi-tenant coverage daemon, and its clients --- *)
 
@@ -670,7 +760,8 @@ let serve_cmd =
             o.Serve_server.o_tenant st.Serve_hub.st_events st.Serve_hub.st_kept
             st.Serve_hub.st_publishes
             (Ledger.digest o.Serve_server.o_coverage);
-          ledger_append ~ledger ~tenant:o.Serve_server.o_tenant ~subcommand:"serve"
+          ledger_append ~ledger ~tenant:o.Serve_server.o_tenant
+            ?config:o.Serve_server.o_config ~subcommand:"serve"
             ~label:(match socket with Some s -> s | None -> "files")
             ~flags:[ ("mount", mount) ]
             ~jobs:1 ~counters:Replay.Dense ~events:st.Serve_hub.st_events
@@ -725,9 +816,13 @@ let serve_cmd =
       $ batch_arg $ Opts.ledger_term)
 
 let ingest_cmd =
-  let run obs socket tenant mount file =
+  let run obs socket tenant mount config file =
     Opts.with_obs obs @@ fun () ->
-    match Serve_server.client_ingest ~socket ~tenant ?mount file with
+    (match config with
+     | Some name when Vconfig.point_named name = None ->
+       die "--config %S: unknown lattice point (see iocov configs)" name
+     | _ -> ());
+    match Serve_server.client_ingest ~socket ~tenant ?mount ?config file with
     | Ok summary -> print_string summary
     | Error msg -> die "%s" msg
   in
@@ -744,11 +839,21 @@ let ingest_cmd =
       & info [ "mount" ] ~docv:"PATH"
           ~doc:"Per-stream mount filter override (default: the daemon's).")
   in
+  let config_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "config" ] ~docv:"POINT"
+          ~doc:"Config-lattice point the trace was produced under; the daemon pins \
+                the tenant to it and rejects streams declaring a different one.")
+  in
   let file_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
   Cmd.v
     (Cmd.info "ingest"
        ~doc:"Stream a local trace file into a running $(b,iocov serve) daemon.")
-    Term.(const run $ Opts.obs_term $ socket_required $ tenant_arg $ mount_arg $ file_pos)
+    Term.(
+      const run $ Opts.obs_term $ socket_required $ tenant_arg $ mount_arg
+      $ config_arg $ file_pos)
 
 (* Group the positional words into request lines: a new request starts
    at each request keyword, so `query adequacy open.flags 500 digest`
@@ -804,7 +909,7 @@ let crash_cmd =
   let module Vc = Iocov_vfs.Config in
   let module Partition = Iocov_core.Partition in
   let run obs workloads bound modes torn faults target theta save jobs counters
-      ledger =
+      ledger points =
     Opts.with_obs obs @@ fun () ->
     let all_scenarios = Engine.scenarios @ Iocov_suites.Crashmonkey.crash_scenarios in
     let scenarios =
@@ -824,31 +929,36 @@ let crash_cmd =
           names
     in
     let modes = match modes with [] -> Vc.all_journal_modes | ms -> ms in
+    let multi_config = List.length points > 1 in
     let reports = ref [] in
     (* The engine's workloads run as the pipeline's live source: every
        traced record flows through the same filter/sink machinery as a
        suite run, and the crash outcomes are folded into the product's
-       coverage afterwards as their own output dimension. *)
+       coverage afterwards as their own output dimension.  The config
+       lattice is the outermost sweep axis: each selected point's
+       geometry is the base the journal modes are applied to. *)
     let feed emit =
       List.iter
-        (fun mode ->
+        (fun (point : Vc.point) ->
+          let base = Vc.with_faults faults point.Vc.pt_config in
           List.iter
-            (fun scenario ->
-              let config =
-                Vc.with_journal_mode mode (Vc.with_faults faults Vc.default)
-              in
-              let make_ops fs =
-                let tracer = Iocov_trace.Tracer.create ~comm:"crash" fs in
-                Iocov_trace.Tracer.on_event tracer emit;
-                { Engine.op_exec = Iocov_trace.Tracer.exec tracer;
-                  op_exec_aux = Iocov_trace.Tracer.exec_aux tracer }
-              in
-              let report =
-                Engine.run_scenario ~make_ops ~window:bound ~torn ~config scenario
-              in
-              reports := report :: !reports)
-            scenarios)
-        modes
+            (fun mode ->
+              List.iter
+                (fun scenario ->
+                  let config = Vc.with_journal_mode mode base in
+                  let make_ops fs =
+                    let tracer = Iocov_trace.Tracer.create ~comm:"crash" fs in
+                    Iocov_trace.Tracer.on_event tracer emit;
+                    { Engine.op_exec = Iocov_trace.Tracer.exec tracer;
+                      op_exec_aux = Iocov_trace.Tracer.exec_aux tracer }
+                  in
+                  let report =
+                    Engine.run_scenario ~make_ops ~window:bound ~torn ~config scenario
+                  in
+                  reports := (point.Vc.pt_name, report) :: !reports)
+                scenarios)
+            modes)
+        points
     in
     let header =
       Sink.custom ~name:"header" (fun p ->
@@ -869,7 +979,7 @@ let crash_cmd =
       let reports = List.rev !reports in
       let coverage = product.Sink.coverage in
       List.iter
-        (fun r ->
+        (fun (_, r) ->
           let mode = Engine.crash_mode_of_journal r.Engine.rp_mode in
           List.iter
             (fun (o, n) -> if n > 0 then Coverage.add_crash coverage mode o n)
@@ -878,24 +988,27 @@ let crash_cmd =
       print_sections sections;
       let rows =
         List.map
-          (fun r ->
-            [ r.Engine.rp_name; Vc.journal_mode_to_string r.Engine.rp_mode;
-              string_of_int r.Engine.rp_records;
-              string_of_int r.Engine.rp_raw_states;
-              string_of_int r.Engine.rp_states;
-              (if r.Engine.rp_raw_states = 0 then "-"
-               else
-                 Printf.sprintf "%.2f"
-                   (float_of_int r.Engine.rp_raw_states
-                    /. float_of_int (max 1 r.Engine.rp_states)));
-              string_of_int r.Engine.rp_classified ])
+          (fun (cfg, r) ->
+            (if multi_config then [ cfg ] else [])
+            @ [ r.Engine.rp_name; Vc.journal_mode_to_string r.Engine.rp_mode;
+                string_of_int r.Engine.rp_records;
+                string_of_int r.Engine.rp_raw_states;
+                string_of_int r.Engine.rp_states;
+                (if r.Engine.rp_raw_states = 0 then "-"
+                 else
+                   Printf.sprintf "%.2f"
+                     (float_of_int r.Engine.rp_raw_states
+                      /. float_of_int (max 1 r.Engine.rp_states)));
+                string_of_int r.Engine.rp_classified ])
           reports
       in
       print_endline
         (Iocov_util.Ascii.table
            ~title:(Printf.sprintf "crash-state enumeration (bound %d)" bound)
            ~headers:
-             [ "workload"; "mode"; "records"; "states"; "images"; "dedup"; "cells" ]
+             ((if multi_config then [ "config" ] else [])
+              @ [ "workload"; "mode"; "records"; "states"; "images"; "dedup";
+                  "cells" ])
            rows);
       let outcome_rows =
         List.map
@@ -929,7 +1042,7 @@ let crash_cmd =
         (Tcd.tcd_uniform ~frequencies ~target)
         summary.Iocov_core.Adequacy.untested summary.Iocov_core.Adequacy.under
         summary.Iocov_core.Adequacy.adequate summary.Iocov_core.Adequacy.over;
-      let violations = List.concat_map (fun r -> r.Engine.rp_violations) reports in
+      let violations = List.concat_map (fun (_, r) -> r.Engine.rp_violations) reports in
       let expected = List.mem Fault.Fsync_skips_data faults in
       (match violations with
        | [] ->
@@ -956,9 +1069,20 @@ let crash_cmd =
         @ (match faults with
            | [] -> []
            | fs -> [ ("faults", String.concat "," (List.map Fault.to_string fs)) ])
+        @
+        if multi_config then
+          [ ("configs",
+             String.concat "," (List.map (fun p -> p.Vc.pt_name) points)) ]
+        else []
       in
-      ledger_append ~ledger ~subcommand:"crash" ~label:"crash-engine" ~flags ~jobs
-        ~counters ~events:product.Sink.events ~kept:product.Sink.kept ~lost:0
+      (* A single-point run is pinned to that point, so the ledger can
+         name it; a multi-point sweep's coverage mixes configs and is
+         recorded config-less (the points live in the flags). *)
+      let config =
+        match points with [ point ] -> Some (ledger_config point) | _ -> None
+      in
+      ledger_append ~ledger ?config ~subcommand:"crash" ~label:"crash-engine" ~flags
+        ~jobs ~counters ~events:product.Sink.events ~kept:product.Sink.kept ~lost:0
         ~wall_s:(Obs.Clock.now () -. t0) coverage;
       (* unexpected violations are an engine bug; injected ones are the
          differential's success and exit clean *)
@@ -1007,9 +1131,9 @@ let crash_cmd =
              ~doc:"Write the coverage (crash cells included) as a snapshot file.")
   in
   let run obs workloads bound modes no_torn faults target theta save jobs counters
-      ledger =
+      ledger points =
     run obs workloads bound modes (not no_torn) faults target theta save jobs
-      counters ledger
+      counters ledger points
   in
   Cmd.v
     (Cmd.info "crash"
@@ -1018,14 +1142,15 @@ let crash_cmd =
     Term.(
       const run $ Opts.obs_term $ workloads_arg $ bound_arg $ modes_arg $ no_torn_arg
       $ Opts.faults $ target_arg $ theta_arg $ save_arg $ Opts.jobs $ Opts.counters
-      $ Opts.ledger_term)
+      $ Opts.ledger_term $ Opts.configs_term)
 
 let main =
   Cmd.group
     (Cmd.info "iocov" ~version:"1.0.0"
        ~doc:"Input/output coverage for file system testing (HotStorage '23 reproduction).")
     [ suite_cmd; trace_cmd; analyze_cmd; report_cmd; compare_cmd; tcd_cmd;
-      adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; syz_cmd; fuzz_cmd;
-      crash_cmd; metrics_cmd; runs_cmd; serve_cmd; ingest_cmd; query_cmd ]
+      adequacy_cmd; bugstudy_cmd; differential_cmd; faults_cmd; configs_cmd;
+      syz_cmd; fuzz_cmd; crash_cmd; metrics_cmd; runs_cmd; serve_cmd; ingest_cmd;
+      query_cmd ]
 
 let () = exit (Cmd.eval main)

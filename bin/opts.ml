@@ -85,6 +85,47 @@ let suite_conv =
   in
   Arg.conv (parse, fun ppf s -> Format.pp_print_string ppf (Runner.suite_name s))
 
+(* --- config lattice selection: --configs all|NAME,..|FILE --- *)
+
+module Vconfig = Iocov_vfs.Config
+
+let configs =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "configs" ] ~docv:"SPEC"
+        ~doc:"File-system configurations to sweep — the config-lattice dimension of \
+              the coverage matrix.  $(docv) is $(b,all) (every built-in lattice \
+              point), a comma-separated list of point names, or a lattice file \
+              ($(b,NAME CONFIG) per line; $(b,iocov configs) prints a template).  \
+              Default: the $(b,default) point only, byte-identical to a plain \
+              single-config run.")
+
+let configs_term =
+  let combine spec =
+    match spec with
+    | None -> [ Vconfig.default_point ]
+    | Some spec -> (
+      let result =
+        if Sys.file_exists spec && not (Sys.is_directory spec) then
+          Vconfig.parse_lattice (In_channel.with_open_text spec In_channel.input_all)
+        else Vconfig.points_of_spec spec
+      in
+      match result with
+      | Ok [] -> die "--configs %s: no lattice points selected" spec
+      | Ok points -> points
+      | Error msg -> die "--configs: %s" msg)
+  in
+  Term.(const combine $ configs)
+
+let config_diff =
+  Arg.(
+    value & flag
+    & info [ "config-diff" ]
+        ~doc:"With more than one $(b,--configs) point, print the differential view: \
+              cells lit under each config but dark under the first (baseline) point, \
+              and the errno output cells reachable only off-baseline.")
+
 (* --- lenient ingestion: --lenient + --max-bad-records -> Replay.ingest --- *)
 
 let lenient =

@@ -245,3 +245,127 @@ let completeness ~name (c : Iocov_util.Anomaly.completeness) =
           ~headers:[ "counter"; "value" ] rows)
       :: anomaly_lines)
   end
+
+(* --- config-lattice comparison (DESIGN.md §18) --- *)
+
+let cell_label = function
+  | Plan.Cell_variant v -> "variant " ^ Model.variant_name v
+  | Plan.Cell_input (arg, part) ->
+    Printf.sprintf "input %s=%s" (Arg_class.name arg) (Partition.label part)
+  | Plan.Cell_output (base, out) ->
+    Printf.sprintf "output %s->%s" (Model.base_name base) (Partition.output_label out)
+  | Plan.Cell_crash (mode, outcome) ->
+    Printf.sprintf "crash %s->%s"
+      (Partition.crash_mode_label mode)
+      (Partition.crash_outcome_label outcome)
+
+let lit cov id = Coverage.cell_count cov Plan.cells.(id) > 0
+
+let errno_cell id =
+  match Plan.cells.(id) with
+  | Plan.Cell_output (_, Partition.O_err _) -> true
+  | _ -> false
+
+let lit_errno_cells cov =
+  let n = ref 0 in
+  for id = 0 to Plan.total - 1 do
+    if errno_cell id && lit cov id then incr n
+  done;
+  !n
+
+let off_baseline_errno_cells = function
+  | [] -> []
+  | (_, baseline) :: rest ->
+    let ids = ref [] in
+    for id = Plan.total - 1 downto 0 do
+      if
+        errno_cell id
+        && (not (lit baseline id))
+        && List.exists (fun (_, cov) -> lit cov id) rest
+      then ids := id :: !ids
+    done;
+    !ids
+
+let config_matrix ~target ~theta rows =
+  let table_rows =
+    List.map
+      (fun (name, cov) ->
+        let v, i, o = Coverage.lit_cells cov in
+        let tcd =
+          Tcd.tcd_uniform ~frequencies:(open_flag_frequencies cov) ~target
+        in
+        let adequacy =
+          Adequacy.summarize
+            (Adequacy.input_report cov Arg_class.Open_flags_arg ~target ~theta)
+        in
+        [ name;
+          Ascii.si_count (Coverage.calls_observed cov);
+          string_of_int v; string_of_int i; string_of_int o;
+          string_of_int (lit_errno_cells cov);
+          Printf.sprintf "%.3f" tcd;
+          string_of_int adequacy.Adequacy.under;
+          string_of_int adequacy.Adequacy.over ])
+      rows
+  in
+  Ascii.table
+    ~title:
+      (Printf.sprintf
+         "Config matrix: per-config coverage (TCD/adequacy: open flags, T=%.0f, theta=%.1f)"
+         target theta)
+    ~headers:
+      [ "config"; "calls"; "variants"; "inputs"; "outputs"; "errno cells";
+        "TCD"; "under"; "over" ]
+    table_rows
+
+let config_diff = function
+  | [] -> "config diff: no configs\n"
+  | [ (name, _) ] ->
+    Printf.sprintf "config diff: only one config (%s); nothing to compare\n" name
+  | ((base_name, baseline) :: rest) as rows ->
+    let buf = Buffer.create 1024 in
+    Printf.ksprintf (Buffer.add_string buf)
+      "Config diff (baseline: %s)\n" base_name;
+    List.iter
+      (fun (name, cov) ->
+        let gained = ref [] and lost = ref [] in
+        for id = Plan.total - 1 downto 0 do
+          match (lit baseline id, lit cov id) with
+          | false, true -> gained := id :: !gained
+          | true, false -> lost := id :: !lost
+          | _ -> ()
+        done;
+        Printf.ksprintf (Buffer.add_string buf)
+          "\n%s vs %s: +%d cells, -%d cells\n" name base_name
+          (List.length !gained) (List.length !lost);
+        let show verb ids =
+          let shown, extra =
+            if List.length ids > 12 then
+              (List.filteri (fun i _ -> i < 12) ids, List.length ids - 12)
+            else (ids, 0)
+          in
+          List.iter
+            (fun id ->
+              Printf.ksprintf (Buffer.add_string buf) "  %s %s\n" verb
+                (cell_label Plan.cells.(id)))
+            shown;
+          if extra > 0 then
+            Printf.ksprintf (Buffer.add_string buf) "  ... and %d more\n" extra
+        in
+        show "+" !gained;
+        show "-" !lost)
+      rest;
+    let off = off_baseline_errno_cells rows in
+    Printf.ksprintf (Buffer.add_string buf)
+      "\nerrno cells lit only off-%s: %d\n" base_name (List.length off);
+    List.iter
+      (fun id ->
+        let under =
+          List.filter_map
+            (fun (name, cov) -> if lit cov id then Some name else None)
+            rest
+        in
+        Printf.ksprintf (Buffer.add_string buf) "  %s  [%s]\n"
+          (cell_label Plan.cells.(id))
+          (String.concat ", " under))
+      off;
+    Buffer.contents buf

@@ -58,3 +58,27 @@ val completeness : name:string -> Iocov_util.Anomaly.completeness -> string
 (** The completeness section of a report: events read vs skipped,
     resync regions, retries, shard failures, truncation, and the first
     recorded anomalies.  One line when the run was clean. *)
+
+(** {2 Config-lattice comparison (DESIGN.md §18)}
+
+    Differential views over per-config accumulators.  Every function
+    takes [(config name, coverage)] rows; where a baseline matters it is
+    the {e first} row (conventionally the lattice's [default] point). *)
+
+val cell_label : Plan.cell -> string
+(** Human-readable name of a plan cell, e.g. ["output write->EDQUOT"]. *)
+
+val config_matrix :
+  target:float -> theta:float -> (string * Coverage.t) list -> string
+(** One row per config: calls, lit cells by kind, lit errno cells, TCD
+    and under/over adequacy counts for open flags at the given target. *)
+
+val config_diff : (string * Coverage.t) list -> string
+(** Cells lit under each config but dark under the baseline (and vice
+    versa), then the errno output cells reachable {e only} off-baseline
+    — the config-dependent error surface single-config runs miss. *)
+
+val off_baseline_errno_cells : (string * Coverage.t) list -> int list
+(** Dense IDs of errno output cells dark in the first row but lit in at
+    least one other — the machine-readable core of {!config_diff}, used
+    by the bench gate. *)

@@ -29,6 +29,7 @@ type record = {
   r_digest : string;              (* crc32 of the coverage snapshot, hex *)
   r_cells : int * int * int;      (* lit variant, input, output cells *)
   r_bitmap : string;              (* hex, one bit per plan cell *)
+  r_config : (string * string) option;  (* lattice point name, config digest *)
 }
 
 (* --- coverage fingerprints --- *)
@@ -53,8 +54,8 @@ let bitmap cov = hex_of_bytes (Coverage.cell_bitmap cov)
 
 (* --- construction --- *)
 
-let make ?time ?seed ?tenant ~subcommand ~label ~flags ~jobs ~counters ~events ~kept
-    ~lost ~wall_s ~stages cov =
+let make ?time ?seed ?tenant ?config ~subcommand ~label ~flags ~jobs ~counters ~events
+    ~kept ~lost ~wall_s ~stages cov =
   {
     r_id = "";  (* assigned by append *)
     r_time = time;
@@ -73,6 +74,7 @@ let make ?time ?seed ?tenant ~subcommand ~label ~flags ~jobs ~counters ~events ~
     r_digest = digest cov;
     r_cells = Coverage.lit_cells cov;
     r_bitmap = bitmap cov;
+    r_config = config;
   }
 
 (* --- JSON (one object per line; schema "iocov-run/1") --- *)
@@ -101,7 +103,12 @@ let to_json r =
         Json.Obj
           [ ("variant", Json.Int v); ("input", Json.Int i); ("output", Json.Int o);
             ("total", Json.Int Plan.total) ] );
-      ("bitmap", Json.String r.r_bitmap) ]
+      ("bitmap", Json.String r.r_bitmap);
+      ( "config",
+        match r.r_config with
+        | None -> Json.Null
+        | Some (name, digest) ->
+          Json.Obj [ ("name", Json.String name); ("digest", Json.String digest) ] ) ]
 
 let of_json j =
   let ( let* ) = Option.bind in
@@ -165,6 +172,17 @@ let of_json j =
         r_digest = digest;
         r_cells = cells;
         r_bitmap = bitmap;
+        (* optional like [tenant]: pre-lattice records carry no config *)
+        r_config =
+          (match Json.member "config" j with
+           | Some c -> (
+             match
+               ( Option.bind (Json.member "name" c) Json.to_str,
+                 Option.bind (Json.member "digest" c) Json.to_str )
+             with
+             | Some name, Some digest -> Some (name, digest)
+             | _ -> None)
+           | None -> None);
       }
   with
   | Some r -> Ok r
@@ -268,6 +286,17 @@ type diff = {
   d_identical : bool;   (* same digest — byte-identical coverage *)
 }
 
+(* Two records are cross-config when both name a config and the digests
+   disagree; a record without one (pre-lattice, or a stream that never
+   declared a config) diffs freely. *)
+let config_clash a b =
+  match (a.r_config, b.r_config) with
+  | Some (_, da), Some (_, db) -> da <> db
+  | _ -> false
+
+let config_name r =
+  match r.r_config with Some (name, _) -> name | None -> "-" 
+
 let diff a b =
   let set_of r =
     let arr = Array.make Plan.total false in
@@ -300,8 +329,8 @@ let render_list { records; bad_lines } =
   if records = [] then Buffer.add_string buf "ledger is empty\n"
   else begin
     Buffer.add_string buf
-      (Printf.sprintf "%-6s %-10s %-10s %-24s %10s %9s %9s  %s\n" "id" "command"
-         "tenant" "source" "events" "cells" "wall" "digest");
+      (Printf.sprintf "%-6s %-10s %-10s %-24s %-14s %10s %9s %9s  %s\n" "id" "command"
+         "tenant" "source" "config" "events" "cells" "wall" "digest");
     List.iter
       (fun r ->
         let label =
@@ -314,9 +343,15 @@ let render_list { records; bad_lines } =
           | Some t when String.length t <= 10 -> t
           | Some t -> String.sub t 0 9 ^ "…"
         in
+        let config =
+          match r.r_config with
+          | None -> "-"
+          | Some (name, _) when String.length name <= 14 -> name
+          | Some (name, _) -> String.sub name 0 13 ^ "\xe2\x80\xa6"
+        in
         Buffer.add_string buf
-          (Printf.sprintf "%-6s %-10s %-10s %-24s %10d %4d/%-4d %8.2fs  %s\n" r.r_id
-             r.r_subcommand tenant label r.r_events (lit_total r) Plan.total
+          (Printf.sprintf "%-6s %-10s %-10s %-24s %-14s %10d %4d/%-4d %8.2fs  %s\n" r.r_id
+             r.r_subcommand tenant label config r.r_events (lit_total r) Plan.total
              r.r_wall_s r.r_digest))
       records
   end;
@@ -338,6 +373,9 @@ let render_show r =
   if r.r_flags <> [] then
     line "flags" "%s"
       (String.concat " " (List.map (fun (k, x) -> k ^ "=" ^ x) r.r_flags));
+  (match r.r_config with
+   | Some (name, digest) -> line "config" "%s (%s)" name digest
+   | None -> ());
   (match r.r_seed with Some s -> line "seed" "%d" s | None -> ());
   line "jobs" "%d" r.r_jobs;
   line "counters" "%s" r.r_counters;

@@ -32,6 +32,10 @@ type record = {
   r_digest : string;          (** CRC-32 of {!Iocov_core.Snapshot.to_string}, hex *)
   r_cells : int * int * int;  (** lit (variant, input, output) cells *)
   r_bitmap : string;          (** hex bitmap, one bit per plan cell *)
+  r_config : (string * string) option;
+  (** (lattice point name, config digest) the run executed under;
+      [None] for pre-lattice records and streams that never declared
+      one.  [runs diff] refuses cross-config pairs unless asked. *)
 }
 
 val default_dir : string
@@ -43,7 +47,8 @@ val digest : Iocov_core.Coverage.t -> string
 val bitmap : Iocov_core.Coverage.t -> string
 
 val make :
-  ?time:float -> ?seed:int -> ?tenant:string -> subcommand:string -> label:string ->
+  ?time:float -> ?seed:int -> ?tenant:string -> ?config:string * string ->
+  subcommand:string -> label:string ->
   flags:(string * string) list -> jobs:int -> counters:string -> events:int ->
   kept:int -> lost:int -> wall_s:float -> stages:(string * float) list ->
   Iocov_core.Coverage.t -> record
@@ -84,6 +89,14 @@ val diff : record -> record -> diff
 (** Compare two runs' coverage bitmaps (XOR semantics) and throughput.
     Two byte-identical runs yield empty gained/lost and
     [d_identical = true]. *)
+
+val config_clash : record -> record -> bool
+(** True when both records name a config and the digests differ — the
+    pair a plain [runs diff] refuses ([--cross-config] overrides).
+    Records without a config never clash. *)
+
+val config_name : record -> string
+(** The lattice point name, or ["-"]. *)
 
 val bitmap_cells : string -> int list
 (** Lit cell ids of a hex bitmap, ascending. *)

@@ -11,6 +11,7 @@ module Anomaly = Iocov_util.Anomaly
 module Crc32 = Iocov_util.Crc32
 module Metrics = Iocov_obs.Metrics
 module Model = Iocov_syscall.Model
+module Vconfig = Iocov_vfs.Config
 
 let m_batches =
   Metrics.counter Metrics.default "iocov_serve_batches_total"
@@ -80,6 +81,8 @@ and tenant = {
   mutable t_cache_hits : int;
   mutable t_cache_misses : int;
   mutable t_streams : int;
+  mutable t_config : Vconfig.point option;  (* pinned by the first stream
+                                               that declares one *)
 }
 
 type t = {
@@ -126,6 +129,7 @@ let new_tenant id =
     t_cache_hits = 0;
     t_cache_misses = 0;
     t_streams = 0;
+    t_config = None;
   }
 
 let with_lock m f =
@@ -149,6 +153,27 @@ let tenant_ids t =
   with_lock t.h_lock (fun () ->
       Hashtbl.fold (fun id _ acc -> id :: acc) t.h_tenants [])
   |> List.sort String.compare
+
+(* A tenant's coverage is one shard of the config×cell matrix, so all
+   its streams must agree on the config point.  The first declaration
+   pins it; later sessions may re-declare the same point (by canonical
+   config equality) but not switch. *)
+let declare_config t ~tenant point =
+  let tn = tenant_of t tenant in
+  with_lock tn.t_lock (fun () ->
+      match tn.t_config with
+      | None ->
+        tn.t_config <- Some point;
+        Ok ()
+      | Some p when Vconfig.equal p.Vconfig.pt_config point.Vconfig.pt_config -> Ok ()
+      | Some p ->
+        Error
+          (Printf.sprintf "tenant %s is pinned to config %s (stream declared %s)"
+             tenant p.Vconfig.pt_name point.Vconfig.pt_name))
+
+let tenant_config t ~tenant =
+  Option.bind (find_tenant t tenant) (fun tn ->
+      with_lock tn.t_lock (fun () -> tn.t_config))
 
 (* --- ingestion --- *)
 
@@ -463,6 +488,7 @@ type stats = {
   st_cache_misses : int;
   st_sessions : int;
   st_streams : int;
+  st_config : (string * string) option;  (* lattice point name, config digest *)
 }
 
 let stats t ~tenant =
@@ -485,6 +511,11 @@ let stats t ~tenant =
             st_cache_misses = tn.t_cache_misses;
             st_sessions = List.length tn.t_active;
             st_streams = tn.t_streams;
+            st_config =
+              Option.map
+                (fun (p : Vconfig.point) ->
+                  (p.Vconfig.pt_name, Vconfig.digest p.Vconfig.pt_config))
+                tn.t_config;
           }))
     (find_tenant t tenant)
 
@@ -497,3 +528,7 @@ let render_stats st =
      sessions %d live / %d total\n"
     st.st_events st.st_kept st.st_generation st.st_published st.st_publishes
     st.st_cache_hits st.st_cache_misses st.st_sessions st.st_streams
+  ^
+  match st.st_config with
+  | None -> ""
+  | Some (name, digest) -> Printf.sprintf "config %s (%s)\n" name digest

@@ -46,6 +46,15 @@ val tenant_ids : t -> string list
 (** Known tenant ids, sorted.  A tenant exists once a session has
     opened for it. *)
 
+val declare_config : t -> tenant:string -> Iocov_vfs.Config.point -> (unit, string) result
+(** Pin the tenant's config-lattice point (creating the tenant if
+    needed).  A tenant's coverage is one shard of the config×cell
+    matrix, so every stream must agree: the first declaration wins,
+    re-declaring an equal config is a no-op, and declaring a different
+    one is an [Error] naming both points. *)
+
+val tenant_config : t -> tenant:string -> Iocov_vfs.Config.point option
+
 (** {2 Ingestion} *)
 
 type session
@@ -115,6 +124,9 @@ type stats = {
   st_cache_misses : int;
   st_sessions : int;     (** live ingest sessions *)
   st_streams : int;      (** sessions ever opened *)
+  st_config : (string * string) option;
+  (** (lattice point name, config digest) pinned by {!declare_config};
+      [None] for streams that never declared one *)
 }
 
 val stats : t -> tenant:string -> stats option

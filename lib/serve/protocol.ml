@@ -6,6 +6,7 @@ type handshake = {
   hs_tenant : string option;
   hs_mount : string option;
   hs_format : format;
+  hs_config : string option;
 }
 
 let hello = "iocov-serve/1"
@@ -22,6 +23,9 @@ let handshake_line hs =
    | None -> ());
   (match hs.hs_mount with
    | Some m -> Buffer.add_string buf (" mount=" ^ m)
+   | None -> ());
+  (match hs.hs_config with
+   | Some c -> Buffer.add_string buf (" config=" ^ c)
    | None -> ());
   if hs.hs_format <> Binary then
     Buffer.add_string buf (" format=" ^ format_name hs.hs_format);
@@ -50,6 +54,7 @@ let parse_handshake line =
       | r -> Error (Printf.sprintf "unknown role %S (expected ingest or query)" r)
     in
     let tenant = ref None and mount = ref None and format = ref Binary in
+    let config = ref None in
     let* () =
       List.fold_left
         (fun acc token ->
@@ -60,6 +65,9 @@ let parse_handshake line =
             Ok ()
           | Some ("mount", v) when v <> "" ->
             mount := Some v;
+            Ok ()
+          | Some ("config", v) when v <> "" ->
+            config := Some v;
             Ok ()
           | Some ("format", "binary") ->
             format := Binary;
@@ -77,7 +85,9 @@ let parse_handshake line =
       | Ingest, None -> Error "ingest handshake requires tenant=<id>"
       | _ -> Ok ()
     in
-    Ok { hs_role = role; hs_tenant = !tenant; hs_mount = !mount; hs_format = !format }
+    Ok
+      { hs_role = role; hs_tenant = !tenant; hs_mount = !mount;
+        hs_format = !format; hs_config = !config }
   | _ ->
     Error
       (Printf.sprintf "bad handshake (expected %S, got %S)" (hello ^ " <role> ...") line)

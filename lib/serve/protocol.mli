@@ -24,6 +24,11 @@ type handshake = {
   hs_tenant : string option;  (** required for [Ingest] *)
   hs_mount : string option;   (** per-stream mount filter override *)
   hs_format : format;         (** [Binary] unless [format=text] *)
+  hs_config : string option;
+  (** config-lattice point name the stream's coverage belongs to
+      ([config=NAME]).  The protocol carries the name opaquely; the
+      server validates it against {!Iocov_vfs.Config.lattice} and pins
+      it per tenant. *)
 }
 
 val hello : string

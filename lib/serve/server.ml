@@ -21,6 +21,7 @@ type tenant_outcome = {
   o_tenant : string;
   o_coverage : Iocov_core.Coverage.t;
   o_stats : Hub.stats;
+  o_config : (string * string) option;  (* lattice point name, config digest *)
 }
 
 type outcome = { o_tenants : tenant_outcome list; o_wall_s : float }
@@ -185,20 +186,43 @@ let handle_connection hub ~shutdown ~batch ~handshake_timeout fd =
         match Protocol.parse_handshake line with
         | Error msg -> send oc (Protocol.err_frame msg)
         | Ok hs -> (
-          match hs.Protocol.hs_role with
-          | Protocol.Query ->
-            serve_query hub ~shutdown ~default_tenant:hs.Protocol.hs_tenant ic oc
-          | Protocol.Ingest -> (
-            let tenant = Option.get hs.Protocol.hs_tenant in
-            let mount = hs.Protocol.hs_mount in
-            let result =
-              match hs.Protocol.hs_format with
-              | Protocol.Binary -> serve_ingest_binary hub ~tenant ~mount ic
-              | Protocol.Text -> serve_ingest_text hub ~tenant ~mount ~batch ic
-            in
-            match result with
-            | Ok summary -> send oc (Protocol.ok_frame summary)
-            | Error msg -> send oc (Protocol.err_frame msg)))))
+          (* the config token names a lattice point; resolve it before
+             any stream bytes are read, so a typo fails fast *)
+          let config =
+            match hs.Protocol.hs_config with
+            | None -> Ok None
+            | Some name -> (
+              match Iocov_vfs.Config.point_named name with
+              | Some point -> Ok (Some point)
+              | None ->
+                Error
+                  (Printf.sprintf "unknown config lattice point %S" name))
+          in
+          match config with
+          | Error msg -> send oc (Protocol.err_frame msg)
+          | Ok config -> (
+            match hs.Protocol.hs_role with
+            | Protocol.Query ->
+              serve_query hub ~shutdown ~default_tenant:hs.Protocol.hs_tenant ic oc
+            | Protocol.Ingest -> (
+              let tenant = Option.get hs.Protocol.hs_tenant in
+              let mount = hs.Protocol.hs_mount in
+              let declared =
+                match config with
+                | None -> Ok ()
+                | Some point -> Hub.declare_config hub ~tenant point
+              in
+              let result =
+                match declared with
+                | Error _ as e -> e
+                | Ok () -> (
+                  match hs.Protocol.hs_format with
+                  | Protocol.Binary -> serve_ingest_binary hub ~tenant ~mount ic
+                  | Protocol.Text -> serve_ingest_text hub ~tenant ~mount ~batch ic)
+              in
+              match result with
+              | Ok summary -> send oc (Protocol.ok_frame summary)
+              | Error msg -> send oc (Protocol.err_frame msg))))))
 
 (* --- file-tail ingestion ---
 
@@ -348,7 +372,9 @@ let run ?(on_ready = fun () -> ()) config =
              (fun tenant ->
                match (Hub.coverage hub ~tenant, Hub.stats hub ~tenant) with
                | Some o_coverage, Some o_stats ->
-                 Some { o_tenant = tenant; o_coverage; o_stats }
+                 Some
+                   { o_tenant = tenant; o_coverage; o_stats;
+                     o_config = o_stats.Hub.st_config }
                | _ -> None)
              (Hub.tenant_ids hub)
          in
@@ -368,7 +394,7 @@ let with_conn ~socket f =
     let oc = Unix.out_channel_of_descr fd in
     Fun.protect ~finally:(fun () -> close_both ic oc) (fun () -> f fd ic oc)
 
-let client_ingest ~socket ~tenant ?mount path =
+let client_ingest ~socket ~tenant ?mount ?config path =
   match open_in_bin path with
   | exception Sys_error msg -> Error msg
   | file ->
@@ -386,6 +412,7 @@ let client_ingest ~socket ~tenant ?mount path =
                 hs_tenant = Some tenant;
                 hs_mount = mount;
                 hs_format = format;
+                hs_config = config;
               }
             in
             output_string oc (Protocol.handshake_line hs ^ "\n");
@@ -411,6 +438,7 @@ let client_query ~socket ?tenant requests =
           hs_tenant = tenant;
           hs_mount = None;
           hs_format = Protocol.Binary;
+          hs_config = None;
         }
       in
       output_string oc (Protocol.handshake_line hs ^ "\n");

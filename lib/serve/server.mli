@@ -30,6 +30,9 @@ type tenant_outcome = {
   o_tenant : string;
   o_coverage : Iocov_core.Coverage.t;  (** final epoch, reference form *)
   o_stats : Hub.stats;
+  o_config : (string * string) option;
+  (** (lattice point name, config digest) the tenant's streams declared
+      via [config=]; [None] when none did *)
 }
 
 type outcome = {
@@ -49,9 +52,11 @@ val run : ?on_ready:(unit -> unit) -> config -> (outcome, string) result
     query] and the smoke tests. *)
 
 val client_ingest :
-  socket:string -> tenant:string -> ?mount:string -> string -> (string, string) result
+  socket:string -> tenant:string -> ?mount:string -> ?config:string -> string ->
+  (string, string) result
 (** Stream one local trace file to the daemon; returns the server's
-    ingest summary line. *)
+    ingest summary line.  [config] names the lattice point the stream's
+    coverage belongs to; the server validates it and pins the tenant. *)
 
 val client_query :
   socket:string -> ?tenant:string -> string list -> (string list, string) result

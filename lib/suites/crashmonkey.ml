@@ -342,9 +342,11 @@ let crash_scenarios =
       ("cm-setxattr-fdatasync",
        [ Setxattr (p "foo", "user.cm", 64); Fdatasync (p "foo") ]) ]
 
-let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ?(seq2 = 0)
+let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?config ?sink ?dispatch ?(seq2 = 0)
     ~coverage () =
-  let config = Config.with_faults faults Config.default in
+  let config =
+    Config.with_faults faults (Option.value config ~default:Config.default)
+  in
   let ctx = Workload.init ~config ~comm ~mount ~seed () in
   (* the raw sink sees every record, before mount-point filtering *)
   (match sink with

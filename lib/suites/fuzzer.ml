@@ -173,8 +173,10 @@ let seed_corpus : program list =
 
 (* execute a program on a fresh small file system; answers the per-run
    observations used by the feedback *)
-let execute ~faults program =
-  let config = Config.with_faults faults Config.small in
+let execute ~faults ?config program =
+  let config =
+    Config.with_faults faults (Option.value config ~default:Config.small)
+  in
   let fs = Fs.create ~config () in
   List.map
     (fun call ->
@@ -206,7 +208,7 @@ let covered_partitions cov =
   in
   inputs + outputs
 
-let run ?(seed = 77) ?(budget = 2000) ?(faults = []) ~feedback () =
+let run ?(seed = 77) ?(budget = 2000) ?(faults = []) ?config ~feedback () =
   let rng = Prng.create ~seed in
   let coverage = Coverage.create () in
   let corpus = ref seed_corpus in
@@ -254,7 +256,7 @@ let run ?(seed = 77) ?(budget = 2000) ?(faults = []) ~feedback () =
       for execution = 1 to budget do
         let parent = Prng.choose_list rng !corpus in
         let program = mutate_program rng parent in
-        let observations = execute ~faults program in
+        let observations = execute ~faults ?config program in
         Metrics.Counter.incr m_executions;
         List.iter
           (fun (call, outcome) -> Coverage.observe coverage call outcome)
@@ -262,7 +264,7 @@ let run ?(seed = 77) ?(budget = 2000) ?(faults = []) ~feedback () =
         (* a crash for our purposes: an injected fault made an outcome deviate
            from the reference file system's *)
         if faults <> [] then begin
-          let reference = execute ~faults:[] program in
+          let reference = execute ~faults:[] ?config program in
           if
             List.exists2
               (fun (_, a) (_, b) -> outcome_class a <> outcome_class b)

@@ -41,7 +41,7 @@ val covered_partitions : Iocov_core.Coverage.t -> int
 
 val run :
   ?seed:int -> ?budget:int -> ?faults:Iocov_vfs.Fault.t list ->
-  feedback:feedback -> unit -> result
+  ?config:Iocov_vfs.Config.t -> feedback:feedback -> unit -> result
 (** Fuzz for [budget] program executions (default 2000).  Deterministic
     for fixed seed/budget/faults. *)
 

@@ -95,9 +95,10 @@ let open_cases =
         expect_err ctx "ETXTBSY" Errno.ETXTBSY (call ctx (Model.open_ ~flags:wronly prog)));
     ("open11", Default, fun ctx ->
         let f = make_file ctx "ro" in
+        let was = Fs.is_read_only (fs ctx) in
         Fs.set_read_only (fs ctx) true;
         expect_err ctx "EROFS" Errno.EROFS (call ctx (Model.open_ ~flags:wronly f));
-        Fs.set_read_only (fs ctx) false);
+        Fs.set_read_only (fs ctx) was);
     ("open12", Default, fun ctx ->
         ignore (Fs.mknod_special (fs ctx) (ctx.mount ^ "/fifo") `Fifo);
         expect_err ctx "ENXIO" Errno.ENXIO
@@ -285,10 +286,11 @@ let truncate_cases =
         expect_err ctx "EACCES" Errno.EACCES
           (call ctx (Model.truncate ~target:(Model.Path f) ~length:0 ()));
         Fs.set_credentials (fs ctx) ~uid:0 ~gid:0;
+        let was = Fs.is_read_only (fs ctx) in
         Fs.set_read_only (fs ctx) true;
         expect_err ctx "EROFS" Errno.EROFS
           (call ctx (Model.truncate ~target:(Model.Path f) ~length:0 ()));
-        Fs.set_read_only (fs ctx) false;
+        Fs.set_read_only (fs ctx) was;
         let prog = make_file ctx "t4prog" in
         ignore (Fs.set_executing (fs ctx) prog true);
         expect_err ctx "ETXTBSY" Errno.ETXTBSY
@@ -321,9 +323,10 @@ let metadata_cases =
         expect_err ctx "ENOTDIR" Errno.ENOTDIR (call ctx (Model.mkdir ~mode:0o755 (f ^ "/d")));
         expect_err ctx "ENAMETOOLONG" Errno.ENAMETOOLONG
           (call ctx (Model.mkdir ~mode:0o755 (ctx.mount ^ "/" ^ String.make 256 'd')));
+        let was = Fs.is_read_only (fs ctx) in
         Fs.set_read_only (fs ctx) true;
         expect_err ctx "EROFS" Errno.EROFS (call ctx (Model.mkdir ~mode:0o755 (ctx.mount ^ "/ro")));
-        Fs.set_read_only (fs ctx) false;
+        Fs.set_read_only (fs ctx) was;
         let priv = fresh_dir ctx in
         expect_ok ctx "restrict" (call ctx (Model.chmod ~target:(Model.Path priv) ~mode:0o500 ()));
         Fs.set_credentials (fs ctx) ~uid:1001 ~gid:1001;
@@ -400,10 +403,11 @@ let xattr_cases =
             | _ -> ()
         done;
         if not !hit then fail ctx "xattr ENOSPC not reached";
+        let was = Fs.is_read_only (fs ctx) in
         Fs.set_read_only (fs ctx) true;
         expect_err ctx "EROFS" Errno.EROFS
           (call ctx (Model.setxattr ~target:t ~name:"user.ro" ~size:4 ()));
-        Fs.set_read_only (fs ctx) false);
+        Fs.set_read_only (fs ctx) was);
     ("getxattr01", Default, fun ctx ->
         let f = make_file ctx "x3" in
         let t = Model.Path f in
@@ -442,7 +446,7 @@ let all_cases ~iters =
   open_cases @ read_write_cases @ lseek_cases @ truncate_cases @ metadata_cases
   @ xattr_cases @ functional_cases ~iters
 
-let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ~coverage () =
+let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?config ?sink ?dispatch ~coverage () =
   let master = Prng.create ~seed in
   let failures = ref [] in
   let events_total = ref 0 in
@@ -454,7 +458,11 @@ let run ?(seed = 99) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ~coverage () 
   List.iter
     (fun (name, kind, body) ->
       Metrics.Counter.incr m_cases;
-      let base = match kind with Default -> Config.default | Small -> Config.small in
+      let base =
+        match config with
+        | Some base -> base
+        | None -> (match kind with Default -> Config.default | Small -> Config.small)
+      in
       let config = Config.with_faults faults base in
       let ctx =
         Workload.init ~config ~comm ~mount ~seed:(Int64.to_int (Prng.next_int64 master)) ()

@@ -28,6 +28,7 @@ type stats = {
 
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list ->
+  ?config:Iocov_vfs.Config.t ->
   ?sink:(Iocov_trace.Event.t -> unit) ->
   ?dispatch:(Iocov_trace.Event.t -> unit) ->
   coverage:Iocov_core.Coverage.t -> unit -> string list * stats

@@ -38,22 +38,28 @@ let mount_of = function
   | Xfstests -> Xfstests.mount
   | Ltp -> Ltp.mount
 
-let exec ?dispatch ~seed ~scale ~faults ~coverage suite =
+let exec ?dispatch ?config ~seed ~scale ~faults ~coverage suite =
   match suite with
   | Crashmonkey ->
-    let failures, stats = Crashmonkey.run ~seed ~scale ~faults ?dispatch ~coverage () in
+    let failures, stats =
+      Crashmonkey.run ~seed ~scale ~faults ?config ?dispatch ~coverage ()
+    in
     ( failures,
       stats.Crashmonkey.events_total,
       stats.Crashmonkey.events_kept,
       stats.Crashmonkey.workloads_run )
   | Xfstests ->
-    let failures, stats = Xfstests.run ~seed ~scale ~faults ?dispatch ~coverage () in
+    let failures, stats =
+      Xfstests.run ~seed ~scale ~faults ?config ?dispatch ~coverage ()
+    in
     ( failures,
       stats.Xfstests.events_total,
       stats.Xfstests.events_kept,
       stats.Xfstests.tests_run )
   | Ltp ->
-    let failures, stats = Ltp.run ~seed ~scale ~faults ?dispatch ~coverage () in
+    let failures, stats =
+      Ltp.run ~seed ~scale ~faults ?config ?dispatch ~coverage ()
+    in
     ( failures,
       stats.Ltp.events_total,
       stats.Ltp.events_kept,
@@ -64,7 +70,7 @@ let counters_name = function
   | Replay.Reference -> "reference"
 
 let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
-    ?(counters = Replay.Dense) ?progress suite =
+    ?(counters = Replay.Dense) ?progress ?config suite =
   Log.info "suite run starting"
     ~fields:
       [ ("suite", Log.str (suite_name suite));
@@ -89,7 +95,7 @@ let run ?(seed = 42) ?(scale = 1.0) ?(faults = []) ?jobs
         let workloads = ref 0 in
         let feed emit =
           let f, et, _, w =
-            exec ~dispatch:emit ~seed ~scale ~faults
+            exec ~dispatch:emit ?config ~seed ~scale ~faults
               ~coverage:(Coverage.create ~metered:false ())
               suite
           in
@@ -144,3 +150,20 @@ let run_both ?seed ?scale ?faults ?jobs ?counters () =
     run ?seed ?scale ?faults ?jobs ?counters Xfstests )
 
 let detects r = r.failures <> []
+
+(* The [default] lattice point maps to [config:None]: each suite keeps
+   its own per-test geometry choice (xfstests' small-config archetypes,
+   LTP's Small cases), so a lattice-of-one sweep is byte-identical to a
+   plain run.  Any other point pins that point's config for the whole
+   suite. *)
+let config_of_point (point : Iocov_vfs.Config.point) =
+  if Iocov_vfs.Config.equal point.Iocov_vfs.Config.pt_config Iocov_vfs.Config.default
+  then None
+  else Some point.Iocov_vfs.Config.pt_config
+
+let run_lattice ?seed ?scale ?faults ?jobs ?counters ?progress ~points suite =
+  List.map
+    (fun (point : Iocov_vfs.Config.point) ->
+      let config = config_of_point point in
+      (point, run ?seed ?scale ?faults ?jobs ?counters ?progress ?config suite))
+    points

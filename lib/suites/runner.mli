@@ -22,7 +22,7 @@ type result = {
 val run :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->
   ?counters:Iocov_par.Replay.counters -> ?progress:Iocov_pipe.Progress.conf ->
-  suite -> result
+  ?config:Iocov_vfs.Config.t -> suite -> result
 (** Run one suite from scratch.  Deterministic for a fixed seed, scale,
     and fault set.
 
@@ -34,7 +34,27 @@ val run :
     accumulator backend (default [Dense]; [Reference] is the hashed
     differential oracle).  [progress] attaches a live progress sink to
     the pipeline ({!Iocov_pipe.Progress}).  The resulting coverage is
-    byte-identical across all combinations — only wall-clock changes. *)
+    byte-identical across all combinations — only wall-clock changes.
+
+    [config] pins one file-system configuration for every test in the
+    suite (a config-lattice point); omitted, each suite keeps its own
+    per-test geometry choice — the pre-lattice behaviour. *)
+
+val config_of_point : Iocov_vfs.Config.point -> Iocov_vfs.Config.t option
+(** The [config] argument a lattice point denotes: [None] for the
+    [default] point (suites keep their per-test choice, so a
+    lattice-of-one run is byte-identical to a plain run), [Some] of the
+    point's config otherwise. *)
+
+val run_lattice :
+  ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->
+  ?counters:Iocov_par.Replay.counters -> ?progress:Iocov_pipe.Progress.conf ->
+  points:Iocov_vfs.Config.point list -> suite ->
+  (Iocov_vfs.Config.point * result) list
+(** One {!run} per lattice point, in order — the [(config × cell)]
+    sweep.  Each point's run is independent and deterministic, so the
+    sweep composes into a {!Iocov_core.Coverage.Matrix} by feeding each
+    result's coverage to its point's shard. *)
 
 val run_both :
   ?seed:int -> ?scale:float -> ?faults:Iocov_vfs.Fault.t list -> ?jobs:int ->

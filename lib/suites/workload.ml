@@ -19,6 +19,12 @@ let aux ctx a = Tracer.exec_aux ctx.tracer a
 
 let init ?config ?(comm = "tester") ~mount ~seed () =
   let filesystem = Fs.create ?config () in
+  (* A read-only configuration still needs its mount point: real testers
+     mkfs and populate the device read-write, then mount read-only.
+     Model that by preparing the hierarchy writable and remounting
+     read-only after the durability sync below. *)
+  let pinned_ro = Fs.is_read_only filesystem in
+  if pinned_ro then Fs.set_read_only filesystem false;
   let tracer = Tracer.create ~comm filesystem in
   let ctx =
     { tracer; rng = Prng.create ~seed; mount; name_counter = 0; failures = [];
@@ -38,6 +44,7 @@ let init ?config ?(comm = "tester") ~mount ~seed () =
   (* a mounted file system's root is durable (mkfs + mount survive power
      loss); without this, crash tests would legally lose the mount point *)
   ignore (aux ctx Iocov_vfs.Fs.Sync);
+  if pinned_ro then Fs.set_read_only filesystem true;
   ctx
 
 let begin_test ctx name = ctx.current_test <- name

@@ -519,6 +519,7 @@ let rofs ctx =
   let open Workload in
   let path = make_file ctx ~size:512 "ro" in
   let filesystem = fs ctx in
+  let was = Fs.is_read_only filesystem in
   Fs.set_read_only filesystem true;
   expect_err ctx "open write on ro fs" Errno.EROFS
     (call ctx (Model.open_ ~flags:Open_flags.(of_flags [ O_WRONLY ]) path));
@@ -540,7 +541,7 @@ let rofs ctx =
      ignore (read_fd ctx fd 512);
      close_fd ctx fd
    | None -> fail ctx "read-only open failed on ro fs");
-  Fs.set_read_only filesystem false
+  Fs.set_read_only filesystem was
 
 let fd_exhaust ctx =
   let open Workload in
@@ -804,7 +805,8 @@ let dir_listing_pass ctx =
   | Some fd -> close_fd ctx fd
   | None -> ()
 
-let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ?per_test ~coverage
+let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?config ?sink ?dispatch ?per_test
+    ~coverage
     () =
   (match (dispatch, per_test) with
    | Some _, Some _ ->
@@ -826,7 +828,11 @@ let run ?(seed = 7) ?(scale = 1.0) ?(faults = []) ?sink ?dispatch ?per_test ~cov
     in
     let archetype = archetype_of ~group ~index in
     let config =
-      let base = if needs_small_config archetype then Config.small else Config.default in
+      let base =
+        match config with
+        | Some base -> base
+        | None -> if needs_small_config archetype then Config.small else Config.default
+      in
       Config.with_faults faults base
     in
     let ctx =

@@ -69,3 +69,267 @@ let with_faults faults t = { t with faults }
 let with_journal_mode journal_mode t = { t with journal_mode }
 let with_uid ~uid ~gid t = { t with uid; gid }
 let read_only_of t = { t with read_only = true }
+
+(* --- canonical serialization --- *)
+
+(* Every field appears exactly once, in declaration order, as
+   [key=value] tokens separated by single spaces.  The form is the
+   identity under [of_string] (property-tested) and the input to
+   [digest], so two configs are interchangeable iff their canonical
+   strings are equal. *)
+
+let equal (a : t) (b : t) = a = b
+
+let faults_to_string = function
+  | [] -> "-"
+  | fs -> String.concat "," (List.map Fault.to_string fs)
+
+let faults_of_string = function
+  | "-" -> Some []
+  | s ->
+    let names = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | n :: rest ->
+        (match Fault.of_string n with
+         | Some f -> go (f :: acc) rest
+         | None -> None)
+    in
+    go [] names
+
+let to_string c =
+  String.concat " "
+    [
+      "block_size=" ^ string_of_int c.block_size;
+      "total_blocks=" ^ string_of_int c.total_blocks;
+      "max_file_size=" ^ string_of_int c.max_file_size;
+      "large_file_threshold=" ^ string_of_int c.large_file_threshold;
+      "max_name_len=" ^ string_of_int c.max_name_len;
+      "max_path_len=" ^ string_of_int c.max_path_len;
+      "max_symlink_depth=" ^ string_of_int c.max_symlink_depth;
+      "max_open_files=" ^ string_of_int c.max_open_files;
+      "max_system_files=" ^ string_of_int c.max_system_files;
+      "max_xattr_value=" ^ string_of_int c.max_xattr_value;
+      "xattr_space=" ^ string_of_int c.xattr_space;
+      ("quota_blocks="
+       ^ match c.quota_blocks with None -> "none" | Some n -> string_of_int n);
+      "read_only=" ^ string_of_bool c.read_only;
+      "uid=" ^ string_of_int c.uid;
+      "gid=" ^ string_of_int c.gid;
+      "faults=" ^ faults_to_string c.faults;
+      "journal_mode=" ^ journal_mode_to_string c.journal_mode;
+    ]
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let tokens =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' (String.trim s))
+  in
+  let* pairs =
+    List.fold_left
+      (fun acc tok ->
+        let* acc = acc in
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "config: malformed token %S" tok)
+        | Some i ->
+          let k = String.sub tok 0 i in
+          let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+          if List.mem_assoc k acc then
+            Error (Printf.sprintf "config: duplicate field %S" k)
+          else Ok ((k, v) :: acc))
+      (Ok []) tokens
+  in
+  let field k =
+    match List.assoc_opt k pairs with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "config: missing field %S" k)
+  in
+  let int_field k =
+    let* v = field k in
+    match int_of_string_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "config: field %s: bad integer %S" k v)
+  in
+  let bool_field k =
+    let* v = field k in
+    match bool_of_string_opt v with
+    | Some b -> Ok b
+    | None -> Error (Printf.sprintf "config: field %s: bad boolean %S" k v)
+  in
+  let* block_size = int_field "block_size" in
+  let* total_blocks = int_field "total_blocks" in
+  let* max_file_size = int_field "max_file_size" in
+  let* large_file_threshold = int_field "large_file_threshold" in
+  let* max_name_len = int_field "max_name_len" in
+  let* max_path_len = int_field "max_path_len" in
+  let* max_symlink_depth = int_field "max_symlink_depth" in
+  let* max_open_files = int_field "max_open_files" in
+  let* max_system_files = int_field "max_system_files" in
+  let* max_xattr_value = int_field "max_xattr_value" in
+  let* xattr_space = int_field "xattr_space" in
+  let* quota_blocks =
+    let* v = field "quota_blocks" in
+    if v = "none" then Ok None
+    else
+      match int_of_string_opt v with
+      | Some n -> Ok (Some n)
+      | None -> Error (Printf.sprintf "config: field quota_blocks: bad value %S" v)
+  in
+  let* read_only = bool_field "read_only" in
+  let* uid = int_field "uid" in
+  let* gid = int_field "gid" in
+  let* faults =
+    let* v = field "faults" in
+    match faults_of_string v with
+    | Some fs -> Ok fs
+    | None -> Error (Printf.sprintf "config: field faults: bad value %S" v)
+  in
+  let* journal_mode =
+    let* v = field "journal_mode" in
+    match journal_mode_of_string v with
+    | Some m -> Ok m
+    | None -> Error (Printf.sprintf "config: field journal_mode: bad value %S" v)
+  in
+  let* () =
+    if List.length pairs = 17 then Ok ()
+    else
+      let known =
+        [ "block_size"; "total_blocks"; "max_file_size"; "large_file_threshold";
+          "max_name_len"; "max_path_len"; "max_symlink_depth"; "max_open_files";
+          "max_system_files"; "max_xattr_value"; "xattr_space"; "quota_blocks";
+          "read_only"; "uid"; "gid"; "faults"; "journal_mode" ]
+      in
+      match List.find_opt (fun (k, _) -> not (List.mem k known)) pairs with
+      | Some (k, _) -> Error (Printf.sprintf "config: unknown field %S" k)
+      | None -> Ok ()
+  in
+  Ok
+    {
+      block_size; total_blocks; max_file_size; large_file_threshold;
+      max_name_len; max_path_len; max_symlink_depth; max_open_files;
+      max_system_files; max_xattr_value; xattr_space; quota_blocks;
+      read_only; uid; gid; faults; journal_mode;
+    }
+
+let digest c = Printf.sprintf "%08x" (Iocov_util.Crc32.string (to_string c))
+
+(* --- the config lattice --- *)
+
+type point = { pt_id : int; pt_name : string; pt_config : t }
+
+let tiny =
+  {
+    default with
+    total_blocks = 256;              (* 1 MiB: ENOSPC within a few writes *)
+    max_file_size = 256 * 1024;      (* EFBIG at 256 KiB *)
+  }
+
+let tiny_quota = { default with quota_blocks = Some 8 }
+let no_xattr_space = { default with xattr_space = 0 }
+
+let lattice_bases =
+  [
+    ("default", default);
+    ("small", small);
+    ("tiny", tiny);
+    ("tiny-quota", tiny_quota);
+    ("read-only", read_only_of default);
+    ("no-xattr-space", no_xattr_space);
+  ]
+
+let lattice =
+  let points =
+    List.concat_map
+      (fun (base_name, base) ->
+        List.map
+          (fun mode ->
+            let name =
+              match mode with
+              | Ordered -> base_name
+              | m -> base_name ^ "-" ^ journal_mode_to_string m
+            in
+            (name, with_journal_mode mode base))
+          [ Ordered; Writeback; Journaled ])
+      lattice_bases
+  in
+  Array.of_list
+    (List.mapi
+       (fun i (pt_name, pt_config) -> { pt_id = i; pt_name; pt_config })
+       points)
+
+let lattice_count = Array.length lattice
+let default_point = lattice.(0)
+
+let lattice_digest =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf p.pt_name;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (to_string p.pt_config);
+      Buffer.add_char buf '\n')
+    lattice;
+  Printf.sprintf "%08x" (Iocov_util.Crc32.string (Buffer.contents buf))
+
+let point_named name =
+  Array.fold_left
+    (fun acc p -> match acc with Some _ -> acc | None -> if p.pt_name = name then Some p else None)
+    None lattice
+
+let points_of_spec spec =
+  match String.trim spec with
+  | "" -> Error "config spec: empty"
+  | "all" -> Ok (Array.to_list lattice)
+  | spec ->
+    let names = String.split_on_char ',' spec in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest ->
+        let n = String.trim n in
+        (match point_named n with
+         | Some p ->
+           if List.exists (fun q -> q.pt_id = p.pt_id) acc then go acc rest
+           else go (p :: acc) rest
+         | None ->
+           Error
+             (Printf.sprintf
+                "config spec: unknown lattice point %S (known: %s)" n
+                (String.concat ", "
+                   (List.map (fun p -> p.pt_name) (Array.to_list lattice)))))
+    in
+    go [] names
+
+let parse_lattice contents =
+  let ( let* ) = Result.bind in
+  let lines = String.split_on_char '\n' contents in
+  let* points =
+    List.fold_left
+      (fun acc line ->
+        let* acc = acc in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then Ok acc
+        else
+          match String.index_opt line ' ' with
+          | None -> Error (Printf.sprintf "lattice file: malformed line %S" line)
+          | Some i ->
+            let name = String.sub line 0 i in
+            let body = String.sub line (i + 1) (String.length line - i - 1) in
+            let* config = of_string body in
+            if List.exists (fun (n, _) -> n = name) acc then
+              Error (Printf.sprintf "lattice file: duplicate point %S" name)
+            else Ok ((name, config) :: acc))
+      (Ok []) lines
+  in
+  match List.rev points with
+  | [] -> Error "lattice file: no points"
+  | points ->
+    Ok
+      (List.mapi
+         (fun i (pt_name, pt_config) -> { pt_id = i; pt_name; pt_config })
+         points)
+
+let print_lattice () =
+  String.concat ""
+    (List.map
+       (fun p -> Printf.sprintf "%s %s\n" p.pt_name (to_string p.pt_config))
+       (Array.to_list lattice))

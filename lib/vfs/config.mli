@@ -49,3 +49,55 @@ val with_faults : Fault.t list -> t -> t
 val with_journal_mode : journal_mode -> t -> t
 val with_uid : uid:int -> gid:int -> t -> t
 val read_only_of : t -> t
+
+(** {2 Canonical serialization}
+
+    One [key=value] token per field, declaration order, single-space
+    separated — e.g. [quota_blocks=none] and [faults=-] for the empty
+    cases.  [of_string (to_string c) = Ok c] for every config
+    (QCheck-tested over all 17 fields), and the digest is the CRC-32 of
+    the canonical form, so ledger/serve/trace headers can name a config
+    exactly in eight hex digits. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val digest : t -> string
+
+(** {2 The config lattice}
+
+    A finite, deterministic set of named configurations — six base
+    geometries (default, small, tiny, tiny-quota, read-only,
+    no-xattr-space), each crossed with the three journal modes.  Point
+    IDs are dense and stable across runs ([0, lattice_count)); point 0
+    is always [default].  Base names denote the [Ordered] mode; the
+    other modes append ["-writeback"] / ["-journaled"]. *)
+
+type point = {
+  pt_id : int;       (** dense, stable; the matrix config_id *)
+  pt_name : string;  (** e.g. ["tiny-quota-journaled"] *)
+  pt_config : t;
+}
+
+val lattice : point array
+val lattice_count : int
+val default_point : point
+
+val lattice_digest : string
+(** CRC-32 over every point's name and canonical form — names the whole
+    lattice version, for cross-run comparability checks. *)
+
+val point_named : string -> point option
+
+val points_of_spec : string -> (point list, string) result
+(** Parse a [--configs] value: ["all"] for the whole lattice or a
+    comma-separated list of point names.  Preserves order, drops
+    duplicates. *)
+
+val parse_lattice : string -> (point list, string) result
+(** Parse a custom lattice file ([NAME <canonical config>] per line, [#]
+    comments); points get dense IDs in file order. *)
+
+val print_lattice : unit -> string
+(** The built-in lattice in [parse_lattice] form — documentation and a
+    template for custom lattice files. *)

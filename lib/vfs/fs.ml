@@ -548,10 +548,19 @@ let do_write t ~fd ~count ~offset =
                  match charge t ~owner:node.Node.uid delta with
                  | Ok () -> Ok count
                  | Error e ->
-                   (* partial write into the remaining blocks *)
-                   let free_bytes =
-                     (t.cfg.Config.total_blocks - t.used) * t.cfg.Config.block_size
+                   (* partial write into the remaining blocks; the room
+                      is bounded by whichever of device capacity and the
+                      owner's quota is tighter, so a quota-bound write
+                      short-writes up to the limit (EDQUOT only on zero
+                      progress), mirroring the ENOSPC case *)
+                   let free_blocks =
+                     let device = t.cfg.Config.total_blocks - t.used in
+                     match t.cfg.Config.quota_blocks with
+                     | Some limit when node.Node.uid <> 0 ->
+                       min device (max 0 (limit - !(quota_used t node.Node.uid)))
+                     | _ -> device
                    in
+                   let free_bytes = free_blocks * t.cfg.Config.block_size in
                    let room =
                      max 0
                        (blocks_of_size t node.Node.size * t.cfg.Config.block_size - pos)
@@ -1203,6 +1212,7 @@ let set_credentials t ~uid ~gid =
 
 let credentials t = (t.uid, t.gid)
 let set_read_only t ro = t.read_only <- ro
+let is_read_only t = t.read_only
 let set_system_file_load t n = t.system_file_load <- max 0 n
 
 let mknod_special t path kind =

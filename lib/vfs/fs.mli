@@ -79,6 +79,11 @@ val credentials : t -> int * int
 val set_read_only : t -> bool -> unit
 (** Remount read-only (or read-write): mutating syscalls fail [EROFS]. *)
 
+val is_read_only : t -> bool
+(** The current mount state, so temporary remount-ro test phases can
+    restore what the configuration pinned rather than assuming
+    read-write. *)
+
 val inject_errno : t -> ?base:Iocov_syscall.Model.base -> Iocov_syscall.Errno.t -> unit
 (** Queue a transient environment error ([EINTR], [ENOMEM], [EFAULT],
     [EIO], ...).  The next {!exec} — of the given base syscall if

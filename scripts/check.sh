@@ -77,4 +77,27 @@ dune exec bin/iocov.exe -- crash --bound 6 --workload append-fsync \
   --fault fsync_skips_data --ledger "$tmp/ledger" \
   | grep -q "bugs found, as injected"
 
+echo "== config lattice gate =="
+# matrix observe throughput, lazy shard memory, and the off-default
+# errno surface (>= 5 errno cells reachable only off the default point)
+dune exec bench/main.exe -- --config-bench > /dev/null
+
+echo "== config lattice CLI smoke =="
+# a two-point sweep prints the per-config matrix and the differential
+# view, and its ledger records carry the lattice point
+dune exec bin/iocov.exe -- suite ltp --scale 0.2 --configs default,tiny-quota \
+  --config-diff --ledger "$tmp/ledger" > "$tmp/configs.out"
+grep -q "Config matrix" "$tmp/configs.out"
+grep -q "Config diff" "$tmp/configs.out"
+dune exec bin/iocov.exe -- runs list --ledger "$tmp/ledger" | grep -q "tiny-quota"
+# records 7 (default) and 8 (tiny-quota) were run under different
+# configs: diff must refuse without --cross-config and work with it
+if dune exec bin/iocov.exe -- runs diff 7 8 --ledger "$tmp/ledger" \
+  > /dev/null 2>&1; then
+  echo "error: cross-config runs diff was not refused" >&2
+  exit 1
+fi
+dune exec bin/iocov.exe -- runs diff 7 8 --cross-config --ledger "$tmp/ledger" \
+  > /dev/null
+
 echo "all checks passed"

@@ -69,13 +69,17 @@ let test_handshake_roundtrip () =
   let cases =
     [
       { Protocol.hs_role = Protocol.Ingest; hs_tenant = Some "alice";
-        hs_mount = None; hs_format = Protocol.Binary };
+        hs_mount = None; hs_format = Protocol.Binary; hs_config = None };
       { Protocol.hs_role = Protocol.Ingest; hs_tenant = Some "bob";
-        hs_mount = Some "/mnt/other"; hs_format = Protocol.Text };
+        hs_mount = Some "/mnt/other"; hs_format = Protocol.Text;
+        hs_config = None };
+      { Protocol.hs_role = Protocol.Ingest; hs_tenant = Some "dora";
+        hs_mount = None; hs_format = Protocol.Binary;
+        hs_config = Some "tiny-quota" };
       { Protocol.hs_role = Protocol.Query; hs_tenant = None;
-        hs_mount = None; hs_format = Protocol.Binary };
+        hs_mount = None; hs_format = Protocol.Binary; hs_config = None };
       { Protocol.hs_role = Protocol.Query; hs_tenant = Some "carol";
-        hs_mount = None; hs_format = Protocol.Binary };
+        hs_mount = None; hs_format = Protocol.Binary; hs_config = None };
     ]
   in
   List.iter
@@ -396,7 +400,7 @@ let test_server_file_mode () =
       | Error msg -> Alcotest.failf "file-mode run: %s" msg
       | Ok outcome ->
         (match outcome.Server.o_tenants with
-        | [ { Server.o_tenant = "solo"; o_coverage; o_stats } ] ->
+        | [ { Server.o_tenant = "solo"; o_coverage; o_stats; o_config = _ } ] ->
           check_string "file-mode digest = offline" (offline_digest events)
             (Ledger.digest o_coverage);
           check_int "all records seen" (List.length events) o_stats.Hub.st_events
@@ -532,6 +536,7 @@ let test_partial_frame_on_ledger () =
          hs_tenant = Some "torn";
          hs_mount = None;
          hs_format = Protocol.Binary;
+         hs_config = None;
        }
     ^ "\n");
   output_string oc (String.sub bytes 0 (String.length bytes - 7));
